@@ -1,0 +1,111 @@
+//! Speedup-curve dip detection.
+//!
+//! §5.1: *"Interestingly, there are dips in the speedup graphs showing a
+//! decrease in the speedup with an increase in the number of processors
+//! employed. This shows that the partitioning of the hash-tables could
+//! result in an uneven distribution of the processing load."*
+//!
+//! [`find_dips`] locates those non-monotonic stretches in a speedup curve
+//! so the harness can report them, and [`monotonic_envelope`] computes the
+//! best-so-far curve (what a tuned partition per processor count could
+//! have achieved).
+
+/// One detected dip: speedup fell between two consecutive swept processor
+/// counts.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Dip {
+    /// Processor count before the dip.
+    pub from_procs: usize,
+    /// Processor count at the dip.
+    pub to_procs: usize,
+    /// Speedup before.
+    pub before: f64,
+    /// Speedup after (lower).
+    pub after: f64,
+}
+
+impl Dip {
+    /// Relative depth of the dip (0.05 = lost 5% of the prior speedup).
+    pub fn depth(&self) -> f64 {
+        if self.before <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.after / self.before
+        }
+    }
+}
+
+/// Find all dips in a `(processors, speedup)` curve. `tolerance` ignores
+/// noise: only drops deeper than that relative fraction are reported.
+pub fn find_dips(curve: &[(usize, f64)], tolerance: f64) -> Vec<Dip> {
+    let mut out = Vec::new();
+    for w in curve.windows(2) {
+        let (p0, s0) = w[0];
+        let (p1, s1) = w[1];
+        if p1 > p0 && s0 > 0.0 && (1.0 - s1 / s0) > tolerance {
+            out.push(Dip {
+                from_procs: p0,
+                to_procs: p1,
+                before: s0,
+                after: s1,
+            });
+        }
+    }
+    out
+}
+
+/// The running maximum of a speedup curve: the envelope a per-P-tuned
+/// bucket distribution would trace.
+pub fn monotonic_envelope(curve: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    let mut best = 0.0_f64;
+    curve
+        .iter()
+        .map(|&(p, s)| {
+            best = best.max(s);
+            (p, best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_single_dip() {
+        let curve = vec![(1, 1.0), (2, 1.9), (4, 3.0), (8, 2.5), (16, 4.0)];
+        let dips = find_dips(&curve, 0.01);
+        assert_eq!(dips.len(), 1);
+        assert_eq!(dips[0].from_procs, 4);
+        assert_eq!(dips[0].to_procs, 8);
+        assert!((dips[0].depth() - (1.0 - 2.5 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_filters_noise() {
+        let curve = vec![(1, 1.0), (2, 1.99), (4, 1.98)];
+        assert!(find_dips(&curve, 0.02).is_empty());
+        assert_eq!(find_dips(&curve, 0.0001).len(), 1);
+    }
+
+    #[test]
+    fn monotone_curve_has_no_dips() {
+        let curve = vec![(1, 1.0), (2, 2.0), (4, 3.5)];
+        assert!(find_dips(&curve, 0.0).is_empty());
+    }
+
+    #[test]
+    fn envelope_is_running_max() {
+        let curve = vec![(1, 1.0), (2, 3.0), (4, 2.0), (8, 5.0)];
+        assert_eq!(
+            monotonic_envelope(&curve),
+            vec![(1, 1.0), (2, 3.0), (4, 3.0), (8, 5.0)]
+        );
+    }
+
+    #[test]
+    fn empty_curve() {
+        assert!(find_dips(&[], 0.0).is_empty());
+        assert!(monotonic_envelope(&[]).is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # mpps-analysis — distribution models, scheduling bounds, reporting
+//!
+//! The analytical half of §5.2:
+//!
+//! * [`probmodel`] — the balls-in-bins model of active-bucket
+//!   distribution, with exact probabilities for the perfectly even and
+//!   totally uneven cases and Monte-Carlo max-load estimates, verifying
+//!   the paper's three conclusions.
+//! * [`schedule`] — load-vector statistics (max/variance/imbalance), the
+//!   per-cycle offline greedy distributions, and the greedy-vs-fixed
+//!   improvement bound (the paper measured ≈×1.4).
+//! * [`report`] — plain-text table/series/CSV rendering for the `repro`
+//!   harness that regenerates every table and figure.
+
+pub mod dips;
+pub mod probmodel;
+pub mod report;
+pub mod schedule;
+
+pub use dips::{find_dips, monotonic_envelope, Dip};
+pub use probmodel::{
+    estimate_max_load, expected_speedup, prob_perfectly_even, prob_totally_uneven,
+    MaxLoadEstimate,
+};
+pub use report::{render_csv, render_series, render_table};
+pub use schedule::{
+    greedy_improvement_bound, greedy_per_cycle, load_stats, per_cycle_stats, LoadStats,
+};

@@ -1,0 +1,163 @@
+//! Plain-text rendering of tables and figures for the `repro` harness.
+
+use std::fmt::Write;
+
+/// Render an aligned ASCII table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    writeln!(out, "{}", fmt_row(&header_cells)).unwrap();
+    writeln!(out, "{sep}").unwrap();
+    for row in rows {
+        writeln!(out, "{}", fmt_row(row)).unwrap();
+    }
+    out
+}
+
+/// Render one or more named series as an ASCII chart: x = first column,
+/// one bar row per x value per series. Good enough to eyeball the shape
+/// of a speedup curve in a terminal.
+pub fn render_series(
+    title: &str,
+    x_label: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    max_width: usize,
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    let y_max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(_, y)| y))
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, pts) in series {
+        for &(x, y) in pts {
+            let bar_len = ((y / y_max) * max_width as f64).round() as usize;
+            writeln!(
+                out,
+                "{name:<name_w$} {x_label}={x:<6} {y:>8.2} |{}",
+                "#".repeat(bar_len)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Render series as CSV (`x,series1,series2,...`), aligning series on
+/// their x values (they must share the same x grid).
+pub fn render_csv(x_label: &str, series: &[(&str, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::new();
+    write!(out, "{x_label}").unwrap();
+    for (name, _) in series {
+        write!(out, ",{name}").unwrap();
+    }
+    writeln!(out).unwrap();
+    if series.is_empty() {
+        return out;
+    }
+    let xs: Vec<f64> = series[0].1.iter().map(|&(x, _)| x).collect();
+    for (name, pts) in series {
+        assert_eq!(
+            pts.len(),
+            xs.len(),
+            "series {name} must share the x grid"
+        );
+    }
+    for (i, x) in xs.iter().enumerate() {
+        write!(out, "{x}").unwrap();
+        for (_, pts) in series {
+            write!(out, ",{}", pts[i].1).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            "Table X",
+            &["program", "left", "right"],
+            &[
+                vec!["Rubik".into(), "2388".into(), "6114".into()],
+                vec!["Tourney".into(), "10667".into(), "83".into()],
+            ],
+        );
+        assert!(t.contains("Table X"));
+        let lines: Vec<&str> = t.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert!(lines[2].chars().all(|c| c == '-' || c == '+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        render_table("t", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn series_bars_scale_to_max() {
+        let s = render_series(
+            "Speedups",
+            "P",
+            &[("rubik", vec![(1.0, 1.0), (8.0, 8.0)])],
+            10,
+        );
+        assert!(s.contains("|##########"), "{s}");
+        assert!(s.contains("|#\n") || s.contains("|# "), "{s}");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = render_csv(
+            "p",
+            &[
+                ("a", vec![(1.0, 2.0), (2.0, 4.0)]),
+                ("b", vec![(1.0, 3.0), (2.0, 5.0)]),
+            ],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "p,a,b");
+        assert_eq!(lines[1], "1,2,3");
+        assert_eq!(lines[2], "2,4,5");
+    }
+
+    #[test]
+    #[should_panic(expected = "share the x grid")]
+    fn csv_rejects_misaligned_series() {
+        render_csv(
+            "p",
+            &[("a", vec![(1.0, 2.0)]), ("b", vec![(1.0, 3.0), (2.0, 5.0)])],
+        );
+    }
+}

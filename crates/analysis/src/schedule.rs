@@ -1,0 +1,187 @@
+//! Load-balance mathematics for bucket-to-processor assignments.
+//!
+//! §5.2.2's offline greedy experiment needs three things: per-cycle
+//! bucket-activity extraction (in `mpps-core::partition`), the greedy
+//! assignment itself ([`mpps_core::Partition::greedy`]), and the
+//! *evaluation* — how uneven a given assignment is, and how much an
+//! alternative assignment would improve the simulated run. The evaluation
+//! lives here.
+
+use mpps_core::{cycle_bucket_activity, Partition};
+use mpps_rete::Trace;
+
+/// Summary of one load vector (per-processor activation counts).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LoadStats {
+    /// Largest per-processor load (the cycle's serial bottleneck).
+    pub max: u64,
+    /// Mean load.
+    pub mean: f64,
+    /// Population variance — the paper judges its greedy distributions by
+    /// "a very low variance".
+    pub variance: f64,
+    /// `max / mean` (1.0 = perfectly balanced); `inf` when mean is zero.
+    pub imbalance: f64,
+}
+
+/// Compute [`LoadStats`] for a load vector.
+pub fn load_stats(loads: &[u64]) -> LoadStats {
+    assert!(!loads.is_empty(), "need at least one processor");
+    let max = *loads.iter().max().unwrap();
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let variance = loads
+        .iter()
+        .map(|&l| {
+            let d = l as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / loads.len() as f64;
+    let imbalance = if mean == 0.0 {
+        if max == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max as f64 / mean
+    };
+    LoadStats {
+        max,
+        mean,
+        variance,
+        imbalance,
+    }
+}
+
+/// Per-cycle load statistics of `partition` over `trace`.
+pub fn per_cycle_stats(trace: &Trace, partition: &Partition) -> Vec<LoadStats> {
+    (0..trace.cycles.len())
+        .map(|c| {
+            let activity = cycle_bucket_activity(trace, c);
+            load_stats(&partition.loads(&activity))
+        })
+        .collect()
+}
+
+/// Build the paper's per-cycle greedy distributions: one LPT assignment
+/// per cycle, from that cycle's observed bucket activity (the information
+/// "not available to the actual distribution algorithm" — this is the
+/// offline bound).
+pub fn greedy_per_cycle(trace: &Trace, processors: usize) -> Vec<Partition> {
+    (0..trace.cycles.len())
+        .map(|c| Partition::greedy(&cycle_bucket_activity(trace, c), processors))
+        .collect()
+}
+
+/// The idealized improvement factor of per-cycle greedy over a fixed
+/// assignment, estimated from per-cycle maximum loads (activation counts
+/// stand in for time): `sum(max under fixed) / sum(max under greedy)`.
+/// The paper measured ≈1.4 on its traces.
+pub fn greedy_improvement_bound(trace: &Trace, fixed: &Partition) -> f64 {
+    let procs = fixed.processors();
+    let mut fixed_sum = 0u64;
+    let mut greedy_sum = 0u64;
+    for c in 0..trace.cycles.len() {
+        let activity = cycle_bucket_activity(trace, c);
+        fixed_sum += *fixed.loads(&activity).iter().max().unwrap_or(&0);
+        let greedy = Partition::greedy(&activity, procs);
+        greedy_sum += *greedy.loads(&activity).iter().max().unwrap_or(&0);
+    }
+    if greedy_sum == 0 {
+        1.0
+    } else {
+        fixed_sum as f64 / greedy_sum as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::Sign;
+    use mpps_rete::trace::{ActKind, ActivationRecord, TraceCycle};
+    use mpps_rete::{NodeId, Side};
+
+    #[test]
+    fn load_stats_basics() {
+        let s = load_stats(&[4, 0, 0, 0]);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.variance, 3.0);
+        assert_eq!(s.imbalance, 4.0);
+        let even = load_stats(&[2, 2, 2, 2]);
+        assert_eq!(even.variance, 0.0);
+        assert_eq!(even.imbalance, 1.0);
+    }
+
+    #[test]
+    fn empty_loads_are_balanced() {
+        let s = load_stats(&[0, 0]);
+        assert_eq!(s.imbalance, 1.0);
+    }
+
+    fn skewed_trace() -> Trace {
+        // Two cycles; each concentrates activity on buckets that
+        // round-robin maps to one processor (stride 2 on 2 procs).
+        let mut t = Trace::new(8);
+        for cycle in 0..2u64 {
+            let mut acts = Vec::new();
+            for i in 0..12u64 {
+                acts.push(ActivationRecord {
+                    node: NodeId(1),
+                    side: Side::Left,
+                    sign: Sign::Plus,
+                    // Cycle 0 hits even buckets (proc 0), cycle 1 odd.
+                    bucket: (2 * (i % 4) + cycle) % 8,
+                    parent: None,
+                    kind: ActKind::TwoInput,
+                });
+            }
+            t.cycles.push(TraceCycle { activations: acts });
+        }
+        t
+    }
+
+    #[test]
+    fn round_robin_is_maximally_uneven_on_adversarial_trace() {
+        let t = skewed_trace();
+        let rr = Partition::round_robin(8, 2);
+        let stats = per_cycle_stats(&t, &rr);
+        // All 12 activations of each cycle land on one processor.
+        assert_eq!(stats[0].max, 12);
+        assert_eq!(stats[1].max, 12);
+    }
+
+    #[test]
+    fn greedy_per_cycle_balances_each_cycle() {
+        let t = skewed_trace();
+        let parts = greedy_per_cycle(&t, 2);
+        assert_eq!(parts.len(), 2);
+        let stats: Vec<LoadStats> = (0..2)
+            .map(|c| {
+                let activity = mpps_core::cycle_bucket_activity(&t, c);
+                load_stats(&parts[c].loads(&activity))
+            })
+            .collect();
+        assert_eq!(stats[0].max, 6);
+        assert_eq!(stats[1].max, 6);
+        assert!(stats[0].variance < 1.0);
+    }
+
+    #[test]
+    fn greedy_improvement_factor_on_adversarial_trace() {
+        let t = skewed_trace();
+        let rr = Partition::round_robin(8, 2);
+        let f = greedy_improvement_bound(&t, &rr);
+        assert!((f - 2.0).abs() < 1e-9, "12/6 per cycle → ×2, got {f}");
+    }
+
+    #[test]
+    fn greedy_never_worse_than_fixed() {
+        let t = skewed_trace();
+        for procs in [1usize, 2, 4] {
+            let rr = Partition::round_robin(8, procs);
+            assert!(greedy_improvement_bound(&t, &rr) >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! One criterion benchmark per table/figure of the paper's evaluation:
+//! times the full regeneration of each artifact on the calibrated
+//! sections. `cargo bench -p mpps-bench --bench figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpps_bench::experiments as exp;
+use std::hint::black_box;
+
+fn bench_fig5_1(c: &mut Criterion) {
+    c.bench_function("fig5_1_speedups_zero_overhead", |b| {
+        b.iter(|| black_box(exp::fig5_1()))
+    });
+}
+
+fn bench_table5_1(c: &mut Criterion) {
+    c.bench_function("table5_1_overhead_settings", |b| {
+        b.iter(|| black_box(exp::table5_1()))
+    });
+}
+
+fn bench_fig5_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_2");
+    g.sample_size(10);
+    g.bench_function("overhead_sweep_all_sections", |b| {
+        b.iter(|| black_box(exp::fig5_2()))
+    });
+    g.finish();
+}
+
+fn bench_table5_2(c: &mut Criterion) {
+    c.bench_function("table5_2_activation_mix", |b| {
+        b.iter(|| black_box(exp::table5_2()))
+    });
+}
+
+fn bench_fig5_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_4");
+    g.sample_size(20);
+    g.bench_function("weaver_unsharing", |b| b.iter(|| black_box(exp::fig5_4())));
+    g.finish();
+}
+
+fn bench_fig5_5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_5");
+    g.sample_size(20);
+    g.bench_function("rubik_load_distribution", |b| {
+        b.iter(|| black_box(exp::fig5_5()))
+    });
+    g.finish();
+}
+
+fn bench_fig5_6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_6");
+    g.sample_size(10);
+    g.bench_function("tourney_copy_and_constraint", |b| {
+        b.iter(|| black_box(exp::fig5_6()))
+    });
+    g.finish();
+}
+
+fn bench_network_idle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_idle");
+    g.sample_size(10);
+    g.bench_function("section_5_1_idle_fractions", |b| {
+        b.iter(|| black_box(exp::network_idle()))
+    });
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy");
+    g.sample_size(10);
+    g.bench_function("section_5_2_2_greedy_gains", |b| {
+        b.iter(|| black_box(exp::greedy_gains()))
+    });
+    g.finish();
+}
+
+fn bench_probmodel(c: &mut Criterion) {
+    c.bench_function("probmodel_estimates", |b| {
+        b.iter(|| {
+            black_box(mpps_analysis::estimate_max_load(128, 16, 1, 500, 7));
+            black_box(mpps_analysis::prob_perfectly_even(128, 16));
+        })
+    });
+}
+
+fn bench_continuum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("continuum");
+    g.sample_size(10);
+    g.bench_function("section_6_endpoints", |b| {
+        b.iter(|| black_box(exp::continuum()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig5_1,
+    bench_table5_1,
+    bench_fig5_2,
+    bench_table5_2,
+    bench_fig5_4,
+    bench_fig5_5,
+    bench_fig5_6,
+    bench_network_idle,
+    bench_greedy,
+    bench_probmodel,
+    bench_continuum,
+);
+criterion_main!(figures);

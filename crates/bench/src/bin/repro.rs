@@ -1,0 +1,408 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all            # everything below, in paper order
+//! repro fig5-1         # speedups, zero overhead
+//! repro table5-1       # overhead settings
+//! repro fig5-2         # speedups under each overhead row (+ loss summary)
+//! repro table5-2       # activation mixes
+//! repro fig5-3         # the unsharing transform, illustrated on a network
+//! repro fig5-4         # Weaver with/without unsharing
+//! repro fig5-5         # per-processor left-token counts, two Rubik cycles
+//! repro fig5-6         # Tourney with/without copy-and-constraint
+//! repro network-idle   # §5.1 interconnect idle fractions
+//! repro greedy         # §5.2.2 offline-greedy improvement
+//! repro probmodel      # §5.2.2 probabilistic model conclusions
+//! repro continuum      # §6 mapping continuum endpoints
+//! repro shared-bus     # §5.2 comparison vs the shared-bus mapping
+//! repro termination-cost # pricing ring-token termination detection
+//! repro era            # §1 motivation: first- vs new-generation MPCs
+//! ```
+
+use mpps_analysis::{render_series, render_table};
+use mpps_bench::experiments as exp;
+use mpps_core::sweep::SpeedupPoint;
+
+fn curve_points(curve: &[SpeedupPoint]) -> Vec<(f64, f64)> {
+    curve
+        .iter()
+        .map(|p| (p.processors as f64, p.speedup))
+        .collect()
+}
+
+fn fig5_1() {
+    let curves = exp::fig5_1();
+    let series: Vec<(&str, Vec<(f64, f64)>)> = curves
+        .iter()
+        .map(|(name, c)| (*name, curve_points(c)))
+        .collect();
+    println!(
+        "{}",
+        render_series(
+            "Figure 5-1: speedups with zero message-passing overheads",
+            "P",
+            &series,
+            40,
+        )
+    );
+    // The paper's "interesting dips": report any decrease with more
+    // processors.
+    for (name, curve) in &curves {
+        let pts: Vec<(usize, f64)> = curve
+            .iter()
+            .map(|p| (p.processors, p.speedup))
+            .collect();
+        for d in mpps_analysis::find_dips(&pts, 0.01) {
+            println!(
+                "dip ({name}): {} -> {} processors, speedup {:.2} -> {:.2}                  (uneven active-bucket distribution)",
+                d.from_procs, d.to_procs, d.before, d.after
+            );
+        }
+    }
+    println!();
+}
+
+fn table5_1() {
+    println!(
+        "{}",
+        render_table(
+            "Table 5-1: message-processing overhead settings",
+            &["Run", "Send", "Receive", "Total"],
+            &exp::table5_1(),
+        )
+    );
+}
+
+fn fig5_2() {
+    for (name, sweeps) in exp::fig5_2() {
+        let series: Vec<(String, Vec<(f64, f64)>)> = sweeps
+            .iter()
+            .map(|(o, c)| (format!("{}:{}", name, o.name), curve_points(c)))
+            .collect();
+        let series_ref: Vec<(&str, Vec<(f64, f64)>)> = series
+            .iter()
+            .map(|(n, pts)| (n.as_str(), pts.clone()))
+            .collect();
+        println!(
+            "{}",
+            render_series(
+                &format!("Figure 5-2 ({name}): speedups under varying overheads"),
+                "P",
+                &series_ref,
+                40,
+            )
+        );
+    }
+    let rows: Vec<Vec<String>> = exp::fig5_2_losses()
+        .into_iter()
+        .map(|(name, loss, left_frac)| {
+            vec![
+                name.to_owned(),
+                format!("{:.0}%", loss * 100.0),
+                format!("{:.0}%", left_frac * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Peak-speedup loss at 32us overhead (paper: Rubik 30%, Tourney 45%, Weaver 50%)",
+            &["Section", "Speedup loss", "Left-activation share"],
+            &rows,
+        )
+    );
+}
+
+fn table5_2() {
+    println!(
+        "{}",
+        render_table(
+            "Table 5-2: tokens in the sections of the three programs",
+            &["Program", "Left activations", "Right activations", "Total"],
+            &exp::table5_2(),
+        )
+    );
+}
+
+fn fig5_3() {
+    use mpps_ops::parse_program;
+    use mpps_rete::{transform::unshare, ReteNetwork};
+    let src = r#"
+        (p o1 (i1 ^k <k>) (i2 ^k <k> ^tag a) --> (remove 1))
+        (p o2 (i1 ^k <k>) (i2 ^k <k> ^tag b) --> (remove 1))
+    "#;
+    let program = parse_program(src).unwrap();
+    let shared = ReteNetwork::compile(&program).unwrap();
+    let unshared = unshare(&program).unwrap();
+    println!("Figure 5-3: unsharing the Rete network (illustrative)\n");
+    println!("productions O1, O2 share the join of conditions I1 and I2\n");
+    let s = shared.stats();
+    let u = unshared.stats();
+    println!(
+        "  shared   network: {} two-input nodes ({} with multiple outputs)",
+        s.two_input, s.shared_two_input
+    );
+    println!(
+        "  unshared network: {} two-input nodes ({} with multiple outputs)",
+        u.two_input, u.shared_two_input
+    );
+    println!("\nafter unsharing, O1 and O2 generate their outputs independently\n");
+}
+
+fn fig5_4() {
+    let (shared, unshared) = exp::fig5_4();
+    println!(
+        "{}",
+        render_series(
+            "Figure 5-4: Weaver speedups with unsharing (zero overheads)",
+            "P",
+            &[
+                ("shared", curve_points(&shared)),
+                ("unshared", curve_points(&unshared)),
+            ],
+            40,
+        )
+    );
+}
+
+fn fig5_5() {
+    let cycles = exp::fig5_5();
+    for (c, loads) in cycles.iter().enumerate() {
+        let series: Vec<(f64, f64)> = loads
+            .iter()
+            .enumerate()
+            .map(|(p, &l)| (p as f64, l as f64))
+            .collect();
+        println!(
+            "{}",
+            render_series(
+                &format!("Figure 5-5 (cycle {c}): left tokens per processor, Rubik, 16 procs"),
+                "proc",
+                &[("tokens", series)],
+                40,
+            )
+        );
+    }
+}
+
+fn fig5_6() {
+    let (plain, cc) = exp::fig5_6();
+    println!(
+        "{}",
+        render_series(
+            "Figure 5-6: Tourney speedups with copy-and-constraint (zero overheads)",
+            "P",
+            &[
+                ("original", curve_points(&plain)),
+                ("copy+constrain", curve_points(&cc)),
+            ],
+            40,
+        )
+    );
+}
+
+fn network_idle() {
+    let rows: Vec<Vec<String>> = exp::network_idle()
+        .into_iter()
+        .map(|(name, idle)| vec![name.to_owned(), format!("{:.1}%", idle * 100.0)])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Interconnect idle time at 16 processors, 8us overheads (paper: 97-98%)",
+            &["Section", "Network idle"],
+            &rows,
+        )
+    );
+}
+
+fn greedy() {
+    let rows: Vec<Vec<String>> = exp::greedy_gains()
+        .into_iter()
+        .map(|(name, simulated, bound)| {
+            vec![
+                name.to_owned(),
+                format!("x{simulated:.2}"),
+                format!("x{bound:.2}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Offline greedy bucket distribution vs round-robin, 16 procs (paper: x1.4)",
+            &["Section", "Simulated speedup gain", "Load-balance bound"],
+            &rows,
+        )
+    );
+    let rows: Vec<Vec<String>> = exp::random_vs_round_robin()
+        .into_iter()
+        .map(|(name, gain)| vec![name.to_owned(), format!("x{gain:.2}")])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Random placement vs round-robin (paper: no significant improvement)",
+            &["Section", "Gain from random placement"],
+            &rows,
+        )
+    );
+}
+
+fn probmodel() {
+    use mpps_analysis::{estimate_max_load, prob_perfectly_even, prob_totally_uneven};
+    println!("Probabilistic model of active-bucket distribution (section 5.2.2)\n");
+    let (a, p) = (128u64, 16u64);
+    println!(
+        "  {a} active buckets on {p} processors: P(perfectly even) = {:.2e}, \
+         P(totally uneven) = {:.2e}  (both < 1%)",
+        prob_perfectly_even(a, p),
+        prob_totally_uneven(a, p)
+    );
+    println!("\n  relative imbalance E[max]/ideal at 8 processors:");
+    for active in [16u64, 64, 256, 1024] {
+        let est = estimate_max_load(active, 8, 0, 2000, 7);
+        println!(
+            "    {active:>5} active buckets: {:.2}",
+            est.mean_max_load / est.ideal as f64
+        );
+    }
+    println!("\n  P(near-linear speedup) with 64 active buckets (slack 1):");
+    for procs in [2usize, 4, 8, 16, 32] {
+        let est = estimate_max_load(64, procs, 1, 2000, 11);
+        println!("    {procs:>3} processors: {:.2}", est.prob_near_linear);
+    }
+    println!();
+}
+
+fn continuum() {
+    let rows: Vec<Vec<String>> = exp::continuum()
+        .into_iter()
+        .map(|(label, speedup)| vec![label, format!("{speedup:.2}x")])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Section 6 continuum (Rubik, 16 procs, 8us overheads): match speedup vs serial",
+            &["Mapping", "Speedup"],
+            &rows,
+        )
+    );
+}
+
+fn shared_bus() {
+    for (name, rows) in exp::shared_bus_comparison() {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|&(p, mpc, bus)| {
+                vec![format!("{p}"), format!("{mpc:.2}"), format!("{bus:.2}")]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "Section 5.2 comparison ({name}): distributed MPC vs shared-bus mapping"
+                ),
+                &["P", "MPC speedup", "Shared-bus speedup"],
+                &table,
+            )
+        );
+    }
+}
+
+fn termination_cost() {
+    for (name, rows) in exp::termination_cost() {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|&(p, omniscient, ring)| {
+                vec![
+                    format!("{p}"),
+                    format!("{omniscient:.2}"),
+                    format!("{ring:.2}"),
+                    format!("{:.0}%", (1.0 - ring / omniscient) * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "Termination detection cost ({name}): omniscient vs ring-token, 8us overheads"
+                ),
+                &["P", "Omniscient", "Ring token", "Loss"],
+                &table,
+            )
+        );
+    }
+}
+
+fn era() {
+    let rows: Vec<Vec<String>> = exp::era_comparison()
+        .into_iter()
+        .map(|(name, new_gen, old)| {
+            vec![
+                name.to_owned(),
+                format!("{new_gen:.2}x"),
+                format!("{old:.2}x"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Section 1 motivation: new-generation vs first-generation MPC, 16 procs",
+            &["Section", "Nectar-era (8us, 0.5us)", "Cosmic-Cube-era (300us, 500us/hop)"],
+            &rows,
+        )
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let run = |what: &str| match what {
+        "fig5-1" => fig5_1(),
+        "table5-1" => table5_1(),
+        "fig5-2" => fig5_2(),
+        "table5-2" => table5_2(),
+        "fig5-3" => fig5_3(),
+        "fig5-4" => fig5_4(),
+        "fig5-5" => fig5_5(),
+        "fig5-6" => fig5_6(),
+        "network-idle" => network_idle(),
+        "greedy" => greedy(),
+        "probmodel" => probmodel(),
+        "continuum" => continuum(),
+        "shared-bus" => shared_bus(),
+        "termination-cost" => termination_cost(),
+        "era" => era(),
+        other => {
+            eprintln!("unknown experiment {other:?}; see `repro` source header for the list");
+            std::process::exit(2);
+        }
+    };
+    if arg == "all" {
+        for what in [
+            "fig5-1",
+            "table5-1",
+            "fig5-2",
+            "table5-2",
+            "fig5-3",
+            "fig5-4",
+            "fig5-5",
+            "fig5-6",
+            "network-idle",
+            "greedy",
+            "probmodel",
+            "continuum",
+            "shared-bus",
+            "termination-cost",
+            "era",
+        ] {
+            println!("==================================================================");
+            run(what);
+        }
+    } else {
+        run(&arg);
+    }
+}

@@ -1,0 +1,8 @@
+//! # mpps-bench — the harness that regenerates every table and figure
+//!
+//! [`experiments`] defines one function per artifact of the paper's §5
+//! evaluation; the `repro` binary prints them and the criterion benches in
+//! `benches/` time them (plus the design-choice ablations called out in
+//! DESIGN.md).
+
+pub mod experiments;

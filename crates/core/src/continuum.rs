@@ -1,0 +1,193 @@
+//! The §6 mapping continuum: replicated ↔ distributed ↔ single-master.
+//!
+//! The paper closes by placing its mapping "near the center of a continuum
+//! of mappings". This module models the two endpoints so the benches can
+//! quantify why the center wins:
+//!
+//! * **Replicated**: every processor holds a complete copy of both hash
+//!   tables. Copies stay consistent by having every processor apply every
+//!   activation — no token messages, but also no division of match work,
+//!   so the match phase runs at serial speed regardless of processor
+//!   count.
+//! * **Single-master**: one processor owns the only copy of the hash
+//!   table. Every activation's store and probe must serialize through the
+//!   master; remote processors pay a request/response message pair per
+//!   activation, each costing the master a receive + send overhead on top
+//!   of the memory work. The master is a hard bottleneck.
+//!
+//! Both are closed-form over a trace and the §4 cost model (no
+//! discrete-event machinery needed: the replicated form has no messages
+//! and the single-master form is one serial queue).
+
+use crate::cost::{CostModel, OverheadSetting};
+use mpps_mpcsim::SimTime;
+use mpps_rete::trace::ActKind;
+use mpps_rete::{Side, Trace};
+
+/// Total match time of the serial (one processor, zero overhead) run:
+/// per cycle, constant tests plus every activation's cost.
+pub fn serial_time(trace: &Trace, cost: &CostModel) -> SimTime {
+    let mut total = SimTime::ZERO;
+    for cycle in &trace.cycles {
+        let mut t = cost.constant_tests;
+        let children = cycle.children_index();
+        for (i, a) in cycle.activations.iter().enumerate() {
+            if a.kind == ActKind::TwoInput {
+                t += cost.activation(a.side == Side::Left, children[i].len());
+            }
+        }
+        total += t;
+    }
+    total
+}
+
+/// Match time under the replicated-hash-table mapping: identical to the
+/// serial time — every replica performs all the work to stay consistent.
+/// (The WME broadcast already exists in the base mapping; token traffic is
+/// zero.)
+pub fn replicated_time(trace: &Trace, cost: &CostModel) -> SimTime {
+    serial_time(trace, cost)
+}
+
+/// Match time under the single-master mapping with `processors` clients:
+/// the master performs every store and probe serially, and each
+/// activation requested by a remote client additionally costs the master a
+/// receive and a send overhead (request in, response out). With more than
+/// one client, all activations are remote to the master.
+pub fn single_master_time(
+    trace: &Trace,
+    cost: &CostModel,
+    overhead: OverheadSetting,
+    processors: usize,
+) -> SimTime {
+    assert!(processors > 0, "need at least one processor");
+    let per_activation_comm = if processors > 1 {
+        overhead.recv + overhead.send
+    } else {
+        SimTime::ZERO
+    };
+    let mut total = SimTime::ZERO;
+    for cycle in &trace.cycles {
+        let mut t = cost.constant_tests;
+        let children = cycle.children_index();
+        for (i, a) in cycle.activations.iter().enumerate() {
+            if a.kind == ActKind::TwoInput {
+                t += cost.activation(a.side == Side::Left, children[i].len()) + per_activation_comm;
+            }
+        }
+        total += t;
+    }
+    total
+}
+
+/// One labelled point on the continuum for reporting.
+#[derive(Clone, Debug)]
+pub struct ContinuumPoint {
+    /// Mapping name.
+    pub label: &'static str,
+    /// Total simulated match time.
+    pub total: SimTime,
+    /// Speedup relative to the serial run (>1 is faster).
+    pub speedup: f64,
+}
+
+/// Evaluate both endpoints plus the serial reference.
+pub fn endpoints(
+    trace: &Trace,
+    cost: &CostModel,
+    overhead: OverheadSetting,
+    processors: usize,
+) -> Vec<ContinuumPoint> {
+    let serial = serial_time(trace, cost);
+    let mk = |label, total: SimTime| ContinuumPoint {
+        label,
+        total,
+        speedup: serial.as_ns() as f64 / total.as_ns().max(1) as f64,
+    };
+    vec![
+        mk("serial", serial),
+        mk("replicated", replicated_time(trace, cost)),
+        mk(
+            "single-master",
+            single_master_time(trace, cost, overhead, processors),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::Sign;
+    use mpps_rete::trace::{ActivationRecord, TraceCycle};
+    use mpps_rete::NodeId;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new(8);
+        t.cycles.push(TraceCycle {
+            activations: vec![
+                ActivationRecord {
+                    node: NodeId(1),
+                    side: Side::Right,
+                    sign: Sign::Plus,
+                    bucket: 0,
+                    parent: None,
+                    kind: ActKind::TwoInput,
+                },
+                ActivationRecord {
+                    node: NodeId(2),
+                    side: Side::Left,
+                    sign: Sign::Plus,
+                    bucket: 1,
+                    parent: Some(0),
+                    kind: ActKind::TwoInput,
+                },
+            ],
+        });
+        t
+    }
+
+    #[test]
+    fn serial_time_sums_costs() {
+        // 30 (constant) + (16 + 16 one successor) + 32 = 94.
+        assert_eq!(
+            serial_time(&trace(), &CostModel::default()),
+            SimTime::from_us(94)
+        );
+    }
+
+    #[test]
+    fn replicated_equals_serial() {
+        let c = CostModel::default();
+        assert_eq!(replicated_time(&trace(), &c), serial_time(&trace(), &c));
+    }
+
+    #[test]
+    fn single_master_adds_comm_per_activation_when_remote() {
+        let c = CostModel::default();
+        let o = OverheadSetting::table_5_1()[1]; // 5/3
+        // Two activations × (recv 3 + send 5) = 16 extra.
+        assert_eq!(
+            single_master_time(&trace(), &c, o, 4),
+            SimTime::from_us(94 + 16)
+        );
+        // Single processor: no communication.
+        assert_eq!(
+            single_master_time(&trace(), &c, o, 1),
+            SimTime::from_us(94)
+        );
+    }
+
+    #[test]
+    fn endpoints_report_speedups() {
+        let pts = endpoints(
+            &trace(),
+            &CostModel::default(),
+            OverheadSetting::table_5_1()[3],
+            8,
+        );
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-12);
+        assert!((pts[1].speedup - 1.0).abs() < 1e-12, "replication buys nothing");
+        assert!(pts[2].speedup < 1.0, "single master is slower than serial");
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's cost model (§4) and overhead settings (Table 5-1).
+
+use mpps_mpcsim::SimTime;
+
+/// Per-operation costs of the match micro-tasks, from §4 of the paper.
+///
+/// The defaults are the exact published numbers, measured from the
+/// OPS83-based Encore/PSM-E implementations:
+///
+/// * evaluate all constant-test nodes: **30 µs** (hashed constant tests);
+/// * add or delete one **left** token: **32 µs**;
+/// * add or delete one **right** token: **16 µs**;
+/// * compare with the opposite memory, per successor generated: **16 µs**.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CostModel {
+    /// Time for one processor to evaluate all constant tests of a cycle's
+    /// broadcast WMEs.
+    pub constant_tests: SimTime,
+    /// Add/delete one token into a left (beta) hash bucket.
+    pub left_token: SimTime,
+    /// Add/delete one token into a right (alpha) hash bucket.
+    pub right_token: SimTime,
+    /// Opposite-memory comparison cost per successor token generated.
+    pub per_successor: SimTime,
+    /// Control-processor time to absorb one instantiation (the paper
+    /// folds this into "other functions of the interpreter"; default 0).
+    pub instantiation: SimTime,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            constant_tests: SimTime::from_us(30),
+            left_token: SimTime::from_us(32),
+            right_token: SimTime::from_us(16),
+            per_successor: SimTime::from_us(16),
+            instantiation: SimTime::ZERO,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one two-input activation that stores on the given side and
+    /// generates `successors` tokens.
+    pub fn activation(&self, is_left: bool, successors: usize) -> SimTime {
+        let store = if is_left {
+            self.left_token
+        } else {
+            self.right_token
+        };
+        store + self.per_successor * successors as u64
+    }
+}
+
+/// One row of Table 5-1: a send/receive overhead pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OverheadSetting {
+    /// Label ("0us", "8us", …) used in figures.
+    pub name: &'static str,
+    /// Sender-side CPU overhead per message.
+    pub send: SimTime,
+    /// Receiver-side CPU overhead per message.
+    pub recv: SimTime,
+}
+
+impl OverheadSetting {
+    /// Total per-message overhead (the figure-legend number).
+    pub fn total(&self) -> SimTime {
+        self.send + self.recv
+    }
+
+    /// Zero-overhead setting (Run 1; also the speedup baseline).
+    pub const ZERO: OverheadSetting = OverheadSetting {
+        name: "0us",
+        send: SimTime::ZERO,
+        recv: SimTime::ZERO,
+    };
+
+    /// The four rows of Table 5-1.
+    pub fn table_5_1() -> [OverheadSetting; 4] {
+        [
+            OverheadSetting::ZERO,
+            OverheadSetting {
+                name: "8us",
+                send: SimTime::from_us(5),
+                recv: SimTime::from_us(3),
+            },
+            OverheadSetting {
+                name: "16us",
+                send: SimTime::from_us(10),
+                recv: SimTime::from_us(6),
+            },
+            OverheadSetting {
+                name: "32us",
+                send: SimTime::from_us(20),
+                recv: SimTime::from_us(12),
+            },
+        ]
+    }
+}
+
+/// The Nectar interconnection-network latency used throughout §5: 0.5 µs.
+pub const NECTAR_LATENCY: SimTime = SimTime::from_ns(500);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_section_4() {
+        let c = CostModel::default();
+        assert_eq!(c.constant_tests, SimTime::from_us(30));
+        assert_eq!(c.left_token, SimTime::from_us(32));
+        assert_eq!(c.right_token, SimTime::from_us(16));
+        assert_eq!(c.per_successor, SimTime::from_us(16));
+    }
+
+    #[test]
+    fn activation_cost_formula() {
+        let c = CostModel::default();
+        assert_eq!(c.activation(true, 0), SimTime::from_us(32));
+        assert_eq!(c.activation(false, 0), SimTime::from_us(16));
+        assert_eq!(c.activation(true, 3), SimTime::from_us(32 + 48));
+        assert_eq!(c.activation(false, 10), SimTime::from_us(16 + 160));
+    }
+
+    #[test]
+    fn table_5_1_totals() {
+        let rows = OverheadSetting::table_5_1();
+        let totals: Vec<u64> = rows.iter().map(|r| r.total().as_ns() / 1000).collect();
+        assert_eq!(totals, vec![0, 8, 16, 32]);
+        assert_eq!(rows[3].send, SimTime::from_us(20));
+        assert_eq!(rows[3].recv, SimTime::from_us(12));
+    }
+
+    #[test]
+    fn nectar_latency_is_half_a_microsecond() {
+        assert_eq!(NECTAR_LATENCY.as_ns(), 500);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # mpps-core — the distributed hash-table mapping of Rete onto MPCs
+//!
+//! The paper's primary contribution, implemented twice:
+//!
+//! * [`simexec`] — the **trace-driven simulated executor**: replays an
+//!   activation trace (from `mpps-rete`) on a simulated message-passing
+//!   machine (`mpps-mpcsim`) under the §4 cost model, reproducing the
+//!   paper's speedup figures, overhead sweeps, and load distributions.
+//! * [`threaded`] — a **real multi-threaded executor**: each match
+//!   processor is an OS thread owning a partition of the hash-index range;
+//!   tokens travel as crossbeam-channel messages. It implements
+//!   [`mpps_ops::Matcher`], so the interpreter can run entire production
+//!   systems on it, and is property-tested against the sequential engine.
+//!
+//! Supporting modules: the §4 [`cost`] model and Table 5-1 overhead rows,
+//! bucket [`partition`] strategies (round-robin / random / offline greedy),
+//! processor/overhead [`sweep`] helpers for the figures, the §6
+//! [`continuum`] endpoints (replicated and single-master hash tables), and
+//! a message-based [`termination`] detector (Safra's algorithm) — the
+//! piece the paper explicitly deferred to future work.
+
+pub mod continuum;
+pub mod cost;
+pub mod partition;
+pub mod sharedbus;
+pub mod simexec;
+pub mod sweep;
+pub mod termination;
+pub mod threaded;
+
+pub use cost::{CostModel, OverheadSetting, NECTAR_LATENCY};
+pub use partition::{bucket_activity, cycle_bucket_activity, Partition};
+pub use sharedbus::{shared_bus_simulate, SharedBusConfig, SharedBusReport};
+pub use simexec::{
+    simulate, simulate_per_cycle, CycleReport, MappingConfig, MappingReport, MappingVariant,
+    RootDistribution, TerminationModel,
+};
+pub use sweep::{overhead_sweep, speedup_curve, SpeedupPoint};
+pub use threaded::ThreadedMatcher;

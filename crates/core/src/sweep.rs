@@ -1,0 +1,205 @@
+//! Parameter sweeps: the speedup curves behind Figures 5-1 through 5-6.
+
+use crate::cost::OverheadSetting;
+use crate::partition::Partition;
+use crate::simexec::{simulate, MappingConfig, MappingReport};
+use mpps_rete::Trace;
+
+/// One point on a speedup curve.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SpeedupPoint {
+    /// Number of match processors.
+    pub processors: usize,
+    /// Speedup relative to the one-processor zero-overhead baseline.
+    pub speedup: f64,
+    /// Absolute simulated match time.
+    pub total_us: f64,
+}
+
+/// How buckets are assigned to processors in a sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum PartitionStrategy {
+    /// Round-robin (the paper's default).
+    #[default]
+    RoundRobin,
+    /// Seeded uniform random placement.
+    Random(u64),
+    /// Offline greedy (LPT) using whole-trace bucket activity.
+    GreedyWholeTrace,
+}
+
+impl PartitionStrategy {
+    /// Materialize a partition for `trace` over `processors`.
+    pub fn build(self, trace: &Trace, processors: usize) -> Partition {
+        match self {
+            PartitionStrategy::RoundRobin => {
+                Partition::round_robin(trace.table_size, processors)
+            }
+            PartitionStrategy::Random(seed) => {
+                Partition::random(trace.table_size, processors, seed)
+            }
+            PartitionStrategy::GreedyWholeTrace => {
+                Partition::greedy(&crate::partition::bucket_activity(trace), processors)
+            }
+        }
+    }
+}
+
+/// Run the baseline (1 processor, zero overheads, zero latency) for
+/// `trace`.
+pub fn baseline(trace: &Trace) -> MappingReport {
+    simulate(
+        trace,
+        &MappingConfig::baseline(),
+        &Partition::single(trace.table_size),
+    )
+}
+
+/// Speedup vs processor count at a fixed overhead setting — one curve of
+/// Figure 5-1 (overhead zero) or Figure 5-2 (each Table 5-1 row).
+pub fn speedup_curve(
+    trace: &Trace,
+    processors: &[usize],
+    overhead: OverheadSetting,
+    strategy: PartitionStrategy,
+) -> Vec<SpeedupPoint> {
+    let base = baseline(trace);
+    processors
+        .iter()
+        .map(|&p| {
+            let config = MappingConfig::standard(p, overhead);
+            let partition = strategy.build(trace, p);
+            let report = simulate(trace, &config, &partition);
+            SpeedupPoint {
+                processors: p,
+                speedup: report.speedup_vs(&base),
+                total_us: report.total.as_us(),
+            }
+        })
+        .collect()
+}
+
+/// The full Figure 5-2 family: one speedup curve per overhead row.
+pub fn overhead_sweep(
+    trace: &Trace,
+    processors: &[usize],
+    overheads: &[OverheadSetting],
+    strategy: PartitionStrategy,
+) -> Vec<(OverheadSetting, Vec<SpeedupPoint>)> {
+    overheads
+        .iter()
+        .map(|&o| (o, speedup_curve(trace, processors, o, strategy)))
+        .collect()
+}
+
+/// Peak speedup of a curve (the paper quotes "up to 8–12 fold").
+pub fn peak(curve: &[SpeedupPoint]) -> SpeedupPoint {
+    *curve
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("curve must be non-empty")
+}
+
+/// Relative speedup loss between two curves' peaks — how §5.1 quantifies
+/// the impact of overheads ("loss of 30% of speedup").
+pub fn speedup_loss(zero_overhead: &[SpeedupPoint], with_overhead: &[SpeedupPoint]) -> f64 {
+    let z = peak(zero_overhead).speedup;
+    let w = peak(with_overhead).speedup;
+    if z == 0.0 {
+        0.0
+    } else {
+        1.0 - w / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::Sign;
+    use mpps_rete::trace::{ActKind, ActivationRecord, TraceCycle};
+    use mpps_rete::{NodeId, Side};
+
+    /// A cycle of `n` independent right activations over distinct buckets.
+    fn flat_trace(n: u64, table: u64) -> Trace {
+        let mut t = Trace::new(table);
+        t.cycles.push(TraceCycle {
+            activations: (0..n)
+                .map(|i| ActivationRecord {
+                    node: NodeId(1),
+                    side: Side::Right,
+                    sign: Sign::Plus,
+                    bucket: i % table,
+                    parent: None,
+                    kind: ActKind::TwoInput,
+                })
+                .collect(),
+        });
+        t
+    }
+
+    #[test]
+    fn embarrassingly_parallel_trace_scales() {
+        let t = flat_trace(64, 64);
+        let curve = speedup_curve(
+            &t,
+            &[1, 2, 4, 8],
+            OverheadSetting::ZERO,
+            PartitionStrategy::RoundRobin,
+        );
+        assert!((curve[0].speedup - 1.0).abs() < 0.05);
+        // Speedup grows monotonically for this ideal workload.
+        assert!(curve[1].speedup > curve[0].speedup);
+        assert!(curve[3].speedup > curve[2].speedup);
+        // Constant tests (30us) are duplicated, so speedup is sublinear:
+        // with 8 procs: base = 30 + 64*16 = 1054; par = 30 + 8*16 = 158.
+        assert!((curve[3].speedup - 1054.0 / 158.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn overhead_sweep_orders_curves() {
+        let t = flat_trace(32, 32);
+        let rows = OverheadSetting::table_5_1();
+        let sweep = overhead_sweep(&t, &[4], &rows, PartitionStrategy::RoundRobin);
+        // Right-activation-only traces are overhead-insensitive under
+        // broadcast distribution (no token messages) — curves coincide.
+        let speeds: Vec<f64> = sweep.iter().map(|(_, c)| c[0].speedup).collect();
+        assert!(speeds.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+    }
+
+    #[test]
+    fn peak_and_loss() {
+        let a = vec![
+            SpeedupPoint {
+                processors: 1,
+                speedup: 1.0,
+                total_us: 100.0,
+            },
+            SpeedupPoint {
+                processors: 4,
+                speedup: 4.0,
+                total_us: 25.0,
+            },
+        ];
+        let b = vec![SpeedupPoint {
+            processors: 4,
+            speedup: 2.0,
+            total_us: 50.0,
+        }];
+        assert_eq!(peak(&a).processors, 4);
+        assert!((speedup_loss(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategies_build_valid_partitions() {
+        let t = flat_trace(16, 16);
+        for s in [
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::Random(7),
+            PartitionStrategy::GreedyWholeTrace,
+        ] {
+            let p = s.build(&t, 4);
+            assert_eq!(p.processors(), 4);
+            assert_eq!(p.table_size(), 16);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Distributed termination detection: Safra's algorithm (EWD 998).
+//!
+//! §4 of the paper: *"we do not simulate termination detection …
+//! Investigations of the impacts of the various termination detection
+//! schemes on our implementation and the selection of the most suitable
+//! scheme will be the subject of future work."* This module is that future
+//! work: a message-only detector a real MPC port needs in order to know
+//! when a cycle's token cascade has drained, demonstrated and tested on
+//! the simulated machine.
+//!
+//! The algorithm (Safra's refinement of Dijkstra–Feijen–van Gasteren):
+//! a token circulates the ring carrying a deficit count and a colour.
+//! Every node keeps `counter = basic messages sent − received` and turns
+//! *black* when it receives a basic message. A node holding the token
+//! forwards it when passive, adding its counter and staining the token if
+//! black, then whitens itself. Node 0 concludes termination only from a
+//! white token, while itself white, with `token.count + counter₀ == 0`;
+//! otherwise it launches a fresh probe.
+//!
+//! In the handler-atomic machine model every node is passive between
+//! handlers, so the token is forwarded immediately — which exercises the
+//! interesting part of the algorithm (counters and colours catching
+//! in-flight basic messages), not the hold-while-active bookkeeping.
+
+use mpps_mpcsim::{Ctx, MachineConfig, Node, ProcId, SimTime, Simulator};
+
+/// Messages of the detection demo: a divisible unit of basic work, or
+/// Safra's probe token.
+#[derive(Clone, Debug)]
+pub enum SafraMsg {
+    /// Basic computation carrying a work budget; a budget of `b` spawns
+    /// roughly `b` messages in total.
+    Basic(u64),
+    /// The probe token: accumulated counter deficit and colour.
+    Token {
+        /// Sum of ring counters so far.
+        count: i64,
+        /// True if any visited node was black.
+        black: bool,
+    },
+}
+
+/// One ring node running basic work plus Safra's rules.
+pub struct SafraNode {
+    me: ProcId,
+    n: usize,
+    /// Basic messages sent minus received.
+    counter: i64,
+    black: bool,
+    /// Deterministic spawn-target state.
+    rng: u64,
+    /// Simulated cost of one basic work unit.
+    work_cost: SimTime,
+    /// Node 0 only: set when termination is concluded.
+    pub detected_at: Option<SimTime>,
+    /// Diagnostics: when this node last handled basic work.
+    pub last_basic_at: SimTime,
+    /// Number of probes launched (node 0 only).
+    pub probes: u32,
+}
+
+impl SafraNode {
+    fn new(me: ProcId, n: usize, seed: u64, work_cost: SimTime) -> Self {
+        SafraNode {
+            me,
+            n,
+            counter: 0,
+            black: false,
+            rng: seed ^ (me as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            work_cost,
+            detected_at: None,
+            last_basic_at: SimTime::ZERO,
+            probes: 0,
+        }
+    }
+
+    fn next_target(&mut self) -> ProcId {
+        // xorshift64*; deterministic per node.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        (self.rng % self.n as u64) as usize
+    }
+
+    fn send_basic(&mut self, ctx: &mut Ctx<'_, SafraMsg>, to: ProcId, budget: u64) {
+        self.counter += 1;
+        ctx.send(to, SafraMsg::Basic(budget));
+    }
+
+    fn ring_next(&self) -> ProcId {
+        (self.me + self.n - 1) % self.n
+    }
+
+    fn launch_probe(&mut self, ctx: &mut Ctx<'_, SafraMsg>) {
+        self.probes += 1;
+        ctx.send(
+            self.ring_next(),
+            SafraMsg::Token {
+                count: 0,
+                black: false,
+            },
+        );
+    }
+}
+
+impl Node for SafraNode {
+    type Msg = SafraMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SafraMsg>) {
+        if self.me == 0 {
+            // Seed the computation and the first probe.
+            let budget = self.rng % 64 + 32;
+            let target = self.next_target();
+            self.send_basic(ctx, target, budget);
+            self.launch_probe(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SafraMsg>, _from: ProcId, msg: SafraMsg) {
+        match msg {
+            SafraMsg::Basic(budget) => {
+                self.counter -= 1;
+                self.black = true;
+                self.last_basic_at = ctx.now();
+                ctx.compute(self.work_cost);
+                if budget > 1 {
+                    let left = budget / 2;
+                    let right = budget - 1 - left;
+                    if left > 0 {
+                        let t = self.next_target();
+                        self.send_basic(ctx, t, left);
+                    }
+                    if right > 0 {
+                        let t = self.next_target();
+                        self.send_basic(ctx, t, right);
+                    }
+                }
+            }
+            SafraMsg::Token { count, black } => {
+                if self.me == 0 {
+                    if self.detected_at.is_some() {
+                        return;
+                    }
+                    let success = !black && !self.black && count + self.counter == 0;
+                    if success {
+                        self.detected_at = Some(ctx.now());
+                    } else {
+                        // Whiten and retry.
+                        self.black = false;
+                        self.launch_probe(ctx);
+                    }
+                } else {
+                    let out = SafraMsg::Token {
+                        count: count + self.counter,
+                        black: black || self.black,
+                    };
+                    self.black = false;
+                    ctx.send(self.ring_next(), out);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a detection demo run.
+#[derive(Clone, Debug)]
+pub struct SafraReport {
+    /// When node 0 concluded termination.
+    pub detected_at: SimTime,
+    /// When the last basic message was handled anywhere.
+    pub last_basic_at: SimTime,
+    /// Probes node 0 launched before succeeding.
+    pub probes: u32,
+    /// Wall-clock including detection traffic.
+    pub makespan: SimTime,
+}
+
+/// Run a seeded basic computation over `n` ring nodes and detect its
+/// termination with Safra's algorithm.
+pub fn run_demo(n: usize, seed: u64, cfg: MachineConfig) -> SafraReport {
+    assert!(n >= 2, "a ring needs at least two nodes");
+    assert_eq!(cfg.processors, n, "machine size must equal ring size");
+    let nodes: Vec<SafraNode> = (0..n)
+        .map(|i| SafraNode::new(i, n, seed, SimTime::from_us(5)))
+        .collect();
+    let mut sim = Simulator::new(cfg, nodes);
+    let run = sim.run();
+    let detected_at = sim
+        .node(0)
+        .detected_at
+        .expect("Safra must detect termination once the computation drains");
+    let last_basic_at = (0..n).map(|i| sim.node(i).last_basic_at).max().unwrap();
+    SafraReport {
+        detected_at,
+        last_basic_at,
+        probes: sim.node(0).probes,
+        makespan: run.makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_mpcsim::{NetworkModel, SimTime};
+
+    fn machine(n: usize) -> MachineConfig {
+        MachineConfig {
+            processors: n,
+            send_overhead: SimTime::from_us(2),
+            recv_overhead: SimTime::from_us(1),
+            network: NetworkModel::Constant(SimTime::from_ns(500)),
+        }
+    }
+
+    #[test]
+    fn detects_after_computation_ends() {
+        for seed in [1, 7, 42, 1234] {
+            let r = run_demo(4, seed, machine(4));
+            assert!(
+                r.detected_at >= r.last_basic_at,
+                "seed {seed}: detection at {} before last basic work at {}",
+                r.detected_at,
+                r.last_basic_at
+            );
+        }
+    }
+
+    #[test]
+    fn detection_is_not_arbitrarily_late() {
+        // Detection should occur within a few probe rounds of quiescence,
+        // and the run must actually end (no probe livelock).
+        let r = run_demo(6, 99, machine(6));
+        assert_eq!(r.detected_at, r.makespan, "nothing happens after detection");
+        assert!(r.probes >= 1);
+    }
+
+    #[test]
+    fn larger_rings_still_detect() {
+        for n in [2, 3, 8, 16] {
+            let r = run_demo(n, 5, machine(n));
+            assert!(r.detected_at >= r.last_basic_at, "ring of {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_demo(5, 11, machine(5));
+        let b = run_demo(5, 11, machine(5));
+        assert_eq!(a.detected_at, b.detected_at);
+        assert_eq!(a.probes, b.probes);
+    }
+}

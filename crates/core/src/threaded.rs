@@ -1,0 +1,468 @@
+//! A real multi-threaded message-passing executor for the mapping.
+//!
+//! This is the "actual implementation" counterpart of the paper's
+//! simulation: every match processor is an OS thread owning a partition of
+//! the hash-index range, and tokens move between threads as
+//! crossbeam-channel messages. The match semantics are the shared
+//! [`mpps_rete::kernel`], so a token is processed by exactly the processor
+//! that owns its destination bucket — the distributed hash table of §3.
+//!
+//! **Termination detection.** The paper explicitly deferred this ("we do
+//! not simulate termination detection … the subject of future work"). A
+//! real executor cannot: the coordinator must know when a cycle's token
+//! cascade has drained. We use an atomic outstanding-work counter with the
+//! Dijkstra-style invariant *increment before send, decrement after
+//! processing*, which makes zero a stable state that can only be observed
+//! when no work exists anywhere. A fully message-based detector (Safra's
+//! algorithm) is provided in [`crate::termination`] and demonstrated on
+//! the simulated machine.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mpps_ops::{
+    sort_conflict_set, Instantiation, Matcher, OpsError, ProductionId, Program, Sign, WmeChange,
+    WmeId,
+};
+use mpps_rete::kernel::{self, Work};
+use mpps_rete::token::BetaToken;
+use mpps_rete::{GlobalMemories, ReteNetwork};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum ToWorker {
+    Work(Vec<Work>),
+    Shutdown,
+}
+
+enum ToCoordinator {
+    Prod {
+        production: ProductionId,
+        sign: Sign,
+        token: BetaToken,
+    },
+    Quiescent,
+}
+
+struct Worker {
+    me: usize,
+    network: Arc<ReteNetwork>,
+    memories: GlobalMemories,
+    table_size: u64,
+    workers: usize,
+    inbox: Receiver<ToWorker>,
+    peers: Vec<Sender<ToWorker>>,
+    coordinator: Sender<ToCoordinator>,
+    outstanding: Arc<AtomicI64>,
+}
+
+impl Worker {
+    fn owner(&self, bucket: u64) -> usize {
+        (bucket % self.workers as u64) as usize
+    }
+
+    fn run(mut self) {
+        // FIFO is load-bearing: a +token and the cancelling −token of the
+        // same value are always generated on one thread (same parent
+        // bucket) and must reach their destination bucket in generation
+        // order, or the delete would precede the add.
+        let mut local: std::collections::VecDeque<Work> = std::collections::VecDeque::new();
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                ToWorker::Shutdown => break,
+                ToWorker::Work(batch) => {
+                    local.extend(batch);
+                    while let Some(item) = local.pop_front() {
+                        self.process(item, &mut local);
+                    }
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, item: Work, local: &mut std::collections::VecDeque<Work>) {
+        debug_assert!(!matches!(item, Work::Prod { .. }), "prod work stays at the coordinator");
+        let (_bucket, outputs) = kernel::activate(&self.network, &mut self.memories, &item);
+        for out in outputs {
+            match out {
+                Work::Prod {
+                    production,
+                    sign,
+                    token,
+                    ..
+                } => {
+                    // Increment-before-send keeps zero unreachable while
+                    // this instantiation is in flight.
+                    self.outstanding.fetch_add(1, Ordering::SeqCst);
+                    self.coordinator
+                        .send(ToCoordinator::Prod {
+                            production,
+                            sign,
+                            token,
+                        })
+                        .expect("coordinator alive");
+                }
+                left @ Work::Left { .. } => {
+                    let bucket = left.bucket(&self.network, self.table_size);
+                    let to = self.owner(bucket);
+                    self.outstanding.fetch_add(1, Ordering::SeqCst);
+                    if to == self.me {
+                        local.push_back(left);
+                    } else {
+                        self.peers[to]
+                            .send(ToWorker::Work(vec![left]))
+                            .expect("peer alive");
+                    }
+                }
+                Work::Right { .. } => {
+                    unreachable!("two-input nodes only generate left activations")
+                }
+            }
+        }
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // We performed the final decrement: the cascade has drained.
+            self.coordinator
+                .send(ToCoordinator::Quiescent)
+                .expect("coordinator alive");
+        }
+    }
+}
+
+/// The distributed hash-table matcher running on real threads.
+pub struct ThreadedMatcher {
+    network: Arc<ReteNetwork>,
+    table_size: u64,
+    workers: Vec<Sender<ToWorker>>,
+    from_workers: Receiver<ToCoordinator>,
+    outstanding: Arc<AtomicI64>,
+    conflict: HashMap<(ProductionId, Vec<WmeId>), (Instantiation, i64)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedMatcher {
+    /// Spawn `workers` match-processor threads for a compiled network with
+    /// `table_size` hash buckets (buckets are assigned round-robin).
+    pub fn new(network: ReteNetwork, workers: usize, table_size: u64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(table_size > 0, "need at least one bucket");
+        let network = Arc::new(network);
+        let outstanding = Arc::new(AtomicI64::new(0));
+        let (to_coord, from_workers) = unbounded();
+        let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
+            (0..workers).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<ToWorker>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let mut handles = Vec::with_capacity(workers);
+        for (me, (_, rx)) in channels.into_iter().enumerate() {
+            let worker = Worker {
+                me,
+                network: network.clone(),
+                memories: GlobalMemories::new(table_size),
+                table_size,
+                workers,
+                inbox: rx,
+                peers: senders.clone(),
+                coordinator: to_coord.clone(),
+                outstanding: outstanding.clone(),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mpps-match-{me}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker thread"),
+            );
+        }
+        ThreadedMatcher {
+            network,
+            table_size,
+            workers: senders,
+            from_workers,
+            outstanding,
+            conflict: HashMap::new(),
+            handles,
+        }
+    }
+
+    /// Compile `program` and spawn an executor with default table size.
+    pub fn from_program(program: &Program, workers: usize) -> Result<Self, OpsError> {
+        Ok(Self::new(ReteNetwork::compile(program)?, workers, 2048))
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn apply_production(&mut self, production: ProductionId, sign: Sign, token: &BetaToken) {
+        let key = (production, token.wme_ids.clone());
+        match sign {
+            Sign::Plus => {
+                let entry = self.conflict.entry(key).or_insert_with(|| {
+                    (
+                        Instantiation {
+                            production,
+                            wme_ids: token.wme_ids.clone(),
+                            bindings: token.bindings.to_map(),
+                        },
+                        0,
+                    )
+                });
+                entry.1 += 1;
+            }
+            Sign::Minus => {
+                let entry = self
+                    .conflict
+                    .get_mut(&key)
+                    .expect("retracting unknown instantiation");
+                entry.1 -= 1;
+                if entry.1 <= 0 {
+                    self.conflict.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+impl Matcher for ThreadedMatcher {
+    fn process(&mut self, changes: &[WmeChange]) {
+        // Constant tests run here (the coordinator plays the part of the
+        // broadcast + duplicated constant tests of §3.2); root activations
+        // are then routed to their bucket owners.
+        let mut batches: Vec<Vec<Work>> = vec![Vec::new(); self.workers.len()];
+        let mut total: i64 = 0;
+        for change in changes {
+            for work in kernel::alpha_roots(&self.network, change) {
+                match work {
+                    Work::Prod {
+                        production,
+                        sign,
+                        ref token,
+                        ..
+                    } => {
+                        // Single-CE productions complete at the control
+                        // processor without touching the hash table.
+                        let token = token.clone();
+                        self.apply_production(production, sign, &token);
+                    }
+                    other => {
+                        let bucket = other.bucket(&self.network, self.table_size);
+                        let owner = (bucket % self.workers.len() as u64) as usize;
+                        batches[owner].push(other);
+                        total += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            return;
+        }
+        self.outstanding.fetch_add(total, Ordering::SeqCst);
+        for (owner, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.workers[owner]
+                    .send(ToWorker::Work(batch))
+                    .expect("worker alive");
+            }
+        }
+        loop {
+            match self.from_workers.recv().expect("workers alive") {
+                ToCoordinator::Prod {
+                    production,
+                    sign,
+                    token,
+                } => {
+                    self.apply_production(production, sign, &token);
+                    if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        break;
+                    }
+                }
+                ToCoordinator::Quiescent => {
+                    // A stale notification from a previous cycle is
+                    // harmless: the counter is non-zero while work remains.
+                    if self.outstanding.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn conflict_set(&self) -> Vec<Instantiation> {
+        let mut out: Vec<Instantiation> = self
+            .conflict
+            .values()
+            .filter(|(_, count)| *count > 0)
+            .map(|(inst, _)| inst.clone())
+            .collect();
+        sort_conflict_set(&mut out);
+        out
+    }
+}
+
+impl Drop for ThreadedMatcher {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.send(ToWorker::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::{parse_program, Wme};
+    use mpps_rete::ReteMatcher;
+
+    fn add(id: u64, wme: Wme) -> WmeChange {
+        WmeChange::add(WmeId(id), wme)
+    }
+
+    fn del(id: u64, wme: Wme) -> WmeChange {
+        WmeChange::remove(WmeId(id), wme)
+    }
+
+    const BLUE: &str = r#"
+        (p clear-the-blue-block
+           (block ^name <b2> ^color blue)
+           (block ^name <b2> ^on <b1>)
+           (hand ^state free)
+           -->
+           (remove 2))
+    "#;
+
+    fn blue_wmes() -> Vec<WmeChange> {
+        vec![
+            add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
+            add(2, Wme::new("block", &[("name", "b1".into()), ("on", "table".into())])),
+            add(3, Wme::new("hand", &[("state", "free".into())])),
+        ]
+    }
+
+    fn agree(src: &str, batches: &[Vec<WmeChange>], workers: usize) {
+        let prog = parse_program(src).unwrap();
+        let mut seq = ReteMatcher::from_program(&prog).unwrap();
+        let mut par = ThreadedMatcher::from_program(&prog, workers).unwrap();
+        for batch in batches {
+            seq.process(batch);
+            par.process(batch);
+            assert_eq!(
+                seq.conflict_set(),
+                par.conflict_set(),
+                "diverged after a batch with {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_paper_example_in_parallel() {
+        for workers in [1, 2, 4] {
+            agree(BLUE, &[blue_wmes()], workers);
+        }
+    }
+
+    #[test]
+    fn incremental_cycles_stay_consistent() {
+        let wmes = blue_wmes();
+        let batches: Vec<Vec<WmeChange>> =
+            wmes.iter().map(|c| vec![c.clone()]).collect();
+        agree(BLUE, &batches, 3);
+    }
+
+    #[test]
+    fn deletions_retract_across_threads() {
+        let wmes = blue_wmes();
+        let batches = vec![
+            wmes.clone(),
+            vec![del(3, wmes[2].wme.clone())],
+            vec![add(4, Wme::new("hand", &[("state", "free".into())]))],
+        ];
+        agree(BLUE, &batches, 4);
+    }
+
+    #[test]
+    fn cross_product_all_pairs() {
+        let mut changes = Vec::new();
+        for i in 0..8 {
+            changes.push(add(
+                1 + i,
+                Wme::new("team", &[("side", "left".into()), ("name", (i as i64).into())]),
+            ));
+        }
+        for i in 0..8 {
+            changes.push(add(
+                100 + i,
+                Wme::new(
+                    "team",
+                    &[("side", "right".into()), ("name", (100 + i as i64).into())],
+                ),
+            ));
+        }
+        let src = r#"
+            (p cross (team ^side left ^name <a>) (team ^side right ^name <b>) --> (remove 1))
+        "#;
+        let prog = parse_program(src).unwrap();
+        let mut par = ThreadedMatcher::from_program(&prog, 4).unwrap();
+        par.process(&changes);
+        assert_eq!(par.conflict_set().len(), 64);
+    }
+
+    #[test]
+    fn negation_behaves_under_parallelism() {
+        let src = r#"
+            (p lonely (node ^id <n>) -(edge ^to <n>) --> (remove 1))
+        "#;
+        let e = Wme::new("edge", &[("to", 7.into())]);
+        let batches = vec![
+            vec![add(1, Wme::new("node", &[("id", 7.into())]))],
+            vec![add(2, e.clone())],
+            vec![del(2, e)],
+        ];
+        agree(src, &batches, 4);
+    }
+
+    #[test]
+    fn single_ce_production_handled_at_coordinator() {
+        let src = "(p solo (alarm ^level <l>) --> (remove 1))";
+        let batches = vec![
+            vec![add(1, Wme::new("alarm", &[("level", 3.into())]))],
+            vec![del(1, Wme::new("alarm", &[("level", 3.into())]))],
+        ];
+        agree(src, &batches, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let prog = parse_program(BLUE).unwrap();
+        let mut par = ThreadedMatcher::from_program(&prog, 2).unwrap();
+        par.process(&[]);
+        assert!(par.conflict_set().is_empty());
+    }
+
+    #[test]
+    fn mixed_add_delete_batch_converges() {
+        // Adds and deletes of *different* WMEs in one batch: the final
+        // state must match the sequential engine no matter how the
+        // token cascades interleave.
+        let src = "(p j (a ^v <x>) (b ^v <x>) --> (remove 1))";
+        let a1 = Wme::new("a", &[("v", 1.into())]);
+        let b1 = Wme::new("b", &[("v", 1.into())]);
+        let b2 = Wme::new("b", &[("v", 1.into()), ("extra", 1.into())]);
+        let batches = vec![
+            vec![add(1, a1), add(2, b1.clone())],
+            vec![del(2, b1), add(3, b2)],
+        ];
+        for workers in [1, 2, 4] {
+            agree(src, &batches, workers);
+        }
+    }
+
+    #[test]
+    fn shutdown_is_clean() {
+        let prog = parse_program(BLUE).unwrap();
+        let par = ThreadedMatcher::from_program(&prog, 4).unwrap();
+        assert_eq!(par.worker_count(), 4);
+        drop(par); // must not hang or panic
+    }
+}

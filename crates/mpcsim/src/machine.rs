@@ -1,0 +1,633 @@
+//! The message-passing machine: sequential processors + interconnect.
+//!
+//! Cost semantics (matching §4 / Table 5-1 of the paper):
+//!
+//! * a handler's declared [`Ctx::compute`] time occupies its processor;
+//! * every remote [`Ctx::send`] costs `send_overhead` of *sender* CPU; the
+//!   message then spends the network latency on the wire (occupying no
+//!   CPU) and `recv_overhead` of *receiver* CPU when its handler starts;
+//! * a [`Ctx::broadcast`] costs one `send_overhead` (Nectar-style hardware
+//!   broadcast) and delivers to every other processor;
+//! * self-sends bypass all three costs but still queue — a processor works
+//!   on one message at a time, FIFO in arrival order.
+//!
+//! The simulation is event-driven and fully deterministic.
+
+use crate::event::EventQueue;
+use crate::metrics::{MachineMetrics, ProcessorMetrics};
+use crate::network::{NetworkModel, NetworkUsage};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Index of a processor in the machine.
+pub type ProcId = usize;
+
+/// Machine-wide cost parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of processors (nodes).
+    pub processors: usize,
+    /// CPU time a sender spends per remote message (Table 5-1 "send").
+    pub send_overhead: SimTime,
+    /// CPU time a receiver spends per remote message (Table 5-1 "receive").
+    pub recv_overhead: SimTime,
+    /// The interconnect model (latency only; never occupies a CPU).
+    pub network: NetworkModel,
+}
+
+impl MachineConfig {
+    /// A machine with `processors` nodes and zero communication costs.
+    pub fn ideal(processors: usize) -> Self {
+        MachineConfig {
+            processors,
+            send_overhead: SimTime::ZERO,
+            recv_overhead: SimTime::ZERO,
+            network: NetworkModel::Constant(SimTime::ZERO),
+        }
+    }
+}
+
+/// Behaviour of one processor.
+pub trait Node {
+    /// Message type exchanged between nodes.
+    type Msg: Clone;
+
+    /// Called once at time zero, in processor-id order.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: ProcId, msg: Self::Msg);
+}
+
+/// Where an outgoing message should go.
+struct Outgoing<M> {
+    /// Simulated instant the message leaves the sender.
+    departure: SimTime,
+    to: ProcId,
+    msg: M,
+    /// True when produced by `send`/`broadcast` to a remote node (pays
+    /// network latency + receive overhead); false for self-sends.
+    remote: bool,
+}
+
+/// Handler-side view of the machine: declares compute time and sends.
+pub struct Ctx<'a, M> {
+    me: ProcId,
+    start: SimTime,
+    elapsed: SimTime,
+    cfg: &'a MachineConfig,
+    outgoing: Vec<Outgoing<M>>,
+}
+
+impl<'a, M: Clone> Ctx<'a, M> {
+    /// This processor's id.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Current simulated time inside the handler.
+    pub fn now(&self) -> SimTime {
+        self.start + self.elapsed
+    }
+
+    /// Number of processors in the machine.
+    pub fn processors(&self) -> usize {
+        self.cfg.processors
+    }
+
+    /// Spend `dt` of this processor's time.
+    pub fn compute(&mut self, dt: SimTime) {
+        self.elapsed += dt;
+    }
+
+    /// Send `msg` to `to`. Remote sends cost `send_overhead` CPU time here
+    /// and latency + `recv_overhead` on the way; self-sends are free but
+    /// queue behind other work.
+    pub fn send(&mut self, to: ProcId, msg: M) {
+        assert!(to < self.cfg.processors, "send to unknown processor {to}");
+        if to == self.me {
+            self.outgoing.push(Outgoing {
+                departure: self.now(),
+                to,
+                msg,
+                remote: false,
+            });
+        } else {
+            self.elapsed += self.cfg.send_overhead;
+            self.outgoing.push(Outgoing {
+                departure: self.now(),
+                to,
+                msg,
+                remote: true,
+            });
+        }
+    }
+
+    /// Broadcast to every *other* processor for the cost of a single send
+    /// overhead (hardware broadcast, as the paper assumes for the control
+    /// processor's WME packet).
+    pub fn broadcast(&mut self, msg: M) {
+        self.elapsed += self.cfg.send_overhead;
+        let departure = self.now();
+        for to in 0..self.cfg.processors {
+            if to != self.me {
+                self.outgoing.push(Outgoing {
+                    departure,
+                    to,
+                    msg: msg.clone(),
+                    remote: true,
+                });
+            }
+        }
+    }
+}
+
+enum Event<M> {
+    /// A message finished its network transit and joins `to`'s queue.
+    Arrival { to: ProcId, from: ProcId, msg: M, remote: bool },
+    /// `proc` may have finished its current work; check its queue.
+    Wakeup { proc: ProcId },
+}
+
+/// Outcome of a [`Simulator::run`].
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Time the last processor finished.
+    pub makespan: SimTime,
+    /// Per-processor and network statistics.
+    pub metrics: MachineMetrics,
+}
+
+/// The discrete-event machine simulator.
+pub struct Simulator<N: Node> {
+    cfg: MachineConfig,
+    nodes: Vec<N>,
+    queue: EventQueue<Event<N::Msg>>,
+    pending: Vec<VecDeque<(ProcId, N::Msg, bool)>>,
+    free_at: Vec<SimTime>,
+    proc_metrics: Vec<ProcessorMetrics>,
+    usage: NetworkUsage,
+    max_events: u64,
+}
+
+impl<N: Node> Simulator<N> {
+    /// Build a simulator; `nodes.len()` must equal `cfg.processors`.
+    pub fn new(cfg: MachineConfig, nodes: Vec<N>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            cfg.processors,
+            "one node per configured processor"
+        );
+        assert!(cfg.processors > 0, "need at least one processor");
+        Simulator {
+            pending: (0..cfg.processors).map(|_| VecDeque::new()).collect(),
+            free_at: vec![SimTime::ZERO; cfg.processors],
+            proc_metrics: vec![ProcessorMetrics::default(); cfg.processors],
+            nodes,
+            cfg,
+            queue: EventQueue::new(),
+            usage: NetworkUsage::default(),
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Safety valve: abort after this many events (default unlimited).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Inject an external message (delivered like a self-send: no
+    /// overheads). Useful for driving tests and cycle restarts.
+    pub fn inject(&mut self, time: SimTime, to: ProcId, msg: N::Msg) {
+        assert!(to < self.cfg.processors, "inject to unknown processor");
+        self.queue.push(
+            time,
+            Event::Arrival {
+                to,
+                from: to,
+                msg,
+                remote: false,
+            },
+        );
+    }
+
+    /// Immutable access to a node (e.g. to read results after `run`).
+    pub fn node(&self, id: ProcId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node between runs.
+    pub fn node_mut(&mut self, id: ProcId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Run a handler on `proc` starting at `start`; schedules outgoing
+    /// messages and advances the processor clock.
+    fn execute<F>(&mut self, proc: ProcId, start: SimTime, f: F)
+    where
+        F: FnOnce(&mut N, &mut Ctx<'_, N::Msg>),
+    {
+        let mut ctx = Ctx {
+            me: proc,
+            start,
+            elapsed: SimTime::ZERO,
+            cfg: &self.cfg,
+            outgoing: Vec::new(),
+        };
+        f(&mut self.nodes[proc], &mut ctx);
+        let elapsed = ctx.elapsed;
+        let outgoing = ctx.outgoing;
+        for out in outgoing {
+            if out.remote {
+                let latency = self.cfg.network.latency(self.cfg.processors, proc, out.to);
+                let arrival = out.departure + latency;
+                self.usage.record(out.departure, arrival);
+                self.proc_metrics[proc].messages_sent += 1;
+                self.queue.push(
+                    arrival,
+                    Event::Arrival {
+                        to: out.to,
+                        from: proc,
+                        msg: out.msg,
+                        remote: true,
+                    },
+                );
+            } else {
+                self.queue.push(
+                    out.departure,
+                    Event::Arrival {
+                        to: out.to,
+                        from: proc,
+                        msg: out.msg,
+                        remote: false,
+                    },
+                );
+            }
+        }
+        let end = start + elapsed;
+        self.free_at[proc] = end;
+        self.proc_metrics[proc].busy_time += elapsed;
+        if !self.pending[proc].is_empty() {
+            self.queue.push(end, Event::Wakeup { proc });
+        }
+    }
+
+    /// Start the next queued message on `proc` at `now` (which must be ≥
+    /// its free time).
+    fn run_next_pending(&mut self, proc: ProcId, now: SimTime) {
+        if let Some((from, msg, remote)) = self.pending[proc].pop_front() {
+            self.start_message(proc, now, from, msg, remote);
+        }
+    }
+
+    fn start_message(&mut self, proc: ProcId, start: SimTime, from: ProcId, msg: N::Msg, remote: bool) {
+        self.proc_metrics[proc].messages_handled += 1;
+        let recv = if remote {
+            self.cfg.recv_overhead
+        } else {
+            SimTime::ZERO
+        };
+        self.execute(proc, start, |node, ctx| {
+            ctx.compute(recv);
+            node.on_message(ctx, from, msg);
+        });
+    }
+
+    /// Run to quiescence: `on_start` on every node at time zero, then
+    /// process events until none remain.
+    pub fn run(&mut self) -> RunReport {
+        for proc in 0..self.cfg.processors {
+            let start = self.free_at[proc];
+            self.execute(proc, start, |node, ctx| node.on_start(ctx));
+        }
+        self.drain();
+        self.report()
+    }
+
+    /// Process queued events until quiescence without calling `on_start`
+    /// (for multi-phase simulations driven by `inject`).
+    pub fn run_injected(&mut self) -> RunReport {
+        self.drain();
+        self.report()
+    }
+
+    fn drain(&mut self) {
+        let mut events: u64 = 0;
+        while let Some((time, ev)) = self.queue.pop() {
+            events += 1;
+            assert!(
+                events <= self.max_events,
+                "event budget exhausted: likely livelock in node logic"
+            );
+            match ev {
+                Event::Arrival {
+                    to,
+                    from,
+                    msg,
+                    remote,
+                } => {
+                    if self.free_at[to] <= time && self.pending[to].is_empty() {
+                        self.start_message(to, time, from, msg, remote);
+                    } else {
+                        self.pending[to].push_back((from, msg, remote));
+                        // Guarantee a wakeup no earlier than both now and
+                        // the processor's current busy horizon. Redundant
+                        // wakeups are harmless: they re-check the queue.
+                        let wake = self.free_at[to].max(time);
+                        self.queue.push(wake, Event::Wakeup { proc: to });
+                    }
+                }
+                Event::Wakeup { proc } => {
+                    if self.free_at[proc] <= time {
+                        self.run_next_pending(proc, time);
+                    }
+                    // If still busy, the active handler's completion will
+                    // schedule another wakeup.
+                }
+            }
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        let makespan = self
+            .free_at
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        RunReport {
+            makespan,
+            metrics: MachineMetrics {
+                processors: self.proc_metrics.clone(),
+                network_busy: self.usage.busy_time(),
+                network_messages: self.usage.messages,
+                network_idle_fraction: self.usage.idle_fraction(makespan),
+            },
+        }
+    }
+
+    /// Reset clocks and metrics but keep node state (phase boundaries).
+    pub fn reset_clocks(&mut self) {
+        assert!(
+            self.queue.is_empty() && self.pending.iter().all(VecDeque::is_empty),
+            "cannot reset with work in flight"
+        );
+        self.free_at.fill(SimTime::ZERO);
+        self.proc_metrics = vec![ProcessorMetrics::default(); self.cfg.processors];
+        self.usage = NetworkUsage::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relays a counter around the ring `hops` times, spending `work` per
+    /// hop.
+    struct Relay {
+        work: SimTime,
+        hops: u32,
+        received: u32,
+    }
+
+    impl Node for Relay {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == 0 {
+                ctx.send(1 % ctx.processors(), self.hops);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: ProcId, remaining: u32) {
+            self.received += 1;
+            ctx.compute(self.work);
+            if remaining > 0 {
+                let next = (ctx.me() + 1) % ctx.processors();
+                ctx.send(next, remaining - 1);
+            }
+        }
+    }
+
+    fn relay_machine(
+        procs: usize,
+        send: u64,
+        recv: u64,
+        latency: u64,
+        work: u64,
+        hops: u32,
+    ) -> Simulator<Relay> {
+        let cfg = MachineConfig {
+            processors: procs,
+            send_overhead: SimTime::from_us(send),
+            recv_overhead: SimTime::from_us(recv),
+            network: NetworkModel::Constant(SimTime::from_us(latency)),
+        };
+        let nodes = (0..procs)
+            .map(|_| Relay {
+                work: SimTime::from_us(work),
+                hops,
+                received: 0,
+            })
+            .collect();
+        Simulator::new(cfg, nodes)
+    }
+
+    #[test]
+    fn single_hop_accounts_all_costs() {
+        // send(5) on proc0, latency(2), recv(3)+work(10) on proc1.
+        let mut sim = relay_machine(2, 5, 3, 2, 10, 0);
+        let report = sim.run();
+        assert_eq!(report.makespan, SimTime::from_us(5 + 2 + 3 + 10));
+        assert_eq!(report.metrics.processors[0].busy_time, SimTime::from_us(5));
+        assert_eq!(report.metrics.processors[1].busy_time, SimTime::from_us(13));
+        assert_eq!(report.metrics.network_messages, 1);
+        assert_eq!(report.metrics.network_busy, SimTime::from_us(2));
+    }
+
+    #[test]
+    fn ring_of_hops_sums_linearly() {
+        // 4 hops around 4 procs: each hop = send 1 + latency 1 + recv 1 + work 2.
+        let mut sim = relay_machine(4, 1, 1, 1, 2, 3);
+        let report = sim.run();
+        // Walk: p0's send completes at 1; arrive p1 at 2; each relaying
+        // handler takes recv(1)+work(2)+send(1)=4 and the message spends
+        // latency 1 on the wire. p1: 2..6, p2: 7..11, p3: 12..16 (receives
+        // remaining=1, still relays a final 0), p0: 17..20 (recv+work, no
+        // further send).
+        assert_eq!(report.makespan, SimTime::from_us(20));
+        let handled: u32 = (0..4).map(|i| sim.node(i).received).sum();
+        assert_eq!(handled, 4);
+    }
+
+    #[test]
+    fn self_send_skips_overheads_but_queues() {
+        struct SelfLoop {
+            left: u32,
+        }
+        impl Node for SelfLoop {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.compute(SimTime::from_us(4));
+                ctx.send(ctx.me(), ());
+                ctx.send(ctx.me(), ());
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _f: ProcId, _m: ()) {
+                self.left -= 1;
+                ctx.compute(SimTime::from_us(10));
+            }
+        }
+        let cfg = MachineConfig {
+            processors: 1,
+            send_overhead: SimTime::from_us(99),
+            recv_overhead: SimTime::from_us(99),
+            network: NetworkModel::Constant(SimTime::from_us(99)),
+        };
+        let mut sim = Simulator::new(cfg, vec![SelfLoop { left: 2 }]);
+        let report = sim.run();
+        // No send/recv overhead, no latency: 4 + 10 + 10.
+        assert_eq!(report.makespan, SimTime::from_us(24));
+        assert_eq!(sim.node(0).left, 0);
+        assert_eq!(report.metrics.network_messages, 0);
+    }
+
+    #[test]
+    fn busy_processor_queues_messages_fifo() {
+        /// Node 0 sends three jobs to node 1 back-to-back; node 1 records
+        /// processing order.
+        struct Sink {
+            order: Vec<u32>,
+        }
+        impl Node for Sink {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                if ctx.me() == 0 {
+                    for k in 0..3 {
+                        ctx.send(1, k);
+                    }
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _f: ProcId, k: u32) {
+                self.order.push(k);
+                ctx.compute(SimTime::from_us(50));
+            }
+        }
+        let cfg = MachineConfig {
+            processors: 2,
+            send_overhead: SimTime::from_us(1),
+            recv_overhead: SimTime::from_us(1),
+            network: NetworkModel::Constant(SimTime::from_ns(500)),
+        };
+        let mut sim = Simulator::new(cfg, vec![Sink { order: vec![] }, Sink { order: vec![] }]);
+        let report = sim.run();
+        assert_eq!(sim.node(1).order, vec![0, 1, 2]);
+        // p0: 3 sends = 3us. p1: three handlers of 51us each, first starts
+        // at 1.5us => ends 154.5us.
+        assert_eq!(report.makespan, SimTime::from_ns(154_500));
+        assert_eq!(report.metrics.processors[1].messages_handled, 3);
+    }
+
+    #[test]
+    fn broadcast_costs_one_send() {
+        struct Bcast {
+            got: bool,
+        }
+        impl Node for Bcast {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == 0 {
+                    ctx.broadcast(());
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _f: ProcId, _m: ()) {
+                self.got = true;
+                ctx.compute(SimTime::from_us(7));
+            }
+        }
+        let cfg = MachineConfig {
+            processors: 5,
+            send_overhead: SimTime::from_us(2),
+            recv_overhead: SimTime::from_us(1),
+            network: NetworkModel::Constant(SimTime::from_us(1)),
+        };
+        let mut sim = Simulator::new(cfg, (0..5).map(|_| Bcast { got: false }).collect());
+        let report = sim.run();
+        assert!((1..5).all(|i| sim.node(i).got));
+        assert!(!sim.node(0).got);
+        // One send overhead on p0; everyone receives at 3us, done at 11us.
+        assert_eq!(report.metrics.processors[0].busy_time, SimTime::from_us(2));
+        assert_eq!(report.makespan, SimTime::from_us(11));
+    }
+
+    #[test]
+    fn inject_and_run_injected() {
+        struct Echo {
+            count: u32,
+        }
+        impl Node for Echo {
+            type Msg = ();
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _f: ProcId, _m: ()) {
+                self.count += 1;
+                ctx.compute(SimTime::from_us(3));
+            }
+        }
+        let mut sim = Simulator::new(MachineConfig::ideal(2), vec![Echo { count: 0 }, Echo { count: 0 }]);
+        sim.inject(SimTime::from_us(10), 1, ());
+        let report = sim.run_injected();
+        assert_eq!(sim.node(1).count, 1);
+        assert_eq!(report.makespan, SimTime::from_us(13));
+    }
+
+    #[test]
+    fn reset_clocks_between_phases() {
+        struct Echo;
+        impl Node for Echo {
+            type Msg = ();
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _f: ProcId, _m: ()) {
+                ctx.compute(SimTime::from_us(5));
+            }
+        }
+        let mut sim = Simulator::new(MachineConfig::ideal(1), vec![Echo]);
+        sim.inject(SimTime::ZERO, 0, ());
+        assert_eq!(sim.run_injected().makespan, SimTime::from_us(5));
+        sim.reset_clocks();
+        sim.inject(SimTime::ZERO, 0, ());
+        assert_eq!(sim.run_injected().makespan, SimTime::from_us(5));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sim = relay_machine(8, 2, 1, 1, 3, 20);
+            sim.run().makespan
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn livelock_guard_trips() {
+        struct Forever;
+        impl Node for Forever {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.send(ctx.me(), ());
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _f: ProcId, _m: ()) {
+                ctx.send(ctx.me(), ());
+            }
+        }
+        let mut sim = Simulator::new(MachineConfig::ideal(1), vec![Forever]);
+        sim.set_max_events(1000);
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per configured processor")]
+    fn node_count_mismatch_panics() {
+        struct N;
+        impl Node for N {
+            type Msg = ();
+            fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _f: ProcId, _m: ()) {}
+        }
+        let _ = Simulator::new(MachineConfig::ideal(3), vec![N]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Machine-level metrics: processor utilization and network occupancy.
+
+use crate::time::SimTime;
+
+/// Per-processor counters for one simulation run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ProcessorMetrics {
+    /// Total CPU time spent in handlers (compute + send/receive overheads).
+    pub busy_time: SimTime,
+    /// Remote messages sent.
+    pub messages_sent: u64,
+    /// Messages whose handler ran here (remote + self + injected).
+    pub messages_handled: u64,
+}
+
+/// Whole-machine metrics for one simulation run.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MachineMetrics {
+    /// One entry per processor.
+    pub processors: Vec<ProcessorMetrics>,
+    /// Union of in-flight intervals on the interconnect.
+    pub network_busy: SimTime,
+    /// Messages carried by the interconnect (remote sends only).
+    pub network_messages: u64,
+    /// `1 - network_busy / makespan` — the paper reports 97–98% here.
+    pub network_idle_fraction: f64,
+}
+
+impl MachineMetrics {
+    /// Mean processor utilization over `[0, makespan)`.
+    pub fn mean_utilization(&self, makespan: SimTime) -> f64 {
+        if makespan == SimTime::ZERO || self.processors.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.processors.iter().map(|p| p.busy_time.as_ns()).sum();
+        total as f64 / (makespan.as_ns() as f64 * self.processors.len() as f64)
+    }
+
+    /// Mean idle time per processor — §5.2.2 observes this grows with the
+    /// processor count under uneven token distributions.
+    pub fn mean_idle(&self, makespan: SimTime) -> SimTime {
+        if self.processors.is_empty() {
+            return SimTime::ZERO;
+        }
+        let total_idle: u64 = self
+            .processors
+            .iter()
+            .map(|p| makespan.saturating_sub(p.busy_time).as_ns())
+            .sum();
+        SimTime::from_ns(total_idle / self.processors.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(busy_us: &[u64]) -> MachineMetrics {
+        MachineMetrics {
+            processors: busy_us
+                .iter()
+                .map(|&b| ProcessorMetrics {
+                    busy_time: SimTime::from_us(b),
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mean_utilization_is_busy_over_span() {
+        let m = metrics(&[10, 0]);
+        assert!((m.mean_utilization(SimTime::from_us(10)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_idle_averages_gaps() {
+        let m = metrics(&[10, 4]);
+        assert_eq!(m.mean_idle(SimTime::from_us(10)), SimTime::from_us(3));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = metrics(&[]);
+        assert_eq!(m.mean_utilization(SimTime::from_us(10)), 0.0);
+        assert_eq!(m.mean_idle(SimTime::from_us(10)), SimTime::ZERO);
+        let m2 = metrics(&[5]);
+        assert_eq!(m2.mean_utilization(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Fluent programmatic construction of productions.
+//!
+//! The workload generators in `mpps-workloads` build hundreds of structured
+//! productions; writing them as text and re-parsing would be slow and
+//! noisy. [`ProductionBuilder`] offers a typed alternative:
+//!
+//! ```
+//! use mpps_ops::{ProductionBuilder, Predicate, RhsValue, Value};
+//!
+//! let p = ProductionBuilder::new("clear-blue")
+//!     .ce("block", |ce| ce.var("name", "b2").constant("color", "blue"))
+//!     .ce("block", |ce| ce.var("name", "b2").var("on", "b1"))
+//!     .neg_ce("hand", |ce| ce.constant("state", "busy"))
+//!     .remove(2)
+//!     .make("goal", &[("obj", RhsValue::Var("b1".into()))])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(p.lhs.len(), 3);
+//! ```
+
+use crate::cond::{AttrTest, ConditionElement, Predicate, TestKind};
+use crate::error::OpsError;
+use crate::production::{Action, Production, RhsValue};
+use crate::symbol::{intern, Symbol};
+use crate::value::Value;
+
+/// Builder for one condition element.
+#[derive(Default)]
+pub struct CeBuilder {
+    tests: Vec<AttrTest>,
+}
+
+impl CeBuilder {
+    /// Add an equality constant test `^attr value`.
+    pub fn constant(mut self, attr: &str, value: impl Into<Value>) -> Self {
+        self.tests.push(AttrTest {
+            attr: intern(attr),
+            kind: TestKind::Constant(Predicate::Eq, value.into()),
+        });
+        self
+    }
+
+    /// Add a relational constant test `^attr pred value`.
+    pub fn pred(mut self, attr: &str, pred: Predicate, value: impl Into<Value>) -> Self {
+        self.tests.push(AttrTest {
+            attr: intern(attr),
+            kind: TestKind::Constant(pred, value.into()),
+        });
+        self
+    }
+
+    /// Add a disjunction test `^attr << v1 v2 … >>`.
+    pub fn disj(mut self, attr: &str, values: &[Value]) -> Self {
+        self.tests.push(AttrTest {
+            attr: intern(attr),
+            kind: TestKind::disjunction(values.to_vec()),
+        });
+        self
+    }
+
+    /// Add a variable (equality) test `^attr <var>`.
+    pub fn var(mut self, attr: &str, var: &str) -> Self {
+        self.tests.push(AttrTest {
+            attr: intern(attr),
+            kind: TestKind::Variable(intern(var)),
+        });
+        self
+    }
+
+    /// Add a relational test against a bound variable `^attr pred <var>`.
+    pub fn var_pred(mut self, attr: &str, pred: Predicate, var: &str) -> Self {
+        self.tests.push(AttrTest {
+            attr: intern(attr),
+            kind: TestKind::VariablePred(pred, intern(var)),
+        });
+        self
+    }
+}
+
+/// Builder for a production.
+pub struct ProductionBuilder {
+    name: Symbol,
+    lhs: Vec<ConditionElement>,
+    rhs: Vec<Action>,
+}
+
+impl ProductionBuilder {
+    /// Start building a production named `name`.
+    pub fn new(name: &str) -> Self {
+        ProductionBuilder {
+            name: intern(name),
+            lhs: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Append a positive condition element of class `class`.
+    pub fn ce(mut self, class: &str, f: impl FnOnce(CeBuilder) -> CeBuilder) -> Self {
+        let b = f(CeBuilder::default());
+        self.lhs.push(ConditionElement::positive(class, b.tests));
+        self
+    }
+
+    /// Append a negated condition element.
+    pub fn neg_ce(mut self, class: &str, f: impl FnOnce(CeBuilder) -> CeBuilder) -> Self {
+        let b = f(CeBuilder::default());
+        self.lhs.push(ConditionElement::negative(class, b.tests));
+        self
+    }
+
+    /// Append a `(make class ...)` action.
+    pub fn make(mut self, class: &str, attrs: &[(&str, RhsValue)]) -> Self {
+        self.rhs.push(Action::Make {
+            class: intern(class),
+            attrs: attrs.iter().map(|(a, v)| (intern(a), v.clone())).collect(),
+        });
+        self
+    }
+
+    /// Append a `(remove k)` action (1-based positive CE index).
+    pub fn remove(mut self, ce: usize) -> Self {
+        self.rhs.push(Action::Remove(ce));
+        self
+    }
+
+    /// Append a `(modify k ...)` action.
+    pub fn modify(mut self, ce: usize, attrs: &[(&str, RhsValue)]) -> Self {
+        self.rhs.push(Action::Modify {
+            ce,
+            attrs: attrs.iter().map(|(a, v)| (intern(a), v.clone())).collect(),
+        });
+        self
+    }
+
+    /// Append a `(write ...)` action.
+    pub fn write(mut self, vals: &[RhsValue]) -> Self {
+        self.rhs.push(Action::Write(vals.to_vec()));
+        self
+    }
+
+    /// Append a `(bind <var> expr)` action.
+    pub fn bind(mut self, var_name: &str, expr: RhsValue) -> Self {
+        self.rhs.push(Action::Bind(intern(var_name), expr));
+        self
+    }
+
+    /// Append a `(halt)` action.
+    pub fn halt(mut self) -> Self {
+        self.rhs.push(Action::Halt);
+        self
+    }
+
+    /// Finish, validating the production.
+    pub fn build(self) -> Result<Production, OpsError> {
+        let p = Production {
+            name: self.name,
+            lhs: self.lhs,
+            rhs: self.rhs,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// Shorthand for `RhsValue::Var`.
+pub fn var(name: &str) -> RhsValue {
+    RhsValue::Var(intern(name))
+}
+
+/// Shorthand for `RhsValue::Const`.
+pub fn lit(v: impl Into<Value>) -> RhsValue {
+    RhsValue::Const(v.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_production;
+
+    #[test]
+    fn builder_matches_parsed_equivalent() {
+        let built = ProductionBuilder::new("clear-the-blue-block")
+            .ce("block", |ce| ce.var("name", "block2").constant("color", "blue"))
+            .ce("block", |ce| ce.var("name", "block2").var("on", "block1"))
+            .ce("hand", |ce| ce.constant("state", "free"))
+            .remove(2)
+            .build()
+            .unwrap();
+        let parsed = parse_production(
+            r#"
+            (p clear-the-blue-block
+               (block ^name <block2> ^color blue)
+               (block ^name <block2> ^on <block1>)
+               (hand ^state free)
+               -->
+               (remove 2))
+            "#,
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn builder_validates() {
+        let bad = ProductionBuilder::new("bad")
+            .ce("a", |ce| ce)
+            .write(&[var("ghost")])
+            .build();
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn builder_supports_all_actions() {
+        let p = ProductionBuilder::new("all-actions")
+            .ce("a", |ce| ce.var("x", "v").pred("n", Predicate::Gt, 3))
+            .neg_ce("b", |ce| ce.var_pred("m", Predicate::Lt, "v"))
+            .make("c", &[("y", var("v"))])
+            .modify(1, &[("n", lit(0))])
+            .remove(1)
+            .write(&[lit("done")])
+            .halt()
+            .build()
+            .unwrap();
+        assert_eq!(p.rhs.len(), 5);
+        assert!(p.lhs[1].negated);
+    }
+}

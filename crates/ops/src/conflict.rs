@@ -1,0 +1,191 @@
+//! Conflict resolution: choosing which instantiation fires.
+//!
+//! Implements the two standard OPS5 strategies. Both start from
+//! *refraction* (an instantiation never fires twice), which the
+//! [`crate::Interpreter`] enforces by filtering before calling [`resolve`].
+//!
+//! * **LEX** — order instantiations by recency: compare the time tags of
+//!   their WMEs sorted in descending order, lexicographically; if one
+//!   vector is a prefix of the other, the longer dominates. Ties are broken
+//!   by specificity (total number of LHS tests), then deterministically by
+//!   production id and WME ids (OPS5 says "arbitrary"; we need
+//!   reproducibility).
+//! * **MEA** — like LEX but first compares the recency of the WME matching
+//!   the *first* condition element (the "means–ends-analysis" goal
+//!   element), then falls back to the LEX ordering.
+
+use crate::matcher::Instantiation;
+use crate::production::Program;
+use crate::wme::WmeId;
+use std::cmp::Ordering;
+
+/// Conflict-resolution strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// The LEX strategy (default in OPS5).
+    #[default]
+    Lex,
+    /// The MEA strategy.
+    Mea,
+}
+
+/// Compare recency vectors (descending time-tag lists) lexicographically;
+/// the more recent dominates. Returns `Greater` when `a` dominates `b`.
+fn compare_recency(a: &[WmeId], b: &[WmeId]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    // Prefix rule: the instantiation with more time tags dominates.
+    a.len().cmp(&b.len())
+}
+
+/// Full LEX dominance test. Returns `Greater` when `a` should fire over `b`.
+fn lex_cmp(program: &Program, a: &Instantiation, b: &Instantiation) -> Ordering {
+    compare_recency(&a.recency_vector(), &b.recency_vector())
+        .then_with(|| {
+            program
+                .get(a.production)
+                .specificity()
+                .cmp(&program.get(b.production).specificity())
+        })
+        // Deterministic final tie-break (OPS5: arbitrary). Reversed so that
+        // the *lowest* production id / WME ids win, matching textual order.
+        .then_with(|| b.production.cmp(&a.production))
+        .then_with(|| b.wme_ids.cmp(&a.wme_ids))
+}
+
+/// MEA dominance: first-CE recency first, then LEX.
+fn mea_cmp(program: &Program, a: &Instantiation, b: &Instantiation) -> Ordering {
+    let fa = a.wme_ids.first().copied().unwrap_or(WmeId(0));
+    let fb = b.wme_ids.first().copied().unwrap_or(WmeId(0));
+    fa.cmp(&fb).then_with(|| lex_cmp(program, a, b))
+}
+
+/// Select the winning instantiation from `candidates` (already filtered for
+/// refraction). Returns `None` when the conflict set is empty.
+pub fn resolve<'a>(
+    program: &Program,
+    strategy: Strategy,
+    candidates: impl IntoIterator<Item = &'a Instantiation>,
+) -> Option<&'a Instantiation> {
+    let cmp = match strategy {
+        Strategy::Lex => lex_cmp,
+        Strategy::Mea => mea_cmp,
+    };
+    candidates
+        .into_iter()
+        .max_by(|a, b| cmp(program, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::ConditionElement;
+    use crate::production::{Action, Production, ProductionId};
+    use crate::symbol::intern;
+    use std::collections::HashMap;
+
+    fn inst(p: u32, ids: &[u64]) -> Instantiation {
+        Instantiation {
+            production: ProductionId(p),
+            wme_ids: ids.iter().map(|&i| WmeId(i)).collect(),
+            bindings: HashMap::new(),
+        }
+    }
+
+    /// A program with two productions: p0 with one CE (specificity 1),
+    /// p1 with one CE carrying an extra test (specificity 2).
+    fn two_prod_program() -> Program {
+        let p0 = Production {
+            name: intern("cr-low-spec"),
+            lhs: vec![ConditionElement::positive("a", vec![])],
+            rhs: vec![Action::Halt],
+        };
+        let p1 = Production {
+            name: intern("cr-high-spec"),
+            lhs: vec![ConditionElement::positive(
+                "a",
+                vec![crate::cond::AttrTest {
+                    attr: intern("x"),
+                    kind: crate::cond::TestKind::Variable(intern("v")),
+                }],
+            )],
+            rhs: vec![Action::Halt],
+        };
+        Program::from_productions(vec![p0, p1]).unwrap()
+    }
+
+    #[test]
+    fn empty_conflict_set_yields_none() {
+        let prog = two_prod_program();
+        assert!(resolve(&prog, Strategy::Lex, []).is_none());
+    }
+
+    #[test]
+    fn lex_prefers_more_recent() {
+        let prog = two_prod_program();
+        let a = inst(0, &[5]);
+        let b = inst(0, &[9]);
+        let w = resolve(&prog, Strategy::Lex, [&a, &b]).unwrap();
+        assert_eq!(w, &b);
+    }
+
+    #[test]
+    fn lex_compares_full_recency_vector() {
+        let prog = two_prod_program();
+        // Both have max tag 9; second tags 3 vs 7 decide.
+        let a = inst(0, &[9, 3]);
+        let b = inst(0, &[9, 7]);
+        assert_eq!(resolve(&prog, Strategy::Lex, [&a, &b]).unwrap(), &b);
+    }
+
+    #[test]
+    fn lex_prefix_rule_longer_dominates() {
+        let prog = two_prod_program();
+        let a = inst(0, &[9]);
+        let b = inst(0, &[9, 1]);
+        assert_eq!(resolve(&prog, Strategy::Lex, [&a, &b]).unwrap(), &b);
+    }
+
+    #[test]
+    fn lex_ties_broken_by_specificity() {
+        let prog = two_prod_program();
+        let a = inst(0, &[4]); // specificity 1
+        let b = inst(1, &[4]); // specificity 2
+        assert_eq!(resolve(&prog, Strategy::Lex, [&a, &b]).unwrap(), &b);
+    }
+
+    #[test]
+    fn final_tie_break_is_deterministic() {
+        let prog = two_prod_program();
+        // Same recency, same production, different WME identity (possible
+        // with self-joins). Lowest wme_ids wins, both orders of presentation.
+        let a = inst(0, &[4, 4]);
+        let b = inst(0, &[4, 4]);
+        assert_eq!(resolve(&prog, Strategy::Lex, [&a, &b]).unwrap().key(), a.key());
+        assert_eq!(resolve(&prog, Strategy::Lex, [&b, &a]).unwrap().key(), a.key());
+    }
+
+    #[test]
+    fn mea_prefers_recent_first_ce_even_if_lex_disagrees() {
+        let prog = two_prod_program();
+        // a's first CE matched a newer WME (10 > 2) although b is globally
+        // more recent (99).
+        let a = inst(0, &[10, 1]);
+        let b = inst(0, &[2, 99]);
+        assert_eq!(resolve(&prog, Strategy::Mea, [&a, &b]).unwrap(), &a);
+        // LEX would pick b.
+        assert_eq!(resolve(&prog, Strategy::Lex, [&a, &b]).unwrap(), &b);
+    }
+
+    #[test]
+    fn mea_falls_back_to_lex_on_first_ce_tie() {
+        let prog = two_prod_program();
+        let a = inst(0, &[10, 1]);
+        let b = inst(0, &[10, 5]);
+        assert_eq!(resolve(&prog, Strategy::Mea, [&a, &b]).unwrap(), &b);
+    }
+}

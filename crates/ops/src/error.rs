@@ -1,0 +1,95 @@
+//! Error types for the OPS5 front end and interpreter.
+
+use std::fmt;
+
+/// A parse error with line/column location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors raised while building or running a production system.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OpsError {
+    /// Syntax error in textual OPS5 source.
+    Parse(ParseError),
+    /// A structurally invalid production (name, reason).
+    InvalidProduction(String, String),
+    /// Two productions share a name.
+    DuplicateProduction(String),
+    /// RHS referenced a variable with no LHS binding.
+    UnboundVariable(String),
+    /// RHS arithmetic failure (type mismatch, modulo by zero).
+    Arithmetic(String),
+    /// A `remove`/`modify` referred to a WME already gone this cycle.
+    StaleWme(String),
+    /// A `(call …)` named a function never registered on the interpreter.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for OpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpsError::Parse(e) => write!(f, "{e}"),
+            OpsError::InvalidProduction(name, msg) => {
+                write!(f, "invalid production {name}: {msg}")
+            }
+            OpsError::DuplicateProduction(name) => {
+                write!(f, "duplicate production name {name}")
+            }
+            OpsError::UnboundVariable(v) => write!(f, "unbound variable <{v}>"),
+            OpsError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            OpsError::StaleWme(msg) => write!(f, "stale working-memory reference: {msg}"),
+            OpsError::UnknownFunction(name) => {
+                write!(f, "(call {name}) but no such function is registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpsError {}
+
+impl From<ParseError> for OpsError {
+    fn from(e: ParseError) -> Self {
+        OpsError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError {
+            line: 3,
+            col: 14,
+            message: "expected ')'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:14: expected ')'");
+    }
+
+    #[test]
+    fn ops_error_wraps_parse_error() {
+        let pe = ParseError {
+            line: 1,
+            col: 1,
+            message: "x".into(),
+        };
+        let oe: OpsError = pe.clone().into();
+        assert_eq!(oe, OpsError::Parse(pe));
+    }
+}

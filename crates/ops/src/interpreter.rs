@@ -1,0 +1,818 @@
+//! The match–resolve–act (MRA) interpreter.
+//!
+//! [`Interpreter`] owns the working memory and drives a pluggable
+//! [`Matcher`] through the classic OPS5 cycle:
+//!
+//! 1. **match** — hand the previous cycle's WM changes to the matcher;
+//! 2. **resolve** — filter refracted instantiations and pick a winner with
+//!    the configured [`Strategy`];
+//! 3. **act** — execute the winner's RHS, queuing the resulting WM changes
+//!    for the next cycle's match phase.
+//!
+//! The interpreter records the per-cycle change batches it produced
+//! ([`Interpreter::change_log`]); `mpps-rete` replays such logs to capture
+//! activation traces, and the property-test suites replay them into
+//! different matchers to prove equivalence.
+
+use crate::conflict::{resolve, Strategy};
+use crate::error::OpsError;
+use crate::matcher::{Instantiation, Matcher, WmeChange};
+use crate::naive::NaiveMatcher;
+use crate::production::{Action, Production, ProductionId, Program};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use crate::wme::{Wme, WmeId, WorkingMemory};
+use std::collections::{HashMap, HashSet};
+
+/// A record of one production firing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FiredRecord {
+    /// 1-based cycle number in which the firing happened.
+    pub cycle: usize,
+    /// Which production fired.
+    pub production: ProductionId,
+    /// Its name.
+    pub name: Symbol,
+    /// The WMEs of the fired instantiation.
+    pub wme_ids: Vec<WmeId>,
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Conflict set became empty (after refraction).
+    Quiescent,
+    /// A `(halt)` action executed.
+    Halted,
+    /// The cycle limit was reached with work remaining.
+    CycleLimit,
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Number of MRA cycles executed (including the final quiescent match).
+    pub cycles: usize,
+    /// Every firing, in order.
+    pub fired: Vec<FiredRecord>,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// The result of a single [`Interpreter::step`].
+#[derive(Clone, Debug)]
+pub enum StepOutcome {
+    /// A production fired.
+    Fired(FiredRecord),
+    /// Nothing fireable: the system is quiescent.
+    Quiescent,
+}
+
+/// Signature of a user-defined RHS function: receives the evaluated
+/// arguments and the live working memory; may return WMEs to add.
+pub type UserFn = Box<dyn FnMut(&[Value], &WorkingMemory) -> Vec<Wme>>;
+
+/// The MRA-cycle interpreter, generic over the match engine.
+pub struct Interpreter<M: Matcher = NaiveMatcher> {
+    program: Program,
+    strategy: Strategy,
+    wm: WorkingMemory,
+    matcher: M,
+    /// Refraction memory: instantiations that have fired.
+    fired_keys: HashSet<(ProductionId, Vec<WmeId>)>,
+    /// WM changes produced since the last match phase.
+    pending: Vec<WmeChange>,
+    /// Per-cycle batches actually handed to the matcher.
+    change_log: Vec<Vec<WmeChange>>,
+    /// Values emitted by `(write ...)` actions.
+    output: Vec<Vec<Value>>,
+    fired: Vec<FiredRecord>,
+    cycle: usize,
+    halted: bool,
+    /// User-defined RHS functions, by name.
+    functions: HashMap<Symbol, UserFn>,
+}
+
+impl Interpreter<NaiveMatcher> {
+    /// Interpreter over the brute-force reference matcher.
+    pub fn new(program: Program, strategy: Strategy) -> Self {
+        let matcher = NaiveMatcher::new(program.clone());
+        Interpreter::with_matcher(program, strategy, matcher)
+    }
+}
+
+impl<M: Matcher> Interpreter<M> {
+    /// Interpreter over a caller-supplied matcher (must have been built for
+    /// the same `program`).
+    pub fn with_matcher(program: Program, strategy: Strategy, matcher: M) -> Self {
+        Interpreter {
+            program,
+            strategy,
+            wm: WorkingMemory::new(),
+            matcher,
+            fired_keys: HashSet::new(),
+            pending: Vec::new(),
+            change_log: Vec::new(),
+            output: Vec::new(),
+            fired: Vec::new(),
+            cycle: 0,
+            halted: false,
+            functions: HashMap::new(),
+        }
+    }
+
+    /// Register a user-defined RHS function callable via `(call name …)`.
+    /// The function receives the evaluated arguments and a view of working
+    /// memory, and may return WMEs to add (queued like `make`).
+    pub fn register_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&[Value], &WorkingMemory) -> Vec<Wme> + 'static,
+    ) {
+        self.functions.insert(crate::intern(name), Box::new(f));
+    }
+
+    /// Add a WME to working memory (takes effect at the next match phase).
+    pub fn wm_make(&mut self, class: &str, attrs: &[(&str, Value)]) -> WmeId {
+        self.add_wme(Wme::new(class, attrs))
+    }
+
+    /// Add a pre-built WME.
+    pub fn add_wme(&mut self, wme: Wme) -> WmeId {
+        let id = self.wm.add(wme.clone());
+        self.pending.push(WmeChange::add(id, wme));
+        id
+    }
+
+    /// Remove a WME by id (takes effect at the next match phase).
+    pub fn remove_wme(&mut self, id: WmeId) -> Result<(), OpsError> {
+        let wme = self
+            .wm
+            .remove(id)
+            .ok_or_else(|| OpsError::StaleWme(format!("{id} is not in working memory")))?;
+        self.pending.push(WmeChange::remove(id, wme));
+        Ok(())
+    }
+
+    /// Execute one MRA cycle. Flushes pending WM changes into the matcher,
+    /// resolves, and fires at most one instantiation.
+    pub fn step(&mut self) -> Result<StepOutcome, OpsError> {
+        self.cycle += 1;
+        let batch = std::mem::take(&mut self.pending);
+        self.change_log.push(batch.clone());
+        self.matcher.process(&batch);
+
+        let conflict_set = self.matcher.conflict_set();
+        let candidates: Vec<&Instantiation> = conflict_set
+            .iter()
+            .filter(|i| !self.fired_keys.contains(&i.key()))
+            .collect();
+        let Some(winner) = resolve(&self.program, self.strategy, candidates)
+        else {
+            return Ok(StepOutcome::Quiescent);
+        };
+        let winner = winner.clone();
+        self.fired_keys.insert(winner.key());
+        let record = FiredRecord {
+            cycle: self.cycle,
+            production: winner.production,
+            name: self.program.get(winner.production).name,
+            wme_ids: winner.wme_ids.clone(),
+        };
+        self.fire(&winner)?;
+        self.fired.push(record.clone());
+        Ok(StepOutcome::Fired(record))
+    }
+
+    /// Execute the RHS of `inst`, queuing WM changes.
+    fn fire(&mut self, inst: &Instantiation) -> Result<(), OpsError> {
+        let production: &Production = self.program.get(inst.production);
+        let actions = production.rhs.clone();
+        // `(bind …)` actions extend the bindings for later actions.
+        let mut bindings = inst.bindings.clone();
+        for action in &actions {
+            match action {
+                Action::Make { class, attrs } => {
+                    let mut wme = Wme::from_pairs(*class, []);
+                    for (attr, expr) in attrs {
+                        wme.set(*attr, expr.eval(&bindings)?);
+                    }
+                    self.add_wme(wme);
+                }
+                Action::Remove(k) => {
+                    let id = inst.wme_ids[*k - 1];
+                    // The WME may already be gone if a previous action of
+                    // this same RHS removed it; OPS5 treats that as a no-op.
+                    if self.wm.get(id).is_some() {
+                        self.remove_wme(id)?;
+                    }
+                }
+                Action::Modify { ce, attrs } => {
+                    let id = inst.wme_ids[*ce - 1];
+                    let Some(old) = self.wm.get(id).cloned() else {
+                        return Err(OpsError::StaleWme(format!(
+                            "(modify {ce}) of {id}: element already removed this firing"
+                        )));
+                    };
+                    self.remove_wme(id)?;
+                    let mut wme = old;
+                    for (attr, expr) in attrs {
+                        wme.set(*attr, expr.eval(&bindings)?);
+                    }
+                    self.add_wme(wme);
+                }
+                Action::Write(exprs) => {
+                    let vals = exprs
+                        .iter()
+                        .map(|e| e.eval(&bindings))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    self.output.push(vals);
+                }
+                Action::Bind(var, expr) => {
+                    let value = expr.eval(&bindings)?;
+                    bindings.insert(*var, value);
+                }
+                Action::Call(name, args) => {
+                    let values = args
+                        .iter()
+                        .map(|e| e.eval(&bindings))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let Some(f) = self.functions.get_mut(name) else {
+                        return Err(OpsError::UnknownFunction(name.to_string()));
+                    };
+                    let new_wmes = f(&values, &self.wm);
+                    for wme in new_wmes {
+                        self.add_wme(wme);
+                    }
+                }
+                Action::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one *parallel* MRA cycle: fire **every** refraction-new
+    /// instantiation whose deletions do not overlap another selected
+    /// instantiation's working-memory elements — the "more explicit
+    /// expression of parallelism" direction the paper points at (Ishida &
+    /// Stolfo; Soar). Selection is greedy in conflict-resolution order, so
+    /// the serial winner always fires. Instantiations are checked for
+    /// *delete/delete and delete/match conflicts* only: two selected
+    /// instantiations may not remove or modify a WME the other matched.
+    /// (Interference through `make` + negation is not detected — the usual
+    /// caveat of compatible-set parallel firing.)
+    pub fn step_parallel(&mut self) -> Result<Vec<FiredRecord>, OpsError> {
+        self.cycle += 1;
+        let batch = std::mem::take(&mut self.pending);
+        self.change_log.push(batch.clone());
+        self.matcher.process(&batch);
+
+        let conflict_set = self.matcher.conflict_set();
+        let mut candidates: Vec<&Instantiation> = conflict_set
+            .iter()
+            .filter(|i| !self.fired_keys.contains(&i.key()))
+            .collect();
+        // Conflict-resolution order: repeatedly extract the winner.
+        let mut ordered: Vec<Instantiation> = Vec::new();
+        while let Some(winner) = resolve(&self.program, self.strategy, candidates.iter().copied())
+        {
+            let winner = winner.clone();
+            candidates.retain(|c| c.key() != winner.key());
+            ordered.push(winner);
+        }
+        // Greedy compatible set: an instantiation joins if the WMEs it
+        // deletes/modifies are untouched and unmatched by those selected
+        // before it, and nothing it matched is deleted by them.
+        let mut deleted: HashSet<WmeId> = HashSet::new();
+        let mut matched: HashSet<WmeId> = HashSet::new();
+        let mut selected: Vec<Instantiation> = Vec::new();
+        for inst in ordered {
+            let production = self.program.get(inst.production);
+            let mut my_deletes: HashSet<WmeId> = HashSet::new();
+            for a in &production.rhs {
+                match a {
+                    Action::Remove(k) => {
+                        my_deletes.insert(inst.wme_ids[*k - 1]);
+                    }
+                    Action::Modify { ce, .. } => {
+                        my_deletes.insert(inst.wme_ids[*ce - 1]);
+                    }
+                    _ => {}
+                }
+            }
+            let compatible = my_deletes.iter().all(|id| !deleted.contains(id) && !matched.contains(id))
+                && inst.wme_ids.iter().all(|id| !deleted.contains(id));
+            if compatible {
+                deleted.extend(my_deletes);
+                matched.extend(inst.wme_ids.iter().copied());
+                selected.push(inst);
+            }
+        }
+        let mut records = Vec::with_capacity(selected.len());
+        for inst in selected {
+            self.fired_keys.insert(inst.key());
+            let record = FiredRecord {
+                cycle: self.cycle,
+                production: inst.production,
+                name: self.program.get(inst.production).name,
+                wme_ids: inst.wme_ids.clone(),
+            };
+            self.fire(&inst)?;
+            self.fired.push(record.clone());
+            records.push(record);
+        }
+        Ok(records)
+    }
+
+    /// Run in parallel-firing mode until quiescence, halt, or `max_cycles`.
+    pub fn run_parallel(&mut self, max_cycles: usize) -> Result<RunResult, OpsError> {
+        let start_fired = self.fired.len();
+        let start_cycle = self.cycle;
+        let mut outcome = RunOutcome::CycleLimit;
+        while self.cycle - start_cycle < max_cycles {
+            let fired = self.step_parallel()?;
+            if fired.is_empty() {
+                outcome = RunOutcome::Quiescent;
+                break;
+            }
+            if self.halted {
+                outcome = RunOutcome::Halted;
+                break;
+            }
+        }
+        Ok(RunResult {
+            cycles: self.cycle - start_cycle,
+            fired: self.fired[start_fired..].to_vec(),
+            outcome,
+        })
+    }
+
+    /// Run until quiescence, halt, or `max_cycles`.
+    pub fn run(&mut self, max_cycles: usize) -> Result<RunResult, OpsError> {
+        let start_fired = self.fired.len();
+        let start_cycle = self.cycle;
+        let mut outcome = RunOutcome::CycleLimit;
+        while self.cycle - start_cycle < max_cycles {
+            match self.step()? {
+                StepOutcome::Quiescent => {
+                    outcome = RunOutcome::Quiescent;
+                    break;
+                }
+                StepOutcome::Fired(_) => {
+                    if self.halted {
+                        outcome = RunOutcome::Halted;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(RunResult {
+            cycles: self.cycle - start_cycle,
+            fired: self.fired[start_fired..].to_vec(),
+            outcome,
+        })
+    }
+
+    /// The live working memory.
+    pub fn working_memory(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The per-cycle WM change batches handed to the matcher so far.
+    pub fn change_log(&self) -> &[Vec<WmeChange>] {
+        &self.change_log
+    }
+
+    /// Values written by `(write ...)` actions, one entry per action.
+    pub fn output(&self) -> &[Vec<Value>] {
+        &self.output
+    }
+
+    /// All firings so far.
+    pub fn fired(&self) -> &[FiredRecord] {
+        &self.fired
+    }
+
+    /// Borrow the underlying matcher (e.g. to extract a Rete trace).
+    pub fn matcher(&self) -> &M {
+        &self.matcher
+    }
+
+    /// Mutably borrow the underlying matcher (e.g. to take ownership of a
+    /// recorded trace between runs).
+    pub fn matcher_mut(&mut self) -> &mut M {
+        &mut self.matcher
+    }
+
+    /// True once a `(halt)` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of MRA cycles executed.
+    pub fn cycles(&self) -> usize {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn countdown_fires_until_quiescent() {
+        let prog = parse_program(
+            r#"
+            (p count-down
+               (counter ^value <v>)
+               -(counter ^value 0)
+               -->
+               (modify 1 ^value (- <v> 1))
+               (write tick <v>))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("counter", &[("value", 3.into())]);
+        let result = interp.run(100).unwrap();
+        assert_eq!(result.outcome, RunOutcome::Quiescent);
+        assert_eq!(result.fired.len(), 3);
+        assert_eq!(
+            interp.output(),
+            &[
+                vec![Value::sym("tick"), Value::Int(3)],
+                vec![Value::sym("tick"), Value::Int(2)],
+                vec![Value::sym("tick"), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        let prog = parse_program(
+            r#"
+            (p once (start) --> (make step ^n 1) (halt))
+            (p never (step ^n <n>) --> (make step ^n (+ <n> 1)))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("start", &[]);
+        let result = interp.run(100).unwrap();
+        assert_eq!(result.outcome, RunOutcome::Halted);
+        assert_eq!(result.fired.len(), 1);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let prog = parse_program(
+            r#"
+            (p forever (tick ^n <n>) --> (modify 1 ^n (+ <n> 1)))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("tick", &[("n", 0.into())]);
+        let result = interp.run(10).unwrap();
+        assert_eq!(result.outcome, RunOutcome::CycleLimit);
+        assert_eq!(result.cycles, 10);
+    }
+
+    #[test]
+    fn refraction_prevents_refiring() {
+        // Without refraction this would loop forever re-firing the same
+        // instantiation (its RHS doesn't change WM).
+        let prog = parse_program(
+            r#"
+            (p observe (fact ^kind constant) --> (write saw-it))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("fact", &[("kind", "constant".into())]);
+        let result = interp.run(100).unwrap();
+        assert_eq!(result.outcome, RunOutcome::Quiescent);
+        assert_eq!(result.fired.len(), 1);
+    }
+
+    #[test]
+    fn modify_gives_fresh_time_tag_and_refires() {
+        let prog = parse_program(
+            r#"
+            (p bump
+               (counter ^value <v> ^limit <l>)
+               (counter ^value <v2>)
+               -->
+               (write noop))
+            "#,
+        )
+        .unwrap();
+        // Self-join: after the counter is modified the time tag changes, so
+        // a new instantiation (not refracted) appears.
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("counter", &[("value", 1.into()), ("limit", 5.into())]);
+        let r = interp.run(3).unwrap();
+        // Fires exactly once: no modify in RHS, refraction blocks repeats.
+        assert_eq!(r.fired.len(), 1);
+    }
+
+    #[test]
+    fn lex_picks_most_recent_data() {
+        let prog = parse_program(
+            r#"
+            (p any (item ^tag <t>) --> (remove 1) (write picked <t>))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("item", &[("tag", "old".into())]);
+        interp.wm_make("item", &[("tag", "new".into())]);
+        interp.run(10).unwrap();
+        // LEX: most recent WME wins first.
+        assert_eq!(interp.output()[0], vec![Value::sym("picked"), Value::sym("new")]);
+        assert_eq!(interp.output()[1], vec![Value::sym("picked"), Value::sym("old")]);
+    }
+
+    #[test]
+    fn mea_prefers_recent_first_ce() {
+        let prog = parse_program(
+            r#"
+            (p goal-directed
+               (goal ^id <g>)
+               (item ^for <g>)
+               -->
+               (remove 2)
+               (write served <g>))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Mea);
+        let _g1 = interp.wm_make("goal", &[("id", "g1".into())]);
+        interp.wm_make("item", &[("for", "g1".into())]);
+        interp.wm_make("item", &[("for", "g2".into())]);
+        let _g2 = interp.wm_make("goal", &[("id", "g2".into())]);
+        interp.run(10).unwrap();
+        // MEA: g2's goal WME is more recent, so g2 is served first even
+        // though g1's item instantiation also exists.
+        assert_eq!(interp.output()[0], vec![Value::sym("served"), Value::sym("g2")]);
+    }
+
+    #[test]
+    fn remove_of_already_removed_wme_is_noop() {
+        let prog = parse_program(
+            r#"
+            (p double-remove
+               (thing ^id <t>)
+               (thing ^id <t>)
+               -->
+               (remove 1)
+               (remove 2))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("thing", &[("id", 1.into())]);
+        // Both CEs match the same WME; second remove must not error.
+        let r = interp.run(10).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Quiescent);
+        assert_eq!(interp.working_memory().len(), 0);
+    }
+
+    #[test]
+    fn change_log_batches_match_cycles() {
+        let prog = parse_program(
+            r#"
+            (p grow (seed) --> (remove 1) (make plant) (make flower))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("seed", &[]);
+        interp.run(10).unwrap();
+        let log = interp.change_log();
+        // Cycle 1 matches the initial add and fires; cycle 2 matches
+        // {-seed +plant +flower} and detects quiescence.
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].len(), 1);
+        assert_eq!(log[1].len(), 3);
+    }
+
+    #[test]
+    fn remove_unknown_wme_errors() {
+        let prog = parse_program("(p x (a) --> (remove 1))").unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        assert!(interp.remove_wme(WmeId(42)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod bind_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn bind_extends_rhs_bindings() {
+        let prog = parse_program(
+            r#"
+            (p double
+               (counter ^v <v>)
+               -->
+               (bind <d> (* <v> 2))
+               (make result ^doubled <d> ^plus (+ <d> 1))
+               (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("counter", &[("v", 7.into())]);
+        interp.run(10).unwrap();
+        let result = interp
+            .working_memory()
+            .iter()
+            .find(|(_, w)| w.class().as_str() == "result")
+            .unwrap()
+            .1;
+        assert_eq!(result.get(crate::intern("doubled")), Some(Value::Int(14)));
+        assert_eq!(result.get(crate::intern("plus")), Some(Value::Int(15)));
+    }
+
+    #[test]
+    fn bind_use_before_definition_rejected() {
+        let bad = parse_program(
+            "(p bad (a) --> (write <x>) (bind <x> 1))",
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn bind_display_roundtrip() {
+        let prog = parse_program(
+            "(p b (a ^v <v>) --> (bind <w> (+ <v> 1)) (write <w>))",
+        )
+        .unwrap();
+        let p = prog.get(crate::ProductionId(0));
+        let again = crate::parse_production(&p.to_string()).unwrap();
+        assert_eq!(p, &again);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn independent_instantiations_fire_together() {
+        // Ten independent items: serial mode needs ten act cycles,
+        // parallel mode retires them all in one.
+        let prog = parse_program("(p consume (item ^id <i>) --> (remove 1))").unwrap();
+        let mut serial = Interpreter::new(prog.clone(), Strategy::Lex);
+        let mut parallel = Interpreter::new(prog, Strategy::Lex);
+        for i in 0..10 {
+            serial.wm_make("item", &[("id", i.into())]);
+            parallel.wm_make("item", &[("id", i.into())]);
+        }
+        let rs = serial.run(100).unwrap();
+        let rp = parallel.run_parallel(100).unwrap();
+        assert_eq!(rs.fired.len(), 10);
+        assert_eq!(rp.fired.len(), 10);
+        assert!(rp.cycles < rs.cycles, "parallel {} vs serial {}", rp.cycles, rs.cycles);
+        assert_eq!(rp.fired.iter().filter(|f| f.cycle == 1).count(), 10);
+        assert_eq!(parallel.working_memory().len(), 0);
+    }
+
+    #[test]
+    fn conflicting_deletes_serialize() {
+        // Two rules both want to remove the same token WME: only one may
+        // fire per parallel cycle.
+        let prog = parse_program(
+            r#"
+            (p left  (token ^id <t>) (mark ^side l) --> (remove 1))
+            (p right (token ^id <t>) (mark ^side r) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("token", &[("id", 1.into())]);
+        interp.wm_make("mark", &[("side", "l".into())]);
+        interp.wm_make("mark", &[("side", "r".into())]);
+        let fired = interp.step_parallel().unwrap();
+        assert_eq!(fired.len(), 1, "delete/delete conflict must serialize");
+    }
+
+    #[test]
+    fn matched_wme_protected_from_parallel_deletion() {
+        // One rule deletes the flag; another matches it without deleting.
+        // They must not fire together (the reader would see a retracted
+        // premise).
+        let prog = parse_program(
+            r#"
+            (p deleter (flag ^on yes) --> (remove 1))
+            (p reader  (flag ^on yes) (data ^v <v>) --> (remove 2) (write saw <v>))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("flag", &[("on", "yes".into())]);
+        interp.wm_make("data", &[("v", 5.into())]);
+        let fired = interp.step_parallel().unwrap();
+        assert_eq!(fired.len(), 1, "reader and deleter conflict on the flag");
+    }
+
+    #[test]
+    fn parallel_quiesces_like_serial() {
+        let prog = parse_program("(p consume (item) --> (remove 1))").unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("item", &[]);
+        let r = interp.run_parallel(50).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Quiescent);
+        assert_eq!(r.fired.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod call_tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn call_invokes_registered_function_with_evaluated_args() {
+        let prog = parse_program(
+            r#"
+            (p notify (alarm ^level <l>) --> (call page-operator <l> urgent) (remove 1))
+            "#,
+        )
+        .unwrap();
+        let seen: Rc<RefCell<Vec<Vec<Value>>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.register_function("page-operator", move |args, _wm| {
+            seen2.borrow_mut().push(args.to_vec());
+            Vec::new()
+        });
+        interp.wm_make("alarm", &[("level", 3.into())]);
+        interp.run(10).unwrap();
+        assert_eq!(
+            seen.borrow().as_slice(),
+            &[vec![Value::Int(3), Value::sym("urgent")]]
+        );
+    }
+
+    #[test]
+    fn call_may_return_wmes_to_add() {
+        let prog = parse_program(
+            r#"
+            (p expand (seed ^n <n>) --> (call fibonacci <n>) (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.register_function("fibonacci", |args, _wm| {
+            let n = args[0].as_int().unwrap();
+            let (mut a, mut b) = (0i64, 1i64);
+            (0..n)
+                .map(|_| {
+                    let v = a;
+                    (a, b) = (b, a + b);
+                    Wme::new("fib", &[("value", v.into())])
+                })
+                .collect()
+        });
+        interp.wm_make("seed", &[("n", 5.into())]);
+        interp.run(10).unwrap();
+        let fibs: Vec<i64> = interp
+            .working_memory()
+            .iter()
+            .filter(|(_, w)| w.class().as_str() == "fib")
+            .map(|(_, w)| w.get(crate::intern("value")).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(fibs, vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unregistered_call_is_an_error() {
+        let prog = parse_program("(p x (a) --> (call ghost))").unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        interp.wm_make("a", &[]);
+        let err = interp.run(10).unwrap_err();
+        assert!(matches!(err, OpsError::UnknownFunction(_)), "{err}");
+    }
+
+    #[test]
+    fn call_display_roundtrip() {
+        let prog = parse_program("(p c (a ^v <v>) --> (call f <v> 2 sym))").unwrap();
+        let p = prog.get(crate::ProductionId(0));
+        let again = crate::parse_production(&p.to_string()).unwrap();
+        assert_eq!(p, &again);
+    }
+}

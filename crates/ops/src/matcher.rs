@@ -1,0 +1,169 @@
+//! The matcher abstraction: anything that can maintain a conflict set.
+//!
+//! The interpreter drives a [`Matcher`] with working-memory deltas; the
+//! matcher answers with the current conflict set. Implementations in this
+//! workspace:
+//!
+//! * [`crate::NaiveMatcher`] — brute-force recomputation (the semantic
+//!   reference);
+//! * `mpps_rete::ReteMatcher` — the sequential hashed-memory Rete engine;
+//! * `mpps_core::ThreadedMatcher` — the paper's distributed-hash-table
+//!   mapping running on real threads with message passing.
+//!
+//! Property tests assert all three produce identical conflict sets.
+
+use crate::production::ProductionId;
+use crate::symbol::Symbol;
+use crate::value::Value;
+use crate::wme::{Sign, Wme, WmeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One working-memory change: an addition or deletion of a concrete WME.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WmeChange {
+    /// Add or delete.
+    pub sign: Sign,
+    /// The element's time tag.
+    pub id: WmeId,
+    /// The element itself. Carried even on deletion so matchers don't need
+    /// to keep a WM mirror (though they may).
+    pub wme: Wme,
+}
+
+impl WmeChange {
+    /// Convenience constructor for an addition.
+    pub fn add(id: WmeId, wme: Wme) -> Self {
+        WmeChange {
+            sign: Sign::Plus,
+            id,
+            wme,
+        }
+    }
+
+    /// Convenience constructor for a deletion.
+    pub fn remove(id: WmeId, wme: Wme) -> Self {
+        WmeChange {
+            sign: Sign::Minus,
+            id,
+            wme,
+        }
+    }
+}
+
+/// A production instantiation: the WMEs that conjunctively satisfy a
+/// production, plus the variable bindings they induce.
+#[derive(Clone, Debug)]
+pub struct Instantiation {
+    /// Which production is satisfied.
+    pub production: ProductionId,
+    /// Time tags of the WMEs matching the non-negated CEs, in CE order.
+    pub wme_ids: Vec<WmeId>,
+    /// Variable bindings induced by the match.
+    pub bindings: HashMap<Symbol, Value>,
+}
+
+impl Instantiation {
+    /// Identity key for refraction and set comparison: a production fired
+    /// with the same WME combination is the same instantiation regardless
+    /// of how the matcher derived it.
+    pub fn key(&self) -> (ProductionId, Vec<WmeId>) {
+        (self.production, self.wme_ids.clone())
+    }
+
+    /// Time tags sorted descending — the LEX recency vector.
+    pub fn recency_vector(&self) -> Vec<WmeId> {
+        let mut v = self.wme_ids.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+impl PartialEq for Instantiation {
+    fn eq(&self, other: &Self) -> bool {
+        self.production == other.production && self.wme_ids == other.wme_ids
+    }
+}
+
+impl Eq for Instantiation {}
+
+impl std::hash::Hash for Instantiation {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.production.hash(state);
+        self.wme_ids.hash(state);
+    }
+}
+
+impl fmt::Display for Instantiation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.production)?;
+        for (i, id) in self.wme_ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Maintains the conflict set of a fixed program under WM deltas.
+pub trait Matcher {
+    /// Apply a batch of WM changes (one MRA cycle's act-phase output).
+    fn process(&mut self, changes: &[WmeChange]);
+
+    /// The current conflict set, sorted by `(production, wme_ids)` so that
+    /// different matchers are directly comparable.
+    fn conflict_set(&self) -> Vec<Instantiation>;
+}
+
+/// Sort instantiations into the canonical comparison order.
+pub fn sort_conflict_set(set: &mut [Instantiation]) {
+    set.sort_by(|a, b| {
+        a.production
+            .cmp(&b.production)
+            .then_with(|| a.wme_ids.cmp(&b.wme_ids))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(p: u32, ids: &[u64]) -> Instantiation {
+        Instantiation {
+            production: ProductionId(p),
+            wme_ids: ids.iter().map(|&i| WmeId(i)).collect(),
+            bindings: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn equality_ignores_bindings() {
+        let mut a = inst(0, &[1, 2]);
+        let b = inst(0, &[1, 2]);
+        a.bindings.insert(crate::intern("x"), Value::Int(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recency_vector_sorted_descending() {
+        let i = inst(0, &[3, 9, 1]);
+        assert_eq!(i.recency_vector(), vec![WmeId(9), WmeId(3), WmeId(1)]);
+    }
+
+    #[test]
+    fn sorting_is_by_production_then_ids() {
+        let mut v = vec![inst(1, &[1]), inst(0, &[9]), inst(0, &[2])];
+        sort_conflict_set(&mut v);
+        assert_eq!(
+            v,
+            vec![inst(0, &[2]), inst(0, &[9]), inst(1, &[1])]
+        );
+    }
+
+    #[test]
+    fn display_shape() {
+        assert_eq!(inst(2, &[4, 7]).to_string(), "p2[t4 t7]");
+    }
+}

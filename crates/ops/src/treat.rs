@@ -1,0 +1,454 @@
+//! The TREAT match algorithm (Miranker 1987) — the paper's reference \[30\].
+//!
+//! TREAT is the classic alternative to Rete: it keeps **alpha memories
+//! only** (per condition element, the WMEs passing its constant tests) and
+//! the **conflict set**, but no beta memories. Joins are recomputed on
+//! demand:
+//!
+//! * when a WME is **added**, new instantiations are found by seeding each
+//!   condition element it matches and joining the *other* CEs' alpha
+//!   memories;
+//! * when a WME is **deleted**, instantiations containing it are simply
+//!   dropped from the conflict set — no join work at all, which is TREAT's
+//!   celebrated advantage on delete-heavy cycles (and exactly the
+//!   multiple-modify traffic of §5.2.2);
+//! * negated CEs are handled by filtering candidate instantiations against
+//!   the negated alpha memories; additions matching a negated CE retract
+//!   blocked instantiations, deletions re-derive what they unblocked.
+//!
+//! Duplicate-free enumeration uses the standard seeding discipline: when
+//! the new WME is pinned at position *k*, positions before *k* join
+//! against their memories *without* the new WME and positions after *k*
+//! with it, so every combination is generated at exactly one seed.
+
+use crate::cond::ConditionElement;
+use crate::matcher::{sort_conflict_set, Instantiation, Matcher, WmeChange};
+use crate::production::{Production, ProductionId, Program};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use crate::wme::{Sign, Wme, WmeId};
+use std::collections::HashMap;
+
+/// Per-production compiled view: positive and negated CEs in LHS order.
+struct CompiledProduction {
+    /// `(lhs index, CE)` of positive condition elements, in order.
+    positive: Vec<(usize, ConditionElement)>,
+    /// Negated condition elements with the count of *positive* CEs that
+    /// precede them (their binding context).
+    negative: Vec<(usize, ConditionElement)>,
+}
+
+/// Alpha memory of one condition element: WMEs passing its constant tests.
+#[derive(Default)]
+struct AlphaMemory {
+    entries: Vec<(WmeId, Wme)>,
+}
+
+impl AlphaMemory {
+    fn add(&mut self, id: WmeId, wme: &Wme) {
+        self.entries.push((id, wme.clone()));
+    }
+
+    fn remove(&mut self, id: WmeId) {
+        self.entries.retain(|(e, _)| *e != id);
+    }
+}
+
+/// The TREAT matcher: alpha memories + conflict set, no beta state.
+pub struct TreatMatcher {
+    productions: Vec<CompiledProduction>,
+    /// `memories[p]` maps an LHS index to its alpha memory.
+    memories: Vec<HashMap<usize, AlphaMemory>>,
+    conflict: HashMap<(ProductionId, Vec<WmeId>), Instantiation>,
+}
+
+impl TreatMatcher {
+    /// Build a TREAT matcher for `program`.
+    pub fn new(program: &Program) -> Self {
+        let mut productions = Vec::with_capacity(program.len());
+        let mut memories = Vec::with_capacity(program.len());
+        for (_, prod) in program.iter() {
+            productions.push(compile(prod));
+            let mems: HashMap<usize, AlphaMemory> = prod
+                .lhs
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i, AlphaMemory::default()))
+                .collect();
+            memories.push(mems);
+        }
+        TreatMatcher {
+            productions,
+            memories,
+            conflict: HashMap::new(),
+        }
+    }
+
+    /// Enumerate instantiations of production `p` with the WME `(id, wme)`
+    /// pinned at positive position `seed` (index into `positive`).
+    /// `exclude_new` controls the duplicate discipline (see module docs).
+    fn seeded_instantiations(
+        &self,
+        p: usize,
+        seed: usize,
+        id: WmeId,
+        wme: &Wme,
+        out: &mut Vec<Instantiation>,
+    ) {
+        let mems = &self.memories[p];
+        let mut chosen: Vec<WmeId> =
+            Vec::with_capacity(self.productions[p].positive.len());
+        self.extend_positive(p, seed, id, wme, 0, &mut chosen, &HashMap::new(), mems, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend_positive(
+        &self,
+        p: usize,
+        seed: usize,
+        seed_id: WmeId,
+        seed_wme: &Wme,
+        pos: usize,
+        chosen: &mut Vec<WmeId>,
+        bindings: &HashMap<Symbol, Value>,
+        mems: &HashMap<usize, AlphaMemory>,
+        out: &mut Vec<Instantiation>,
+    ) {
+        let compiled = &self.productions[p];
+        if pos == compiled.positive.len() {
+            // All positive CEs satisfied; check the negated ones.
+            if self.negations_clear(p, bindings) {
+                out.push(Instantiation {
+                    production: ProductionId(p as u32),
+                    wme_ids: chosen.clone(),
+                    bindings: bindings.clone(),
+                });
+            }
+            return;
+        }
+        let (lhs_idx, ce) = &compiled.positive[pos];
+        if pos == seed {
+            if let Some(next) = ce.match_with_bindings(seed_wme, bindings) {
+                chosen.push(seed_id);
+                self.extend_positive(p, seed, seed_id, seed_wme, pos + 1, chosen, &next, mems, out);
+                chosen.pop();
+            }
+            return;
+        }
+        let memory = &mems[lhs_idx];
+        for (cand_id, cand) in &memory.entries {
+            // Duplicate discipline: before the seed position the new WME
+            // is invisible (an earlier seeding already covers those
+            // combinations).
+            if pos < seed && *cand_id == seed_id {
+                continue;
+            }
+            if let Some(next) = ce.match_with_bindings(cand, bindings) {
+                chosen.push(*cand_id);
+                self.extend_positive(p, seed, seed_id, seed_wme, pos + 1, chosen, &next, mems, out);
+                chosen.pop();
+            }
+        }
+    }
+
+    /// True when no WME in the negated memories matches under `bindings`.
+    fn negations_clear(&self, p: usize, bindings: &HashMap<Symbol, Value>) -> bool {
+        let compiled = &self.productions[p];
+        let mems = &self.memories[p];
+        compiled.negative.iter().all(|(lhs_idx, ce)| {
+            !mems[lhs_idx]
+                .entries
+                .iter()
+                .any(|(_, w)| ce.match_with_bindings(w, bindings).is_some())
+        })
+    }
+
+    /// Recompute production `p`'s complete instantiation set (used after a
+    /// deletion unblocks a negated CE).
+    fn all_instantiations(&self, p: usize) -> Vec<Instantiation> {
+        let compiled = &self.productions[p];
+        if compiled.positive.is_empty() {
+            return Vec::new();
+        }
+        // Seeding at position 0 with each WME of its memory, with the
+        // "new" id set to an impossible value so nothing is excluded.
+        let mems = &self.memories[p];
+        let first_lhs = compiled.positive[0].0;
+        let mut out = Vec::new();
+        for (id, wme) in &mems[&first_lhs].entries {
+            self.seeded_instantiations(p, 0, *id, wme, &mut out);
+        }
+        out
+    }
+
+    fn handle_add(&mut self, id: WmeId, wme: &Wme) {
+        for p in 0..self.productions.len() {
+            // Update this production's memories first (a WME may match
+            // several CEs).
+            let mut matched_pos: Vec<usize> = Vec::new();
+            let mut matched_neg: Vec<usize> = Vec::new();
+            for (i, ce) in self.productions[p]
+                .positive
+                .iter()
+                .map(|(i, ce)| (*i, ce.clone()))
+                .collect::<Vec<_>>()
+            {
+                if ce.constant_match(wme) {
+                    self.memories[p].get_mut(&i).unwrap().add(id, wme);
+                    matched_pos.push(i);
+                }
+            }
+            for (i, ce) in self.productions[p]
+                .negative
+                .iter()
+                .map(|(i, ce)| (*i, ce.clone()))
+                .collect::<Vec<_>>()
+            {
+                if ce.constant_match(wme) {
+                    self.memories[p].get_mut(&i).unwrap().add(id, wme);
+                    matched_neg.push(i);
+                }
+            }
+            // Retractions: the new WME may violate negated CEs of existing
+            // instantiations.
+            if !matched_neg.is_empty() {
+                let negs: Vec<ConditionElement> = self.productions[p]
+                    .negative
+                    .iter()
+                    .filter(|(i, _)| matched_neg.contains(i))
+                    .map(|(_, ce)| ce.clone())
+                    .collect();
+                self.conflict.retain(|(pid, _), inst| {
+                    pid.0 as usize != p
+                        || !negs
+                            .iter()
+                            .any(|ce| ce.match_with_bindings(wme, &inst.bindings).is_some())
+                });
+            }
+            // Assertions: seed each positive position the WME matches.
+            let seeds: Vec<usize> = self.productions[p]
+                .positive
+                .iter()
+                .enumerate()
+                .filter(|(_, (i, _))| matched_pos.contains(i))
+                .map(|(k, _)| k)
+                .collect();
+            let mut found = Vec::new();
+            for k in seeds {
+                self.seeded_instantiations(p, k, id, wme, &mut found);
+            }
+            for inst in found {
+                self.conflict.insert(inst.key(), inst);
+            }
+        }
+    }
+
+    fn handle_delete(&mut self, id: WmeId) {
+        // Drop every instantiation containing the WME: TREAT's cheap path.
+        self.conflict.retain(|(_, ids), _| !ids.contains(&id));
+        for p in 0..self.productions.len() {
+            let mut unblocked = false;
+            let neg_indices: Vec<usize> = self.productions[p]
+                .negative
+                .iter()
+                .map(|(i, _)| *i)
+                .collect();
+            for (i, mem) in self.memories[p].iter_mut() {
+                let before = mem.entries.len();
+                mem.remove(id);
+                if mem.entries.len() != before && neg_indices.contains(i) {
+                    unblocked = true;
+                }
+            }
+            // A deletion from a negated memory may unblock instantiations:
+            // re-derive this production.
+            if unblocked {
+                for inst in self.all_instantiations(p) {
+                    self.conflict.entry(inst.key()).or_insert(inst);
+                }
+            }
+        }
+    }
+}
+
+fn compile(prod: &Production) -> CompiledProduction {
+    let mut positive = Vec::new();
+    let mut negative = Vec::new();
+    for (i, ce) in prod.lhs.iter().enumerate() {
+        if ce.negated {
+            negative.push((i, ce.clone()));
+        } else {
+            positive.push((i, ce.clone()));
+        }
+    }
+    CompiledProduction { positive, negative }
+}
+
+impl Matcher for TreatMatcher {
+    fn process(&mut self, changes: &[WmeChange]) {
+        for c in changes {
+            match c.sign {
+                Sign::Plus => self.handle_add(c.id, &c.wme),
+                Sign::Minus => self.handle_delete(c.id),
+            }
+        }
+    }
+
+    fn conflict_set(&self) -> Vec<Instantiation> {
+        let mut out: Vec<Instantiation> = self.conflict.values().cloned().collect();
+        sort_conflict_set(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveMatcher;
+    use crate::parser::parse_program;
+
+    fn add(id: u64, wme: Wme) -> WmeChange {
+        WmeChange::add(WmeId(id), wme)
+    }
+
+    fn del(id: u64, wme: Wme) -> WmeChange {
+        WmeChange::remove(WmeId(id), wme)
+    }
+
+    fn agree(src: &str, batches: &[Vec<WmeChange>]) {
+        let prog = parse_program(src).unwrap();
+        let mut naive = NaiveMatcher::new(prog.clone());
+        let mut treat = TreatMatcher::new(&prog);
+        for batch in batches {
+            naive.process(batch);
+            treat.process(batch);
+            assert_eq!(
+                naive.conflict_set(),
+                treat.conflict_set(),
+                "diverged after batch"
+            );
+        }
+    }
+
+    const BLUE: &str = r#"
+        (p clear-the-blue-block
+           (block ^name <b2> ^color blue)
+           (block ^name <b2> ^on <b1>)
+           (hand ^state free)
+           -->
+           (remove 2))
+    "#;
+
+    #[test]
+    fn matches_paper_example() {
+        agree(
+            BLUE,
+            &[vec![
+                add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
+                add(2, Wme::new("block", &[("name", "b1".into()), ("on", "t".into())])),
+                add(3, Wme::new("hand", &[("state", "free".into())])),
+            ]],
+        );
+    }
+
+    #[test]
+    fn deletion_is_cheap_and_correct() {
+        let hand = Wme::new("hand", &[("state", "free".into())]);
+        agree(
+            BLUE,
+            &[
+                vec![
+                    add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
+                    add(2, Wme::new("block", &[("name", "b1".into()), ("on", "t".into())])),
+                    add(3, hand.clone()),
+                ],
+                vec![del(3, hand)],
+                vec![add(4, Wme::new("hand", &[("state", "free".into())]))],
+            ],
+        );
+    }
+
+    #[test]
+    fn self_join_no_duplicates() {
+        agree(
+            "(p selfj (node ^id <x>) (node ^id <x>) --> (remove 1))",
+            &[
+                vec![add(1, Wme::new("node", &[("id", 1.into())]))],
+                vec![add(2, Wme::new("node", &[("id", 1.into())]))],
+                vec![del(1, Wme::new("node", &[("id", 1.into())]))],
+            ],
+        );
+    }
+
+    #[test]
+    fn negation_block_and_unblock() {
+        let edge = Wme::new("edge", &[("to", 7.into())]);
+        agree(
+            "(p lonely (node ^id <n>) -(edge ^to <n>) --> (remove 1))",
+            &[
+                vec![add(1, Wme::new("node", &[("id", 7.into())]))],
+                vec![add(2, edge.clone())],
+                vec![del(2, edge)],
+            ],
+        );
+    }
+
+    #[test]
+    fn cross_product_counts() {
+        let prog = parse_program(
+            "(p cross (a ^v <x>) (b ^w <y>) --> (remove 1))",
+        )
+        .unwrap();
+        let mut treat = TreatMatcher::new(&prog);
+        let mut changes = Vec::new();
+        for i in 0..4 {
+            changes.push(add(1 + i, Wme::new("a", &[("v", (i as i64).into())])));
+        }
+        for i in 0..5 {
+            changes.push(add(10 + i, Wme::new("b", &[("w", (i as i64).into())])));
+        }
+        treat.process(&changes);
+        assert_eq!(treat.conflict_set().len(), 20);
+    }
+
+    #[test]
+    fn batch_of_adds_equivalent_to_singles() {
+        let prog = parse_program("(p j (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
+        let mut together = TreatMatcher::new(&prog);
+        let mut one_by_one = TreatMatcher::new(&prog);
+        let changes = vec![
+            add(1, Wme::new("a", &[("v", 1.into())])),
+            add(2, Wme::new("b", &[("v", 1.into())])),
+            add(3, Wme::new("a", &[("v", 1.into())])),
+        ];
+        together.process(&changes);
+        for c in &changes {
+            one_by_one.process(std::slice::from_ref(c));
+        }
+        assert_eq!(together.conflict_set(), one_by_one.conflict_set());
+        assert_eq!(together.conflict_set().len(), 2);
+    }
+
+    #[test]
+    fn modify_heavy_sequence_agrees_with_naive() {
+        // The multiple-modify pattern: repeated delete+add of the same
+        // logical WME (fresh ids), where TREAT's cheap deletion shines.
+        let mut batches = Vec::new();
+        batches.push(vec![
+            add(1, Wme::new("counter", &[("v", 0.into())])),
+            add(2, Wme::new("watch", &[("on", "yes".into())])),
+        ]);
+        let mut live = 1u64;
+        for (next, step) in (3u64..).zip(1i64..6) {
+            batches.push(vec![
+                del(live, Wme::new("counter", &[("v", (step - 1).into())])),
+                add(next, Wme::new("counter", &[("v", step.into())])),
+            ]);
+            live = next;
+        }
+        agree(
+            "(p watch (watch ^on yes) (counter ^v <v>) --> (remove 2))",
+            &batches,
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Attribute values: symbols and integers.
+//!
+//! OPS5 values are symbols or numbers. We restrict numbers to `i64` so that
+//! [`Value`] is `Eq + Hash` — a requirement for the hashed token memories at
+//! the heart of the paper's mapping (tokens hash on the *values* bound to
+//! equality-tested variables).
+
+use crate::symbol::{intern, Symbol};
+use std::fmt;
+
+/// A working-memory attribute value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A symbolic constant (interned).
+    Sym(Symbol),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Value {
+    /// Build a symbolic value from a string.
+    pub fn sym(s: &str) -> Self {
+        Value::Sym(intern(s))
+    }
+
+    /// The integer payload, if this value is numeric.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// The symbol payload, if this value is symbolic.
+    pub fn as_sym(self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// A stable 64-bit fingerprint, used by the distributed hash table to
+    /// mix bound values into bucket indices. Symbols and integers occupy
+    /// disjoint tag spaces so `Sym(x)` never collides with `Int(x)`.
+    pub fn fingerprint(self) -> u64 {
+        match self {
+            Value::Sym(s) => 0x5349_0000_0000_0000 ^ u64::from(s.index()),
+            Value::Int(i) => 0x494e_0000_0000_0000 ^ (i as u64).rotate_left(17),
+        }
+    }
+
+    /// OPS5 ordered comparison. Integers compare numerically; symbols
+    /// compare by string; a symbol and an integer are ordered with all
+    /// integers first (OPS5 leaves this unspecified — we pick a total
+    /// order so conflict resolution stays deterministic).
+    pub fn ops_cmp(self, other: Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(&b),
+            (Value::Sym(a), Value::Sym(b)) => a.as_str().cmp(b.as_str()),
+            (Value::Int(_), Value::Sym(_)) => Ordering::Less,
+            (Value::Sym(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::sym(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn sym_and_int_never_equal() {
+        assert_ne!(Value::sym("1"), Value::Int(1));
+    }
+
+    #[test]
+    fn fingerprints_disjoint_by_tag() {
+        // An Int can never fingerprint-collide with a Sym of the same raw payload.
+        let s = Value::sym("x");
+        let i = Value::Int(i64::from(s.as_sym().unwrap().index()));
+        assert_ne!(s.fingerprint(), i.fingerprint());
+    }
+
+    #[test]
+    fn ops_cmp_orders_ints_numerically() {
+        assert_eq!(Value::Int(-3).ops_cmp(Value::Int(7)), Ordering::Less);
+        assert_eq!(Value::Int(7).ops_cmp(Value::Int(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn ops_cmp_orders_syms_lexically() {
+        assert_eq!(Value::sym("apple").ops_cmp(Value::sym("zebra")), Ordering::Less);
+    }
+
+    #[test]
+    fn ops_cmp_ints_before_syms() {
+        assert_eq!(Value::Int(999).ops_cmp(Value::sym("a")), Ordering::Less);
+        assert_eq!(Value::sym("a").ops_cmp(Value::Int(999)), Ordering::Greater);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i32), Value::Int(4));
+        assert_eq!(Value::from("blue"), Value::sym("blue"));
+        assert_eq!(Value::from(crate::intern("x")), Value::sym("x"));
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::sym("s").as_int(), None);
+        assert_eq!(Value::sym("s").as_sym(), Some(crate::intern("s")));
+        assert_eq!(Value::Int(5).as_sym(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::sym("free").to_string(), "free");
+    }
+}

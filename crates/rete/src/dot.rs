@@ -1,0 +1,163 @@
+//! Graphviz export of compiled Rete networks.
+//!
+//! `ReteNetwork::to_dot()` renders the data-flow network in the style of
+//! the paper's Figure 2-2: constant-test (alpha) nodes at the top,
+//! two-input nodes below with their left/right inputs labelled, and
+//! production nodes at the bottom. Feed the output to `dot -Tsvg` to
+//! inspect sharing, unsharing, and copy-and-constraint structurally.
+
+use crate::network::{AlphaSucc, LeftSource, NodeKind, ReteNetwork, Side, Succ};
+use std::fmt::Write;
+
+impl ReteNetwork {
+    /// Render the network as a Graphviz `digraph`.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "digraph rete {{").unwrap();
+        writeln!(out, "  rankdir=TB;").unwrap();
+        writeln!(out, "  node [fontname=\"monospace\"];").unwrap();
+        for (id, node) in self.iter() {
+            match node {
+                NodeKind::Alpha(a) => {
+                    let mut label = format!("{}\\nclass {}", id, a.class);
+                    for t in &a.const_tests {
+                        write!(label, "\\n^{} {} {}", t.attr, t.pred, t.value).unwrap();
+                    }
+                    for (attr, vals) in &a.disj_tests {
+                        let opts: Vec<String> = vals.iter().map(ToString::to_string).collect();
+                        write!(label, "\\n^{} << {} >>", attr, opts.join(" ")).unwrap();
+                    }
+                    writeln!(
+                        out,
+                        "  n{} [shape=ellipse, label=\"{}\"];",
+                        id.0, label
+                    )
+                    .unwrap();
+                    for succ in &a.successors {
+                        match *succ {
+                            AlphaSucc::TwoInput(t, Side::Left) => writeln!(
+                                out,
+                                "  n{} -> n{} [label=\"L (seed)\"];",
+                                id.0, t.0
+                            )
+                            .unwrap(),
+                            AlphaSucc::TwoInput(t, Side::Right) => {
+                                writeln!(out, "  n{} -> n{} [label=\"R\"];", id.0, t.0).unwrap()
+                            }
+                            AlphaSucc::Production(p) => {
+                                writeln!(out, "  n{} -> n{};", id.0, p.0).unwrap()
+                            }
+                        }
+                    }
+                }
+                NodeKind::TwoInput(j) => {
+                    let kind = if j.negative { "NOT" } else { "AND" };
+                    let eqs: Vec<String> = j
+                        .spec
+                        .eq_checks
+                        .iter()
+                        .map(|(v, a)| format!("<{v}>=^{a}"))
+                        .collect();
+                    let label = if eqs.is_empty() {
+                        format!("{}\\n{} (no eq tests)", id, kind)
+                    } else {
+                        format!("{}\\n{} {}", id, kind, eqs.join(", "))
+                    };
+                    writeln!(out, "  n{} [shape=box, label=\"{}\"];", id.0, label).unwrap();
+                    // Beta input edge (alpha edges come from the alpha side).
+                    if let LeftSource::Beta(b) = j.left_src {
+                        writeln!(out, "  n{} -> n{} [label=\"L\"];", b.0, id.0).unwrap();
+                    }
+                    for succ in &j.successors {
+                        if let Succ::Production(p) = succ {
+                            writeln!(out, "  n{} -> n{};", id.0, p.0).unwrap();
+                        }
+                        // TwoInput successors drawn by the successor's own
+                        // left_src edge above.
+                    }
+                }
+                NodeKind::Production(p) => {
+                    writeln!(
+                        out,
+                        "  n{} [shape=doubleoctagon, label=\"{}\\n{}\"];",
+                        id.0, id, p.production
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        writeln!(out, "}}").unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::parse_program;
+
+    fn net(src: &str) -> ReteNetwork {
+        ReteNetwork::compile(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_node() {
+        let n = net(
+            r#"
+            (p a (goal ^id <g>) (task ^goal <g>) -(busy) --> (remove 1))
+            "#,
+        );
+        let dot = n.to_dot();
+        assert!(dot.starts_with("digraph rete {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for (id, _) in n.iter() {
+            assert!(
+                dot.contains(&format!("n{} [", id.0)),
+                "node {id} missing from dot output"
+            );
+        }
+        assert!(dot.contains("NOT"), "negative node marked");
+        assert!(dot.contains("AND <g>=^goal"), "join test labelled");
+    }
+
+    #[test]
+    fn cross_product_join_is_called_out() {
+        let n = net("(p x (a ^v <p>) (b ^w <q>) --> (remove 1))");
+        assert!(n.to_dot().contains("no eq tests"));
+    }
+
+    #[test]
+    fn seed_edges_labelled() {
+        let n = net("(p x (a ^v <p>) (b ^v <p>) --> (remove 1))");
+        let dot = n.to_dot();
+        assert!(dot.contains("L (seed)"));
+        assert!(dot.contains("[label=\"R\"]"));
+    }
+
+    #[test]
+    fn edge_count_matches_structure() {
+        // Two 2-CE productions share only the g alpha (their t alphas and
+        // hence their joins differ): 2 seed edges + 2 R edges + 2
+        // production edges.
+        let n = net(
+            r#"
+            (p a (g ^id <i>) (t ^id <i> ^k 1) --> (remove 1))
+            (p b (g ^id <i>) (t ^id <i> ^k 2) --> (remove 1))
+            "#,
+        );
+        let dot = n.to_dot();
+        assert_eq!(dot.matches(" -> ").count(), 6, "{dot}");
+        // A genuinely shared prefix adds beta edges instead:
+        // g⋈t shared, then two second-level joins and two productions.
+        let shared = net(
+            r#"
+            (p a (g ^id <i>) (t ^id <i>) (u ^k 1) --> (remove 1))
+            (p b (g ^id <i>) (t ^id <i>) (u ^k 2) --> (remove 1))
+            "#,
+        );
+        let dot = shared.to_dot();
+        // 1 seed + 1 R (t) + 2 beta (shared join -> each 2nd join) +
+        // 2 R (u alphas) + 2 production edges = 8.
+        assert_eq!(dot.matches(" -> ").count(), 8, "{dot}");
+    }
+}

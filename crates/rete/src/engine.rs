@@ -1,0 +1,547 @@
+//! The sequential Rete match engine over hashed memories.
+//!
+//! [`ReteMatcher`] implements [`mpps_ops::Matcher`] by draining a FIFO of
+//! [`kernel::Work`] items — the same unit of work the paper's mapping
+//! distributes across processors — which makes the recorded [`Trace`] a
+//! faithful serial schedule of the parallel computation (parents always
+//! precede children).
+
+use crate::kernel::{self, Work};
+use crate::memory::GlobalMemories;
+use crate::network::{NodeId, ReteNetwork, Side};
+use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
+use mpps_ops::{
+    sort_conflict_set, Instantiation, Matcher, ProductionId, Sign, WmeChange, WmeId,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Engine configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EngineConfig {
+    /// Number of buckets in each global hash table — the hash-index range
+    /// the distributed mapping partitions across processors.
+    pub table_size: u64,
+    /// Record an activation trace while matching.
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            table_size: 2048,
+            record_trace: false,
+        }
+    }
+}
+
+/// The sequential hashed-memory Rete matcher.
+pub struct ReteMatcher {
+    network: ReteNetwork,
+    memories: GlobalMemories,
+    conflict: HashMap<(ProductionId, Vec<WmeId>), (Instantiation, i64)>,
+    config: EngineConfig,
+    trace: Option<Trace>,
+}
+
+impl ReteMatcher {
+    /// Build a matcher over an already-compiled network.
+    pub fn new(network: ReteNetwork, config: EngineConfig) -> Self {
+        let trace = config.record_trace.then(|| Trace::new(config.table_size));
+        ReteMatcher {
+            memories: GlobalMemories::new(config.table_size),
+            network,
+            conflict: HashMap::new(),
+            config,
+            trace,
+        }
+    }
+
+    /// Compile `program` and build a matcher with default options.
+    pub fn from_program(program: &mpps_ops::Program) -> Result<Self, mpps_ops::OpsError> {
+        Ok(Self::new(
+            ReteNetwork::compile(program)?,
+            EngineConfig::default(),
+        ))
+    }
+
+    /// The compiled network.
+    pub fn network(&self) -> &ReteNetwork {
+        &self.network
+    }
+
+    /// The global memories (diagnostics).
+    pub fn memories(&self) -> &GlobalMemories {
+        &self.memories
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Take ownership of the recorded trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace
+            .as_mut()
+            .map(|t| std::mem::replace(t, Trace::new(t.table_size)))
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    fn record(
+        &mut self,
+        node: NodeId,
+        side: Side,
+        sign: Sign,
+        bucket: u64,
+        parent: Option<u32>,
+        kind: ActKind,
+    ) -> Option<u32> {
+        let trace = self.trace.as_mut()?;
+        let cycle = trace.cycles.last_mut().expect("cycle started in process()");
+        cycle.activations.push(ActivationRecord {
+            node,
+            side,
+            sign,
+            bucket,
+            parent,
+            kind,
+        });
+        Some((cycle.activations.len() - 1) as u32)
+    }
+
+    /// Apply a `Prod` work item to the conflict set.
+    fn apply_production(
+        &mut self,
+        production: ProductionId,
+        sign: Sign,
+        token: &crate::token::BetaToken,
+    ) {
+        let key = (production, token.wme_ids.clone());
+        match sign {
+            Sign::Plus => {
+                let entry = self.conflict.entry(key).or_insert_with(|| {
+                    (
+                        Instantiation {
+                            production,
+                            wme_ids: token.wme_ids.clone(),
+                            bindings: token.bindings.to_map(),
+                        },
+                        0,
+                    )
+                });
+                entry.1 += 1;
+                debug_assert!(entry.1 <= 1, "duplicate instantiation derivation");
+            }
+            Sign::Minus => {
+                let count = {
+                    let entry = self
+                        .conflict
+                        .get_mut(&key)
+                        .expect("retracting unknown instantiation");
+                    entry.1 -= 1;
+                    entry.1
+                };
+                debug_assert!(count >= 0, "instantiation count underflow");
+                if count <= 0 {
+                    self.conflict.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+impl Matcher for ReteMatcher {
+    fn process(&mut self, changes: &[WmeChange]) {
+        if let Some(t) = self.trace.as_mut() {
+            t.cycles.push(TraceCycle::default());
+        }
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::new();
+                changes.iter().all(|c| seen.insert(c.id))
+            },
+            "a batch must mention each WmeId at most once"
+        );
+        let mut queue: VecDeque<(Work, Option<u32>)> = VecDeque::new();
+        for change in changes {
+            for work in kernel::alpha_roots(&self.network, change) {
+                queue.push_back((work, None));
+            }
+        }
+        while let Some((work, parent)) = queue.pop_front() {
+            match work {
+                Work::Prod {
+                    node,
+                    production,
+                    sign,
+                    token,
+                } => {
+                    self.record(node, Side::Left, sign, 0, parent, ActKind::Production);
+                    self.apply_production(production, sign, &token);
+                }
+                ref w @ (Work::Left { .. } | Work::Right { .. }) => {
+                    let (node, side, sign) = match w {
+                        Work::Left { node, sign, .. } => (*node, Side::Left, *sign),
+                        Work::Right { node, sign, .. } => (*node, Side::Right, *sign),
+                        Work::Prod { .. } => unreachable!(),
+                    };
+                    let (bucket, outputs) = kernel::activate(&self.network, &mut self.memories, w);
+                    let act = self.record(node, side, sign, bucket, parent, ActKind::TwoInput);
+                    for out in outputs {
+                        queue.push_back((out, act));
+                    }
+                }
+            }
+        }
+    }
+
+    fn conflict_set(&self) -> Vec<Instantiation> {
+        let mut out: Vec<Instantiation> = self
+            .conflict
+            .values()
+            .filter(|(_, count)| *count > 0)
+            .map(|(inst, _)| inst.clone())
+            .collect();
+        sort_conflict_set(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ReteNetwork;
+    use mpps_ops::{parse_program, NaiveMatcher, Value, Wme};
+
+    fn add(id: u64, wme: Wme) -> WmeChange {
+        WmeChange::add(WmeId(id), wme)
+    }
+
+    fn del(id: u64, wme: Wme) -> WmeChange {
+        WmeChange::remove(WmeId(id), wme)
+    }
+
+    fn matcher(src: &str) -> ReteMatcher {
+        ReteMatcher::from_program(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn traced(src: &str) -> ReteMatcher {
+        let program = parse_program(src).unwrap();
+        ReteMatcher::new(
+            ReteNetwork::compile(&program).unwrap(),
+            EngineConfig {
+                table_size: 64,
+                record_trace: true,
+            },
+        )
+    }
+
+    const BLUE: &str = r#"
+        (p clear-the-blue-block
+           (block ^name <b2> ^color blue)
+           (block ^name <b2> ^on <b1>)
+           (hand ^state free)
+           -->
+           (remove 2))
+    "#;
+
+    fn blue_wmes() -> Vec<WmeChange> {
+        vec![
+            add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
+            add(2, Wme::new("block", &[("name", "b1".into()), ("on", "table".into())])),
+            add(3, Wme::new("hand", &[("state", "free".into())])),
+        ]
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        let mut m = matcher(BLUE);
+        m.process(&blue_wmes());
+        let cs = m.conflict_set();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].wme_ids, vec![WmeId(1), WmeId(2), WmeId(3)]);
+        assert_eq!(
+            cs[0].bindings[&mpps_ops::intern("b1")],
+            Value::sym("table")
+        );
+    }
+
+    #[test]
+    fn agrees_with_naive_on_paper_example() {
+        let prog = parse_program(BLUE).unwrap();
+        let mut rete = ReteMatcher::from_program(&prog).unwrap();
+        let mut naive = NaiveMatcher::new(prog);
+        rete.process(&blue_wmes());
+        naive.process(&blue_wmes());
+        assert_eq!(rete.conflict_set(), naive.conflict_set());
+    }
+
+    #[test]
+    fn deletion_retracts() {
+        let mut m = matcher(BLUE);
+        let wmes = blue_wmes();
+        m.process(&wmes);
+        assert_eq!(m.conflict_set().len(), 1);
+        m.process(&[del(3, wmes[2].wme.clone())]);
+        assert!(m.conflict_set().is_empty());
+        // Memories for the hand WME are gone too.
+        m.process(&[add(4, Wme::new("hand", &[("state", "free".into())]))]);
+        assert_eq!(m.conflict_set().len(), 1);
+        assert_eq!(m.conflict_set()[0].wme_ids, vec![WmeId(1), WmeId(2), WmeId(4)]);
+    }
+
+    #[test]
+    fn incremental_addition_across_cycles() {
+        let mut m = matcher(BLUE);
+        let wmes = blue_wmes();
+        m.process(&wmes[0..1]);
+        assert!(m.conflict_set().is_empty());
+        m.process(&wmes[1..2]);
+        assert!(m.conflict_set().is_empty());
+        m.process(&wmes[2..3]);
+        assert_eq!(m.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn negative_node_blocks_and_unblocks() {
+        let mut m = matcher(
+            r#"
+            (p no-busy
+               (block ^name <b>)
+               -(hand ^holds <b>)
+               -->
+               (remove 1))
+            "#,
+        );
+        m.process(&[add(1, Wme::new("block", &[("name", "b1".into())]))]);
+        assert_eq!(m.conflict_set().len(), 1);
+        // Blocking WME appears: instantiation retracted.
+        let hand = Wme::new("hand", &[("holds", "b1".into())]);
+        m.process(&[add(2, hand.clone())]);
+        assert!(m.conflict_set().is_empty());
+        // Blocking WME leaves: instantiation re-asserted.
+        m.process(&[del(2, hand)]);
+        assert_eq!(m.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn negative_node_count_tracks_multiple_blockers() {
+        let mut m = matcher(
+            r#"
+            (p lonely
+               (node ^id <n>)
+               -(edge ^to <n>)
+               -->
+               (remove 1))
+            "#,
+        );
+        m.process(&[add(1, Wme::new("node", &[("id", 7.into())]))]);
+        assert_eq!(m.conflict_set().len(), 1);
+        let e1 = Wme::new("edge", &[("to", 7.into())]);
+        let e2 = Wme::new("edge", &[("to", 7.into()), ("w", 2.into())]);
+        m.process(&[add(2, e1.clone()), add(3, e2.clone())]);
+        assert!(m.conflict_set().is_empty());
+        // Removing only one blocker keeps the instantiation blocked.
+        m.process(&[del(2, e1)]);
+        assert!(m.conflict_set().is_empty());
+        m.process(&[del(3, e2)]);
+        assert_eq!(m.conflict_set().len(), 1);
+    }
+
+    #[test]
+    fn self_join_produces_single_instantiation() {
+        let mut m = matcher("(p selfj (node ^id <x>) (node ^id <x>) --> (remove 1))");
+        m.process(&[add(1, Wme::new("node", &[("id", 1.into())]))]);
+        assert_eq!(m.conflict_set().len(), 1);
+        m.process(&[del(1, Wme::new("node", &[("id", 1.into())]))]);
+        assert!(m.conflict_set().is_empty());
+    }
+
+    #[test]
+    fn cross_product_generates_all_pairs() {
+        let mut m = matcher(
+            r#"
+            (p cross (team ^side left ^name <a>) (team ^side right ^name <b>) --> (remove 1))
+            "#,
+        );
+        let mut changes = Vec::new();
+        let mut id = 0;
+        for i in 0..5 {
+            id += 1;
+            changes.push(add(
+                id,
+                Wme::new("team", &[("side", "left".into()), ("name", i.into())]),
+            ));
+        }
+        for i in 0..6 {
+            id += 1;
+            changes.push(add(
+                id,
+                Wme::new("team", &[("side", "right".into()), ("name", (100 + i).into())]),
+            ));
+        }
+        m.process(&changes);
+        assert_eq!(m.conflict_set().len(), 30);
+    }
+
+    #[test]
+    fn trace_records_left_and_right_activations() {
+        let mut m = traced(BLUE);
+        m.process(&blue_wmes());
+        let trace = m.trace().unwrap();
+        assert_eq!(trace.cycles.len(), 1);
+        let stats = trace.stats();
+        // block+color-blue WME seeds J1 left; block+on WME right-activates
+        // J1; hand WME right-activates J2; J1's output left-activates J2;
+        // final token reaches the production node.
+        assert_eq!(stats.left, 2);
+        assert_eq!(stats.right, 2);
+        assert_eq!(stats.instantiations, 1);
+    }
+
+    #[test]
+    fn trace_parent_links_form_valid_forest() {
+        let mut m = traced(BLUE);
+        m.process(&blue_wmes());
+        let trace = m.trace().unwrap();
+        for cycle in &trace.cycles {
+            for (i, a) in cycle.activations.iter().enumerate() {
+                if let Some(p) = a.parent {
+                    assert!((p as usize) < i, "parent precedes child");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_bucket_consistency_between_sides() {
+        // The left and right activations that meet at a node with equal
+        // join values must report the same bucket index.
+        let mut m = traced(
+            "(p j (a ^v <x>) (b ^v <x>) --> (remove 1))",
+        );
+        m.process(&[
+            add(1, Wme::new("a", &[("v", 42.into())])),
+            add(2, Wme::new("b", &[("v", 42.into())])),
+        ]);
+        let trace = m.trace().unwrap();
+        let acts = &trace.cycles[0].activations;
+        let left = acts
+            .iter()
+            .find(|a| a.side == Side::Left && a.kind == ActKind::TwoInput)
+            .unwrap();
+        let right = acts.iter().find(|a| a.side == Side::Right).unwrap();
+        assert_eq!(left.bucket, right.bucket);
+        assert_eq!(left.node, right.node);
+    }
+
+    #[test]
+    fn take_trace_resets() {
+        let mut m = traced(BLUE);
+        m.process(&blue_wmes());
+        let t = m.take_trace().unwrap();
+        assert_eq!(t.cycles.len(), 1);
+        assert_eq!(m.trace().unwrap().cycles.len(), 0);
+    }
+
+    #[test]
+    fn variable_pred_join_test() {
+        let mut m = matcher(
+            r#"
+            (p bigger
+               (box ^size <s>)
+               (lid ^size > <s> ^for <f>)
+               -->
+               (remove 1))
+            "#,
+        );
+        m.process(&[
+            add(1, Wme::new("box", &[("size", 5.into())])),
+            add(2, Wme::new("lid", &[("size", 7.into()), ("for", "x".into())])),
+            add(3, Wme::new("lid", &[("size", 3.into()), ("for", "y".into())])),
+        ]);
+        let cs = m.conflict_set();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].wme_ids, vec![WmeId(1), WmeId(2)]);
+    }
+
+    #[test]
+    fn memories_empty_after_full_retraction() {
+        let mut m = matcher(BLUE);
+        let wmes = blue_wmes();
+        m.process(&wmes);
+        assert!(m.memories().left_len() > 0);
+        let dels: Vec<WmeChange> = wmes
+            .iter()
+            .map(|c| del(c.id.0, c.wme.clone()))
+            .collect();
+        m.process(&dels);
+        assert_eq!(m.memories().left_len(), 0);
+        assert_eq!(m.memories().right_len(), 0);
+        assert!(m.conflict_set().is_empty());
+    }
+
+    #[test]
+    fn shared_join_feeds_both_productions() {
+        let mut m = matcher(
+            r#"
+            (p a (goal ^id <g>) (task ^goal <g> ^hard yes) --> (remove 1))
+            (p b (goal ^id <g>) (task ^goal <g> ^hard no) --> (remove 1))
+            "#,
+        );
+        m.process(&[
+            add(1, Wme::new("goal", &[("id", 1.into())])),
+            add(2, Wme::new("task", &[("goal", 1.into()), ("hard", "yes".into())])),
+            add(3, Wme::new("task", &[("goal", 1.into()), ("hard", "no".into())])),
+        ]);
+        let cs = m.conflict_set();
+        assert_eq!(cs.len(), 2);
+        assert_ne!(cs[0].production, cs[1].production);
+    }
+}
+
+#[cfg(test)]
+mod disjunction_tests {
+    use super::*;
+    use mpps_ops::{parse_program, NaiveMatcher, Wme};
+
+    #[test]
+    fn disjunction_filters_at_alpha_and_agrees_with_naive() {
+        let prog = parse_program(
+            r#"
+            (p warm (block ^color << red orange yellow >> ^name <n>)
+               --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let mut rete = ReteMatcher::from_program(&prog).unwrap();
+        let mut naive = NaiveMatcher::new(prog);
+        let changes = vec![
+            WmeChange::add(WmeId(1), Wme::new("block", &[("color", "red".into()), ("name", "a".into())])),
+            WmeChange::add(WmeId(2), Wme::new("block", &[("color", "blue".into()), ("name", "b".into())])),
+            WmeChange::add(WmeId(3), Wme::new("block", &[("color", "yellow".into()), ("name", "c".into())])),
+        ];
+        rete.process(&changes);
+        naive.process(&changes);
+        assert_eq!(rete.conflict_set(), naive.conflict_set());
+        assert_eq!(rete.conflict_set().len(), 2);
+    }
+
+    #[test]
+    fn disjunction_participates_in_alpha_sharing() {
+        let prog = parse_program(
+            r#"
+            (p a (block ^color << red blue >>) (x) --> (remove 1))
+            (p b (block ^color << blue red >>) (y) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let net = crate::network::ReteNetwork::compile(&prog).unwrap();
+        // Canonical disjunctions: both rules share one block alpha node.
+        assert_eq!(net.stats().alpha, 3);
+    }
+}

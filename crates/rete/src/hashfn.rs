@@ -1,0 +1,125 @@
+//! The token hash function of §3 of the paper.
+//!
+//! > "The hash function applied to the tokens uses (as parameters) the
+//! > *node-id* of the destination two-input node, and the *values* bound to
+//! > the variables that are tested for equality at the destination node."
+//!
+//! Consequences the experiments rely on:
+//!
+//! * left tokens and right WMEs carrying the same equality-test values for
+//!   the same node land in the **same bucket index** (the left entry in the
+//!   left table, the right entry in the right table), so a node activation
+//!   touches exactly one index;
+//! * a join with **no** equality-tested variable (the Tourney cross-product)
+//!   maps *all* of its tokens to a single bucket — the pathology §5.2.2
+//!   analyzes;
+//! * distinct node ids decorrelate bucket choices, which is why
+//!   copy-and-constraint (new productions ⇒ new node ids) restores
+//!   discrimination.
+//!
+//! The mix is a fixed splitmix64 chain — deterministic across runs and
+//! platforms, so traces and simulations are exactly reproducible.
+
+use crate::network::NodeId;
+use mpps_ops::Value;
+
+/// splitmix64 finalizer: a well-distributed, invertible 64-bit mix.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Raw 64-bit hash of `(node, values)`.
+pub fn token_hash(node: NodeId, values: impl IntoIterator<Item = Value>) -> u64 {
+    let mut h = mix(0x6d70_7073 ^ u64::from(node.0));
+    for v in values {
+        h = mix(h ^ v.fingerprint());
+    }
+    h
+}
+
+/// Bucket index in a table of `table_size` buckets.
+///
+/// `table_size` is the *global* hash-index range that the mapping
+/// partitions across match processors.
+pub fn bucket_index(
+    node: NodeId,
+    values: impl IntoIterator<Item = Value>,
+    table_size: u64,
+) -> u64 {
+    assert!(table_size > 0, "hash table must have at least one bucket");
+    token_hash(node, values) % table_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let vs = [Value::Int(1), Value::sym("a")];
+        assert_eq!(
+            token_hash(NodeId(7), vs.iter().copied()),
+            token_hash(NodeId(7), vs.iter().copied())
+        );
+    }
+
+    #[test]
+    fn node_id_matters() {
+        let vs = [Value::Int(1)];
+        assert_ne!(
+            token_hash(NodeId(1), vs.iter().copied()),
+            token_hash(NodeId(2), vs.iter().copied())
+        );
+    }
+
+    #[test]
+    fn values_matter_and_order_matters() {
+        // The compiler emits equality tests in a fixed order per node, so
+        // order sensitivity is fine (both sides use the same order).
+        let a = token_hash(NodeId(1), [Value::Int(1), Value::Int(2)]);
+        let b = token_hash(NodeId(1), [Value::Int(2), Value::Int(1)]);
+        let c = token_hash(NodeId(1), [Value::Int(1), Value::Int(2)]);
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_values_means_single_bucket_per_node() {
+        // The cross-product pathology: every token of the node hashes alike.
+        let empty: [Value; 0] = [];
+        let a = bucket_index(NodeId(9), empty, 64);
+        let b = bucket_index(NodeId(9), [], 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucket_index_in_range() {
+        for n in 0..100u32 {
+            let idx = bucket_index(NodeId(n), [Value::Int(i64::from(n))], 17);
+            assert!(idx < 17);
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // 4096 tokens into 64 buckets: no bucket should be empty and none
+        // should hold more than 4x the mean for a decent mix.
+        let mut counts = [0u32; 64];
+        for i in 0..4096i64 {
+            let idx = bucket_index(NodeId(3), [Value::Int(i)], 64) as usize;
+            counts[idx] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        assert!(counts.iter().all(|&c| c < 256));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_table_size_panics() {
+        bucket_index(NodeId(0), [], 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The activation kernel: pure two-input-node state transitions.
+//!
+//! Both the sequential engine ([`crate::ReteMatcher`]) and the distributed
+//! executors in `mpps-core` perform the *same* micro-task when a token
+//! reaches a node: update the owned hash bucket, probe the opposite bucket,
+//! and emit successor tokens. This module is that micro-task, factored out
+//! so every executor shares one source of truth for match semantics.
+//!
+//! Functions here mutate a [`GlobalMemories`] and return the generated
+//! outputs; they never queue, send, or record — the caller decides whether
+//! an output becomes a local queue entry (sequential engine), a simulated
+//! message (trace-driven simulator), or a crossbeam-channel send (threaded
+//! executor).
+
+use crate::hashfn::bucket_index;
+use crate::memory::{GlobalMemories, LeftEntry, RightEntry};
+use crate::network::{AlphaSucc, NodeId, NodeKind, ReteNetwork, Side, Succ};
+use crate::token::{BetaToken, Bindings};
+use mpps_ops::{ProductionId, Sign, Symbol, Wme, WmeChange, WmeId};
+use std::sync::Arc;
+
+/// A unit of match work: one pending node activation.
+#[derive(Clone, Debug)]
+pub enum Work {
+    /// A WME arriving on a node's right input.
+    Right {
+        /// Target two-input node.
+        node: NodeId,
+        /// Polarity.
+        sign: Sign,
+        /// The WME's time tag.
+        wme_id: WmeId,
+        /// The WME.
+        wme: Arc<Wme>,
+    },
+    /// A beta token arriving on a node's left input.
+    Left {
+        /// Target two-input node.
+        node: NodeId,
+        /// Polarity.
+        sign: Sign,
+        /// The token.
+        token: BetaToken,
+    },
+    /// A complete token arriving at a production node.
+    Prod {
+        /// The production node.
+        node: NodeId,
+        /// The satisfied production.
+        production: ProductionId,
+        /// Polarity.
+        sign: Sign,
+        /// The instantiation token.
+        token: BetaToken,
+    },
+}
+
+impl Work {
+    /// The hash bucket this work operates on, under `table_size` buckets.
+    /// Production work has no bucket (instantiations go to the control
+    /// processor); it reports bucket 0.
+    pub fn bucket(&self, net: &ReteNetwork, table_size: u64) -> u64 {
+        match self {
+            Work::Right { node, wme, .. } => {
+                let spec = &net.join(*node).spec;
+                bucket_index(*node, spec.right_hash_values(wme).collect::<Vec<_>>(), table_size)
+            }
+            Work::Left { node, token, .. } => {
+                let spec = &net.join(*node).spec;
+                bucket_index(
+                    *node,
+                    spec.left_hash_values(&token.bindings).collect::<Vec<_>>(),
+                    table_size,
+                )
+            }
+            Work::Prod { .. } => 0,
+        }
+    }
+}
+
+/// Build the seed token for a first-CE WME.
+pub fn seed_token(wme_id: WmeId, wme: &Wme, seed_binds: &[(Symbol, Symbol)]) -> BetaToken {
+    let bindings: Bindings = seed_binds
+        .iter()
+        .map(|&(var, attr)| (var, wme.get(attr).expect("alpha guaranteed presence")))
+        .collect();
+    BetaToken::seed(wme_id, bindings)
+}
+
+/// The constant-test phase for one WME change: evaluate every alpha node of
+/// the WME's class and produce the root activations (§3.2 step 2 — the
+/// work every match processor duplicates).
+pub fn alpha_roots(net: &ReteNetwork, change: &WmeChange) -> Vec<Work> {
+    let wme = Arc::new(change.wme.clone());
+    let mut out = Vec::new();
+    for &alpha_id in net.alphas_for_class(wme.class()) {
+        let NodeKind::Alpha(alpha) = net.node(alpha_id) else {
+            unreachable!("class index points at alpha nodes");
+        };
+        if !alpha.matches(&wme) {
+            continue;
+        }
+        for succ in &alpha.successors {
+            match *succ {
+                AlphaSucc::TwoInput(node, Side::Right) => out.push(Work::Right {
+                    node,
+                    sign: change.sign,
+                    wme_id: change.id,
+                    wme: wme.clone(),
+                }),
+                AlphaSucc::TwoInput(node, Side::Left) => {
+                    let seed_binds = net
+                        .join(node)
+                        .seed_binds
+                        .as_ref()
+                        .expect("alpha-fed join has seed binds");
+                    out.push(Work::Left {
+                        node,
+                        sign: change.sign,
+                        token: seed_token(change.id, &wme, seed_binds),
+                    });
+                }
+                AlphaSucc::Production(node) => {
+                    let NodeKind::Production(p) = net.node(node) else {
+                        unreachable!();
+                    };
+                    let seed_binds = p
+                        .seed_binds
+                        .as_ref()
+                        .expect("alpha-fed production node has seed binds");
+                    out.push(Work::Prod {
+                        node,
+                        production: p.production,
+                        sign: change.sign,
+                        token: seed_token(change.id, &wme, seed_binds),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Wrap a generated token for each successor of `node`.
+fn fan_out(net: &ReteNetwork, node: NodeId, token: BetaToken, sign: Sign, out: &mut Vec<Work>) {
+    let join = net.join(node);
+    for succ in &join.successors {
+        match *succ {
+            Succ::TwoInput(next) => out.push(Work::Left {
+                node: next,
+                sign,
+                token: token.clone(),
+            }),
+            Succ::Production(pnode) => {
+                let NodeKind::Production(p) = net.node(pnode) else {
+                    unreachable!("production successor must be a production node");
+                };
+                out.push(Work::Prod {
+                    node: pnode,
+                    production: p.production,
+                    sign,
+                    token: token.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Process one activation against the memories; returns `(bucket,
+/// generated work)`. `Prod` work must not be passed here — it is terminal
+/// and handled by the conflict-set owner.
+pub fn activate(
+    net: &ReteNetwork,
+    mem: &mut GlobalMemories,
+    work: &Work,
+) -> (u64, Vec<Work>) {
+    let table_size = mem.table_size();
+    match work {
+        Work::Right {
+            node,
+            sign,
+            wme_id,
+            wme,
+        } => {
+            let node = *node;
+            let join = net.join(node);
+            let bucket = bucket_index(
+                node,
+                join.spec.right_hash_values(wme).collect::<Vec<_>>(),
+                table_size,
+            );
+            let mut out = Vec::new();
+            if join.negative {
+                match sign {
+                    Sign::Plus => mem.add_right(
+                        bucket,
+                        RightEntry {
+                            node,
+                            wme_id: *wme_id,
+                            wme: wme.clone(),
+                        },
+                    ),
+                    Sign::Minus => {
+                        let removed = mem.remove_right(bucket, node, *wme_id);
+                        debug_assert!(removed.is_some(), "deleting unknown right entry");
+                    }
+                }
+                let mut transitions = Vec::new();
+                for entry in mem.left_bucket_mut(bucket, node) {
+                    if join.spec.passes(&entry.token.bindings, wme) {
+                        match sign {
+                            Sign::Plus => {
+                                entry.neg_count += 1;
+                                if entry.neg_count == 1 {
+                                    transitions.push(entry.token.clone());
+                                }
+                            }
+                            Sign::Minus => {
+                                debug_assert!(entry.neg_count > 0, "negative count underflow");
+                                entry.neg_count -= 1;
+                                if entry.neg_count == 0 {
+                                    transitions.push(entry.token.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                let out_sign = sign.flipped();
+                for t in transitions {
+                    fan_out(net, node, t, out_sign, &mut out);
+                }
+            } else {
+                match sign {
+                    Sign::Plus => mem.add_right(
+                        bucket,
+                        RightEntry {
+                            node,
+                            wme_id: *wme_id,
+                            wme: wme.clone(),
+                        },
+                    ),
+                    Sign::Minus => {
+                        let removed = mem.remove_right(bucket, node, *wme_id);
+                        debug_assert!(removed.is_some(), "deleting unknown right entry");
+                    }
+                }
+                let binds = join.spec.extract_binds(wme);
+                let generated: Vec<BetaToken> = mem
+                    .left_bucket(bucket, node)
+                    .filter(|e| join.spec.passes(&e.token.bindings, wme))
+                    .map(|e| e.token.extended(*wme_id, &binds))
+                    .collect();
+                for t in generated {
+                    fan_out(net, node, t, *sign, &mut out);
+                }
+            }
+            (bucket, out)
+        }
+        Work::Left { node, sign, token } => {
+            let node = *node;
+            let join = net.join(node);
+            let bucket = bucket_index(
+                node,
+                join.spec
+                    .left_hash_values(&token.bindings)
+                    .collect::<Vec<_>>(),
+                table_size,
+            );
+            let mut out = Vec::new();
+            if join.negative {
+                match sign {
+                    Sign::Plus => {
+                        let count = mem
+                            .right_bucket(bucket, node)
+                            .filter(|e| join.spec.passes(&token.bindings, &e.wme))
+                            .count() as u32;
+                        mem.add_left(
+                            bucket,
+                            LeftEntry {
+                                node,
+                                token: token.clone(),
+                                neg_count: count,
+                            },
+                        );
+                        if count == 0 {
+                            fan_out(net, node, token.clone(), Sign::Plus, &mut out);
+                        }
+                    }
+                    Sign::Minus => {
+                        let entry = mem
+                            .remove_left(bucket, node, token)
+                            .expect("deleting unknown left entry at negative node");
+                        if entry.neg_count == 0 {
+                            fan_out(net, node, token.clone(), Sign::Minus, &mut out);
+                        }
+                    }
+                }
+            } else {
+                match sign {
+                    Sign::Plus => mem.add_left(
+                        bucket,
+                        LeftEntry {
+                            node,
+                            token: token.clone(),
+                            neg_count: 0,
+                        },
+                    ),
+                    Sign::Minus => {
+                        let removed = mem.remove_left(bucket, node, token);
+                        debug_assert!(removed.is_some(), "deleting unknown left entry");
+                    }
+                }
+                let generated: Vec<BetaToken> = mem
+                    .right_bucket(bucket, node)
+                    .filter(|e| join.spec.passes(&token.bindings, &e.wme))
+                    .map(|e| token.extended(e.wme_id, &join.spec.extract_binds(&e.wme)))
+                    .collect();
+                for t in generated {
+                    fan_out(net, node, t, *sign, &mut out);
+                }
+            }
+            (bucket, out)
+        }
+        Work::Prod { .. } => unreachable!("production work is terminal; apply it to the conflict set"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ReteNetwork;
+    use mpps_ops::parse_program;
+
+    #[test]
+    fn alpha_roots_produce_expected_sides() {
+        let prog = parse_program(
+            r#"
+            (p two (a ^v <x>) (b ^v <x>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let net = ReteNetwork::compile(&prog).unwrap();
+        let a = alpha_roots(
+            &net,
+            &WmeChange::add(WmeId(1), Wme::new("a", &[("v", 1.into())])),
+        );
+        assert_eq!(a.len(), 1);
+        assert!(matches!(a[0], Work::Left { .. }));
+        let b = alpha_roots(
+            &net,
+            &WmeChange::add(WmeId(2), Wme::new("b", &[("v", 1.into())])),
+        );
+        assert_eq!(b.len(), 1);
+        assert!(matches!(b[0], Work::Right { .. }));
+    }
+
+    #[test]
+    fn activate_join_generates_on_second_arrival() {
+        let prog = parse_program("(p two (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
+        let net = ReteNetwork::compile(&prog).unwrap();
+        let mut mem = GlobalMemories::new(64);
+        let left = alpha_roots(
+            &net,
+            &WmeChange::add(WmeId(1), Wme::new("a", &[("v", 5.into())])),
+        );
+        let (b1, out1) = activate(&net, &mut mem, &left[0]);
+        assert!(out1.is_empty(), "no partner yet");
+        let right = alpha_roots(
+            &net,
+            &WmeChange::add(WmeId(2), Wme::new("b", &[("v", 5.into())])),
+        );
+        let (b2, out2) = activate(&net, &mut mem, &right[0]);
+        assert_eq!(b1, b2, "equal join values share a bucket index");
+        assert_eq!(out2.len(), 1);
+        assert!(matches!(&out2[0], Work::Prod { token, .. }
+            if token.wme_ids == vec![WmeId(1), WmeId(2)]));
+    }
+
+    #[test]
+    fn work_bucket_matches_activate_bucket() {
+        let prog = parse_program("(p two (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
+        let net = ReteNetwork::compile(&prog).unwrap();
+        let mut mem = GlobalMemories::new(64);
+        let w = alpha_roots(
+            &net,
+            &WmeChange::add(WmeId(1), Wme::new("a", &[("v", 9.into())])),
+        )
+        .remove(0);
+        let predicted = w.bucket(&net, 64);
+        let (actual, _) = activate(&net, &mut mem, &w);
+        assert_eq!(predicted, actual);
+    }
+}

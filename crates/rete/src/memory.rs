@@ -1,0 +1,283 @@
+//! The two global hash tables holding all token memories.
+//!
+//! §3 of the paper replaces per-node memory lists with **two global hash
+//! tables** — one for every left (beta) memory, one for every right (alpha)
+//! memory. A bucket index is shared between the tables: the left and right
+//! buckets at index *K* together form the working set of one node
+//! activation, and the pair is what the distributed mapping assigns to a
+//! processor (pair).
+//!
+//! Buckets store entries of *different* nodes that happen to collide; every
+//! read filters by node id, and probes additionally apply the join tests,
+//! so collisions cost time (the paper's footnote about Tourney's deletion
+//! cost) but never correctness.
+
+use crate::network::NodeId;
+use crate::token::BetaToken;
+use mpps_ops::{Wme, WmeId};
+use std::sync::Arc;
+
+/// An entry in the global left (beta-token) table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LeftEntry {
+    /// Owning two-input node.
+    pub node: NodeId,
+    /// The stored token.
+    pub token: BetaToken,
+    /// For negative nodes: the number of right-memory WMEs currently
+    /// matching this token. The token's successors exist iff this is zero.
+    pub neg_count: u32,
+}
+
+/// An entry in the global right (WME) table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RightEntry {
+    /// Owning two-input node.
+    pub node: NodeId,
+    /// Time tag of the stored WME.
+    pub wme_id: WmeId,
+    /// The WME itself (shared; WMEs are immutable once created).
+    pub wme: Arc<Wme>,
+}
+
+/// Both global tables, bucketed over a fixed index range.
+#[derive(Clone, Debug)]
+pub struct GlobalMemories {
+    left: Vec<Vec<LeftEntry>>,
+    right: Vec<Vec<RightEntry>>,
+}
+
+impl GlobalMemories {
+    /// Create empty tables with `table_size` buckets each.
+    pub fn new(table_size: u64) -> Self {
+        assert!(table_size > 0, "hash table must have at least one bucket");
+        GlobalMemories {
+            left: vec![Vec::new(); table_size as usize],
+            right: vec![Vec::new(); table_size as usize],
+        }
+    }
+
+    /// Number of buckets per table.
+    pub fn table_size(&self) -> u64 {
+        self.left.len() as u64
+    }
+
+    /// Insert a left entry at `bucket`.
+    pub fn add_left(&mut self, bucket: u64, entry: LeftEntry) {
+        self.left[bucket as usize].push(entry);
+    }
+
+    /// Remove (one occurrence of) the left entry for `(node, token)` at
+    /// `bucket`, returning it. `None` indicates an engine bug or an
+    /// inconsistent delete from the caller.
+    pub fn remove_left(
+        &mut self,
+        bucket: u64,
+        node: NodeId,
+        token: &BetaToken,
+    ) -> Option<LeftEntry> {
+        let b = &mut self.left[bucket as usize];
+        let pos = b
+            .iter()
+            .position(|e| e.node == node && &e.token == token)?;
+        Some(b.swap_remove(pos))
+    }
+
+    /// Entries of `node` in the left bucket (immutable probe).
+    pub fn left_bucket(&self, bucket: u64, node: NodeId) -> impl Iterator<Item = &LeftEntry> {
+        self.left[bucket as usize]
+            .iter()
+            .filter(move |e| e.node == node)
+    }
+
+    /// Mutable access to `node`'s entries in a left bucket (negative-node
+    /// count maintenance).
+    pub fn left_bucket_mut(
+        &mut self,
+        bucket: u64,
+        node: NodeId,
+    ) -> impl Iterator<Item = &mut LeftEntry> {
+        self.left[bucket as usize]
+            .iter_mut()
+            .filter(move |e| e.node == node)
+    }
+
+    /// Insert a right entry at `bucket`.
+    pub fn add_right(&mut self, bucket: u64, entry: RightEntry) {
+        self.right[bucket as usize].push(entry);
+    }
+
+    /// Remove the right entry for `(node, wme_id)` at `bucket`.
+    pub fn remove_right(&mut self, bucket: u64, node: NodeId, wme_id: WmeId) -> Option<RightEntry> {
+        let b = &mut self.right[bucket as usize];
+        let pos = b
+            .iter()
+            .position(|e| e.node == node && e.wme_id == wme_id)?;
+        Some(b.swap_remove(pos))
+    }
+
+    /// Entries of `node` in the right bucket.
+    pub fn right_bucket(&self, bucket: u64, node: NodeId) -> impl Iterator<Item = &RightEntry> {
+        self.right[bucket as usize]
+            .iter()
+            .filter(move |e| e.node == node)
+    }
+
+    /// Total stored left tokens (diagnostics).
+    pub fn left_len(&self) -> usize {
+        self.left.iter().map(Vec::len).sum()
+    }
+
+    /// Total stored right WMEs (diagnostics).
+    pub fn right_len(&self) -> usize {
+        self.right.iter().map(Vec::len).sum()
+    }
+
+    /// Per-bucket occupancy of the left table (for distribution analysis).
+    pub fn left_occupancy(&self) -> Vec<usize> {
+        self.left.iter().map(Vec::len).collect()
+    }
+
+    /// Per-bucket occupancy of the right table.
+    pub fn right_occupancy(&self) -> Vec<usize> {
+        self.right.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Bindings;
+
+    fn tok(ids: &[u64]) -> BetaToken {
+        BetaToken {
+            wme_ids: ids.iter().map(|&i| WmeId(i)).collect(),
+            bindings: Bindings::new(),
+        }
+    }
+
+    #[test]
+    fn add_and_remove_left_roundtrip() {
+        let mut m = GlobalMemories::new(8);
+        let t = tok(&[1]);
+        m.add_left(
+            3,
+            LeftEntry {
+                node: NodeId(1),
+                token: t.clone(),
+                neg_count: 0,
+            },
+        );
+        assert_eq!(m.left_len(), 1);
+        assert!(m.remove_left(3, NodeId(1), &t).is_some());
+        assert_eq!(m.left_len(), 0);
+        assert!(m.remove_left(3, NodeId(1), &t).is_none());
+    }
+
+    #[test]
+    fn bucket_filters_by_node() {
+        let mut m = GlobalMemories::new(4);
+        m.add_left(
+            0,
+            LeftEntry {
+                node: NodeId(1),
+                token: tok(&[1]),
+                neg_count: 0,
+            },
+        );
+        m.add_left(
+            0,
+            LeftEntry {
+                node: NodeId(2),
+                token: tok(&[2]),
+                neg_count: 0,
+            },
+        );
+        assert_eq!(m.left_bucket(0, NodeId(1)).count(), 1);
+        assert_eq!(m.left_bucket(0, NodeId(2)).count(), 1);
+        assert_eq!(m.left_bucket(0, NodeId(3)).count(), 0);
+    }
+
+    #[test]
+    fn duplicate_tokens_remove_one_at_a_time() {
+        // Self-join chains can legitimately store equal tokens twice.
+        let mut m = GlobalMemories::new(2);
+        for _ in 0..2 {
+            m.add_left(
+                1,
+                LeftEntry {
+                    node: NodeId(5),
+                    token: tok(&[7, 7]),
+                    neg_count: 0,
+                },
+            );
+        }
+        assert!(m.remove_left(1, NodeId(5), &tok(&[7, 7])).is_some());
+        assert_eq!(m.left_bucket(1, NodeId(5)).count(), 1);
+        assert!(m.remove_left(1, NodeId(5), &tok(&[7, 7])).is_some());
+        assert!(m.remove_left(1, NodeId(5), &tok(&[7, 7])).is_none());
+    }
+
+    #[test]
+    fn right_entries_keyed_by_wme_id() {
+        let mut m = GlobalMemories::new(4);
+        let w = Arc::new(Wme::new("b", &[]));
+        m.add_right(
+            2,
+            RightEntry {
+                node: NodeId(1),
+                wme_id: WmeId(10),
+                wme: w.clone(),
+            },
+        );
+        m.add_right(
+            2,
+            RightEntry {
+                node: NodeId(1),
+                wme_id: WmeId(11),
+                wme: w,
+            },
+        );
+        assert!(m.remove_right(2, NodeId(1), WmeId(10)).is_some());
+        assert_eq!(m.right_bucket(2, NodeId(1)).count(), 1);
+        assert_eq!(m.right_len(), 1);
+    }
+
+    #[test]
+    fn neg_count_is_mutable_in_place() {
+        let mut m = GlobalMemories::new(2);
+        m.add_left(
+            0,
+            LeftEntry {
+                node: NodeId(1),
+                token: tok(&[1]),
+                neg_count: 0,
+            },
+        );
+        for e in m.left_bucket_mut(0, NodeId(1)) {
+            e.neg_count += 1;
+        }
+        assert_eq!(m.left_bucket(0, NodeId(1)).next().unwrap().neg_count, 1);
+    }
+
+    #[test]
+    fn occupancy_reports_per_bucket() {
+        let mut m = GlobalMemories::new(3);
+        m.add_left(
+            1,
+            LeftEntry {
+                node: NodeId(1),
+                token: tok(&[1]),
+                neg_count: 0,
+            },
+        );
+        assert_eq!(m.left_occupancy(), vec![0, 1, 0]);
+        assert_eq!(m.right_occupancy(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        GlobalMemories::new(0);
+    }
+}

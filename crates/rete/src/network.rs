@@ -1,0 +1,864 @@
+//! The Rete network: node kinds and the compiler from productions.
+//!
+//! The network follows the paper's structure (Figure 2-2): constant-test
+//! (alpha) nodes at the top, two-input nodes — joins and negative nodes —
+//! below, arranged in left-linear chains, and a production node per rule at
+//! the bottom. Memory nodes are *not* materialized as separate nodes:
+//! following §3 of the paper, all left memories live in one global hash
+//! table and all right memories in another (see [`crate::memory`]); a
+//! two-input node's "memories" are just the hash-table entries tagged with
+//! its [`NodeId`].
+//!
+//! The compiler shares alpha nodes between identical condition elements and
+//! shares two-input nodes between productions with structurally identical
+//! CE prefixes — the *sharing* that §5.2.1's unsharing transform removes.
+
+use crate::token::Bindings;
+use mpps_ops::{
+    ConditionElement, OpsError, Predicate, Production, ProductionId, Program, Symbol, TestKind,
+    Value, Wme,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of any node in the network (alpha, two-input, or production).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Which input of a two-input node a token arrives on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Side {
+    /// The beta (token) input. Stored in the global *left* hash table.
+    Left,
+    /// The alpha (WME) input. Stored in the global *right* hash table.
+    Right,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Side::Left => "L",
+            Side::Right => "R",
+        })
+    }
+}
+
+/// A constant test `wme[attr] pred value`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConstTest {
+    /// Tested attribute.
+    pub attr: Symbol,
+    /// Comparison predicate.
+    pub pred: Predicate,
+    /// Literal operand.
+    pub value: Value,
+}
+
+/// An intra-element test `wme[attr] pred wme[other_attr]` (two attributes of
+/// the same WME, induced by a repeated variable within one CE).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IntraTest {
+    /// Left attribute.
+    pub attr: Symbol,
+    /// Comparison predicate.
+    pub pred: Predicate,
+    /// Right attribute (the binder occurrence).
+    pub other_attr: Symbol,
+}
+
+/// An alpha (constant-test) node: decides whether a WME matches the
+/// constant part of a condition element.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AlphaNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Required WME class.
+    pub class: Symbol,
+    /// Constant tests, canonically sorted.
+    pub const_tests: Vec<ConstTest>,
+    /// Disjunction tests `^attr << v… >>`, canonically sorted.
+    pub disj_tests: Vec<(Symbol, Vec<Value>)>,
+    /// Intra-element tests, canonically sorted.
+    pub intra_tests: Vec<IntraTest>,
+    /// Attributes that must be present (from variable tests), sorted.
+    pub required: Vec<Symbol>,
+    /// Outgoing edges.
+    pub successors: Vec<AlphaSucc>,
+}
+
+impl AlphaNode {
+    /// Does `wme` pass this node's tests?
+    pub fn matches(&self, wme: &Wme) -> bool {
+        if wme.class() != self.class {
+            return false;
+        }
+        self.const_tests
+            .iter()
+            .all(|t| wme.get(t.attr).is_some_and(|v| t.pred.eval(v, t.value)))
+            && self
+                .disj_tests
+                .iter()
+                .all(|(attr, vals)| wme.get(*attr).is_some_and(|v| vals.contains(&v)))
+            && self.required.iter().all(|a| wme.get(*a).is_some())
+            && self.intra_tests.iter().all(|t| {
+                match (wme.get(t.attr), wme.get(t.other_attr)) {
+                    (Some(a), Some(b)) => t.pred.eval(a, b),
+                    _ => false,
+                }
+            })
+    }
+}
+
+/// An outgoing edge from an alpha node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AlphaSucc {
+    /// Feed matching WMEs to the given side of a two-input node. `Left`
+    /// edges are first-CE (seed) edges.
+    TwoInput(NodeId, Side),
+    /// Single-positive-CE production fed directly by this alpha node.
+    Production(NodeId),
+}
+
+/// The variable tests a two-input node performs between an incoming WME and
+/// a beta token (or vice versa).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct JoinSpec {
+    /// Fresh variables bound from the right WME: `(var, attr)` in source
+    /// order. Empty for negative nodes.
+    pub binds: Vec<(Symbol, Symbol)>,
+    /// Equality tests `wme[attr] == token[var]`, in source order. **This
+    /// order defines the hash signature** of the node: both left tokens
+    /// (via `var`) and right WMEs (via `attr`) hash these values.
+    pub eq_checks: Vec<(Symbol, Symbol)>,
+    /// Relational tests `wme[attr] pred token[var]`.
+    pub pred_checks: Vec<(Symbol, Predicate, Symbol)>,
+}
+
+impl JoinSpec {
+    /// Does `(token, wme)` pass all variable tests?
+    pub fn passes(&self, bindings: &Bindings, wme: &Wme) -> bool {
+        self.eq_checks.iter().all(|&(var, attr)| {
+            match (bindings.get(var), wme.get(attr)) {
+                (Some(b), Some(w)) => b == w,
+                _ => false,
+            }
+        }) && self.pred_checks.iter().all(|&(var, pred, attr)| {
+            match (bindings.get(var), wme.get(attr)) {
+                (Some(b), Some(w)) => pred.eval(w, b),
+                _ => false,
+            }
+        })
+    }
+
+    /// Hash-signature values of a left token: the bindings of the
+    /// equality-tested variables, in signature order.
+    pub fn left_hash_values<'a>(
+        &'a self,
+        bindings: &'a Bindings,
+    ) -> impl Iterator<Item = Value> + 'a {
+        self.eq_checks
+            .iter()
+            .map(move |&(var, _)| bindings.get(var).expect("eq-tested variable must be bound"))
+    }
+
+    /// Hash-signature values of a right WME: the attribute values matched
+    /// against the equality-tested variables, in signature order.
+    pub fn right_hash_values<'a>(&'a self, wme: &'a Wme) -> impl Iterator<Item = Value> + 'a {
+        self.eq_checks
+            .iter()
+            .map(move |&(_, attr)| wme.get(attr).expect("alpha guaranteed attribute presence"))
+    }
+
+    /// Extract the fresh bindings `(var, value)` a right WME contributes.
+    pub fn extract_binds(&self, wme: &Wme) -> Vec<(Symbol, Value)> {
+        self.binds
+            .iter()
+            .map(|&(var, attr)| (var, wme.get(attr).expect("alpha guaranteed presence")))
+            .collect()
+    }
+}
+
+/// Where a two-input node's left input comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LeftSource {
+    /// The first two-input node of a chain: left tokens are seeded from
+    /// first-CE WMEs arriving from this alpha node.
+    Alpha(NodeId),
+    /// A later node: left tokens come from the given two-input node.
+    Beta(NodeId),
+}
+
+/// Outgoing edge from a two-input node (its output tokens are always *left*
+/// activations of the target, per §2.2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Succ {
+    /// Another two-input node (left input).
+    TwoInput(NodeId),
+    /// A production node (instantiation sink).
+    Production(NodeId),
+}
+
+/// A two-input node: a join or (when `negative`) a negated-CE node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JoinNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// True for negated condition elements.
+    pub negative: bool,
+    /// The alpha node feeding the right input.
+    pub right_alpha: NodeId,
+    /// The left input source.
+    pub left_src: LeftSource,
+    /// For first-of-chain nodes: how to build a seed token's bindings from
+    /// a first-CE WME (`(var, attr)` pairs).
+    pub seed_binds: Option<Vec<(Symbol, Symbol)>>,
+    /// The variable tests.
+    pub spec: JoinSpec,
+    /// Downstream consumers of this node's output tokens.
+    pub successors: Vec<Succ>,
+}
+
+/// A production node: turns complete tokens into conflict-set updates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProductionNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// The production whose instantiations this node emits.
+    pub production: ProductionId,
+    /// For single-positive-CE productions fed directly by an alpha node:
+    /// how to build the instantiation's bindings from the WME.
+    pub seed_binds: Option<Vec<(Symbol, Symbol)>>,
+}
+
+/// Any node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// Constant-test node.
+    Alpha(AlphaNode),
+    /// Join or negative node.
+    TwoInput(JoinNode),
+    /// Terminal production node.
+    Production(ProductionNode),
+}
+
+/// Compiler options controlling node sharing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CompileOptions {
+    /// Share alpha nodes between identical condition elements.
+    pub share_alpha: bool,
+    /// Share two-input nodes between structurally identical CE prefixes.
+    /// Setting this to `false` is the paper's *unsharing* transform
+    /// (§5.2.1, Figure 5-3).
+    pub share_beta: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            share_alpha: true,
+            share_beta: true,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The unshared configuration used for Figure 5-4.
+    pub fn unshared() -> Self {
+        CompileOptions {
+            share_alpha: true,
+            share_beta: false,
+        }
+    }
+}
+
+/// Summary counts over a compiled network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NetworkStats {
+    /// Number of alpha nodes.
+    pub alpha: usize,
+    /// Number of two-input nodes (joins + negatives).
+    pub two_input: usize,
+    /// Number of negative nodes (subset of `two_input`).
+    pub negative: usize,
+    /// Number of production nodes.
+    pub production: usize,
+    /// Two-input nodes with more than one successor — shared join results.
+    pub shared_two_input: usize,
+}
+
+/// A compiled Rete network.
+#[derive(Clone, Debug)]
+pub struct ReteNetwork {
+    nodes: Vec<NodeKind>,
+    alpha_by_class: HashMap<Symbol, Vec<NodeId>>,
+    production_nodes: Vec<NodeId>,
+    options: CompileOptions,
+}
+
+impl ReteNetwork {
+    /// Compile `program` with default (fully shared) options.
+    pub fn compile(program: &Program) -> Result<Self, OpsError> {
+        Self::compile_with(program, CompileOptions::default())
+    }
+
+    /// Compile `program` with explicit sharing options.
+    pub fn compile_with(program: &Program, options: CompileOptions) -> Result<Self, OpsError> {
+        let mut c = Compiler {
+            net: ReteNetwork {
+                nodes: Vec::new(),
+                alpha_by_class: HashMap::new(),
+                production_nodes: Vec::new(),
+                options,
+            },
+            alpha_cache: HashMap::new(),
+            beta_cache: HashMap::new(),
+            options,
+        };
+        for (pid, prod) in program.iter() {
+            c.compile_production(pid, prod)?;
+        }
+        Ok(c.net)
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The two-input node with the given id (panics if `id` is another kind).
+    pub fn join(&self, id: NodeId) -> &JoinNode {
+        match self.node(id) {
+            NodeKind::TwoInput(j) => j,
+            other => panic!("{id} is not a two-input node: {other:?}"),
+        }
+    }
+
+    /// The alpha nodes a WME of class `class` must be tested against.
+    pub fn alphas_for_class(&self, class: Symbol) -> &[NodeId] {
+        self.alpha_by_class
+            .get(&class)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// The production node of `pid`.
+    pub fn production_node(&self, pid: ProductionId) -> NodeId {
+        self.production_nodes[pid.0 as usize]
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes (empty program).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeKind)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// The options the network was compiled with.
+    pub fn options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// Count nodes by kind.
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = NetworkStats::default();
+        for n in &self.nodes {
+            match n {
+                NodeKind::Alpha(_) => s.alpha += 1,
+                NodeKind::TwoInput(j) => {
+                    s.two_input += 1;
+                    if j.negative {
+                        s.negative += 1;
+                    }
+                    if j.successors.len() > 1 {
+                        s.shared_two_input += 1;
+                    }
+                }
+                NodeKind::Production(_) => s.production += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Alpha-node structural identity (for sharing).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct AlphaKey {
+    class: Symbol,
+    const_tests: Vec<ConstTest>,
+    disj_tests: Vec<(Symbol, Vec<Value>)>,
+    intra_tests: Vec<IntraTest>,
+    required: Vec<Symbol>,
+}
+
+/// Two-input-node structural identity (for sharing).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct BetaKey {
+    left: LeftSource,
+    seed_binds: Option<Vec<(Symbol, Symbol)>>,
+    right_alpha: NodeId,
+    negative: bool,
+    spec: JoinSpec,
+}
+
+/// Per-CE analysis output.
+struct CeAnalysis {
+    alpha: AlphaKey,
+    spec: JoinSpec,
+}
+
+struct Compiler {
+    net: ReteNetwork,
+    alpha_cache: HashMap<AlphaKey, NodeId>,
+    beta_cache: HashMap<BetaKey, NodeId>,
+    options: CompileOptions,
+}
+
+impl Compiler {
+    fn fresh_id(&self) -> NodeId {
+        NodeId(self.net.nodes.len() as u32)
+    }
+
+    /// Split a CE's tests into the alpha part (constants, presence, intra)
+    /// and the join part (tests against variables bound by earlier CEs).
+    fn analyze_ce(
+        ce: &ConditionElement,
+        bound: &HashMap<Symbol, ()>,
+    ) -> Result<CeAnalysis, OpsError> {
+        let mut const_tests = Vec::new();
+        let mut disj = Vec::new();
+        let mut intra = Vec::new();
+        let mut required = Vec::new();
+        let mut spec = JoinSpec::default();
+        // First occurrence attr of each locally fresh variable.
+        let mut local: HashMap<Symbol, Symbol> = HashMap::new();
+        for t in &ce.tests {
+            match t.kind.clone() {
+                TestKind::Constant(pred, value) => const_tests.push(ConstTest {
+                    attr: t.attr,
+                    pred,
+                    value,
+                }),
+                TestKind::Disjunction(values) => disj.push((t.attr, values)),
+                TestKind::Variable(v) => {
+                    required.push(t.attr);
+                    if bound.contains_key(&v) {
+                        spec.eq_checks.push((v, t.attr));
+                    } else if let Some(&binder) = local.get(&v) {
+                        intra.push(IntraTest {
+                            attr: t.attr,
+                            pred: Predicate::Eq,
+                            other_attr: binder,
+                        });
+                    } else {
+                        local.insert(v, t.attr);
+                        if !ce.negated {
+                            spec.binds.push((v, t.attr));
+                        }
+                    }
+                }
+                TestKind::VariablePred(pred, v) => {
+                    required.push(t.attr);
+                    if bound.contains_key(&v) {
+                        spec.pred_checks.push((v, pred, t.attr));
+                    } else if let Some(&binder) = local.get(&v) {
+                        intra.push(IntraTest {
+                            attr: t.attr,
+                            pred,
+                            other_attr: binder,
+                        });
+                    } else {
+                        return Err(OpsError::UnboundVariable(v.as_str().to_owned()));
+                    }
+                }
+            }
+        }
+        const_tests.sort_unstable();
+        const_tests.dedup();
+        disj.sort_unstable();
+        disj.dedup();
+        intra.sort_unstable();
+        intra.dedup();
+        required.sort_unstable();
+        required.dedup();
+        Ok(CeAnalysis {
+            alpha: AlphaKey {
+                class: ce.class,
+                const_tests,
+                disj_tests: disj,
+                intra_tests: intra,
+                required,
+            },
+            spec,
+        })
+    }
+
+    fn alpha_node(&mut self, key: AlphaKey) -> NodeId {
+        if self.options.share_alpha {
+            if let Some(&id) = self.alpha_cache.get(&key) {
+                return id;
+            }
+        }
+        let id = self.fresh_id();
+        self.net.nodes.push(NodeKind::Alpha(AlphaNode {
+            id,
+            class: key.class,
+            const_tests: key.const_tests.clone(),
+            disj_tests: key.disj_tests.clone(),
+            intra_tests: key.intra_tests.clone(),
+            required: key.required.clone(),
+            successors: Vec::new(),
+        }));
+        self.net
+            .alpha_by_class
+            .entry(key.class)
+            .or_default()
+            .push(id);
+        if self.options.share_alpha {
+            self.alpha_cache.insert(key, id);
+        }
+        id
+    }
+
+    fn alpha_mut(&mut self, id: NodeId) -> &mut AlphaNode {
+        match &mut self.net.nodes[id.0 as usize] {
+            NodeKind::Alpha(a) => a,
+            _ => unreachable!("{id} is not an alpha node"),
+        }
+    }
+
+    fn join_mut(&mut self, id: NodeId) -> &mut JoinNode {
+        match &mut self.net.nodes[id.0 as usize] {
+            NodeKind::TwoInput(j) => j,
+            _ => unreachable!("{id} is not a two-input node"),
+        }
+    }
+
+    /// Find or create the two-input node for `key`, wiring its input edges
+    /// on creation.
+    fn two_input_node(&mut self, key: BetaKey) -> NodeId {
+        if self.options.share_beta {
+            if let Some(&id) = self.beta_cache.get(&key) {
+                return id;
+            }
+        }
+        let id = self.fresh_id();
+        self.net.nodes.push(NodeKind::TwoInput(JoinNode {
+            id,
+            negative: key.negative,
+            right_alpha: key.right_alpha,
+            left_src: key.left,
+            seed_binds: key.seed_binds.clone(),
+            spec: key.spec.clone(),
+            successors: Vec::new(),
+        }));
+        // Right input edge.
+        self.alpha_mut(key.right_alpha)
+            .successors
+            .push(AlphaSucc::TwoInput(id, Side::Right));
+        // Left input edge.
+        match key.left {
+            LeftSource::Alpha(a) => self
+                .alpha_mut(a)
+                .successors
+                .push(AlphaSucc::TwoInput(id, Side::Left)),
+            LeftSource::Beta(b) => self.join_mut(b).successors.push(Succ::TwoInput(id)),
+        }
+        if self.options.share_beta {
+            self.beta_cache.insert(key, id);
+        }
+        id
+    }
+
+    fn compile_production(&mut self, pid: ProductionId, prod: &Production) -> Result<(), OpsError> {
+        let mut bound: HashMap<Symbol, ()> = HashMap::new();
+        // First CE (guaranteed positive by validation).
+        let first = Self::analyze_ce(&prod.lhs[0], &bound)?;
+        debug_assert!(first.spec.eq_checks.is_empty() && first.spec.pred_checks.is_empty());
+        let alpha0 = self.alpha_node(first.alpha);
+        let seed_binds = first
+            .spec
+            .binds
+            .iter()
+            .map(|&(v, a)| (v, a))
+            .collect::<Vec<_>>();
+        for (v, _) in &seed_binds {
+            bound.insert(*v, ());
+        }
+
+        if prod.lhs.len() == 1 {
+            // Single-CE production: alpha feeds the production node directly.
+            let id = self.fresh_id();
+            self.net.nodes.push(NodeKind::Production(ProductionNode {
+                id,
+                production: pid,
+                seed_binds: Some(seed_binds),
+            }));
+            self.alpha_mut(alpha0)
+                .successors
+                .push(AlphaSucc::Production(id));
+            self.net.production_nodes.push(id);
+            return Ok(());
+        }
+
+        let mut left = LeftSource::Alpha(alpha0);
+        let mut pending_seed = Some(seed_binds);
+        let mut last: Option<NodeId> = None;
+        for ce in &prod.lhs[1..] {
+            let analysis = Self::analyze_ce(ce, &bound)?;
+            let alpha = self.alpha_node(analysis.alpha);
+            let key = BetaKey {
+                left,
+                seed_binds: pending_seed.clone(),
+                right_alpha: alpha,
+                negative: ce.negated,
+                spec: analysis.spec.clone(),
+            };
+            let node = self.two_input_node(key);
+            if !ce.negated {
+                for (v, _) in &analysis.spec.binds {
+                    bound.insert(*v, ());
+                }
+            }
+            left = LeftSource::Beta(node);
+            pending_seed = None;
+            last = Some(node);
+        }
+        let prod_node_id = self.fresh_id();
+        self.net.nodes.push(NodeKind::Production(ProductionNode {
+            id: prod_node_id,
+            production: pid,
+            seed_binds: None,
+        }));
+        self.join_mut(last.expect("multi-CE production has a two-input node"))
+            .successors
+            .push(Succ::Production(prod_node_id));
+        self.net.production_nodes.push(prod_node_id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::parse_program;
+
+    fn compile(src: &str) -> ReteNetwork {
+        ReteNetwork::compile(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_figure_2_2_shape() {
+        // Two-CE production: 2 alphas, 1 join, 1 production node.
+        let net = compile(
+            r#"
+            (p example
+               (c1 ^color red ^size <x>)
+               (c2 ^num <x>)
+               -->
+               (remove 1))
+            "#,
+        );
+        let s = net.stats();
+        assert_eq!(s.alpha, 2);
+        assert_eq!(s.two_input, 1);
+        assert_eq!(s.negative, 0);
+        assert_eq!(s.production, 1);
+        // The join's hash signature is the single shared variable.
+        let (jid, _) = net
+            .iter()
+            .find(|(_, n)| matches!(n, NodeKind::TwoInput(_)))
+            .unwrap();
+        let j = net.join(jid);
+        assert_eq!(j.spec.eq_checks.len(), 1);
+        assert!(j.seed_binds.is_some());
+    }
+
+    #[test]
+    fn alpha_sharing_merges_identical_ces() {
+        let net = compile(
+            r#"
+            (p a (block ^color blue ^name <n>) (hand ^state free) --> (remove 1))
+            (p b (block ^color blue ^name <m>) (table ^top clear) --> (remove 1))
+            "#,
+        );
+        // `block ^color blue ^name <var>` is structurally identical in both
+        // productions (variable names don't affect alpha identity).
+        let s = net.stats();
+        assert_eq!(s.alpha, 3); // block-alpha shared, hand, table
+    }
+
+    #[test]
+    fn beta_sharing_merges_identical_prefixes() {
+        let net = compile(
+            r#"
+            (p a (goal ^id <g>) (task ^goal <g>) (slot ^x 1) --> (remove 1))
+            (p b (goal ^id <g>) (task ^goal <g>) (slot ^x 2) --> (remove 1))
+            "#,
+        );
+        let s = net.stats();
+        // Shared: goal-alpha, task-alpha, first join. Distinct: two slot
+        // alphas, two second-level joins, two production nodes.
+        assert_eq!(s.two_input, 3);
+        assert_eq!(s.shared_two_input, 1);
+    }
+
+    #[test]
+    fn unshared_compile_duplicates_joins() {
+        let src = r#"
+            (p a (goal ^id <g>) (task ^goal <g>) (slot ^x 1) --> (remove 1))
+            (p b (goal ^id <g>) (task ^goal <g>) (slot ^x 2) --> (remove 1))
+        "#;
+        let shared = compile(src);
+        let unshared =
+            ReteNetwork::compile_with(&parse_program(src).unwrap(), CompileOptions::unshared())
+                .unwrap();
+        assert!(unshared.stats().two_input > shared.stats().two_input);
+        assert_eq!(unshared.stats().two_input, 4);
+        assert_eq!(unshared.stats().shared_two_input, 0);
+    }
+
+    #[test]
+    fn variable_renaming_does_not_break_beta_sharing_of_alpha_but_breaks_join() {
+        // Same prefix structure with different variable names: alpha nodes
+        // share; join nodes do not (we share by textual structure).
+        let net = compile(
+            r#"
+            (p a (goal ^id <g>) (task ^goal <g>) --> (remove 1))
+            (p b (goal ^id <h>) (task ^goal <h>) --> (remove 1))
+            "#,
+        );
+        let s = net.stats();
+        assert_eq!(s.alpha, 2);
+        assert_eq!(s.two_input, 2);
+    }
+
+    #[test]
+    fn negated_ce_becomes_negative_node() {
+        let net = compile(
+            r#"
+            (p neg (block ^name <b>) -(hand ^holds <b>) --> (remove 1))
+            "#,
+        );
+        let s = net.stats();
+        assert_eq!(s.two_input, 1);
+        assert_eq!(s.negative, 1);
+        let (jid, _) = net
+            .iter()
+            .find(|(_, n)| matches!(n, NodeKind::TwoInput(_)))
+            .unwrap();
+        let j = net.join(jid);
+        assert!(j.negative);
+        // Negative nodes bind nothing.
+        assert!(j.spec.binds.is_empty());
+        assert_eq!(j.spec.eq_checks.len(), 1);
+    }
+
+    #[test]
+    fn single_ce_production_feeds_production_node_from_alpha() {
+        let net = compile("(p solo (alarm ^level <l>) --> (remove 1))");
+        let s = net.stats();
+        assert_eq!(s.two_input, 0);
+        assert_eq!(s.production, 1);
+        let pnode = net.production_node(ProductionId(0));
+        match net.node(pnode) {
+            NodeKind::Production(p) => assert!(p.seed_binds.is_some()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn repeated_variable_in_one_ce_is_intra_test() {
+        let net = compile("(p intra (pair ^a <x> ^b <x>) --> (remove 1))");
+        let (_, alpha) = net
+            .iter()
+            .find(|(_, n)| matches!(n, NodeKind::Alpha(_)))
+            .unwrap();
+        let NodeKind::Alpha(a) = alpha else { panic!() };
+        assert_eq!(a.intra_tests.len(), 1);
+        let w_ok = Wme::new("pair", &[("a", 1.into()), ("b", 1.into())]);
+        let w_bad = Wme::new("pair", &[("a", 1.into()), ("b", 2.into())]);
+        assert!(a.matches(&w_ok));
+        assert!(!a.matches(&w_bad));
+    }
+
+    #[test]
+    fn cross_product_join_has_empty_hash_signature() {
+        // No shared variable between the CEs: the Tourney pathology.
+        let net = compile(
+            r#"
+            (p cross (team ^side left ^name <a>) (team ^side right ^name <b>) --> (remove 1))
+            "#,
+        );
+        let (jid, _) = net
+            .iter()
+            .find(|(_, n)| matches!(n, NodeKind::TwoInput(_)))
+            .unwrap();
+        assert!(net.join(jid).spec.eq_checks.is_empty());
+    }
+
+    #[test]
+    fn alpha_matches_constant_and_relational_tests() {
+        let net = compile("(p rel (box ^size > 4 ^kind crate) --> (remove 1))");
+        let (_, n) = net
+            .iter()
+            .find(|(_, n)| matches!(n, NodeKind::Alpha(_)))
+            .unwrap();
+        let NodeKind::Alpha(a) = n else { panic!() };
+        assert!(a.matches(&Wme::new("box", &[("size", 5.into()), ("kind", "crate".into())])));
+        assert!(!a.matches(&Wme::new("box", &[("size", 4.into()), ("kind", "crate".into())])));
+        assert!(!a.matches(&Wme::new("box", &[("size", 9.into()), ("kind", "bin".into())])));
+        assert!(!a.matches(&Wme::new("crate", &[("size", 9.into())])));
+    }
+
+    #[test]
+    fn alphas_for_class_index() {
+        let net = compile(
+            r#"
+            (p a (block ^color blue) --> (remove 1))
+            (p b (block ^color red) --> (remove 1))
+            (p c (hand) --> (remove 1))
+            "#,
+        );
+        assert_eq!(net.alphas_for_class(mpps_ops::intern("block")).len(), 2);
+        assert_eq!(net.alphas_for_class(mpps_ops::intern("hand")).len(), 1);
+        assert_eq!(net.alphas_for_class(mpps_ops::intern("ghost")).len(), 0);
+    }
+
+    #[test]
+    fn three_ce_chain_is_left_linear() {
+        let net = compile(
+            r#"
+            (p chain (a ^x <x>) (b ^x <x> ^y <y>) (c ^y <y>) --> (remove 1))
+            "#,
+        );
+        let joins: Vec<&JoinNode> = net
+            .iter()
+            .filter_map(|(_, n)| match n {
+                NodeKind::TwoInput(j) => Some(j),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(joins.len(), 2);
+        // First join's left comes from an alpha (seed), second from the first.
+        assert!(matches!(joins[0].left_src, LeftSource::Alpha(_)));
+        assert_eq!(joins[0].seed_binds.as_deref().map(<[_]>::len), Some(1));
+        assert!(matches!(joins[1].left_src, LeftSource::Beta(id) if id == joins[0].id));
+        assert!(joins[1].seed_binds.is_none());
+    }
+}

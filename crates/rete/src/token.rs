@@ -1,0 +1,177 @@
+//! Beta tokens: partial instantiations flowing through the join network.
+
+use mpps_ops::{Symbol, Value, WmeId};
+use std::fmt;
+
+/// A sorted association list from variable to bound value.
+///
+/// Tokens need `Eq + Hash` so they can be located in (and deleted from) the
+/// hashed memories; a sorted `Vec` gives canonical form with cheap clones
+/// and cache-friendly lookups for the handful of variables a production
+/// binds.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Bindings(Vec<(Symbol, Value)>);
+
+impl Bindings {
+    /// The empty binding set.
+    pub fn new() -> Self {
+        Bindings(Vec::new())
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, var: Symbol) -> Option<Value> {
+        self.0
+            .binary_search_by(|(s, _)| s.cmp(&var))
+            .ok()
+            .map(|i| self.0[i].1)
+    }
+
+    /// Insert or overwrite a binding.
+    pub fn set(&mut self, var: Symbol, value: Value) {
+        match self.0.binary_search_by(|(s, _)| s.cmp(&var)) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (var, value)),
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate `(var, value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, Value)> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Convert to the `HashMap` form used by `mpps_ops::Instantiation`.
+    pub fn to_map(&self) -> std::collections::HashMap<Symbol, Value> {
+        self.0.iter().copied().collect()
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for Bindings {
+    fn from_iter<T: IntoIterator<Item = (Symbol, Value)>>(iter: T) -> Self {
+        let mut b = Bindings::new();
+        for (s, v) in iter {
+            b.set(s, v);
+        }
+        b
+    }
+}
+
+/// A beta token: the WMEs matching a prefix of a production's positive CEs,
+/// plus the variable bindings they induce.
+///
+/// Unlike textbook Rete (which threads parent-token pointers), tokens here
+/// are self-contained values — they must be, because the paper's mapping
+/// ships them between processors as messages.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BetaToken {
+    /// Time tags of the WMEs matched so far, in positive-CE order.
+    pub wme_ids: Vec<WmeId>,
+    /// Accumulated variable bindings.
+    pub bindings: Bindings,
+}
+
+impl BetaToken {
+    /// The token for a first-CE match.
+    pub fn seed(wme_id: WmeId, bindings: Bindings) -> Self {
+        BetaToken {
+            wme_ids: vec![wme_id],
+            bindings,
+        }
+    }
+
+    /// Extend with one more matched WME and extra bindings.
+    pub fn extended(&self, wme_id: WmeId, extra: &[(Symbol, Value)]) -> Self {
+        let mut t = self.clone();
+        t.wme_ids.push(wme_id);
+        for &(s, v) in extra {
+            t.bindings.set(s, v);
+        }
+        t
+    }
+
+    /// A shallow copy with no added WME (negative nodes pass tokens
+    /// through unchanged).
+    pub fn passthrough(&self) -> Self {
+        self.clone()
+    }
+}
+
+impl fmt::Display for BetaToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, id) in self.wme_ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::intern;
+
+    #[test]
+    fn bindings_sorted_and_deduped() {
+        let mut b = Bindings::new();
+        b.set(intern("z"), Value::Int(1));
+        b.set(intern("a"), Value::Int(2));
+        b.set(intern("z"), Value::Int(3)); // overwrite
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(intern("z")), Some(Value::Int(3)));
+        assert_eq!(b.get(intern("a")), Some(Value::Int(2)));
+        assert_eq!(b.get(intern("missing")), None);
+        let order: Vec<_> = b.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(order, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn bindings_equal_regardless_of_insertion_order() {
+        let a: Bindings = [(intern("x"), Value::Int(1)), (intern("y"), Value::Int(2))]
+            .into_iter()
+            .collect();
+        let b: Bindings = [(intern("y"), Value::Int(2)), (intern("x"), Value::Int(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn token_extension_accumulates() {
+        let seed = BetaToken::seed(
+            WmeId(1),
+            [(intern("x"), Value::Int(5))].into_iter().collect(),
+        );
+        let ext = seed.extended(WmeId(2), &[(intern("y"), Value::sym("q"))]);
+        assert_eq!(ext.wme_ids, vec![WmeId(1), WmeId(2)]);
+        assert_eq!(ext.bindings.get(intern("x")), Some(Value::Int(5)));
+        assert_eq!(ext.bindings.get(intern("y")), Some(Value::sym("q")));
+        // Original untouched.
+        assert_eq!(seed.wme_ids.len(), 1);
+    }
+
+    #[test]
+    fn token_display() {
+        let t = BetaToken::seed(WmeId(3), Bindings::new()).extended(WmeId(7), &[]);
+        assert_eq!(t.to_string(), "⟨t3 t7⟩");
+    }
+
+    #[test]
+    fn to_map_roundtrip() {
+        let b: Bindings = [(intern("x"), Value::Int(1))].into_iter().collect();
+        let m = b.to_map();
+        assert_eq!(m[&intern("x")], Value::Int(1));
+    }
+}

@@ -1,0 +1,416 @@
+//! The paper's bottleneck-removal transforms (§5.2).
+//!
+//! Three mechanisms are proposed for the *multiple-successor* and
+//! *uneven-token-distribution* problems:
+//!
+//! 1. **Unsharing** (Figure 5-3): compile the network without two-input
+//!    node sharing, so each production generates its successors at its own
+//!    node (and hence bucket). Implemented in the compiler —
+//!    [`CompileOptions::unshared`]; [`unshare`] is a convenience wrapper.
+//! 2. **Dummy nodes**: insert intermediate nodes that split one node's
+//!    large successor fan-out into 2–4 parts. Implemented as the trace
+//!    transform [`split_fanout`], mirroring how dummy nodes reshape the
+//!    activation tree without changing match semantics.
+//! 3. **Copy-and-constraint** (Stolfo; §5.2.2): split a production into
+//!    multiple copies, each matching a slice of the data, so the copies'
+//!    distinct node ids restore hash discrimination. Implemented as the
+//!    source transform [`copy_and_constrain`].
+
+use crate::hashfn::bucket_index;
+use crate::network::{CompileOptions, NodeId, ReteNetwork, Side};
+use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
+use mpps_ops::{
+    intern, AttrTest, OpsError, Predicate, Production, Program, TestKind, Value,
+};
+
+/// Compile `program` with two-input-node sharing disabled — the unsharing
+/// transform of §5.2.1.
+pub fn unshare(program: &Program) -> Result<ReteNetwork, OpsError> {
+    ReteNetwork::compile_with(program, CompileOptions::unshared())
+}
+
+/// Options for [`split_fanout`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SplitFanoutOptions {
+    /// Only activations generating more than this many successors are
+    /// split.
+    pub threshold: usize,
+    /// How many dummy nodes to split the successors across (the paper
+    /// suggests 2–4).
+    pub ways: usize,
+}
+
+impl Default for SplitFanoutOptions {
+    fn default() -> Self {
+        SplitFanoutOptions {
+            threshold: 8,
+            ways: 4,
+        }
+    }
+}
+
+/// Apply the dummy-node transform to a trace: every activation whose
+/// fan-out exceeds `opts.threshold` has its successors re-parented onto
+/// `opts.ways` freshly invented dummy two-input activations, each placed in
+/// its own hash bucket. The original activation then generates only
+/// `opts.ways` (dummy) tokens, and the real successors are generated in
+/// parallel at the dummies — exactly the effect of inserting dummy nodes in
+/// the Rete network.
+pub fn split_fanout(trace: &Trace, opts: SplitFanoutOptions) -> Trace {
+    assert!(opts.ways >= 2, "splitting needs at least 2 ways");
+    // Fresh node ids start past any node mentioned in the trace.
+    let mut next_node = trace
+        .cycles
+        .iter()
+        .flat_map(|c| c.activations.iter())
+        .map(|a| a.node.0)
+        .max()
+        .map_or(0, |m| m + 1);
+
+    let mut out = Trace::new(trace.table_size);
+    for cycle in &trace.cycles {
+        let children = cycle.children_index();
+        let mut new_cycle = TraceCycle::default();
+        // old index -> new index (for unsplit parents)
+        let mut remap: Vec<u32> = vec![0; cycle.activations.len()];
+        // old child index -> new parent index (for re-parented children)
+        let mut reparent: Vec<Option<u32>> = vec![None; cycle.activations.len()];
+
+        for (i, act) in cycle.activations.iter().enumerate() {
+            let parent = match (reparent[i], act.parent) {
+                (Some(p), _) => Some(p),
+                (None, Some(op)) => Some(remap[op as usize]),
+                (None, None) => None,
+            };
+            let new_idx = new_cycle.activations.len() as u32;
+            remap[i] = new_idx;
+            new_cycle.activations.push(ActivationRecord {
+                parent,
+                ..*act
+            });
+
+            let kids = &children[i];
+            if kids.len() > opts.threshold {
+                // Insert dummies right after the parent; round-robin the
+                // children across them.
+                let mut dummy_idx = Vec::with_capacity(opts.ways);
+                for _ in 0..opts.ways {
+                    let node = NodeId(next_node);
+                    next_node += 1;
+                    let idx = new_cycle.activations.len() as u32;
+                    dummy_idx.push(idx);
+                    new_cycle.activations.push(ActivationRecord {
+                        node,
+                        side: Side::Left,
+                        sign: act.sign,
+                        bucket: bucket_index(node, [], trace.table_size),
+                        parent: Some(new_idx),
+                        kind: ActKind::TwoInput,
+                    });
+                }
+                for (k, &child) in kids.iter().enumerate() {
+                    reparent[child as usize] = Some(dummy_idx[k % opts.ways]);
+                }
+            }
+        }
+        out.cycles.push(new_cycle);
+    }
+    out
+}
+
+/// Split `production` into one copy per half-open value range of the
+/// integer attribute `attr` of condition element `ce_index` (0-based into
+/// the LHS). `boundaries` must be strictly increasing; `n` boundaries yield
+/// `n + 1` copies covering `(-∞, b0)`, `[b0, b1)`, …, `[bn-1, +∞)`.
+///
+/// Any WME whose `attr` is an integer matches exactly one copy, so the
+/// union of the copies' matches equals the original's — provided every WME
+/// reaching that CE carries an integer `attr` (the caller picks an
+/// attribute for which that holds). The copies are distinct productions
+/// compiled to distinct node ids, which is what restores hash
+/// discrimination for non-discriminating (cross-product) joins.
+pub fn copy_and_constrain(
+    production: &Production,
+    ce_index: usize,
+    attr: &str,
+    boundaries: &[i64],
+) -> Result<Vec<Production>, OpsError> {
+    let invalid = |msg: String| {
+        Err(OpsError::InvalidProduction(
+            production.name.to_string(),
+            msg,
+        ))
+    };
+    if ce_index >= production.lhs.len() {
+        return invalid(format!("copy-and-constraint: no CE at index {ce_index}"));
+    }
+    if production.lhs[ce_index].negated {
+        return invalid("copy-and-constraint: cannot split on a negated CE".into());
+    }
+    if boundaries.is_empty() {
+        return invalid("copy-and-constraint: need at least one boundary".into());
+    }
+    if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+        return invalid("copy-and-constraint: boundaries must be strictly increasing".into());
+    }
+    let attr = intern(attr);
+    let copies = boundaries.len() + 1;
+    let mut out = Vec::with_capacity(copies);
+    for i in 0..copies {
+        let mut p = production.clone();
+        p.name = intern(&format!("{}*cc{}", production.name, i));
+        let ce = &mut p.lhs[ce_index];
+        if i > 0 {
+            ce.tests.push(AttrTest {
+                attr,
+                kind: TestKind::Constant(Predicate::Ge, Value::Int(boundaries[i - 1])),
+            });
+        }
+        if i < boundaries.len() {
+            ce.tests.push(AttrTest {
+                attr,
+                kind: TestKind::Constant(Predicate::Lt, Value::Int(boundaries[i])),
+            });
+        }
+        p.validate()?;
+        out.push(p);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, ReteMatcher};
+    use mpps_ops::{parse_production, parse_program, Matcher, Wme, WmeChange, WmeId};
+
+    fn sample_trace_with_big_fanout() -> Trace {
+        use mpps_ops::Sign;
+        let mut t = Trace::new(64);
+        let mut cycle = TraceCycle::default();
+        // One root with 12 children and one small root with 1 child.
+        cycle.activations.push(ActivationRecord {
+            node: NodeId(1),
+            side: Side::Left,
+            sign: Sign::Plus,
+            bucket: 3,
+            parent: None,
+            kind: ActKind::TwoInput,
+        });
+        for _ in 0..12 {
+            cycle.activations.push(ActivationRecord {
+                node: NodeId(2),
+                side: Side::Left,
+                sign: Sign::Plus,
+                bucket: 7,
+                parent: Some(0),
+                kind: ActKind::TwoInput,
+            });
+        }
+        cycle.activations.push(ActivationRecord {
+            node: NodeId(3),
+            side: Side::Right,
+            sign: Sign::Plus,
+            bucket: 9,
+            parent: None,
+            kind: ActKind::TwoInput,
+        });
+        cycle.activations.push(ActivationRecord {
+            node: NodeId(2),
+            side: Side::Left,
+            sign: Sign::Plus,
+            bucket: 7,
+            parent: Some(13),
+            kind: ActKind::TwoInput,
+        });
+        t.cycles.push(cycle);
+        t
+    }
+
+    #[test]
+    fn split_fanout_reduces_max_fanout() {
+        let t = sample_trace_with_big_fanout();
+        assert_eq!(t.cycles[0].max_fanout(), 12);
+        let s = split_fanout(
+            &t,
+            SplitFanoutOptions {
+                threshold: 8,
+                ways: 4,
+            },
+        );
+        // The big parent now has 4 dummy children; each dummy has 3 real
+        // children.
+        assert_eq!(s.cycles[0].max_fanout(), 4);
+        // 15 original + 4 dummies.
+        assert_eq!(s.cycles[0].activations.len(), 19);
+    }
+
+    #[test]
+    fn split_fanout_preserves_small_parents() {
+        let t = sample_trace_with_big_fanout();
+        let s = split_fanout(
+            &t,
+            SplitFanoutOptions {
+                threshold: 20,
+                ways: 2,
+            },
+        );
+        // Nothing exceeds the threshold: structure unchanged.
+        assert_eq!(s.cycles[0].activations.len(), t.cycles[0].activations.len());
+        assert_eq!(s.cycles[0].max_fanout(), t.cycles[0].max_fanout());
+    }
+
+    #[test]
+    fn split_fanout_keeps_parent_before_child_invariant() {
+        let s = split_fanout(&sample_trace_with_big_fanout(), SplitFanoutOptions::default());
+        for cycle in &s.cycles {
+            for (i, a) in cycle.activations.iter().enumerate() {
+                if let Some(p) = a.parent {
+                    assert!((p as usize) < i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_fanout_dummies_get_fresh_nodes_and_buckets() {
+        let t = sample_trace_with_big_fanout();
+        let s = split_fanout(
+            &t,
+            SplitFanoutOptions {
+                threshold: 8,
+                ways: 4,
+            },
+        );
+        let dummies: Vec<&ActivationRecord> = s.cycles[0]
+            .activations
+            .iter()
+            .filter(|a| a.node.0 > 3)
+            .collect();
+        assert_eq!(dummies.len(), 4);
+        let mut nodes: Vec<u32> = dummies.iter().map(|a| a.node.0).collect();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4);
+    }
+
+    #[test]
+    fn copy_and_constrain_produces_partitioning_copies() {
+        let p = parse_production(
+            "(p pairup (team ^id <a>) (team ^id <b>) --> (remove 1))",
+        )
+        .unwrap();
+        let copies = copy_and_constrain(&p, 1, "id", &[10, 20]).unwrap();
+        assert_eq!(copies.len(), 3);
+        assert_eq!(copies[0].name.as_str(), "pairup*cc0");
+        // Copy 0: id < 10; copy 1: 10 <= id < 20; copy 2: id >= 20.
+        assert_eq!(copies[0].lhs[1].tests.len(), 2);
+        assert_eq!(copies[1].lhs[1].tests.len(), 3);
+        assert_eq!(copies[2].lhs[1].tests.len(), 2);
+    }
+
+    #[test]
+    fn copy_and_constrain_preserves_match_semantics() {
+        let src = "(p pairup (lhs ^id <a>) (rhs ^id <b>) --> (remove 1))";
+        let original = parse_production(src).unwrap();
+        let copies = copy_and_constrain(&original, 1, "id", &[5]).unwrap();
+
+        let prog_orig = Program::from_productions(vec![original]).unwrap();
+        let prog_cc = Program::from_productions(copies).unwrap();
+        let mut m_orig = ReteMatcher::from_program(&prog_orig).unwrap();
+        let mut m_cc = ReteMatcher::from_program(&prog_cc).unwrap();
+
+        let mut changes = Vec::new();
+        let mut id = 0;
+        for i in 0..4 {
+            id += 1;
+            changes.push(WmeChange::add(
+                WmeId(id),
+                Wme::new("lhs", &[("id", i.into())]),
+            ));
+        }
+        for i in 0..10 {
+            id += 1;
+            changes.push(WmeChange::add(
+                WmeId(id),
+                Wme::new("rhs", &[("id", i.into())]),
+            ));
+        }
+        m_orig.process(&changes);
+        m_cc.process(&changes);
+        // Same WME combinations match (production ids differ by design).
+        let keys = |m: &ReteMatcher| {
+            let mut v: Vec<Vec<WmeId>> =
+                m.conflict_set().into_iter().map(|i| i.wme_ids).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(keys(&m_orig), keys(&m_cc));
+        assert_eq!(m_orig.conflict_set().len(), 40);
+    }
+
+    #[test]
+    fn copy_and_constrain_spreads_buckets() {
+        // The whole point: the cross-product join's tokens now hash to
+        // different buckets because the copies have different node ids.
+        let src = "(p cross (lhs ^id <a>) (rhs ^id <b>) --> (remove 1))";
+        let original = parse_production(src).unwrap();
+        let run = |prog: Program| {
+            let mut m = ReteMatcher::new(
+                crate::network::ReteNetwork::compile(&prog).unwrap(),
+                EngineConfig {
+                    table_size: 256,
+                    record_trace: true,
+                },
+            );
+            let mut changes = Vec::new();
+            for i in 0..16 {
+                changes.push(WmeChange::add(
+                    WmeId(100 + i),
+                    Wme::new("lhs", &[("id", (i as i64).into())]),
+                ));
+            }
+            changes.push(WmeChange::add(WmeId(200), Wme::new("rhs", &[("id", 3.into())])));
+            m.process(&changes);
+            let trace = m.take_trace().unwrap();
+            let mut buckets: Vec<u64> = trace.cycles[0]
+                .activations
+                .iter()
+                .filter(|a| a.kind == ActKind::TwoInput && a.side == Side::Left)
+                .map(|a| a.bucket)
+                .collect();
+            buckets.sort_unstable();
+            buckets.dedup();
+            buckets.len()
+        };
+        let single = run(Program::from_productions(vec![original.clone()]).unwrap());
+        let copies = copy_and_constrain(&original, 1, "id", &[4, 8, 12]).unwrap();
+        let split = run(Program::from_productions(copies).unwrap());
+        assert_eq!(single, 1, "cross-product join uses one bucket");
+        assert!(split >= 3, "copies spread tokens over buckets, got {split}");
+    }
+
+    #[test]
+    fn copy_and_constrain_rejects_bad_arguments() {
+        let p = parse_production("(p x (a ^id <i>) -(b) --> (remove 1))").unwrap();
+        assert!(copy_and_constrain(&p, 9, "id", &[1]).is_err());
+        assert!(copy_and_constrain(&p, 1, "id", &[1]).is_err()); // negated CE
+        assert!(copy_and_constrain(&p, 0, "id", &[]).is_err());
+        assert!(copy_and_constrain(&p, 0, "id", &[5, 5]).is_err());
+        assert!(copy_and_constrain(&p, 0, "id", &[9, 2]).is_err());
+    }
+
+    #[test]
+    fn unshare_compiles_without_beta_sharing() {
+        let prog = parse_program(
+            r#"
+            (p a (g ^id <g>) (t ^g <g>) (u ^k 1) --> (remove 1))
+            (p b (g ^id <g>) (t ^g <g>) (u ^k 2) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let shared = ReteNetwork::compile(&prog).unwrap();
+        let unshared = unshare(&prog).unwrap();
+        assert!(unshared.stats().two_input > shared.stats().two_input);
+        assert_eq!(unshared.stats().shared_two_input, 0);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # mpps-workloads — the paper's characteristic sections, runnable and calibrated
+//!
+//! §5 of the paper evaluates three "characteristic sections of production
+//! system execution": Rubik (good speedups, right-heavy), Weaver (small
+//! cycles) and Tourney (a cross-product cycle). This crate provides each
+//! twice:
+//!
+//! * **Runnable rulesets** ([`rubik`], [`tourney`], [`weaver`]) — real
+//!   OPS5-subset programs with the same qualitative match character,
+//!   executed through the interpreter and traced via [`section`]. These
+//!   demonstrate the full pipeline and feed the examples.
+//! * **Calibrated synthetic sections** ([`synth`]) — seeded trace
+//!   generators that hit the paper's Table 5-2 activation counts
+//!   *exactly* (Rubik 2388 L / 6114 R; Tourney 10667 L / 83 R; Weaver
+//!   338 L / 78 R) with the documented structural pathologies
+//!   (single-bucket cross-product, three-generator small cycle, shifting
+//!   active-bucket sets). The figure reproductions sweep these.
+
+pub mod rubik;
+pub mod section;
+pub mod synth;
+pub mod tourney;
+pub mod weaver;
+
+pub use section::{capture_trace, capture_trace_on, CapturedRun};

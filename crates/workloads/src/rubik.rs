@@ -1,0 +1,303 @@
+//! A runnable pocket-cube (2×2×2) move-application ruleset.
+//!
+//! The paper's Rubik section came from "a program to solve the Rubik's
+//! cube". This workload reproduces its match character: each production
+//! firing applies one face turn by *modifying* a dozen sticker WMEs at
+//! once. Every modify is a delete + add with a fresh time tag, so each
+//! cycle floods the network with right activations (the sticker CEs are
+//! constant-position alpha patterns) and regenerates the long beta chains
+//! below — the *multiple-modify-effect* of §5.2.2, which the paper notes
+//! it discovered in exactly this kind of trace.
+//!
+//! The two face permutations are a faithful abstraction of a pocket cube's
+//! U and R quarter-turns (sticker positions: U 0–3, D 4–7, F 8–11,
+//! B 12–15, L 16–19, R 20–23); any fixed 12-sticker permutation produces
+//! the same match behaviour, which is what the workload is for.
+
+use crate::section::{capture_trace, CapturedRun};
+use mpps_ops::builder::{lit, var};
+use mpps_ops::{OpsError, Production, ProductionBuilder, Program, RhsOp, RhsValue, Strategy, Wme};
+
+/// The two faces this workload turns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Face {
+    /// Up-face quarter turn.
+    U,
+    /// Right-face quarter turn.
+    R,
+}
+
+impl Face {
+    fn name(self) -> &'static str {
+        match self {
+            Face::U => "u",
+            Face::R => "r",
+        }
+    }
+
+    /// `(destination, source)` sticker pairs: after the turn, sticker
+    /// `destination` shows the colour previously at `source`.
+    fn permutation(self) -> &'static [(u8, u8); 12] {
+        match self {
+            Face::U => &[
+                // U face corner cycle 0→1→3→2→0.
+                (1, 0),
+                (3, 1),
+                (2, 3),
+                (0, 2),
+                // Top rows: F→L→B→R→F.
+                (16, 8),
+                (17, 9),
+                (12, 16),
+                (13, 17),
+                (20, 12),
+                (21, 13),
+                (8, 20),
+                (9, 21),
+            ],
+            Face::R => &[
+                // R face corner cycle 20→21→23→22→20.
+                (21, 20),
+                (23, 21),
+                (22, 23),
+                (20, 22),
+                // Right columns: F→U→B→D→F (with the back-face flip).
+                (1, 9),
+                (3, 11),
+                (14, 1),
+                (12, 3),
+                (5, 14),
+                (7, 12),
+                (9, 5),
+                (11, 7),
+            ],
+        }
+    }
+}
+
+/// Build the `apply-<face>` production: matches the plan step, the tick,
+/// and the twelve affected stickers; modifies all twelve plus the tick.
+fn apply_rule(face: Face) -> Result<Production, OpsError> {
+    let perm = face.permutation();
+    let mut b = ProductionBuilder::new(&format!("apply-{}", face.name()))
+        .ce("plan", |ce| ce.constant("face", face.name()).var("step", "s"))
+        .ce("tick", |ce| ce.var("n", "s"));
+    for &(dest, _) in perm {
+        let cvar = format!("c{dest}");
+        b = b.ce("sticker", move |ce| {
+            ce.constant("pos", i64::from(dest)).var("color", &cvar)
+        });
+    }
+    // CE numbering (positive CEs): 1 = plan, 2 = tick, 3.. = stickers in
+    // permutation order.
+    for (idx, &(_, src)) in perm.iter().enumerate() {
+        b = b.modify(3 + idx, &[("color", var(&format!("c{src}")))]);
+    }
+    b = b.modify(
+        2,
+        &[(
+            "n",
+            RhsValue::Compute(
+                RhsOp::Add,
+                Box::new(var("s")),
+                Box::new(lit(1)),
+            ),
+        )],
+    );
+    b.build()
+}
+
+/// Dormant pattern-detection rules. A real cube solver carries dozens of
+/// rules watching for sticker configurations (solved faces, oriented
+/// corners, …) that almost never fire; their join right-memories absorb
+/// every sticker change as a *right* activation with no successors. These
+/// are what make Rubik-style traces right-activation-heavy (Table 5-2:
+/// 72% right).
+fn observer_rules(count: usize) -> Vec<Production> {
+    (0..count)
+        .map(|k| {
+            let p0 = ((k * 7 + 1) % 24) as i64;
+            let p1 = ((k * 11 + 5) % 24) as i64;
+            let p2 = ((k * 13 + 9) % 24) as i64;
+            ProductionBuilder::new(&format!("watch-config-{k}"))
+                // No `probe` WME ever exists, so the rule never fires —
+                // but its sticker right-memories see every change.
+                .ce("probe", |ce| ce.constant("id", k as i64))
+                .ce("sticker", |ce| ce.constant("pos", p0).var("color", "c"))
+                .ce("sticker", |ce| ce.constant("pos", p1).var("color", "c"))
+                .ce("sticker", |ce| ce.constant("pos", p2).var("color", "c"))
+                .write(&[lit("seen"), lit(k as i64)])
+                .build()
+                .expect("observer rule is valid")
+        })
+        .collect()
+}
+
+/// The complete program: one apply rule per face, the halt rule that
+/// fires when the plan runs out, and a bank of dormant observer rules.
+pub fn program() -> Program {
+    program_with_observers(100)
+}
+
+/// Like [`program`] with an explicit observer-rule count (0 gives the
+/// minimal, left-heavy variant).
+pub fn program_with_observers(observers: usize) -> Program {
+    let done = ProductionBuilder::new("rubik-done")
+        .ce("tick", |ce| ce.var("n", "n"))
+        .neg_ce("plan", |ce| ce.var("step", "n"))
+        .halt()
+        .build()
+        .expect("done rule is valid");
+    let mut rules = vec![
+        apply_rule(Face::U).expect("apply-u is valid"),
+        apply_rule(Face::R).expect("apply-r is valid"),
+        done,
+    ];
+    rules.extend(observer_rules(observers));
+    Program::from_productions(rules).expect("rubik program is valid")
+}
+
+/// Initial working memory: a solved cube (sticker colour = its face) plus
+/// a plan of `moves` and the tick at zero.
+pub fn initial(moves: &[Face]) -> Vec<Wme> {
+    let face_color = |pos: i64| match pos / 4 {
+        0 => "white",
+        1 => "yellow",
+        2 => "green",
+        3 => "blue",
+        4 => "orange",
+        _ => "red",
+    };
+    let mut wmes = Vec::new();
+    for pos in 0..24i64 {
+        wmes.push(Wme::new(
+            "sticker",
+            &[("pos", pos.into()), ("color", face_color(pos).into())],
+        ));
+    }
+    for (step, face) in moves.iter().enumerate() {
+        wmes.push(Wme::new(
+            "plan",
+            &[("step", (step as i64).into()), ("face", face.name().into())],
+        ));
+    }
+    wmes.push(Wme::new("tick", &[("n", 0.into())]));
+    wmes
+}
+
+/// A standard alternating move sequence of the given length.
+pub fn alternating_moves(n: usize) -> Vec<Face> {
+    (0..n)
+        .map(|i| if i % 2 == 0 { Face::U } else { Face::R })
+        .collect()
+}
+
+/// Run `n_moves` turns and capture the activation trace — the runnable
+/// counterpart of the paper's Rubik section.
+pub fn section(n_moves: usize, table_size: u64) -> CapturedRun {
+    capture_trace(
+        program(),
+        initial(&alternating_moves(n_moves)),
+        Strategy::Lex,
+        // One cycle per move, one for the halt, one for quiescence, plus
+        // slack for the initial match.
+        n_moves + 8,
+        table_size,
+    )
+    .expect("rubik section runs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::{Interpreter, RunOutcome, Value};
+
+    #[test]
+    fn permutations_are_true_permutations() {
+        for face in [Face::U, Face::R] {
+            let perm = face.permutation();
+            let mut dests: Vec<u8> = perm.iter().map(|&(d, _)| d).collect();
+            let mut srcs: Vec<u8> = perm.iter().map(|&(_, s)| s).collect();
+            dests.sort_unstable();
+            srcs.sort_unstable();
+            dests.dedup();
+            srcs.dedup();
+            assert_eq!(dests.len(), 12, "{face:?} destinations unique");
+            assert_eq!(srcs.len(), 12, "{face:?} sources unique");
+            assert_eq!(dests, srcs, "{face:?} permutes a fixed sticker set");
+        }
+    }
+
+    #[test]
+    fn program_compiles_and_validates() {
+        let p = program();
+        assert_eq!(p.len(), 103); // 2 apply rules + done + 100 observers
+        assert!(mpps_rete::ReteNetwork::compile(&p).is_ok());
+        assert_eq!(program_with_observers(0).len(), 3);
+    }
+
+    #[test]
+    fn one_move_fires_and_advances_tick() {
+        let mut interp = Interpreter::new(program(), Strategy::Lex);
+        for w in initial(&[Face::U]) {
+            interp.add_wme(w);
+        }
+        let r = interp.run(10).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Halted);
+        // apply-u once, then rubik-done.
+        assert_eq!(r.fired.len(), 2);
+        assert_eq!(r.fired[0].name.as_str(), "apply-u");
+        let tick = interp
+            .working_memory()
+            .iter()
+            .find(|(_, w)| w.class().as_str() == "tick")
+            .unwrap()
+            .1
+            .get(mpps_ops::intern("n"));
+        assert_eq!(tick, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn four_u_turns_restore_the_cube() {
+        let mut interp = Interpreter::new(program(), Strategy::Lex);
+        for w in initial(&[Face::U, Face::U, Face::U, Face::U]) {
+            interp.add_wme(w);
+        }
+        let r = interp.run(20).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Halted);
+        // A quarter turn has order 4: all stickers back to face colours.
+        for (_, w) in interp.working_memory().iter() {
+            if w.class().as_str() == "sticker" {
+                let pos = w.get(mpps_ops::intern("pos")).unwrap().as_int().unwrap();
+                let color = w.get(mpps_ops::intern("color")).unwrap();
+                let expected = match pos / 4 {
+                    0 => "white",
+                    1 => "yellow",
+                    2 => "green",
+                    3 => "blue",
+                    4 => "orange",
+                    _ => "red",
+                };
+                assert_eq!(color, Value::sym(expected), "sticker {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn section_is_right_activation_heavy() {
+        let run = section(4, 256);
+        let stats = run.trace.stats();
+        assert!(stats.total() > 200, "non-trivial section: {stats}");
+        assert!(
+            stats.left_fraction() < 0.5,
+            "rubik-like sections are right-heavy: {stats}"
+        );
+    }
+
+    #[test]
+    fn section_halts_after_all_moves() {
+        let run = section(6, 256);
+        assert_eq!(run.result.outcome, RunOutcome::Halted);
+        assert_eq!(run.result.fired.len(), 7); // 6 moves + done
+    }
+}

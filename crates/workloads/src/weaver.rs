@@ -1,0 +1,199 @@
+//! A runnable VLSI-channel-routing ruleset with small cycles.
+//!
+//! The paper's Weaver section came from a knowledge-based VLSI router.
+//! Its defining property is **small cycles**: match phases with 100 or
+//! fewer tokens, where per-cycle parallelism is scarce and a handful of
+//! left activations generate most of the successors (§5.2.1). This
+//! workload routes nets across a grid one step per MRA cycle — each
+//! firing changes only a few WMEs (the path head, one cell), so every
+//! cycle is small, and the shared extension join concentrates successor
+//! generation the way the paper describes.
+
+use crate::section::{capture_trace, CapturedRun};
+use mpps_ops::builder::{lit, var};
+use mpps_ops::{ProductionBuilder, Program, RhsOp, RhsValue, Strategy, Wme};
+
+/// The routing program: extend the path head onto a free adjacent cell,
+/// and finish a net when its head reaches the target.
+pub fn program() -> Program {
+    let plus_one = |v: &str| {
+        RhsValue::Compute(RhsOp::Add, Box::new(var(v)), Box::new(lit(1)))
+    };
+    let extend = ProductionBuilder::new("extend-path")
+        .ce("head", |ce| {
+            ce.var("net", "n").var("x", "x").var("y", "y").var("dist", "d")
+        })
+        .ce("edge", |ce| {
+            ce.var("fx", "x").var("fy", "y").var("tx", "tx").var("ty", "ty")
+        })
+        .ce("cell", |ce| {
+            ce.var("x", "tx").var("y", "ty").constant("state", "free")
+        })
+        .neg_ce("target", |ce| ce.var("net", "n").var("x", "x").var("y", "y"))
+        .modify(1, &[("x", var("tx")), ("y", var("ty")), ("dist", plus_one("d"))])
+        .modify(3, &[("state", lit("used"))])
+        .make(
+            "segment",
+            &[("net", var("n")), ("x", var("tx")), ("y", var("ty"))],
+        )
+        .build()
+        .expect("extend rule is valid");
+    let arrive = ProductionBuilder::new("net-routed")
+        .ce("head", |ce| ce.var("net", "n").var("x", "x").var("y", "y"))
+        .ce("target", |ce| ce.var("net", "n").var("x", "x").var("y", "y"))
+        .remove(1)
+        .make("routed", &[("net", var("n"))])
+        .write(&[lit("routed"), var("n")])
+        .build()
+        .expect("arrive rule is valid");
+    Program::from_productions(vec![arrive, extend]).expect("weaver program is valid")
+}
+
+/// Initial WM for a `width × height` grid with one net to route from
+/// `(0, 0)` to `(width-1, 0)`.
+///
+/// Cells, 4-neighbourhood edges, the net's head and its target.
+pub fn initial(width: i64, height: i64) -> Vec<Wme> {
+    let mut wmes = Vec::new();
+    for x in 0..width {
+        for y in 0..height {
+            // The start cell is occupied by the head already.
+            let state = if (x, y) == (0, 0) { "used" } else { "free" };
+            wmes.push(Wme::new(
+                "cell",
+                &[("x", x.into()), ("y", y.into()), ("state", state.into())],
+            ));
+        }
+    }
+    let mut edge = |fx: i64, fy: i64, tx: i64, ty: i64| {
+        wmes.push(Wme::new(
+            "edge",
+            &[
+                ("fx", fx.into()),
+                ("fy", fy.into()),
+                ("tx", tx.into()),
+                ("ty", ty.into()),
+            ],
+        ));
+    };
+    for x in 0..width {
+        for y in 0..height {
+            if x + 1 < width {
+                edge(x, y, x + 1, y);
+                edge(x + 1, y, x, y);
+            }
+            if y + 1 < height {
+                edge(x, y, x, y + 1);
+                edge(x, y + 1, x, y);
+            }
+        }
+    }
+    wmes.push(Wme::new(
+        "head",
+        &[
+            ("net", 1.into()),
+            ("x", 0.into()),
+            ("y", 0.into()),
+            ("dist", 0.into()),
+        ],
+    ));
+    wmes.push(Wme::new(
+        "target",
+        &[("net", 1.into()), ("x", (width - 1).into()), ("y", 0.into())],
+    ));
+    wmes
+}
+
+/// Route on a `width × height` grid for up to `cycles` MRA cycles and
+/// capture the trace — the runnable counterpart of the paper's Weaver
+/// small-cycle section.
+pub fn section(width: i64, height: i64, cycles: usize, table_size: u64) -> CapturedRun {
+    capture_trace(
+        program(),
+        initial(width, height),
+        Strategy::Lex,
+        cycles,
+        table_size,
+    )
+    .expect("weaver section runs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_ops::{Interpreter, Value};
+
+    #[test]
+    fn program_compiles() {
+        assert!(mpps_rete::ReteNetwork::compile(&program()).is_ok());
+    }
+
+    #[test]
+    fn routes_a_straight_channel() {
+        // 4x1 grid: the only route is straight east; three extensions then
+        // arrival.
+        let mut interp = Interpreter::new(program(), Strategy::Lex);
+        for w in initial(4, 1) {
+            interp.add_wme(w);
+        }
+        let r = interp.run(50).unwrap();
+        let routed = interp
+            .working_memory()
+            .iter()
+            .any(|(_, w)| w.class().as_str() == "routed");
+        assert!(routed, "net reaches its target");
+        assert_eq!(
+            interp.output().last().unwrap(),
+            &vec![Value::sym("routed"), Value::Int(1)]
+        );
+        assert!(r.fired.iter().any(|f| f.name.as_str() == "net-routed"));
+        // Heads are removed on arrival.
+        assert!(!interp
+            .working_memory()
+            .iter()
+            .any(|(_, w)| w.class().as_str() == "head"));
+    }
+
+    #[test]
+    fn extension_marks_cells_used() {
+        let mut interp = Interpreter::new(program(), Strategy::Lex);
+        for w in initial(3, 1) {
+            interp.add_wme(w);
+        }
+        interp.run(30).unwrap();
+        let used = interp
+            .working_memory()
+            .iter()
+            .filter(|(_, w)| {
+                w.class().as_str() == "cell"
+                    && w.get(mpps_ops::intern("state")) == Some(Value::sym("used"))
+            })
+            .count();
+        assert_eq!(used, 3, "the whole channel is consumed");
+    }
+
+    #[test]
+    fn section_cycles_are_small() {
+        let run = section(5, 3, 25, 256);
+        let stats = run.trace.stats();
+        assert!(stats.total() > 0);
+        for (i, c) in run.trace.cycles.iter().enumerate() {
+            assert!(
+                c.two_input_count() <= 150,
+                "cycle {i} has {} activations — not a small cycle",
+                c.two_input_count()
+            );
+        }
+    }
+
+    #[test]
+    fn section_is_left_leaning() {
+        // Most activity is beta-side: heads/edges/cells joining.
+        let run = section(6, 2, 40, 256);
+        let stats = run.trace.stats();
+        assert!(
+            stats.left_fraction() > 0.3,
+            "expected substantial left activity: {stats}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: define a production system, run it, inspect the results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mpps::ops::{parse_program, Interpreter, Strategy};
+use mpps::rete::ReteMatcher;
+
+fn main() {
+    // An OPS5-subset program: count down a counter and log each tick.
+    let program = parse_program(
+        r#"
+        ; fires once per value, most recent first (LEX)
+        (p count-down
+           (counter ^name <c> ^value <v>)
+           -(counter ^value 0)
+           -->
+           (modify 1 ^value (- <v> 1))
+           (write tick <c> <v>))
+
+        (p finished
+           (counter ^name <c> ^value 0)
+           -->
+           (write done <c>)
+           (remove 1)
+           (halt))
+        "#,
+    )
+    .expect("program parses");
+
+    // The interpreter is generic over the matcher; use the Rete engine.
+    let matcher = ReteMatcher::from_program(&program).expect("program compiles");
+    let mut interp = Interpreter::with_matcher(program, Strategy::Lex, matcher);
+    interp.wm_make("counter", &[("name", "main".into()), ("value", 3.into())]);
+
+    let result = interp.run(100).expect("run succeeds");
+
+    println!("outcome: {:?} after {} cycles", result.outcome, result.cycles);
+    for f in &result.fired {
+        println!("  cycle {:>2}: fired {} {:?}", f.cycle, f.name, f.wme_ids);
+    }
+    println!("output log:");
+    for line in interp.output() {
+        let rendered: Vec<String> = line.iter().map(ToString::to_string).collect();
+        println!("  {}", rendered.join(" "));
+    }
+    println!("final WM size: {}", interp.working_memory().len());
+}

@@ -1,0 +1,277 @@
+//! `mpps` — run, trace and simulate OPS5-subset production systems.
+//!
+//! ```text
+//! mpps run <program.ops> [--wm <file.wm>] [--cycles N] [--strategy lex|mea]
+//!          [--matcher rete|naive|threaded] [--workers N] [--quiet]
+//! mpps trace <program.ops> [--wm <file.wm>] [--cycles N] [--table-size N]
+//!            [--out <file.trace>]
+//! mpps simulate <file.trace> [--procs 1,2,4,8,16,32] [--overhead 0|8|16|32]
+//!               [--partition rr|random|greedy] [--seed N]
+//! ```
+//!
+//! `.ops` files hold productions in the textual syntax; `.wm` files hold
+//! one WME per line, e.g. `(block ^name b1 ^color blue)`. Lines starting
+//! with `;` are comments.
+
+use mpps::core::sweep::{baseline, speedup_curve, PartitionStrategy};
+use mpps::core::{OverheadSetting, ThreadedMatcher};
+use mpps::ops::{
+    parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, Wme,
+};
+use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mpps run <program.ops> [--wm FILE] [--cycles N] [--strategy lex|mea]\n\
+         \x20          [--matcher rete|naive|threaded] [--workers N] [--quiet]\n\
+         \x20 mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N] [--out FILE]\n\
+         \x20 mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
+         \x20          [--partition rr|random|greedy] [--seed N]"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("mpps: {msg}");
+    exit(1)
+}
+
+/// Minimal flag parser: positional args plus `--key value` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key == "quiet" {
+                    flags.push((key.to_owned(), "true".to_owned()));
+                } else {
+                    let Some(v) = it.next() else {
+                        fail(format!("flag --{key} needs a value"));
+                    };
+                    flags.push((key.to_owned(), v));
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad value for --{key}: {v:?}"))),
+        }
+    }
+}
+
+fn read_file(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")))
+}
+
+fn load_wmes(path: Option<&str>) -> Vec<Wme> {
+    let Some(path) = path else {
+        return Vec::new();
+    };
+    read_file(path)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with(';'))
+        .map(|l| parse_wme(l).unwrap_or_else(|e| fail(format!("bad WME {l:?}: {e}"))))
+        .collect()
+}
+
+fn strategy_of(args: &Args) -> Strategy {
+    match args.get("strategy").unwrap_or("lex") {
+        "lex" => Strategy::Lex,
+        "mea" => Strategy::Mea,
+        other => fail(format!("unknown strategy {other:?} (lex|mea)")),
+    }
+}
+
+fn run_with<M: Matcher>(
+    program: mpps::ops::Program,
+    wmes: Vec<Wme>,
+    matcher: M,
+    strategy: Strategy,
+    cycles: usize,
+    quiet: bool,
+) {
+    let mut interp = Interpreter::with_matcher(program, strategy, matcher);
+    for w in wmes {
+        interp.add_wme(w);
+    }
+    let result = interp.run(cycles).unwrap_or_else(|e| fail(e));
+    if !quiet {
+        for f in &result.fired {
+            println!("cycle {:>4}: {}", f.cycle, f.name);
+        }
+        for line in interp.output() {
+            let rendered: Vec<String> = line.iter().map(ToString::to_string).collect();
+            println!("write: {}", rendered.join(" "));
+        }
+    }
+    println!(
+        "{:?} after {} cycles, {} firings, {} WMEs live",
+        result.outcome,
+        result.cycles,
+        result.fired.len(),
+        interp.working_memory().len()
+    );
+}
+
+fn cmd_run(args: &Args) {
+    let [program_path] = &args.positional[..] else {
+        usage();
+    };
+    let program = parse_program(&read_file(program_path)).unwrap_or_else(|e| fail(e));
+    let wmes = load_wmes(args.get("wm"));
+    let cycles = args.get_parse("cycles", 10_000usize);
+    let strategy = strategy_of(args);
+    let quiet = args.get("quiet").is_some();
+    match args.get("matcher").unwrap_or("rete") {
+        "rete" => {
+            let m = ReteMatcher::from_program(&program).unwrap_or_else(|e| fail(e));
+            run_with(program, wmes, m, strategy, cycles, quiet);
+        }
+        "naive" => {
+            let m = NaiveMatcher::new(program.clone());
+            run_with(program, wmes, m, strategy, cycles, quiet);
+        }
+        "threaded" => {
+            let workers = args.get_parse("workers", 4usize);
+            let m = ThreadedMatcher::from_program(&program, workers).unwrap_or_else(|e| fail(e));
+            run_with(program, wmes, m, strategy, cycles, quiet);
+        }
+        other => fail(format!("unknown matcher {other:?} (rete|naive|threaded)")),
+    }
+}
+
+fn cmd_trace(args: &Args) {
+    let [program_path] = &args.positional[..] else {
+        usage();
+    };
+    let program = parse_program(&read_file(program_path)).unwrap_or_else(|e| fail(e));
+    let wmes = load_wmes(args.get("wm"));
+    let cycles = args.get_parse("cycles", 10_000usize);
+    let table_size = args.get_parse("table-size", 2048u64);
+    let strategy = strategy_of(args);
+    let network = ReteNetwork::compile(&program).unwrap_or_else(|e| fail(e));
+    let matcher = ReteMatcher::new(
+        network,
+        EngineConfig {
+            table_size,
+            record_trace: true,
+        },
+    );
+    let mut interp = Interpreter::with_matcher(program, strategy, matcher);
+    for w in wmes {
+        interp.add_wme(w);
+    }
+    let result = interp.run(cycles).unwrap_or_else(|e| fail(e));
+    let trace = interp
+        .matcher_mut()
+        .take_trace()
+        .expect("tracing was enabled");
+    let stats = trace.stats();
+    eprintln!(
+        "{:?}: {} cycles, {} firings; activations: {}",
+        result.outcome,
+        result.cycles,
+        result.fired.len(),
+        stats
+    );
+    let text = trace.to_text();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).unwrap_or_else(|e| fail(format!("write {path}: {e}")));
+            eprintln!("trace written to {path}");
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn cmd_simulate(args: &Args) {
+    let [trace_path] = &args.positional[..] else {
+        usage();
+    };
+    let trace = Trace::from_text(&read_file(trace_path)).unwrap_or_else(|e| fail(e));
+    let procs: Vec<usize> = args
+        .get("procs")
+        .unwrap_or("1,2,4,8,16,32")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(format!("bad processor count {s:?}")))
+        })
+        .collect();
+    let overhead = match args.get("overhead").unwrap_or("8") {
+        "0" => OverheadSetting::table_5_1()[0],
+        "8" => OverheadSetting::table_5_1()[1],
+        "16" => OverheadSetting::table_5_1()[2],
+        "32" => OverheadSetting::table_5_1()[3],
+        other => fail(format!("unknown overhead {other:?} (0|8|16|32)")),
+    };
+    let seed = args.get_parse("seed", 1989u64);
+    let partition = match args.get("partition").unwrap_or("rr") {
+        "rr" => PartitionStrategy::RoundRobin,
+        "random" => PartitionStrategy::Random(seed),
+        "greedy" => PartitionStrategy::GreedyWholeTrace,
+        other => fail(format!("unknown partition {other:?} (rr|random|greedy)")),
+    };
+    let stats = trace.stats();
+    println!(
+        "trace: {} cycles, {} activations ({})",
+        trace.cycles.len(),
+        stats.total(),
+        stats
+    );
+    let base = baseline(&trace);
+    println!("serial match time: {}", base.total);
+    let curve = speedup_curve(&trace, &procs, overhead, partition);
+    println!("P, time_us, speedup");
+    for point in curve {
+        println!(
+            "{}, {:.1}, {:.2}",
+            point.processors, point.total_us, point.speedup
+        );
+    }
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let cmd = raw.remove(0);
+    let args = Args::parse(raw);
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "trace" => cmd_trace(&args),
+        "simulate" => cmd_simulate(&args),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # mpps — Message-Passing Production Systems
+//!
+//! Umbrella crate for the `mpps` workspace: a from-scratch reproduction of
+//! *"Production Systems on Message Passing Computers: Simulation Results and
+//! Analysis"* (Tambe, Acharya & Gupta, ICPP 1989).
+//!
+//! The workspace is organized as layered crates, re-exported here:
+//!
+//! * [`ops`] — an OPS5-subset production-system language (working memory,
+//!   productions, parser, conflict resolution, MRA interpreter).
+//! * [`rete`] — the Rete match network with hashed token memories, network
+//!   transforms (unsharing, dummy nodes, copy-and-constraint), and
+//!   activation-trace capture.
+//! * [`mpcsim`] — a discrete-event message-passing computer simulator.
+//! * [`core`] — the paper's contribution: the distributed hash-table
+//!   mapping of Rete onto an MPC, with a trace-driven simulated executor
+//!   and a real multi-threaded message-passing executor.
+//! * [`workloads`] — Rubik / Tourney / Weaver style rulesets and synthetic
+//!   trace generators reproducing the paper's characteristic sections.
+//! * [`analysis`] — the probabilistic active-bucket model, greedy bucket
+//!   scheduling, and speedup/report utilities.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the harness that regenerates every table and figure of the paper.
+
+pub use mpps_analysis as analysis;
+pub use mpps_core as core;
+pub use mpps_mpcsim as mpcsim;
+pub use mpps_ops as ops;
+pub use mpps_rete as rete;
+pub use mpps_workloads as workloads;

@@ -1,0 +1,106 @@
+//! Smoke tests for the `mpps` command-line tool: run → trace → simulate,
+//! end to end, on the bundled monkey-and-bananas program.
+
+use std::process::Command;
+
+fn mpps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpps"))
+}
+
+fn repo_file(rel: &str) -> String {
+    format!("{}/{}", env!("CARGO_MANIFEST_DIR"), rel)
+}
+
+#[test]
+fn run_monkey_and_bananas() {
+    let out = mpps()
+        .args([
+            "run",
+            &repo_file("examples/data/monkey.ops"),
+            "--wm",
+            &repo_file("examples/data/monkey.wm"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("push-ladder"));
+    assert!(stdout.contains("climb-ladder"));
+    assert!(stdout.contains("grab-bananas"));
+    assert!(stdout.contains("got bananas"));
+    assert!(stdout.contains("Halted after 3 cycles"));
+}
+
+#[test]
+fn run_with_each_matcher_agrees() {
+    let run = |matcher: &str| {
+        let out = mpps()
+            .args([
+                "run",
+                &repo_file("examples/data/monkey.ops"),
+                "--wm",
+                &repo_file("examples/data/monkey.wm"),
+                "--matcher",
+                matcher,
+                "--quiet",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{matcher}: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let rete = run("rete");
+    assert_eq!(rete, run("naive"));
+    assert_eq!(rete, run("threaded"));
+}
+
+#[test]
+fn trace_then_simulate_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("mpps-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("monkey.trace");
+    let out = mpps()
+        .args([
+            "trace",
+            &repo_file("examples/data/monkey.ops"),
+            "--wm",
+            &repo_file("examples/data/monkey.wm"),
+            "--table-size",
+            "64",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(text.starts_with("mpps-trace v1 table_size=64"));
+
+    let out = mpps()
+        .args([
+            "simulate",
+            trace_path.to_str().unwrap(),
+            "--procs",
+            "1,2,4",
+            "--overhead",
+            "0",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("P, time_us, speedup"));
+    // P=1 at zero overhead is the baseline: speedup 1.00.
+    assert!(stdout.contains("1, "), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = mpps().args(["run", "/nonexistent.ops"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = mpps().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = mpps().output().unwrap();
+    assert!(!out.status.success());
+}

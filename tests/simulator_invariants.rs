@@ -1,0 +1,212 @@
+//! Property tests on the trace-driven simulator: timing invariants that
+//! must hold for every trace, processor count, and overhead setting.
+
+use mpps::core::sweep::baseline;
+use mpps::core::{simulate, MappingConfig, OverheadSetting, Partition};
+use mpps::mpcsim::SimTime;
+use mpps::ops::Sign;
+use mpps::rete::trace::{ActKind, ActivationRecord, TraceCycle};
+use mpps::rete::{NodeId, Side, Trace};
+use proptest::prelude::*;
+
+const TABLE: u64 = 64;
+
+/// Generate a random but well-formed trace: every parent precedes its
+/// children, buckets in range.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (
+                0u32..20,              // node
+                any::<bool>(),         // side (roots only)
+                0u64..TABLE,           // bucket
+                any::<prop::sample::Index>(), // parent selector
+                0u8..10,               // parent? kind? mixing byte
+            ),
+            0..40,
+        ),
+        1..4,
+    )
+    .prop_map(|cycles| {
+        let mut trace = Trace::new(TABLE);
+        for specs in cycles {
+            let mut cycle = TraceCycle::default();
+            for (node, right, bucket, parent_sel, mix) in specs {
+                let is_root = cycle.activations.is_empty() || mix < 4;
+                let parent = if is_root {
+                    None
+                } else {
+                    Some(parent_sel.index(cycle.activations.len()) as u32)
+                };
+                // Children of two-input nodes are left activations; only
+                // roots may be right activations.
+                let side = if parent.is_none() && right {
+                    Side::Right
+                } else {
+                    Side::Left
+                };
+                let kind = if parent.is_some() && mix == 9 {
+                    ActKind::Production
+                } else {
+                    ActKind::TwoInput
+                };
+                // Productions cannot have children; remap children whose
+                // chosen parent is a production to the root.
+                let parent = parent.map(|p| {
+                    let mut p = p;
+                    while cycle.activations[p as usize].kind == ActKind::Production {
+                        if p == 0 {
+                            break;
+                        }
+                        p -= 1;
+                    }
+                    p
+                });
+                // If we still landed on a production at index 0, make this
+                // activation a root instead.
+                let parent = match parent {
+                    Some(p) if cycle.activations[p as usize].kind == ActKind::Production => None,
+                    other => other,
+                };
+                cycle.activations.push(ActivationRecord {
+                    node: NodeId(node),
+                    side,
+                    sign: Sign::Plus,
+                    bucket,
+                    parent,
+                    kind,
+                });
+            }
+            trace.cycles.push(cycle);
+        }
+        trace
+    })
+}
+
+/// Serial work of a trace under the default cost model (plus constant
+/// tests per cycle) — an upper bound on any simulated makespan total.
+fn serial_work(trace: &Trace) -> SimTime {
+    mpps::core::continuum::serial_time(trace, &mpps::core::CostModel::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With zero overheads, parallel total never exceeds serial total
+    /// (adding processors cannot add work) and speedup never exceeds P.
+    #[test]
+    fn zero_overhead_bounds(trace in arb_trace(), p in 1usize..9) {
+        let config = MappingConfig {
+            network: mpps::mpcsim::NetworkModel::Constant(SimTime::ZERO),
+            ..MappingConfig::standard(p, OverheadSetting::ZERO)
+        };
+        let partition = Partition::round_robin(TABLE, p);
+        let report = simulate(&trace, &config, &partition);
+        let serial = serial_work(&trace);
+        prop_assert!(report.total <= serial, "parallel {} > serial {}", report.total, serial);
+        let base = baseline(&trace);
+        prop_assert_eq!(base.total, serial);
+        let speedup = report.speedup_vs(&base);
+        prop_assert!(speedup <= p as f64 + 1e-9, "speedup {} > P {}", speedup, p);
+    }
+
+    /// Overheads never make a run faster.
+    #[test]
+    fn overhead_monotonicity(trace in arb_trace(), p in 1usize..9) {
+        let partition = Partition::round_robin(TABLE, p);
+        let rows = OverheadSetting::table_5_1();
+        let mut prev = SimTime::ZERO;
+        for row in rows {
+            let config = MappingConfig::standard(p, row);
+            let total = simulate(&trace, &config, &partition).total;
+            prop_assert!(total >= prev, "overhead {} made the run faster", row.total());
+            prev = total;
+        }
+    }
+
+    /// The simulation is deterministic.
+    #[test]
+    fn determinism(trace in arb_trace(), p in 1usize..9) {
+        let config = MappingConfig::standard(p, OverheadSetting::table_5_1()[2]);
+        let partition = Partition::random(TABLE, p, 7);
+        let a = simulate(&trace, &config, &partition);
+        let b = simulate(&trace, &config, &partition);
+        prop_assert_eq!(a.total, b.total);
+        for (x, y) in a.cycles.iter().zip(b.cycles.iter()) {
+            prop_assert_eq!(x.makespan, y.makespan);
+            prop_assert_eq!(&x.left_acts, &y.left_acts);
+        }
+    }
+
+    /// Activation conservation: every partition processes every
+    /// activation exactly once.
+    #[test]
+    fn conservation_across_partitions(trace in arb_trace(), seed in 0u64..4, p in 1usize..9) {
+        let expected = trace.stats();
+        let config = MappingConfig::standard(p, OverheadSetting::table_5_1()[1]);
+        let partition = Partition::random(TABLE, p, seed);
+        let report = simulate(&trace, &config, &partition);
+        let left: u64 = report.cycles.iter().map(|c| c.left_acts.iter().sum::<u64>()).sum();
+        let right: u64 = report.cycles.iter().map(|c| c.right_acts.iter().sum::<u64>()).sum();
+        prop_assert_eq!(left as usize, expected.left);
+        prop_assert_eq!(right as usize, expected.right);
+    }
+
+    /// The processor-pair variant is at least as fast as combined when
+    /// communication is free (it strictly adds overlap), and never
+    /// processes a different activation count.
+    #[test]
+    fn pairs_no_slower_with_free_messages(trace in arb_trace(), p in 1usize..5) {
+        let zero = MappingConfig {
+            network: mpps::mpcsim::NetworkModel::Constant(SimTime::ZERO),
+            ..MappingConfig::standard(p, OverheadSetting::ZERO)
+        };
+        let pairs = MappingConfig {
+            variant: mpps::core::MappingVariant::ProcessorPairs,
+            ..zero
+        };
+        let partition = Partition::round_robin(TABLE, p);
+        let combined_report = simulate(&trace, &zero, &partition);
+        let pairs_report = simulate(&trace, &pairs, &partition);
+        prop_assert!(
+            pairs_report.total <= combined_report.total,
+            "pairs {} > combined {}",
+            pairs_report.total,
+            combined_report.total
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulator-input text format round-trips arbitrary well-formed
+    /// traces exactly.
+    #[test]
+    fn trace_text_roundtrip(trace in arb_trace()) {
+        let text = trace.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        prop_assert_eq!(back.table_size, trace.table_size);
+        prop_assert_eq!(back.cycles.len(), trace.cycles.len());
+        for (a, b) in trace.cycles.iter().zip(back.cycles.iter()) {
+            prop_assert_eq!(&a.activations, &b.activations);
+        }
+    }
+
+    /// Section extraction and empty-cycle filtering preserve stats of the
+    /// retained cycles.
+    #[test]
+    fn section_and_filter_consistency(trace in arb_trace()) {
+        let full = trace.stats();
+        let filtered = trace.without_empty_cycles();
+        prop_assert_eq!(filtered.stats(), full);
+        if !trace.cycles.is_empty() {
+            let first = trace.section(0, 1);
+            let rest = trace.section(1, trace.cycles.len());
+            prop_assert_eq!(
+                first.stats().total() + rest.stats().total(),
+                full.total()
+            );
+        }
+    }
+}
