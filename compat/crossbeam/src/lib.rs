@@ -1,0 +1,67 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace uses:
+//! `channel::{unbounded, Sender, Receiver}` with `send`/`recv`/`try_recv`
+//! and cloneable senders. Backed by `std::sync::mpsc`, which has identical
+//! semantics for this MPSC usage (each receiver is moved into exactly one
+//! worker thread).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        h.join().unwrap();
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

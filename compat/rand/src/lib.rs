@@ -1,0 +1,218 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `rand` crate cannot be fetched. This crate is wired in through
+//! `[patch.crates-io]` in the workspace root and provides the same API
+//! shape for the calls the workspace actually makes:
+//!
+//! * `rngs::StdRng` + `SeedableRng::seed_from_u64`
+//! * `Rng::gen_range` over integer `Range`/`RangeInclusive`
+//! * `Rng::gen_bool`
+//! * `seq::SliceRandom::shuffle`
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! and high-quality, but **not bit-compatible** with upstream `StdRng`
+//! (ChaCha12). Seed-derived layouts therefore differ from builds against
+//! the real crate; every test in the workspace either fixes its
+//! expectations against this stream or asserts seed-independent
+//! properties.
+
+/// Core source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding entry point (`seed_from_u64` is the only constructor used).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Multiply-shift bounded sampling: floor(r · span / 2^64). Bias is
+/// < span/2^64 — negligible for the small spans used here.
+fn bounded(r: u64, span: u128) -> u64 {
+    debug_assert!(span > 0);
+    (((r as u128) * span) >> 64) as u64
+}
+
+/// Integer types usable with [`Rng::gen_range`]. A single generic
+/// `SampleRange` impl keeps literal-type inference working the way it
+/// does with the real crate (`gen_range(0..7)` adopts the context type).
+pub trait SampleUniform: Copy {
+    /// `end - start` as a widened unsigned span.
+    fn span(start: Self, end: Self) -> u128;
+    /// `start + offset`, where `offset < span(start, end)`.
+    fn from_offset(start: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    (unsigned: $($u:ty),*; signed: $($i:ty),*) => {
+        $(impl SampleUniform for $u {
+            fn span(start: Self, end: Self) -> u128 {
+                (end as u128).saturating_sub(start as u128)
+            }
+            fn from_offset(start: Self, offset: u64) -> Self {
+                start + offset as $u
+            }
+        })*
+        $(impl SampleUniform for $i {
+            fn span(start: Self, end: Self) -> u128 {
+                (end as i128 - start as i128).max(0) as u128
+            }
+            fn from_offset(start: Self, offset: u64) -> Self {
+                (start as i128 + offset as i128) as $i
+            }
+        })*
+    };
+}
+
+impl_sample_uniform!(unsigned: u8, u16, u32, u64, usize; signed: i8, i16, i32, i64, isize);
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let span = T::span(self.start, self.end);
+        assert!(span > 0, "cannot sample empty range");
+        T::from_offset(self.start, bounded(rng.next_u64(), span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        let span = T::span(start, end) + 1;
+        T::from_offset(start, bounded(rng.next_u64(), span))
+    }
+}
+
+pub mod rngs {
+    /// Drop-in for `rand::rngs::StdRng`: xoshiro256++ over SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use crate::RngCore;
+
+    /// Fisher–Yates shuffle, the only `SliceRandom` method used.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = crate::bounded(rng.next_u64(), i as u128 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(1989);
+        let mut b = StdRng::seed_from_u64(1989);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0usize..=4);
+            assert!(y <= 4);
+            let z = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the identity permutation");
+    }
+}

@@ -21,8 +21,7 @@ pub mod schedule;
 
 pub use dips::{find_dips, monotonic_envelope, Dip};
 pub use probmodel::{
-    estimate_max_load, expected_speedup, prob_perfectly_even, prob_totally_uneven,
-    MaxLoadEstimate,
+    estimate_max_load, expected_speedup, prob_perfectly_even, prob_totally_uneven, MaxLoadEstimate,
 };
 pub use report::{render_csv, render_series, render_table};
 pub use schedule::{

@@ -81,11 +81,7 @@ pub fn render_csv(x_label: &str, series: &[(&str, Vec<(f64, f64)>)]) -> String {
     }
     let xs: Vec<f64> = series[0].1.iter().map(|&(x, _)| x).collect();
     for (name, pts) in series {
-        assert_eq!(
-            pts.len(),
-            xs.len(),
-            "series {name} must share the x grid"
-        );
+        assert_eq!(pts.len(), xs.len(), "series {name} must share the x grid");
     }
     for (i, x) in xs.iter().enumerate() {
         write!(out, "{x}").unwrap();

@@ -7,7 +7,7 @@
 //! alternative assignment would improve the simulated run. The evaluation
 //! lives here.
 
-use mpps_core::{cycle_bucket_activity, Partition};
+use mpps_core::{cycle_bucket_activity, cycle_bucket_work, CostModel, Partition};
 use mpps_rete::Trace;
 
 /// Summary of one load vector (per-processor activation counts).
@@ -65,28 +65,33 @@ pub fn per_cycle_stats(trace: &Trace, partition: &Partition) -> Vec<LoadStats> {
 }
 
 /// Build the paper's per-cycle greedy distributions: one LPT assignment
-/// per cycle, from that cycle's observed bucket activity (the information
-/// "not available to the actual distribution algorithm" — this is the
-/// offline bound).
+/// per cycle, from that cycle's observed bucket **work** (token store +
+/// successor generation, the information "not available to the actual
+/// distribution algorithm" — this is the offline bound). Work weights
+/// matter: by raw counts a bucket holding one 1600-successor generator
+/// looks idle, and LPT would happily stack all generators on one
+/// processor.
 pub fn greedy_per_cycle(trace: &Trace, processors: usize) -> Vec<Partition> {
+    let cost = CostModel::default();
     (0..trace.cycles.len())
-        .map(|c| Partition::greedy(&cycle_bucket_activity(trace, c), processors))
+        .map(|c| Partition::greedy(&cycle_bucket_work(trace, c, &cost), processors))
         .collect()
 }
 
 /// The idealized improvement factor of per-cycle greedy over a fixed
-/// assignment, estimated from per-cycle maximum loads (activation counts
-/// stand in for time): `sum(max under fixed) / sum(max under greedy)`.
+/// assignment, estimated from per-cycle maximum loads (per-bucket work
+/// stands in for time): `sum(max under fixed) / sum(max under greedy)`.
 /// The paper measured ≈1.4 on its traces.
 pub fn greedy_improvement_bound(trace: &Trace, fixed: &Partition) -> f64 {
     let procs = fixed.processors();
+    let cost = CostModel::default();
     let mut fixed_sum = 0u64;
     let mut greedy_sum = 0u64;
     for c in 0..trace.cycles.len() {
-        let activity = cycle_bucket_activity(trace, c);
-        fixed_sum += *fixed.loads(&activity).iter().max().unwrap_or(&0);
-        let greedy = Partition::greedy(&activity, procs);
-        greedy_sum += *greedy.loads(&activity).iter().max().unwrap_or(&0);
+        let work = cycle_bucket_work(trace, c, &cost);
+        fixed_sum += *fixed.loads(&work).iter().max().unwrap_or(&0);
+        let greedy = Partition::greedy(&work, procs);
+        greedy_sum += *greedy.loads(&work).iter().max().unwrap_or(&0);
     }
     if greedy_sum == 0 {
         1.0

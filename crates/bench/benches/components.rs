@@ -51,10 +51,7 @@ fn bench_memory_ablation(c: &mut Criterion) {
     // many distinct values (a cross product would hash to one bucket
     // either way — that is the Tourney pathology, not this ablation).
     use mpps_ops::parse_program;
-    let program = parse_program(
-        "(p link (a ^v <x>) (b ^v <x>) --> (remove 1))",
-    )
-    .unwrap();
+    let program = parse_program("(p link (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
     let network = ReteNetwork::compile(&program).unwrap();
     let changes: Vec<WmeChange> = (0..300i64)
         .flat_map(|i| {
@@ -237,6 +234,58 @@ fn bench_machine_throughput(c: &mut Criterion) {
     });
 }
 
+fn bench_simulate_hot_loop(c: &mut Criterion) {
+    // The sweep engine's per-point cost: `simulate` allocates a fresh
+    // scratch per call; `simulate_in` reuses one across points the way a
+    // `SweepPlan` worker does. The gap is the remaining allocation cost —
+    // the per-cycle trace-data clones of the pre-refactor executor no
+    // longer exist on either path.
+    use mpps_core::{simulate_in, SimScratch};
+    let trace = synth::rubik(SEED);
+    let p = 16;
+    let partition = Partition::round_robin(trace.table_size, p);
+    let config = MappingConfig::standard(p, OverheadSetting::table_5_1()[1]);
+    let mut g = c.benchmark_group("simulate_hot_loop");
+    g.sample_size(20);
+    g.bench_function("fresh_scratch", |b| {
+        b.iter(|| black_box(simulate(&trace, &config, &partition)).total)
+    });
+    g.bench_function("reused_scratch", |b| {
+        let mut scratch = SimScratch::new();
+        b.iter(|| black_box(simulate_in(&mut scratch, &trace, &config, &partition)).total)
+    });
+    g.finish();
+}
+
+fn bench_sweep_plan(c: &mut Criterion) {
+    // The figure driver's fan-out: one section's full overhead sweep as a
+    // single plan, serial vs a worker pool.
+    use mpps_core::sweep::{overhead_sweep_jobs, PartitionStrategy};
+    let trace = synth::rubik(SEED);
+    let procs = [1usize, 2, 4, 8, 16, 32];
+    let rows = OverheadSetting::table_5_1();
+    let mut g = c.benchmark_group("sweep_plan");
+    g.sample_size(10);
+    for jobs in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("overhead_sweep", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    black_box(overhead_sweep_jobs(
+                        &trace,
+                        &procs,
+                        &rows,
+                        PartitionStrategy::RoundRobin,
+                        jobs,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_trace_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_generation");
     g.bench_function("synth_rubik", |b| b.iter(|| black_box(synth::rubik(SEED))));
@@ -257,6 +306,8 @@ criterion_group!(
     bench_pairs_ablation,
     bench_sequential_vs_threaded,
     bench_machine_throughput,
+    bench_simulate_hot_loop,
+    bench_sweep_plan,
     bench_trace_generation,
 );
 criterion_main!(components);

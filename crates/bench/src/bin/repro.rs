@@ -1,7 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro all            # everything below, in paper order
+//! repro [FIGURE] [--figures a,b,c] [--jobs N] [--bench-out PATH]
+//!
+//! repro all            # everything below, in paper order (the default)
 //! repro fig5-1         # speedups, zero overhead
 //! repro table5-1       # overhead settings
 //! repro fig5-2         # speedups under each overhead row (+ loss summary)
@@ -18,10 +20,39 @@
 //! repro termination-cost # pricing ring-token termination detection
 //! repro era            # §1 motivation: first- vs new-generation MPCs
 //! ```
+//!
+//! All selected figures contribute their simulation points to **one**
+//! [`SweepPlan`]; shared points (same trace, mapping, and partition) are
+//! simulated once, and the plan executes on `--jobs` worker threads
+//! (default: available parallelism). Results are keyed by point id, so
+//! stdout is byte-identical for every `--jobs` value. Wall-clock and
+//! point counts are written to `BENCH_repro.json` (stderr notes the
+//! path); pass `--bench-out ''` to skip the file.
+
+use std::time::Instant;
 
 use mpps_analysis::{render_series, render_table};
 use mpps_bench::experiments as exp;
-use mpps_core::sweep::SpeedupPoint;
+use mpps_core::sweep::{SpeedupPoint, SweepPlan, SweepResults};
+
+/// Canonical figure order (paper order) — also the output order.
+const FIGURES: &[&str] = &[
+    "fig5-1",
+    "table5-1",
+    "fig5-2",
+    "table5-2",
+    "fig5-3",
+    "fig5-4",
+    "fig5-5",
+    "fig5-6",
+    "network-idle",
+    "greedy",
+    "probmodel",
+    "continuum",
+    "shared-bus",
+    "termination-cost",
+    "era",
+];
 
 fn curve_points(curve: &[SpeedupPoint]) -> Vec<(f64, f64)> {
     curve
@@ -30,8 +61,79 @@ fn curve_points(curve: &[SpeedupPoint]) -> Vec<(f64, f64)> {
         .collect()
 }
 
-fn fig5_1() {
-    let curves = exp::fig5_1();
+/// Planned ids for one figure (the figures that simulate nothing at plan
+/// time hold `None`).
+enum FigPlan {
+    None,
+    F51(exp::Fig51Plan),
+    F52(exp::Fig52Plan, exp::LossesPlan),
+    F54(exp::Fig54Plan),
+    F55(exp::Fig55Plan),
+    F56(exp::Fig56Plan),
+    Idle(exp::NetworkIdlePlan),
+    Greedy(exp::GreedyPlan, exp::RandomPlan),
+    Continuum(exp::ContinuumPlan),
+    SharedBus(exp::SharedBusPlan),
+    Termination(exp::TerminationPlan),
+    Era(exp::EraPlan),
+}
+
+fn plan_figure<'t>(name: &str, s: &'t exp::Sections, plan: &mut SweepPlan<'t>) -> FigPlan {
+    match name {
+        "fig5-1" => FigPlan::F51(exp::plan_fig5_1(s, plan)),
+        "fig5-2" => FigPlan::F52(exp::plan_fig5_2(s, plan), exp::plan_fig5_2_losses(s, plan)),
+        "fig5-4" => FigPlan::F54(exp::plan_fig5_4(s, plan)),
+        "fig5-5" => FigPlan::F55(exp::plan_fig5_5(s, plan)),
+        "fig5-6" => FigPlan::F56(exp::plan_fig5_6(s, plan)),
+        "network-idle" => FigPlan::Idle(exp::plan_network_idle(s, plan)),
+        "greedy" => FigPlan::Greedy(
+            exp::plan_greedy_gains(s, plan),
+            exp::plan_random_vs_round_robin(s, plan),
+        ),
+        "continuum" => FigPlan::Continuum(exp::plan_continuum(s, plan)),
+        "shared-bus" => FigPlan::SharedBus(exp::plan_shared_bus(s, plan)),
+        "termination-cost" => FigPlan::Termination(exp::plan_termination_cost(s, plan)),
+        "era" => FigPlan::Era(exp::plan_era_comparison(s, plan)),
+        _ => FigPlan::None,
+    }
+}
+
+fn render_figure(name: &str, ids: &FigPlan, s: &exp::Sections, r: &SweepResults) {
+    match (name, ids) {
+        ("fig5-1", FigPlan::F51(p)) => fig5_1(&exp::render_fig5_1(p, r)),
+        ("table5-1", _) => table5_1(),
+        ("fig5-2", FigPlan::F52(p, losses)) => fig5_2(
+            &exp::render_fig5_2(p, r),
+            &exp::render_fig5_2_losses(losses, s, r),
+        ),
+        ("table5-2", _) => table5_2(s),
+        ("fig5-3", _) => fig5_3(),
+        ("fig5-4", FigPlan::F54(p)) => {
+            let (shared, unshared) = exp::render_fig5_4(p, r);
+            fig5_4(&shared, &unshared);
+        }
+        ("fig5-5", FigPlan::F55(p)) => fig5_5(&exp::render_fig5_5(p, r)),
+        ("fig5-6", FigPlan::F56(p)) => {
+            let (plain, cc) = exp::render_fig5_6(p, r);
+            fig5_6(&plain, &cc);
+        }
+        ("network-idle", FigPlan::Idle(p)) => network_idle(&exp::render_network_idle(p, r)),
+        ("greedy", FigPlan::Greedy(g, rnd)) => greedy(
+            &exp::render_greedy_gains(g, s, r),
+            &exp::render_random_vs_round_robin(rnd, r),
+        ),
+        ("probmodel", _) => probmodel(),
+        ("continuum", FigPlan::Continuum(p)) => continuum(&exp::render_continuum(p, s, r)),
+        ("shared-bus", FigPlan::SharedBus(p)) => shared_bus(&exp::render_shared_bus(p, s, r)),
+        ("termination-cost", FigPlan::Termination(p)) => {
+            termination_cost(&exp::render_termination_cost(p, r))
+        }
+        ("era", FigPlan::Era(p)) => era(&exp::render_era_comparison(p, r)),
+        _ => unreachable!("figure {name} planned inconsistently"),
+    }
+}
+
+fn fig5_1(curves: &[(&'static str, Vec<SpeedupPoint>)]) {
     let series: Vec<(&str, Vec<(f64, f64)>)> = curves
         .iter()
         .map(|(name, c)| (*name, curve_points(c)))
@@ -47,11 +149,8 @@ fn fig5_1() {
     );
     // The paper's "interesting dips": report any decrease with more
     // processors.
-    for (name, curve) in &curves {
-        let pts: Vec<(usize, f64)> = curve
-            .iter()
-            .map(|p| (p.processors, p.speedup))
-            .collect();
+    for (name, curve) in curves {
+        let pts: Vec<(usize, f64)> = curve.iter().map(|p| (p.processors, p.speedup)).collect();
         for d in mpps_analysis::find_dips(&pts, 0.01) {
             println!(
                 "dip ({name}): {} -> {} processors, speedup {:.2} -> {:.2}                  (uneven active-bucket distribution)",
@@ -73,8 +172,8 @@ fn table5_1() {
     );
 }
 
-fn fig5_2() {
-    for (name, sweeps) in exp::fig5_2() {
+fn fig5_2(curves: &[(&'static str, exp::OverheadCurves)], losses: &[(&'static str, f64, f64)]) {
+    for (name, sweeps) in curves {
         let series: Vec<(String, Vec<(f64, f64)>)> = sweeps
             .iter()
             .map(|(o, c)| (format!("{}:{}", name, o.name), curve_points(c)))
@@ -93,9 +192,9 @@ fn fig5_2() {
             )
         );
     }
-    let rows: Vec<Vec<String>> = exp::fig5_2_losses()
-        .into_iter()
-        .map(|(name, loss, left_frac)| {
+    let rows: Vec<Vec<String>> = losses
+        .iter()
+        .map(|&(name, loss, left_frac)| {
             vec![
                 name.to_owned(),
                 format!("{:.0}%", loss * 100.0),
@@ -113,13 +212,13 @@ fn fig5_2() {
     );
 }
 
-fn table5_2() {
+fn table5_2(s: &exp::Sections) {
     println!(
         "{}",
         render_table(
             "Table 5-2: tokens in the sections of the three programs",
             &["Program", "Left activations", "Right activations", "Total"],
-            &exp::table5_2(),
+            &exp::table5_2_for(s),
         )
     );
 }
@@ -149,24 +248,22 @@ fn fig5_3() {
     println!("\nafter unsharing, O1 and O2 generate their outputs independently\n");
 }
 
-fn fig5_4() {
-    let (shared, unshared) = exp::fig5_4();
+fn fig5_4(shared: &[SpeedupPoint], unshared: &[SpeedupPoint]) {
     println!(
         "{}",
         render_series(
             "Figure 5-4: Weaver speedups with unsharing (zero overheads)",
             "P",
             &[
-                ("shared", curve_points(&shared)),
-                ("unshared", curve_points(&unshared)),
+                ("shared", curve_points(shared)),
+                ("unshared", curve_points(unshared)),
             ],
             40,
         )
     );
 }
 
-fn fig5_5() {
-    let cycles = exp::fig5_5();
+fn fig5_5(cycles: &[Vec<u64>]) {
     for (c, loads) in cycles.iter().enumerate() {
         let series: Vec<(f64, f64)> = loads
             .iter()
@@ -185,26 +282,25 @@ fn fig5_5() {
     }
 }
 
-fn fig5_6() {
-    let (plain, cc) = exp::fig5_6();
+fn fig5_6(plain: &[SpeedupPoint], cc: &[SpeedupPoint]) {
     println!(
         "{}",
         render_series(
             "Figure 5-6: Tourney speedups with copy-and-constraint (zero overheads)",
             "P",
             &[
-                ("original", curve_points(&plain)),
-                ("copy+constrain", curve_points(&cc)),
+                ("original", curve_points(plain)),
+                ("copy+constrain", curve_points(cc)),
             ],
             40,
         )
     );
 }
 
-fn network_idle() {
-    let rows: Vec<Vec<String>> = exp::network_idle()
-        .into_iter()
-        .map(|(name, idle)| vec![name.to_owned(), format!("{:.1}%", idle * 100.0)])
+fn network_idle(fractions: &[(&'static str, f64)]) {
+    let rows: Vec<Vec<String>> = fractions
+        .iter()
+        .map(|&(name, idle)| vec![name.to_owned(), format!("{:.1}%", idle * 100.0)])
         .collect();
     println!(
         "{}",
@@ -216,10 +312,10 @@ fn network_idle() {
     );
 }
 
-fn greedy() {
-    let rows: Vec<Vec<String>> = exp::greedy_gains()
-        .into_iter()
-        .map(|(name, simulated, bound)| {
+fn greedy(gains: &[(&'static str, f64, f64)], random: &[(&'static str, f64)]) {
+    let rows: Vec<Vec<String>> = gains
+        .iter()
+        .map(|&(name, simulated, bound)| {
             vec![
                 name.to_owned(),
                 format!("x{simulated:.2}"),
@@ -235,9 +331,9 @@ fn greedy() {
             &rows,
         )
     );
-    let rows: Vec<Vec<String>> = exp::random_vs_round_robin()
-        .into_iter()
-        .map(|(name, gain)| vec![name.to_owned(), format!("x{gain:.2}")])
+    let rows: Vec<Vec<String>> = random
+        .iter()
+        .map(|&(name, gain)| vec![name.to_owned(), format!("x{gain:.2}")])
         .collect();
     println!(
         "{}",
@@ -275,10 +371,10 @@ fn probmodel() {
     println!();
 }
 
-fn continuum() {
-    let rows: Vec<Vec<String>> = exp::continuum()
-        .into_iter()
-        .map(|(label, speedup)| vec![label, format!("{speedup:.2}x")])
+fn continuum(points: &[(String, f64)]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(label, speedup)| vec![label.clone(), format!("{speedup:.2}x")])
         .collect();
     println!(
         "{}",
@@ -290,20 +386,16 @@ fn continuum() {
     );
 }
 
-fn shared_bus() {
-    for (name, rows) in exp::shared_bus_comparison() {
+fn shared_bus(sections: &exp::ComparisonRows) {
+    for (name, rows) in sections {
         let table: Vec<Vec<String>> = rows
             .iter()
-            .map(|&(p, mpc, bus)| {
-                vec![format!("{p}"), format!("{mpc:.2}"), format!("{bus:.2}")]
-            })
+            .map(|&(p, mpc, bus)| vec![format!("{p}"), format!("{mpc:.2}"), format!("{bus:.2}")])
             .collect();
         println!(
             "{}",
             render_table(
-                &format!(
-                    "Section 5.2 comparison ({name}): distributed MPC vs shared-bus mapping"
-                ),
+                &format!("Section 5.2 comparison ({name}): distributed MPC vs shared-bus mapping"),
                 &["P", "MPC speedup", "Shared-bus speedup"],
                 &table,
             )
@@ -311,8 +403,8 @@ fn shared_bus() {
     }
 }
 
-fn termination_cost() {
-    for (name, rows) in exp::termination_cost() {
+fn termination_cost(sections: &exp::ComparisonRows) {
+    for (name, rows) in sections {
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|&(p, omniscient, ring)| {
@@ -337,10 +429,10 @@ fn termination_cost() {
     }
 }
 
-fn era() {
-    let rows: Vec<Vec<String>> = exp::era_comparison()
-        .into_iter()
-        .map(|(name, new_gen, old)| {
+fn era(rows_in: &[(&'static str, f64, f64)]) {
+    let rows: Vec<Vec<String>> = rows_in
+        .iter()
+        .map(|&(name, new_gen, old)| {
             vec![
                 name.to_owned(),
                 format!("{new_gen:.2}x"),
@@ -352,57 +444,174 @@ fn era() {
         "{}",
         render_table(
             "Section 1 motivation: new-generation vs first-generation MPC, 16 procs",
-            &["Section", "Nectar-era (8us, 0.5us)", "Cosmic-Cube-era (300us, 500us/hop)"],
+            &[
+                "Section",
+                "Nectar-era (8us, 0.5us)",
+                "Cosmic-Cube-era (300us, 500us/hop)"
+            ],
             &rows,
         )
     );
 }
 
-fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    let run = |what: &str| match what {
-        "fig5-1" => fig5_1(),
-        "table5-1" => table5_1(),
-        "fig5-2" => fig5_2(),
-        "table5-2" => table5_2(),
-        "fig5-3" => fig5_3(),
-        "fig5-4" => fig5_4(),
-        "fig5-5" => fig5_5(),
-        "fig5-6" => fig5_6(),
-        "network-idle" => network_idle(),
-        "greedy" => greedy(),
-        "probmodel" => probmodel(),
-        "continuum" => continuum(),
-        "shared-bus" => shared_bus(),
-        "termination-cost" => termination_cost(),
-        "era" => era(),
-        other => {
-            eprintln!("unknown experiment {other:?}; see `repro` source header for the list");
+struct Args {
+    figures: Vec<&'static str>,
+    jobs: usize,
+    bench_out: Option<String>,
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: repro [FIGURE|all] [--figures a,b,c] [--jobs N] [--bench-out PATH]\n\
+         figures: {}",
+        FIGURES.join(", ")
+    );
+    std::process::exit(code);
+}
+
+fn canonical(name: &str) -> &'static str {
+    FIGURES
+        .iter()
+        .copied()
+        .find(|f| *f == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown experiment {name:?}; see `repro` source header for the list");
             std::process::exit(2);
+        })
+}
+
+fn parse_args() -> Args {
+    let mut figures: Vec<&'static str> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut bench_out: Option<String> = Some("BENCH_repro.json".to_owned());
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |what: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                usage(2)
+            })
+        };
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = value("--jobs");
+                jobs = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs: not a number: {v:?}");
+                    usage(2)
+                }));
+            }
+            "--figures" => {
+                let v = value("--figures");
+                for name in v.split(',').filter(|s| !s.is_empty()) {
+                    if name == "all" {
+                        figures.extend(FIGURES);
+                    } else {
+                        figures.push(canonical(name));
+                    }
+                }
+            }
+            "--bench-out" => {
+                let v = value("--bench-out");
+                bench_out = if v.is_empty() { None } else { Some(v) };
+            }
+            "--help" | "-h" => usage(0),
+            "all" => figures.extend(FIGURES),
+            name if !name.starts_with('-') => figures.push(canonical(name)),
+            _ => {
+                eprintln!("unknown flag {arg:?}");
+                usage(2)
+            }
         }
-    };
-    if arg == "all" {
-        for what in [
-            "fig5-1",
-            "table5-1",
-            "fig5-2",
-            "table5-2",
-            "fig5-3",
-            "fig5-4",
-            "fig5-5",
-            "fig5-6",
-            "network-idle",
-            "greedy",
-            "probmodel",
-            "continuum",
-            "shared-bus",
-            "termination-cost",
-            "era",
-        ] {
+    }
+    if figures.is_empty() {
+        figures.extend(FIGURES);
+    }
+    // Canonical order, once each — output must not depend on request order.
+    let mut ordered: Vec<&'static str> = FIGURES
+        .iter()
+        .copied()
+        .filter(|f| figures.contains(f))
+        .collect();
+    ordered.dedup();
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    Args {
+        figures: ordered,
+        jobs,
+        bench_out,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let wall = Instant::now();
+
+    // Phase 1: one shared plan across every selected figure. Identical
+    // points registered by different figures are simulated once.
+    let sections = exp::Sections::generate();
+    let mut plan = SweepPlan::new();
+    let mut planned: Vec<(&'static str, FigPlan, usize)> = Vec::new();
+    for name in &args.figures {
+        let before = plan.point_count();
+        let ids = plan_figure(name, &sections, &mut plan);
+        planned.push((name, ids, plan.point_count() - before));
+    }
+
+    // Phase 2: execute every point (plus one baseline per trace) on the
+    // worker pool.
+    let run_start = Instant::now();
+    let results = plan.run(args.jobs);
+    let run_ms = run_start.elapsed().as_secs_f64() * 1e3;
+
+    // Phase 3: render in canonical order — byte-identical for any --jobs.
+    let separators = args.figures.len() > 1;
+    let mut figure_stats: Vec<(&'static str, usize, f64)> = Vec::new();
+    for (name, ids, new_points) in &planned {
+        if separators {
             println!("==================================================================");
-            run(what);
         }
-    } else {
-        run(&arg);
+        let render_start = Instant::now();
+        render_figure(name, ids, &sections, &results);
+        figure_stats.push((
+            name,
+            *new_points,
+            render_start.elapsed().as_secs_f64() * 1e3,
+        ));
+    }
+
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    if let Some(path) = &args.bench_out {
+        let mut per_figure = String::new();
+        for (i, (name, points, render_ms)) in figure_stats.iter().enumerate() {
+            if i > 0 {
+                per_figure.push_str(",\n");
+            }
+            per_figure.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"points_added\": {points}, \"render_ms\": {render_ms:.3}}}"
+            ));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"repro\",\n  \"jobs\": {},\n  \"traces\": {},\n  \"points\": {},\n  \"baselines\": {},\n  \"plan_run_ms\": {:.3},\n  \"wall_ms\": {:.3},\n  \"figures\": [\n{}\n  ]\n}}\n",
+            args.jobs,
+            plan.trace_count(),
+            plan.point_count(),
+            plan.trace_count(),
+            run_ms,
+            wall_ms,
+            per_figure
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!(
+                "repro: {} points ({} traces) in {:.1} ms on {} jobs; wrote {path}",
+                plan.point_count(),
+                plan.trace_count(),
+                run_ms,
+                args.jobs
+            ),
+            Err(e) => eprintln!("repro: cannot write {path}: {e}"),
+        }
     }
 }

@@ -1,16 +1,25 @@
 //! The experiment definitions behind every table and figure of §5.
 //!
-//! Each function regenerates one artifact of the paper's evaluation on the
-//! calibrated characteristic sections (exact Table 5-2 activation mixes).
-//! The `repro` binary prints them; the criterion benches time them; the
-//! integration tests assert their *shapes* (who wins, by what rough
-//! factor) against the paper's claims.
+//! Each artifact is split into two phases so the `repro` binary can batch
+//! every figure into **one** [`SweepPlan`]:
+//!
+//! * `plan_*` registers the figure's simulation points on a shared plan
+//!   (traces registered once, identical points collapsed, baselines
+//!   memoized per trace) and returns a small id bundle;
+//! * `render_*` turns the executed [`SweepResults`] back into the figure's
+//!   data, byte-identical to the historical serial output.
+//!
+//! The original one-shot functions (`fig5_1()`, `greedy_gains()`, …) are
+//! kept as thin wrappers that build a private plan and run it serially —
+//! the integration tests and criterion benches use those.
 
-use mpps_analysis::{greedy_improvement_bound, greedy_per_cycle};
-use mpps_core::sweep::{baseline, overhead_sweep, speedup_curve, PartitionStrategy, SpeedupPoint};
-use mpps_core::{
-    bucket_activity, simulate, simulate_per_cycle, MappingConfig, OverheadSetting, Partition,
+use mpps_analysis::greedy_improvement_bound;
+use mpps_core::sweep::{
+    PartitionSpec, PartitionStrategy, PointId, PointSpec, SpeedupPoint, SweepPlan, SweepResults,
+    TraceId,
 };
+use mpps_core::{bucket_activity, MappingConfig, OverheadSetting, Partition, TerminationModel};
+use mpps_mpcsim::{NetworkModel, SimTime, Topology};
 use mpps_rete::{split_fanout, SplitFanoutOptions, Trace};
 use mpps_workloads::synth;
 
@@ -36,31 +45,152 @@ pub fn sections() -> Vec<(&'static str, Trace)> {
     ]
 }
 
-/// Figure 5-1: speedups with zero message-passing overheads (and zero
-/// latency), round-robin buckets, for all three sections.
-pub fn fig5_1() -> Vec<(&'static str, Vec<SpeedupPoint>)> {
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let mut curve = Vec::with_capacity(PROCS.len());
-            let base = baseline(&trace);
-            for &p in PROCS {
-                let config = MappingConfig {
-                    network: mpps_mpcsim::NetworkModel::Constant(mpps_mpcsim::SimTime::ZERO),
-                    ..MappingConfig::standard(p, OverheadSetting::ZERO)
-                };
-                let partition = Partition::round_robin(trace.table_size, p);
-                let report = simulate(&trace, &config, &partition);
-                curve.push(SpeedupPoint {
-                    processors: p,
-                    speedup: report.speedup_vs(&base),
-                    total_us: report.total.as_us(),
-                });
-            }
-            (name, curve)
-        })
-        .collect()
+/// Every trace the figures replay, generated exactly once per run and
+/// shared by reference through the plan.
+pub struct Sections {
+    /// Rubik's-cube solver section.
+    pub rubik: Trace,
+    /// Tournament scheduler section.
+    pub tourney: Trace,
+    /// VLSI-routing (Weaver) section.
+    pub weaver: Trace,
+    /// Weaver after the Figure 5-4 unsharing transform.
+    pub weaver_unshared: Trace,
+    /// Tourney after copy-and-constraint (Figure 5-6).
+    pub tourney_copies: Trace,
 }
+
+impl Sections {
+    /// Generate all traces from [`SEED`].
+    pub fn generate() -> Self {
+        let weaver = synth::weaver(SEED);
+        let weaver_unshared = split_fanout(
+            &weaver,
+            SplitFanoutOptions {
+                threshold: 8,
+                ways: 4,
+            },
+        );
+        Sections {
+            rubik: synth::rubik(SEED),
+            tourney: synth::tourney(SEED),
+            tourney_copies: synth::tourney_with_copies(SEED, 4),
+            weaver,
+            weaver_unshared,
+        }
+    }
+
+    /// The three paper sections in report order.
+    pub fn named(&self) -> [(&'static str, &Trace); 3] {
+        [
+            ("Rubik", &self.rubik),
+            ("Tourney", &self.tourney),
+            ("Weaver", &self.weaver),
+        ]
+    }
+}
+
+/// Ids of one speedup curve: points over a processor sweep, all measured
+/// against `base`'s memoized baseline (usually the point's own trace; the
+/// transform figures measure against the *untransformed* section).
+pub struct CurvePlan {
+    base: TraceId,
+    points: Vec<(usize, PointId)>,
+}
+
+impl CurvePlan {
+    fn curve(&self, r: &SweepResults) -> Vec<SpeedupPoint> {
+        let base = r.baseline(self.base);
+        self.points
+            .iter()
+            .map(|&(p, id)| {
+                let report = r.report(id);
+                SpeedupPoint {
+                    processors: p,
+                    speedup: report.speedup_vs(base),
+                    total_us: report.total.as_us(),
+                }
+            })
+            .collect()
+    }
+}
+
+fn plan_curve<'t>(
+    plan: &mut SweepPlan<'t>,
+    trace: TraceId,
+    base: TraceId,
+    procs: &[usize],
+    config: impl Fn(usize) -> MappingConfig,
+    partition: PartitionSpec,
+) -> CurvePlan {
+    CurvePlan {
+        base,
+        points: procs
+            .iter()
+            .map(|&p| {
+                let id = plan.add_point(PointSpec {
+                    trace,
+                    config: config(p),
+                    partition,
+                });
+                (p, id)
+            })
+            .collect(),
+    }
+}
+
+/// The Figure 5-1 configuration: zero overheads *and* zero latency.
+fn no_comm(p: usize) -> MappingConfig {
+    MappingConfig {
+        network: NetworkModel::Constant(SimTime::ZERO),
+        ..MappingConfig::standard(p, OverheadSetting::ZERO)
+    }
+}
+
+const RR: PartitionSpec = PartitionSpec::Strategy(PartitionStrategy::RoundRobin);
+
+/// Build a single-figure plan, run it serially, render — the historical
+/// one-shot API.
+fn run_solo<P, T>(
+    plan_fn: impl for<'t> FnOnce(&'t Sections, &mut SweepPlan<'t>) -> P,
+    render: impl FnOnce(&P, &Sections, &SweepResults) -> T,
+) -> T {
+    let s = Sections::generate();
+    let mut plan = SweepPlan::new();
+    let ids = plan_fn(&s, &mut plan);
+    let results = plan.run(1);
+    render(&ids, &s, &results)
+}
+
+// ---------------------------------------------------------------- fig 5-1
+
+/// Id bundle of Figure 5-1.
+pub struct Fig51Plan(Vec<(&'static str, CurvePlan)>);
+
+/// Register Figure 5-1's points: speedups with zero message-passing
+/// overheads (and zero latency), round-robin buckets, for all sections.
+pub fn plan_fig5_1<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> Fig51Plan {
+    Fig51Plan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                (name, plan_curve(plan, t, t, PROCS, no_comm, RR))
+            })
+            .into(),
+    )
+}
+
+/// Render Figure 5-1 from executed results.
+pub fn render_fig5_1(p: &Fig51Plan, r: &SweepResults) -> Vec<(&'static str, Vec<SpeedupPoint>)> {
+    p.0.iter().map(|(name, c)| (*name, c.curve(r))).collect()
+}
+
+/// Figure 5-1 (one-shot).
+pub fn fig5_1() -> Vec<(&'static str, Vec<SpeedupPoint>)> {
+    run_solo(plan_fig5_1, |p, _, r| render_fig5_1(p, r))
+}
+
+// -------------------------------------------------------------- table 5-1
 
 /// Table 5-1: the overhead settings (input parameters, echoed for
 /// completeness).
@@ -79,207 +209,388 @@ pub fn table5_1() -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Figure 5-2: speedup curves under each Table 5-1 overhead row (0.5 µs
-/// network latency), per section.
+// ---------------------------------------------------------------- fig 5-2
+
+/// Id bundle of Figure 5-2.
+pub struct Fig52Plan(Vec<(&'static str, Vec<(OverheadSetting, CurvePlan)>)>);
+
+/// Register Figure 5-2's points: one curve per Table 5-1 overhead row
+/// (0.5 µs network latency), per section.
+pub fn plan_fig5_2<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> Fig52Plan {
+    Fig52Plan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let rows = OverheadSetting::table_5_1()
+                    .iter()
+                    .map(|&o| {
+                        let c =
+                            plan_curve(plan, t, t, PROCS, |p| MappingConfig::standard(p, o), RR);
+                        (o, c)
+                    })
+                    .collect();
+                (name, rows)
+            })
+            .into(),
+    )
+}
+
+/// Render Figure 5-2 from executed results.
+pub fn render_fig5_2(p: &Fig52Plan, r: &SweepResults) -> Vec<(&'static str, OverheadCurves)> {
+    p.0.iter()
+        .map(|(name, rows)| (*name, rows.iter().map(|(o, c)| (*o, c.curve(r))).collect()))
+        .collect()
+}
+
+/// Figure 5-2 (one-shot).
 pub fn fig5_2() -> Vec<(&'static str, OverheadCurves)> {
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let rows = OverheadSetting::table_5_1();
-            (
-                name,
-                overhead_sweep(&trace, PROCS, &rows, PartitionStrategy::RoundRobin),
-            )
+    run_solo(plan_fig5_2, |p, _, r| render_fig5_2(p, r))
+}
+
+// ------------------------------------------------------- fig 5-2 (losses)
+
+/// Id bundle of the §5.1 loss summary.
+pub struct LossesPlan(Vec<(&'static str, CurvePlan, CurvePlan)>);
+
+/// Register the loss summary's points: zero-overhead and 32 µs curves per
+/// section (both share Figure 5-2's points when planned together).
+pub fn plan_fig5_2_losses<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> LossesPlan {
+    let heavy = OverheadSetting::table_5_1()[3];
+    LossesPlan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let zero = plan_curve(
+                    plan,
+                    t,
+                    t,
+                    PROCS,
+                    |p| MappingConfig::standard(p, OverheadSetting::ZERO),
+                    RR,
+                );
+                let heavy =
+                    plan_curve(plan, t, t, PROCS, |p| MappingConfig::standard(p, heavy), RR);
+                (name, zero, heavy)
+            })
+            .into(),
+    )
+}
+
+/// Render the loss summary: §5.1's headline relative peak-speedup loss at
+/// the 32 µs overhead row (paper: Rubik ≈30%, Tourney ≈45%, Weaver ≈50%),
+/// alongside each section's left-activation fraction.
+pub fn render_fig5_2_losses(
+    p: &LossesPlan,
+    s: &Sections,
+    r: &SweepResults,
+) -> Vec<(&'static str, f64, f64)> {
+    p.0.iter()
+        .zip(s.named())
+        .map(|((name, zero, heavy), (_, trace))| {
+            let loss = mpps_core::sweep::speedup_loss(&zero.curve(r), &heavy.curve(r));
+            (*name, loss, trace.stats().left_fraction())
         })
         .collect()
 }
 
-/// §5.1's headline: relative peak-speedup loss at the 32 µs overhead row
-/// (paper: Rubik ≈30%, Tourney ≈45%, Weaver ≈50%), alongside each
-/// section's left-activation fraction which explains the ordering.
+/// Loss summary (one-shot).
 pub fn fig5_2_losses() -> Vec<(&'static str, f64, f64)> {
-    sections()
-        .into_iter()
+    run_solo(plan_fig5_2_losses, render_fig5_2_losses)
+}
+
+// -------------------------------------------------------------- table 5-2
+
+/// Table 5-2 rows from already-generated sections.
+pub fn table5_2_for(s: &Sections) -> Vec<Vec<String>> {
+    s.named()
         .map(|(name, trace)| {
-            let zero = speedup_curve(
-                &trace,
-                PROCS,
-                OverheadSetting::ZERO,
-                PartitionStrategy::RoundRobin,
-            );
-            let heavy = speedup_curve(
-                &trace,
-                PROCS,
-                OverheadSetting::table_5_1()[3],
-                PartitionStrategy::RoundRobin,
-            );
-            let loss = mpps_core::sweep::speedup_loss(&zero, &heavy);
-            (name, loss, trace.stats().left_fraction())
+            let st = trace.stats();
+            vec![
+                name.to_owned(),
+                format!("{} ({:.0}%)", st.left, st.left_fraction() * 100.0),
+                format!("{} ({:.0}%)", st.right, (1.0 - st.left_fraction()) * 100.0),
+                format!("{}", st.total()),
+            ]
         })
-        .collect()
+        .into()
 }
 
 /// Table 5-2: the activation mix of each section.
 pub fn table5_2() -> Vec<Vec<String>> {
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let s = trace.stats();
-            vec![
-                name.to_owned(),
-                format!("{} ({:.0}%)", s.left, s.left_fraction() * 100.0),
-                format!("{} ({:.0}%)", s.right, (1.0 - s.left_fraction()) * 100.0),
-                format!("{}", s.total()),
-            ]
-        })
-        .collect()
+    table5_2_for(&Sections::generate())
 }
 
-/// Figure 5-4: Weaver speedups with and without the unsharing / dummy-node
-/// transform (applied at trace level: the three 40-successor generators
-/// are split four ways, so successor generation proceeds in parallel).
+// ---------------------------------------------------------------- fig 5-4
+
+/// Id bundle of Figure 5-4.
+pub struct Fig54Plan {
+    shared: CurvePlan,
+    unshared: CurvePlan,
+}
+
+/// Register Figure 5-4's points: Weaver with and without the unsharing /
+/// dummy-node transform. Both curves are measured against the
+/// *untransformed* serial baseline, as in the paper.
+pub fn plan_fig5_4<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> Fig54Plan {
+    let weaver = plan.add_trace(&s.weaver);
+    let unshared = plan.add_trace(&s.weaver_unshared);
+    let std_cfg = |p| MappingConfig::standard(p, OverheadSetting::ZERO);
+    Fig54Plan {
+        shared: plan_curve(plan, weaver, weaver, PROCS, std_cfg, RR),
+        unshared: plan_curve(plan, unshared, weaver, PROCS, std_cfg, RR),
+    }
+}
+
+/// Render Figure 5-4 from executed results.
+pub fn render_fig5_4(p: &Fig54Plan, r: &SweepResults) -> (Vec<SpeedupPoint>, Vec<SpeedupPoint>) {
+    (p.shared.curve(r), p.unshared.curve(r))
+}
+
+/// Figure 5-4 (one-shot).
 pub fn fig5_4() -> (Vec<SpeedupPoint>, Vec<SpeedupPoint>) {
-    let weaver = synth::weaver(SEED);
-    let unshared = split_fanout(
-        &weaver,
-        SplitFanoutOptions {
-            threshold: 8,
-            ways: 4,
-        },
-    );
-    let shared_curve = speedup_curve(
-        &weaver,
-        PROCS,
-        OverheadSetting::ZERO,
-        PartitionStrategy::RoundRobin,
-    );
-    // Speedups for the transformed trace are still measured against the
-    // *untransformed* serial baseline, as in the paper.
-    let base = baseline(&weaver);
-    let unshared_curve: Vec<SpeedupPoint> = PROCS
-        .iter()
-        .map(|&p| {
-            let config = MappingConfig::standard(p, OverheadSetting::ZERO);
-            let partition = Partition::round_robin(unshared.table_size, p);
-            let report = simulate(&unshared, &config, &partition);
-            SpeedupPoint {
-                processors: p,
-                speedup: report.speedup_vs(&base),
-                total_us: report.total.as_us(),
-            }
-        })
-        .collect();
-    (shared_curve, unshared_curve)
+    run_solo(plan_fig5_4, |p, _, r| render_fig5_4(p, r))
 }
 
-/// Figure 5-5: per-processor left-activation counts in two consecutive
-/// Rubik cycles on 16 processors (round-robin buckets).
-pub fn fig5_5() -> Vec<Vec<u64>> {
-    let trace = synth::rubik(SEED);
-    let p = 16;
-    let config = MappingConfig::standard(p, OverheadSetting::ZERO);
-    let partition = Partition::round_robin(trace.table_size, p);
-    let report = simulate(&trace, &config, &partition);
-    report.left_load_matrix()[0..2].to_vec()
+// ---------------------------------------------------------------- fig 5-5
+
+/// Id bundle of Figure 5-5.
+pub struct Fig55Plan(PointId);
+
+/// Register Figure 5-5's single point: Rubik on 16 processors,
+/// round-robin buckets, zero overheads.
+pub fn plan_fig5_5<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> Fig55Plan {
+    let t = plan.add_trace(&s.rubik);
+    Fig55Plan(plan.add_point(PointSpec {
+        trace: t,
+        config: MappingConfig::standard(16, OverheadSetting::ZERO),
+        partition: RR,
+    }))
 }
 
-/// Figure 5-6: Tourney speedups with and without copy-and-constraint
-/// (cross production split four ways).
-pub fn fig5_6() -> (Vec<SpeedupPoint>, Vec<SpeedupPoint>) {
-    let plain = synth::tourney(SEED);
-    let split = synth::tourney_with_copies(SEED, 4);
-    let base = baseline(&plain);
-    let curve = |trace: &Trace| -> Vec<SpeedupPoint> {
-        PROCS
-            .iter()
-            .map(|&p| {
-                let config = MappingConfig::standard(p, OverheadSetting::ZERO);
-                let partition = Partition::round_robin(trace.table_size, p);
-                let report = simulate(trace, &config, &partition);
-                SpeedupPoint {
-                    processors: p,
-                    speedup: report.speedup_vs(&base),
-                    total_us: report.total.as_us(),
-                }
-            })
-            .collect()
-    };
-    (curve(&plain), curve(&split))
-}
-
-/// §5.1's network-idle observation: fraction of time the interconnect is
-/// idle at 16 processors under the 8 µs overhead row (paper: 97–98%).
-pub fn network_idle() -> Vec<(&'static str, f64)> {
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let p = 16;
-            let config = MappingConfig::standard(p, OverheadSetting::table_5_1()[1]);
-            let partition = Partition::round_robin(trace.table_size, p);
-            let report = simulate(&trace, &config, &partition);
-            (name, report.network_idle_fraction())
-        })
+/// Render Figure 5-5: per-processor left-activation counts in the first
+/// two Rubik cycles.
+pub fn render_fig5_5(p: &Fig55Plan, r: &SweepResults) -> Vec<Vec<u64>> {
+    r.report(p.0)
+        .left_load_matrix()
+        .take(2)
+        .map(<[u64]>::to_vec)
         .collect()
 }
 
-/// §5.2.2's greedy experiment: simulated speedup improvement of per-cycle
-/// offline greedy bucket distributions over round-robin (paper: ×~1.4),
-/// plus the load-only analytical bound.
-pub fn greedy_gains() -> Vec<(&'static str, f64, f64)> {
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let p = 16;
-            let config = MappingConfig::standard(p, OverheadSetting::ZERO);
-            let rr = Partition::round_robin(trace.table_size, p);
-            let rr_report = simulate(&trace, &config, &rr);
-            let parts = greedy_per_cycle(&trace, p);
-            let greedy_report = simulate_per_cycle(&trace, &config, &parts);
-            let simulated = rr_report.total.as_ns() as f64 / greedy_report.total.as_ns() as f64;
-            let bound = greedy_improvement_bound(&trace, &rr);
+/// Figure 5-5 (one-shot).
+pub fn fig5_5() -> Vec<Vec<u64>> {
+    run_solo(plan_fig5_5, |p, _, r| render_fig5_5(p, r))
+}
+
+// ---------------------------------------------------------------- fig 5-6
+
+/// Id bundle of Figure 5-6.
+pub struct Fig56Plan {
+    plain: CurvePlan,
+    copies: CurvePlan,
+}
+
+/// Register Figure 5-6's points: Tourney with and without
+/// copy-and-constraint (cross production split four ways), both against
+/// the original section's baseline.
+pub fn plan_fig5_6<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> Fig56Plan {
+    let plain = plan.add_trace(&s.tourney);
+    let copies = plan.add_trace(&s.tourney_copies);
+    let std_cfg = |p| MappingConfig::standard(p, OverheadSetting::ZERO);
+    Fig56Plan {
+        plain: plan_curve(plan, plain, plain, PROCS, std_cfg, RR),
+        copies: plan_curve(plan, copies, plain, PROCS, std_cfg, RR),
+    }
+}
+
+/// Render Figure 5-6 from executed results.
+pub fn render_fig5_6(p: &Fig56Plan, r: &SweepResults) -> (Vec<SpeedupPoint>, Vec<SpeedupPoint>) {
+    (p.plain.curve(r), p.copies.curve(r))
+}
+
+/// Figure 5-6 (one-shot).
+pub fn fig5_6() -> (Vec<SpeedupPoint>, Vec<SpeedupPoint>) {
+    run_solo(plan_fig5_6, |p, _, r| render_fig5_6(p, r))
+}
+
+// ------------------------------------------------------------ network idle
+
+/// Id bundle of the network-idle table.
+pub struct NetworkIdlePlan(Vec<(&'static str, PointId)>);
+
+/// Register the §5.1 network-idle points: 16 processors under the 8 µs
+/// overhead row, per section.
+pub fn plan_network_idle<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> NetworkIdlePlan {
+    NetworkIdlePlan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let id = plan.add_point(PointSpec {
+                    trace: t,
+                    config: MappingConfig::standard(16, OverheadSetting::table_5_1()[1]),
+                    partition: RR,
+                });
+                (name, id)
+            })
+            .into(),
+    )
+}
+
+/// Render the network-idle fractions (paper: 97–98%).
+pub fn render_network_idle(p: &NetworkIdlePlan, r: &SweepResults) -> Vec<(&'static str, f64)> {
+    p.0.iter()
+        .map(|&(name, id)| (name, r.report(id).network_idle_fraction()))
+        .collect()
+}
+
+/// Network idle fractions (one-shot).
+pub fn network_idle() -> Vec<(&'static str, f64)> {
+    run_solo(plan_network_idle, |p, _, r| render_network_idle(p, r))
+}
+
+// ---------------------------------------------------------------- greedy
+
+/// Id bundle of the §5.2.2 greedy experiment.
+pub struct GreedyPlan(Vec<(&'static str, PointId, PointId)>);
+
+/// Register the greedy experiment's points: round-robin vs per-cycle
+/// offline greedy at 16 processors, zero overheads, per section.
+pub fn plan_greedy_gains<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> GreedyPlan {
+    GreedyPlan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let config = MappingConfig::standard(16, OverheadSetting::ZERO);
+                let rr = plan.add_point(PointSpec {
+                    trace: t,
+                    config,
+                    partition: RR,
+                });
+                let greedy = plan.add_point(PointSpec {
+                    trace: t,
+                    config,
+                    partition: PartitionSpec::GreedyPerCycle,
+                });
+                (name, rr, greedy)
+            })
+            .into(),
+    )
+}
+
+/// Render the greedy experiment: simulated speedup improvement of
+/// per-cycle offline greedy over round-robin (paper: ×~1.4), plus the
+/// load-only analytical bound.
+pub fn render_greedy_gains(
+    p: &GreedyPlan,
+    s: &Sections,
+    r: &SweepResults,
+) -> Vec<(&'static str, f64, f64)> {
+    p.0.iter()
+        .zip(s.named())
+        .map(|(&(name, rr, greedy), (_, trace))| {
+            let simulated =
+                r.report(rr).total.as_ns() as f64 / r.report(greedy).total.as_ns() as f64;
+            let bound =
+                greedy_improvement_bound(trace, &Partition::round_robin(trace.table_size, 16));
             (name, simulated, bound)
         })
         .collect()
 }
 
-/// §5.2.2's random-distribution negative result: random placement does
-/// not significantly beat round-robin (both stay well below greedy).
-pub fn random_vs_round_robin() -> Vec<(&'static str, f64)> {
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let p = 16;
-            let config = MappingConfig::standard(p, OverheadSetting::ZERO);
-            let rr = simulate(&trace, &config, &Partition::round_robin(trace.table_size, p));
-            let rnd = simulate(
-                &trace,
-                &config,
-                &Partition::random(trace.table_size, p, SEED),
-            );
-            (name, rr.total.as_ns() as f64 / rnd.total.as_ns() as f64)
+/// Greedy gains (one-shot).
+pub fn greedy_gains() -> Vec<(&'static str, f64, f64)> {
+    run_solo(plan_greedy_gains, render_greedy_gains)
+}
+
+// --------------------------------------------------------- random buckets
+
+/// Id bundle of the random-placement experiment.
+pub struct RandomPlan(Vec<(&'static str, PointId, PointId)>);
+
+/// Register the §5.2.2 random-distribution points: round-robin vs seeded
+/// random placement at 16 processors, zero overheads.
+pub fn plan_random_vs_round_robin<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> RandomPlan {
+    RandomPlan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let config = MappingConfig::standard(16, OverheadSetting::ZERO);
+                let rr = plan.add_point(PointSpec {
+                    trace: t,
+                    config,
+                    partition: RR,
+                });
+                let rnd = plan.add_point(PointSpec {
+                    trace: t,
+                    config,
+                    partition: PartitionSpec::Strategy(PartitionStrategy::Random(SEED)),
+                });
+                (name, rr, rnd)
+            })
+            .into(),
+    )
+}
+
+/// Render the random-placement result: random does not significantly beat
+/// round-robin.
+pub fn render_random_vs_round_robin(p: &RandomPlan, r: &SweepResults) -> Vec<(&'static str, f64)> {
+    p.0.iter()
+        .map(|&(name, rr, rnd)| {
+            (
+                name,
+                r.report(rr).total.as_ns() as f64 / r.report(rnd).total.as_ns() as f64,
+            )
         })
         .collect()
 }
 
-/// §6 continuum: serial vs replicated vs single-master vs the distributed
-/// mapping, on the Rubik section at 16 processors.
-pub fn continuum() -> Vec<(String, f64)> {
-    let trace = synth::rubik(SEED);
+/// Random vs round-robin (one-shot).
+pub fn random_vs_round_robin() -> Vec<(&'static str, f64)> {
+    run_solo(plan_random_vs_round_robin, |p, _, r| {
+        render_random_vs_round_robin(p, r)
+    })
+}
+
+// -------------------------------------------------------------- continuum
+
+/// Id bundle of the §6 continuum comparison.
+pub struct ContinuumPlan {
+    trace: TraceId,
+    distributed: PointId,
+}
+
+/// Register the continuum's simulated point (the distributed mapping on
+/// Rubik at 16 processors; the analytic endpoints are computed at render).
+pub fn plan_continuum<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> ContinuumPlan {
+    let t = plan.add_trace(&s.rubik);
+    ContinuumPlan {
+        trace: t,
+        distributed: plan.add_point(PointSpec {
+            trace: t,
+            config: MappingConfig::standard(16, OverheadSetting::table_5_1()[1]),
+            partition: RR,
+        }),
+    }
+}
+
+/// Render the §6 continuum: serial vs replicated vs single-master vs the
+/// distributed mapping, on the Rubik section at 16 processors.
+pub fn render_continuum(p: &ContinuumPlan, s: &Sections, r: &SweepResults) -> Vec<(String, f64)> {
     let cost = mpps_core::CostModel::default();
     let overhead = OverheadSetting::table_5_1()[1];
-    let p = 16;
-    let mut out: Vec<(String, f64)> = mpps_core::continuum::endpoints(&trace, &cost, overhead, p)
-        .into_iter()
-        .map(|pt| (pt.label.to_owned(), pt.speedup))
-        .collect();
-    let base = baseline(&trace);
-    let distributed = simulate(
-        &trace,
-        &MappingConfig::standard(p, overhead),
-        &Partition::round_robin(trace.table_size, p),
-    );
-    out.push(("distributed (this paper)".to_owned(), distributed.speedup_vs(&base)));
+    let mut out: Vec<(String, f64)> =
+        mpps_core::continuum::endpoints(&s.rubik, &cost, overhead, 16)
+            .into_iter()
+            .map(|pt| (pt.label.to_owned(), pt.speedup))
+            .collect();
+    let distributed = r.report(p.distributed).speedup_vs(r.baseline(p.trace));
+    out.push(("distributed (this paper)".to_owned(), distributed));
     out
+}
+
+/// Continuum comparison (one-shot).
+pub fn continuum() -> Vec<(String, f64)> {
+    run_solo(plan_continuum, render_continuum)
 }
 
 /// Per-bucket activity skew of a section (drives the greedy experiment).
@@ -290,85 +601,148 @@ pub fn activity_skew(trace: &Trace) -> (usize, u64) {
     (active, max)
 }
 
-/// §5.2 comparison: the distributed (MPC) mapping vs the shared-bus
-/// mapping at each processor count (zero message overheads for the MPC —
-/// the paper's "comparable speedup" claim is about the best case; queue
-/// claims cost 4 µs on the bus).
-pub fn shared_bus_comparison() -> ComparisonRows {
+// ------------------------------------------------------------- shared bus
+
+/// One point id per swept processor count.
+type ProcPoints = Vec<(usize, PointId)>;
+
+/// Id bundle of the §5.2 shared-bus comparison (the MPC half; the bus
+/// simulations run at render time — they use a different simulator).
+pub struct SharedBusPlan(Vec<(&'static str, TraceId, ProcPoints)>);
+
+/// Register the MPC side of the shared-bus comparison: zero message
+/// overheads at every processor count, per section.
+pub fn plan_shared_bus<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> SharedBusPlan {
+    SharedBusPlan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let ids = PROCS
+                    .iter()
+                    .map(|&p| {
+                        let id = plan.add_point(PointSpec {
+                            trace: t,
+                            config: MappingConfig::standard(p, OverheadSetting::ZERO),
+                            partition: RR,
+                        });
+                        (p, id)
+                    })
+                    .collect();
+                (name, t, ids)
+            })
+            .into(),
+    )
+}
+
+/// Render the §5.2 comparison: the distributed (MPC) mapping vs the
+/// shared-bus mapping at each processor count (queue claims cost 4 µs on
+/// the bus).
+pub fn render_shared_bus(p: &SharedBusPlan, s: &Sections, r: &SweepResults) -> ComparisonRows {
     use mpps_core::continuum::serial_time;
     use mpps_core::{shared_bus_simulate, CostModel, SharedBusConfig};
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let serial = serial_time(&trace, &CostModel::default());
-            let base = baseline(&trace);
-            let rows: Vec<(usize, f64, f64)> = PROCS
+    p.0.iter()
+        .zip(s.named())
+        .map(|((name, t, ids), (_, trace))| {
+            let serial = serial_time(trace, &CostModel::default());
+            let base = r.baseline(*t);
+            let rows: Vec<(usize, f64, f64)> = ids
                 .iter()
-                .map(|&p| {
-                    let mpc = simulate(
-                        &trace,
-                        &MappingConfig::standard(p, OverheadSetting::ZERO),
-                        &Partition::round_robin(trace.table_size, p),
-                    )
-                    .speedup_vs(&base);
-                    let bus = shared_bus_simulate(&trace, &SharedBusConfig::new(p))
+                .map(|&(procs, id)| {
+                    let mpc = r.report(id).speedup_vs(base);
+                    let bus = shared_bus_simulate(trace, &SharedBusConfig::new(procs))
                         .speedup_vs_serial(serial);
-                    (p, mpc, bus)
+                    (procs, mpc, bus)
                 })
                 .collect();
-            (name, rows)
+            (*name, rows)
         })
         .collect()
 }
 
-/// Future-work experiment: the cost of real (ring-token) termination
-/// detection per section at each processor count, vs the omniscient
-/// simulation — small cycles pay proportionally more.
-pub fn termination_cost() -> ComparisonRows {
-    use mpps_core::TerminationModel;
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let base = baseline(&trace);
-            let overhead = OverheadSetting::table_5_1()[1];
-            let rows: Vec<(usize, f64, f64)> = PROCS
+/// Shared-bus comparison (one-shot).
+pub fn shared_bus_comparison() -> ComparisonRows {
+    run_solo(plan_shared_bus, render_shared_bus)
+}
+
+// ------------------------------------------------------- termination cost
+
+/// Per processor count: the omniscient point and the ring-token point.
+type TerminationRows = Vec<(usize, PointId, PointId)>;
+
+/// Id bundle of the termination-detection experiment.
+pub struct TerminationPlan(Vec<(&'static str, TraceId, TerminationRows)>);
+
+/// Register the termination-cost points: omniscient vs ring-token cycle
+/// boundaries at each processor count under the 8 µs overhead row.
+pub fn plan_termination_cost<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> TerminationPlan {
+    let overhead = OverheadSetting::table_5_1()[1];
+    TerminationPlan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let rows = PROCS
+                    .iter()
+                    .map(|&p| {
+                        let omniscient = plan.add_point(PointSpec {
+                            trace: t,
+                            config: MappingConfig::standard(p, overhead),
+                            partition: RR,
+                        });
+                        let ring = plan.add_point(PointSpec {
+                            trace: t,
+                            config: MappingConfig {
+                                termination: TerminationModel::RingToken,
+                                ..MappingConfig::standard(p, overhead)
+                            },
+                            partition: RR,
+                        });
+                        (p, omniscient, ring)
+                    })
+                    .collect();
+                (name, t, rows)
+            })
+            .into(),
+    )
+}
+
+/// Render the termination-cost comparison — small cycles pay
+/// proportionally more.
+pub fn render_termination_cost(p: &TerminationPlan, r: &SweepResults) -> ComparisonRows {
+    p.0.iter()
+        .map(|(name, t, rows)| {
+            let base = r.baseline(*t);
+            let out: Vec<(usize, f64, f64)> = rows
                 .iter()
-                .map(|&p| {
-                    let partition = Partition::round_robin(trace.table_size, p);
-                    let omniscient = simulate(
-                        &trace,
-                        &MappingConfig::standard(p, overhead),
-                        &partition,
+                .map(|&(procs, omniscient, ring)| {
+                    (
+                        procs,
+                        r.report(omniscient).speedup_vs(base),
+                        r.report(ring).speedup_vs(base),
                     )
-                    .speedup_vs(&base);
-                    let ring = simulate(
-                        &trace,
-                        &MappingConfig {
-                            termination: TerminationModel::RingToken,
-                            ..MappingConfig::standard(p, overhead)
-                        },
-                        &partition,
-                    )
-                    .speedup_vs(&base);
-                    (p, omniscient, ring)
                 })
                 .collect();
-            (name, rows)
+            (*name, out)
         })
         .collect()
 }
 
-/// The paper's motivating contrast (§1): first-generation MPCs (Cosmic
-/// Cube era: ~2 ms store-and-forward latency, ~300 µs message handling)
-/// made fine-grained match parallelism impossible; the new generation
-/// (Nectar/MDP era: 0.5 µs wormhole latency, ≤ 32 µs handling) makes it
-/// attractive. Speedups of the three sections at 16 processors under both
-/// machine models.
-pub fn era_comparison() -> Vec<(&'static str, f64, f64)> {
-    use mpps_mpcsim::{NetworkModel, SimTime, Topology};
-    let p = 16;
-    let first_gen = MappingConfig {
-        overhead: mpps_core::cost::OverheadSetting {
+/// Termination cost (one-shot).
+pub fn termination_cost() -> ComparisonRows {
+    run_solo(plan_termination_cost, |p, _, r| {
+        render_termination_cost(p, r)
+    })
+}
+
+// ------------------------------------------------------------------- eras
+
+/// Id bundle of the §1 era comparison.
+pub struct EraPlan(Vec<(&'static str, TraceId, PointId, PointId)>);
+
+/// The Cosmic-Cube-era machine model: ~2 ms store-and-forward latency
+/// (500 µs per hypercube hop), ~300 µs message handling.
+fn first_gen_config(p: usize) -> MappingConfig {
+    MappingConfig {
+        overhead: OverheadSetting {
             name: "cosmic-cube",
             send: SimTime::from_us(150),
             recv: SimTime::from_us(150),
@@ -378,20 +752,97 @@ pub fn era_comparison() -> Vec<(&'static str, f64, f64)> {
             topology: Topology::Hypercube,
         },
         ..MappingConfig::standard(p, OverheadSetting::ZERO)
-    };
-    sections()
-        .into_iter()
-        .map(|(name, trace)| {
-            let base = baseline(&trace);
-            let partition = Partition::round_robin(trace.table_size, p);
-            let new_gen = simulate(
-                &trace,
-                &MappingConfig::standard(p, OverheadSetting::table_5_1()[1]),
-                &partition,
+    }
+}
+
+/// Register the era-comparison points: each section at 16 processors under
+/// the Nectar-era row and the Cosmic-Cube-era model.
+pub fn plan_era_comparison<'t>(s: &'t Sections, plan: &mut SweepPlan<'t>) -> EraPlan {
+    EraPlan(
+        s.named()
+            .map(|(name, trace)| {
+                let t = plan.add_trace(trace);
+                let new_gen = plan.add_point(PointSpec {
+                    trace: t,
+                    config: MappingConfig::standard(16, OverheadSetting::table_5_1()[1]),
+                    partition: RR,
+                });
+                let old = plan.add_point(PointSpec {
+                    trace: t,
+                    config: first_gen_config(16),
+                    partition: RR,
+                });
+                (name, t, new_gen, old)
+            })
+            .into(),
+    )
+}
+
+/// Render the era comparison: first-generation MPCs made fine-grained
+/// match parallelism impossible; the new generation makes it attractive.
+pub fn render_era_comparison(p: &EraPlan, r: &SweepResults) -> Vec<(&'static str, f64, f64)> {
+    p.0.iter()
+        .map(|&(name, t, new_gen, old)| {
+            let base = r.baseline(t);
+            (
+                name,
+                r.report(new_gen).speedup_vs(base),
+                r.report(old).speedup_vs(base),
             )
-            .speedup_vs(&base);
-            let old = simulate(&trace, &first_gen, &partition).speedup_vs(&base);
-            (name, new_gen, old)
         })
         .collect()
+}
+
+/// Era comparison (one-shot).
+pub fn era_comparison() -> Vec<(&'static str, f64, f64)> {
+    run_solo(plan_era_comparison, |p, _, r| render_era_comparison(p, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_core::simulate;
+    use mpps_core::sweep::baseline;
+
+    /// The one-shot wrappers and the batched plan must produce identical
+    /// figures; the batch must also be smaller than the sum of its parts
+    /// (shared points deduplicate).
+    #[test]
+    fn batched_plan_matches_one_shot_and_deduplicates() {
+        let s = Sections::generate();
+        let mut plan = SweepPlan::new();
+        let idle = plan_network_idle(&s, &mut plan);
+        let idle_points = plan.point_count();
+        let era = plan_era_comparison(&s, &mut plan);
+        // The era's new-generation points are exactly the network-idle
+        // points: only the Cosmic-Cube points are new.
+        assert_eq!(plan.point_count(), idle_points + 3);
+        assert_eq!(plan.trace_count(), 3);
+        let r = plan.run(2);
+        assert_eq!(render_network_idle(&idle, &r), network_idle());
+        assert_eq!(render_era_comparison(&era, &r), era_comparison());
+    }
+
+    #[test]
+    fn solo_wrappers_match_legacy_direct_simulation() {
+        // Spot-check one figure against a hand-rolled simulate() loop.
+        let s = Sections::generate();
+        let got = fig5_5();
+        let report = simulate(
+            &s.rubik,
+            &MappingConfig::standard(16, OverheadSetting::ZERO),
+            &Partition::round_robin(s.rubik.table_size, 16),
+        );
+        let want: Vec<Vec<u64>> = report
+            .left_load_matrix()
+            .take(2)
+            .map(<[u64]>::to_vec)
+            .collect();
+        assert_eq!(got, want);
+        // And the baseline memoization agrees with the helper.
+        let mut plan = SweepPlan::new();
+        let t = plan.add_trace(&s.rubik);
+        let r = plan.run(3);
+        assert_eq!(r.baseline(t).total, baseline(&s.rubik).total);
+    }
 }

@@ -165,16 +165,13 @@ mod tests {
     fn single_master_adds_comm_per_activation_when_remote() {
         let c = CostModel::default();
         let o = OverheadSetting::table_5_1()[1]; // 5/3
-        // Two activations × (recv 3 + send 5) = 16 extra.
+                                                 // Two activations × (recv 3 + send 5) = 16 extra.
         assert_eq!(
             single_master_time(&trace(), &c, o, 4),
             SimTime::from_us(94 + 16)
         );
         // Single processor: no communication.
-        assert_eq!(
-            single_master_time(&trace(), &c, o, 1),
-            SimTime::from_us(94)
-        );
+        assert_eq!(single_master_time(&trace(), &c, o, 1), SimTime::from_us(94));
     }
 
     #[test]
@@ -187,7 +184,10 @@ mod tests {
         );
         assert_eq!(pts.len(), 3);
         assert!((pts[0].speedup - 1.0).abs() < 1e-12);
-        assert!((pts[1].speedup - 1.0).abs() < 1e-12, "replication buys nothing");
+        assert!(
+            (pts[1].speedup - 1.0).abs() < 1e-12,
+            "replication buys nothing"
+        );
         assert!(pts[2].speedup < 1.0, "single master is slower than serial");
     }
 }

@@ -31,11 +31,14 @@ pub mod termination;
 pub mod threaded;
 
 pub use cost::{CostModel, OverheadSetting, NECTAR_LATENCY};
-pub use partition::{bucket_activity, cycle_bucket_activity, Partition};
+pub use partition::{bucket_activity, cycle_bucket_activity, cycle_bucket_work, Partition};
 pub use sharedbus::{shared_bus_simulate, SharedBusConfig, SharedBusReport};
 pub use simexec::{
-    simulate, simulate_per_cycle, CycleReport, MappingConfig, MappingReport, MappingVariant,
-    RootDistribution, TerminationModel,
+    simulate, simulate_in, simulate_per_cycle, simulate_per_cycle_in, CycleReport, MappingConfig,
+    MappingReport, MappingVariant, RootDistribution, SimScratch, TerminationModel,
 };
-pub use sweep::{overhead_sweep, speedup_curve, SpeedupPoint};
+pub use sweep::{
+    overhead_sweep, overhead_sweep_jobs, speedup_curve, speedup_curve_jobs, PartitionSpec,
+    PartitionStrategy, PointId, PointSpec, SpeedupPoint, SweepPlan, SweepResults, TraceId,
+};
 pub use threaded::ThreadedMatcher;

@@ -28,7 +28,9 @@ impl Partition {
     pub fn round_robin(table_size: u64, processors: usize) -> Self {
         assert!(processors > 0, "need at least one match processor");
         Partition {
-            owners: (0..table_size).map(|k| (k % processors as u64) as u32).collect(),
+            owners: (0..table_size)
+                .map(|k| (k % processors as u64) as u32)
+                .collect(),
             processors,
         }
     }
@@ -76,10 +78,7 @@ impl Partition {
                 rr += 1;
             }
         }
-        Partition {
-            owners,
-            processors,
-        }
+        Partition { owners, processors }
     }
 
     /// Build from an explicit owner vector.
@@ -88,10 +87,7 @@ impl Partition {
             owners.iter().all(|&o| (o as usize) < processors),
             "owner out of range"
         );
-        Partition {
-            owners,
-            processors,
-        }
+        Partition { owners, processors }
     }
 
     /// The processor owning `bucket`.
@@ -144,6 +140,35 @@ pub fn cycle_bucket_activity(trace: &Trace, cycle: usize) -> Vec<u64> {
         }
     }
     act
+}
+
+/// Per-bucket *work* (ns) for a single cycle under `cost`: each two-input
+/// activation charges its token store plus `per_successor` for every child
+/// it generates. Raw counts treat a 1600-successor generator the same as a
+/// leaf token, so count-based LPT can stack several generators on one
+/// processor; weighting by work is what the paper's "detailed trace of the
+/// activity in each bucket" provides.
+pub fn cycle_bucket_work(trace: &Trace, cycle: usize, cost: &crate::CostModel) -> Vec<u64> {
+    let acts = &trace.cycles[cycle].activations;
+    let mut fanout = vec![0u64; acts.len()];
+    for a in acts {
+        if let Some(p) = a.parent {
+            fanout[p as usize] += 1;
+        }
+    }
+    let mut work = vec![0u64; trace.table_size as usize];
+    for (i, a) in acts.iter().enumerate() {
+        if a.kind != ActKind::TwoInput {
+            continue;
+        }
+        let store = if a.side == mpps_rete::Side::Left {
+            cost.left_token
+        } else {
+            cost.right_token
+        };
+        work[a.bucket as usize] += (store + cost.per_successor * fanout[i]).as_ns();
+    }
+    work
 }
 
 #[cfg(test)]

@@ -120,10 +120,7 @@ fn build_tasks(acts: &[ActivationRecord], cost: &CostModel) -> Vec<Task> {
 }
 
 /// Simulate one cycle's task graph; returns its makespan.
-fn simulate_cycle(
-    acts: &[ActivationRecord],
-    config: &SharedBusConfig,
-) -> SimTime {
+fn simulate_cycle(acts: &[ActivationRecord], config: &SharedBusConfig) -> SimTime {
     let tasks = build_tasks(acts, &config.cost);
     // All processors first evaluate the cycle's constant tests (shared
     // scan; done once, overlapped — charge it as the cycle's start time).
@@ -187,25 +184,14 @@ pub fn shared_bus_simulate(trace: &Trace, config: &SharedBusConfig) -> SharedBus
 mod tests {
     use super::*;
     use crate::continuum::serial_time;
-    use mpps_ops::Sign;
-    use mpps_rete::trace::TraceCycle;
-    use mpps_rete::NodeId;
+    use mpps_rete::trace::test_support;
 
     fn rec(side: Side, bucket: u64, parent: Option<u32>) -> ActivationRecord {
-        ActivationRecord {
-            node: NodeId(1),
-            side,
-            sign: Sign::Plus,
-            bucket,
-            parent,
-            kind: ActKind::TwoInput,
-        }
+        test_support::two_input(side, bucket, parent)
     }
 
     fn trace_of(acts: Vec<ActivationRecord>) -> Trace {
-        let mut t = Trace::new(16);
-        t.cycles.push(TraceCycle { activations: acts });
-        t
+        test_support::trace_of(16, vec![acts])
     }
 
     #[test]
@@ -263,15 +249,13 @@ mod tests {
     /// A wide synthetic cycle: `n` independent right roots on distinct
     /// buckets, each with one left child.
     fn wide_trace(n: u64) -> Trace {
-        let mut t = Trace::new(256);
         let mut acts = Vec::new();
         for i in 0..n {
             acts.push(rec(Side::Right, i % 256, None));
             let parent = (acts.len() - 1) as u32;
             acts.push(rec(Side::Left, (i * 7 + 3) % 256, Some(parent)));
         }
-        t.cycles.push(TraceCycle { activations: acts });
-        t
+        test_support::trace_of(256, vec![acts])
     }
 
     #[test]

@@ -28,12 +28,9 @@
 
 use crate::cost::{CostModel, OverheadSetting, NECTAR_LATENCY};
 use crate::partition::Partition;
-use mpps_mpcsim::{
-    Ctx, MachineConfig, NetworkModel, Node, ProcId, SimTime, Simulator,
-};
+use mpps_mpcsim::{Ctx, MachineConfig, NetworkModel, Node, ProcId, SimTime, Simulator};
 use mpps_rete::trace::{ActKind, ActivationRecord};
 use mpps_rete::{Side, Trace};
-use std::sync::Arc;
 
 /// How left/right buckets of an index map onto processors.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -103,7 +100,7 @@ impl TerminationModel {
 }
 
 /// Full configuration of one simulated mapping run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MappingConfig {
     /// Number of match processors (pairs count as one here; the machine
     /// uses two CPUs per pair under [`MappingVariant::ProcessorPairs`]).
@@ -206,20 +203,81 @@ impl MappingReport {
     }
 
     /// Per-cycle per-match-processor left-activation counts — the data of
-    /// Figure 5-5.
-    pub fn left_load_matrix(&self) -> Vec<Vec<u64>> {
-        self.cycles.iter().map(|c| c.left_acts.clone()).collect()
+    /// Figure 5-5. Yields one borrowed row per cycle; copy only what you
+    /// keep.
+    pub fn left_load_matrix(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        self.cycles.iter().map(|c| c.left_acts.as_slice())
     }
 }
 
-/// Immutable per-cycle data shared by all simulated nodes.
-struct CycleData {
-    acts: Vec<ActivationRecord>,
-    children: Vec<Vec<u32>>,
+/// Immutable per-cycle data shared by all simulated nodes. Everything is
+/// borrowed: the activations straight from the trace, the derived index
+/// structures from a [`SimScratch`] — the inner simulation loop performs
+/// no per-cycle clones.
+struct CycleData<'a> {
+    acts: &'a [ActivationRecord],
+    children: &'a [Vec<u32>],
     /// Machine processor that handles each activation (control = 0 for
     /// instantiations; left processor of the pair under `ProcessorPairs`).
+    dest: &'a [ProcId],
+    roots: &'a [u32],
+}
+
+/// Reusable buffers for the per-cycle index structures ([`CycleData`]).
+///
+/// A fresh scratch is allocated implicitly by [`simulate`] /
+/// [`simulate_per_cycle`]; hot loops that fan out over many simulation
+/// points (the parallel sweep engine, benchmarks) should keep one per
+/// worker and call [`simulate_in`] so the buffers' capacity is reused
+/// across cycles *and* across points.
+#[derive(Default)]
+pub struct SimScratch {
+    children: Vec<Vec<u32>>,
     dest: Vec<ProcId>,
     roots: Vec<u32>,
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers grow to the largest cycle they see.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the cycle's index structures in place and hand out a view.
+    fn prepare<'a>(
+        &'a mut self,
+        acts: &'a [ActivationRecord],
+        partition: &Partition,
+        variant: MappingVariant,
+    ) -> CycleData<'a> {
+        // `clear` on a Vec<u32> is O(1), so wiping every previously-used
+        // entry (not just the first `acts.len()`) costs nothing and keeps
+        // stale children from leaking into a later, larger cycle.
+        for v in self.children.iter_mut() {
+            v.clear();
+        }
+        if self.children.len() < acts.len() {
+            self.children.resize_with(acts.len(), Vec::new);
+        }
+        self.roots.clear();
+        self.dest.clear();
+        for (i, a) in acts.iter().enumerate() {
+            match a.parent {
+                Some(p) => self.children[p as usize].push(i as u32),
+                None => self.roots.push(i as u32),
+            }
+        }
+        self.dest.extend(acts.iter().map(|a| match a.kind {
+            ActKind::Production => 0,
+            ActKind::TwoInput => MapNode::left_proc(variant, partition.owner(a.bucket)),
+        }));
+        CycleData {
+            acts,
+            children: &self.children[..acts.len()],
+            dest: &self.dest,
+            roots: &self.roots,
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -236,14 +294,16 @@ enum Msg {
 enum Role {
     Control,
     /// A match processor (combined) or the left half of a pair.
-    Match { index: usize },
+    Match {
+        index: usize,
+    },
     /// The right half of a pair.
     RightHalf,
 }
 
-struct MapNode {
+struct MapNode<'a> {
     role: Role,
-    data: Arc<CycleData>,
+    data: &'a CycleData<'a>,
     cost: CostModel,
     variant: MappingVariant,
     roots: RootDistribution,
@@ -252,7 +312,7 @@ struct MapNode {
     instantiations: u64,
 }
 
-impl MapNode {
+impl MapNode<'_> {
     /// Machine processor owning the *left* role of match processor `m`.
     fn left_proc(variant: MappingVariant, m: usize) -> ProcId {
         match variant {
@@ -304,16 +364,16 @@ impl MapNode {
 
     /// Generate activation `i`'s successors: `per_successor` compute each,
     /// departing as soon as produced (streamed, in recorded order).
-    fn send_children(&mut self, ctx: &mut Ctx<'_, Msg>, i: u32) {
-        let children = self.data.children[i as usize].clone();
-        for c in children {
+    fn send_children(&self, ctx: &mut Ctx<'_, Msg>, i: u32) {
+        let data = self.data;
+        for &c in &data.children[i as usize] {
             ctx.compute(self.cost.per_successor);
-            ctx.send(self.data.dest[c as usize], Msg::Act(c));
+            ctx.send(data.dest[c as usize], Msg::Act(c));
         }
     }
 }
 
-impl Node for MapNode {
+impl Node for MapNode<'_> {
     type Msg = Msg;
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ProcId, msg: Msg) {
@@ -328,9 +388,9 @@ impl Node for MapNode {
                     // Ablation: evaluate constant tests once, centrally,
                     // and route every root activation individually.
                     ctx.compute(self.cost.constant_tests);
-                    let roots = self.data.roots.clone();
-                    for r in roots {
-                        ctx.send(self.data.dest[r as usize], Msg::Act(r));
+                    let data = self.data;
+                    for &r in data.roots {
+                        ctx.send(data.dest[r as usize], Msg::Act(r));
                     }
                 }
             },
@@ -347,15 +407,14 @@ impl Node for MapNode {
                 ctx.compute(self.cost.constant_tests);
                 let me = Self::left_proc(self.variant, index);
                 debug_assert_eq!(me, ctx.me());
-                let mine: Vec<u32> = self
-                    .data
-                    .roots
-                    .iter()
-                    .copied()
-                    .filter(|&r| self.data.dest[r as usize] == me)
-                    .collect();
-                for r in mine {
-                    self.process_act(ctx, r);
+                // `data` is a plain shared reference (Copy), so iterating
+                // the roots does not hold a borrow of `self` across the
+                // `&mut self` call — no intermediate Vec needed.
+                let data = self.data;
+                for &r in data.roots {
+                    if data.dest[r as usize] == me {
+                        self.process_act(ctx, r);
+                    }
                 }
             }
             (Role::Match { .. }, Msg::Act(i)) => {
@@ -383,38 +442,41 @@ impl Node for MapNode {
     }
 }
 
-fn build_cycle_data(
-    acts: &[ActivationRecord],
-    partition: &Partition,
-    variant: MappingVariant,
-) -> CycleData {
-    let mut children = vec![Vec::new(); acts.len()];
-    let mut roots = Vec::new();
-    for (i, a) in acts.iter().enumerate() {
-        match a.parent {
-            Some(p) => children[p as usize].push(i as u32),
-            None => roots.push(i as u32),
+/// Where each cycle's [`Partition`] comes from — both variants borrow, so
+/// fanning a trace out across many simulation points never clones the
+/// bucket-owner table.
+enum PartitionSource<'a> {
+    /// One partition for every cycle.
+    Single(&'a Partition),
+    /// One partition per cycle (indexed by cycle number).
+    PerCycle(&'a [Partition]),
+}
+
+impl<'a> PartitionSource<'a> {
+    fn for_cycle(&self, cycle: usize) -> &'a Partition {
+        match *self {
+            PartitionSource::Single(p) => p,
+            PartitionSource::PerCycle(ps) => &ps[cycle],
         }
-    }
-    let dest = acts
-        .iter()
-        .map(|a| match a.kind {
-            ActKind::Production => 0,
-            ActKind::TwoInput => MapNode::left_proc(variant, partition.owner(a.bucket)),
-        })
-        .collect();
-    CycleData {
-        acts: acts.to_vec(),
-        children,
-        dest,
-        roots,
     }
 }
 
 /// Simulate `trace` under `config` with a single `partition` for all
 /// cycles.
 pub fn simulate(trace: &Trace, config: &MappingConfig, partition: &Partition) -> MappingReport {
-    simulate_with(trace, config, |_| partition.clone())
+    simulate_in(&mut SimScratch::new(), trace, config, partition)
+}
+
+/// [`simulate`] with caller-provided scratch buffers, for hot loops that
+/// run many simulation points and want to reuse the per-cycle index
+/// allocations across calls.
+pub fn simulate_in(
+    scratch: &mut SimScratch,
+    trace: &Trace,
+    config: &MappingConfig,
+    partition: &Partition,
+) -> MappingReport {
+    simulate_with(scratch, trace, config, PartitionSource::Single(partition))
 }
 
 /// Simulate with a (possibly different) partition per cycle — the paper's
@@ -424,23 +486,39 @@ pub fn simulate_per_cycle(
     config: &MappingConfig,
     partitions: &[Partition],
 ) -> MappingReport {
+    simulate_per_cycle_in(&mut SimScratch::new(), trace, config, partitions)
+}
+
+/// [`simulate_per_cycle`] with caller-provided scratch buffers.
+pub fn simulate_per_cycle_in(
+    scratch: &mut SimScratch,
+    trace: &Trace,
+    config: &MappingConfig,
+    partitions: &[Partition],
+) -> MappingReport {
     assert_eq!(
         partitions.len(),
         trace.cycles.len(),
         "one partition per cycle"
     );
-    simulate_with(trace, config, |c| partitions[c].clone())
+    simulate_with(
+        scratch,
+        trace,
+        config,
+        PartitionSource::PerCycle(partitions),
+    )
 }
 
 fn simulate_with(
+    scratch: &mut SimScratch,
     trace: &Trace,
     config: &MappingConfig,
-    partition_for: impl Fn(usize) -> Partition,
+    source: PartitionSource<'_>,
 ) -> MappingReport {
     let mut cycles = Vec::with_capacity(trace.cycles.len());
     let mut total = SimTime::ZERO;
     for (c, cycle) in trace.cycles.iter().enumerate() {
-        let partition = partition_for(c);
+        let partition = source.for_cycle(c);
         assert_eq!(
             partition.table_size(),
             trace.table_size,
@@ -451,7 +529,7 @@ fn simulate_with(
             config.match_processors,
             "partition processor count must match the config"
         );
-        let mut report = run_one_cycle(&cycle.activations, config, &partition);
+        let mut report = run_one_cycle(&cycle.activations, config, partition, scratch);
         report.makespan += config.termination.cycle_overhead(config);
         total += report.makespan;
         cycles.push(report);
@@ -463,9 +541,10 @@ fn run_one_cycle(
     acts: &[ActivationRecord],
     config: &MappingConfig,
     partition: &Partition,
+    scratch: &mut SimScratch,
 ) -> CycleReport {
     let p = config.match_processors;
-    let data = Arc::new(build_cycle_data(acts, partition, config.variant));
+    let data = scratch.prepare(acts, partition, config.variant);
     let machine_procs = match config.variant {
         MappingVariant::Combined => 1 + p,
         MappingVariant::ProcessorPairs => 1 + 2 * p,
@@ -478,7 +557,7 @@ fn run_one_cycle(
     };
     let mk_node = |role: Role| MapNode {
         role,
-        data: data.clone(),
+        data: &data,
         cost: config.cost,
         variant: config.variant,
         roots: config.roots,
@@ -527,33 +606,11 @@ fn run_one_cycle(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpps_ops::Sign;
-    use mpps_rete::trace::{ActKind, ActivationRecord, TraceCycle};
-    use mpps_rete::NodeId;
-
-    fn rec(
-        node: u32,
-        side: Side,
-        bucket: u64,
-        parent: Option<u32>,
-        kind: ActKind,
-    ) -> ActivationRecord {
-        ActivationRecord {
-            node: NodeId(node),
-            side,
-            sign: Sign::Plus,
-            bucket,
-            parent,
-            kind,
-        }
-    }
+    use mpps_rete::trace::test_support::{self, rec};
+    use mpps_rete::trace::{ActKind, ActivationRecord};
 
     fn trace_of(cycles: Vec<Vec<ActivationRecord>>) -> Trace {
-        let mut t = Trace::new(8);
-        for acts in cycles {
-            t.cycles.push(TraceCycle { activations: acts });
-        }
-        t
+        test_support::trace_of(8, cycles)
     }
 
     fn config(p: usize, overhead: OverheadSetting) -> MappingConfig {
@@ -787,6 +844,7 @@ mod tests {
             vec![rec(1, Side::Left, 1, None, ActKind::TwoInput)],
         ]);
         let r = simulate(&t, &zero_comm(2), &Partition::round_robin(8, 2));
-        assert_eq!(r.left_load_matrix(), vec![vec![1, 0], vec![0, 1]]);
+        let rows: Vec<&[u64]> = r.left_load_matrix().collect();
+        assert_eq!(rows, vec![&[1, 0][..], &[0, 1][..]]);
     }
 }

@@ -1,9 +1,15 @@
-//! Parameter sweeps: the speedup curves behind Figures 5-1 through 5-6.
+//! Parameter sweeps: the speedup curves behind Figures 5-1 through 5-6,
+//! and the parallel [`SweepPlan`] engine that executes all of a run's
+//! simulation points on a worker pool.
 
 use crate::cost::OverheadSetting;
 use crate::partition::Partition;
-use crate::simexec::{simulate, MappingConfig, MappingReport};
+use crate::simexec::{
+    simulate, simulate_in, simulate_per_cycle_in, MappingConfig, MappingReport, SimScratch,
+};
 use mpps_rete::Trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// One point on a speedup curve.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -17,7 +23,7 @@ pub struct SpeedupPoint {
 }
 
 /// How buckets are assigned to processors in a sweep.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum PartitionStrategy {
     /// Round-robin (the paper's default).
     #[default]
@@ -32,9 +38,7 @@ impl PartitionStrategy {
     /// Materialize a partition for `trace` over `processors`.
     pub fn build(self, trace: &Trace, processors: usize) -> Partition {
         match self {
-            PartitionStrategy::RoundRobin => {
-                Partition::round_robin(trace.table_size, processors)
-            }
+            PartitionStrategy::RoundRobin => Partition::round_robin(trace.table_size, processors),
             PartitionStrategy::Random(seed) => {
                 Partition::random(trace.table_size, processors, seed)
             }
@@ -55,6 +59,206 @@ pub fn baseline(trace: &Trace) -> MappingReport {
     )
 }
 
+/// Identifies a trace registered in a [`SweepPlan`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceId(usize);
+
+/// Identifies a simulation point added to a [`SweepPlan`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PointId(usize);
+
+/// How a point derives its bucket partition(s) from the trace.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PartitionSpec {
+    /// A single whole-trace partition built by a [`PartitionStrategy`].
+    Strategy(PartitionStrategy),
+    /// The paper's §5.2.2 offline bound: one work-weighted greedy (LPT)
+    /// distribution per cycle.
+    GreedyPerCycle,
+}
+
+/// One simulation point: a trace replayed under a full mapping
+/// configuration and a partition recipe. `PartialEq` drives the plan's
+/// deduplication — two figures asking for the same point share one run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PointSpec {
+    /// The trace to replay.
+    pub trace: TraceId,
+    /// Mapping configuration of the run.
+    pub config: MappingConfig,
+    /// Partition recipe.
+    pub partition: PartitionSpec,
+}
+
+/// A deduplicated batch of simulation points, executed together on a
+/// worker pool.
+///
+/// Traces are registered once and shared by reference; identical points
+/// (by [`PointSpec`] equality) collapse to a single run; the one-processor
+/// zero-overhead baseline of every registered trace is computed exactly
+/// once. Execution order is arbitrary, but results are keyed by point
+/// index, so [`SweepPlan::run`] returns the same answer for any worker
+/// count — including `jobs = 1`, which is the serial path.
+#[derive(Default)]
+pub struct SweepPlan<'t> {
+    traces: Vec<&'t Trace>,
+    points: Vec<PointSpec>,
+}
+
+impl<'t> SweepPlan<'t> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `trace`, sharing it if this exact instance (by address)
+    /// was registered before.
+    pub fn add_trace(&mut self, trace: &'t Trace) -> TraceId {
+        if let Some(i) = self.traces.iter().position(|&t| std::ptr::eq(t, trace)) {
+            return TraceId(i);
+        }
+        self.traces.push(trace);
+        TraceId(self.traces.len() - 1)
+    }
+
+    /// Add a simulation point, deduplicating against existing ones.
+    pub fn add_point(&mut self, spec: PointSpec) -> PointId {
+        if let Some(i) = self.points.iter().position(|p| *p == spec) {
+            return PointId(i);
+        }
+        self.points.push(spec);
+        PointId(self.points.len() - 1)
+    }
+
+    /// Number of distinct simulation points (excluding baselines).
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of distinct traces (= memoized baselines).
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Execute every baseline and point on `jobs` workers (clamped to at
+    /// least 1) and return the results keyed by id.
+    pub fn run(&self, jobs: usize) -> SweepResults {
+        let n_base = self.traces.len();
+        let n = n_base + self.points.len();
+        let mut slots: Vec<Option<MappingReport>> = Vec::new();
+        slots.resize_with(n, || None);
+        let workers = jobs.max(1).min(n);
+        if workers <= 1 {
+            let mut scratch = SimScratch::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.execute(i, n_base, &mut scratch));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let (tx, rx) = mpsc::channel::<(usize, MappingReport)>();
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    s.spawn(move || {
+                        // One scratch per worker: cycle-index buffers are
+                        // reused across every point the worker claims.
+                        let mut scratch = SimScratch::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let report = self.execute(i, n_base, &mut scratch);
+                            if tx.send((i, report)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                // Results land in their slot by index: completion order
+                // (and therefore worker count) cannot affect the output.
+                for (i, report) in rx {
+                    slots[i] = Some(report);
+                }
+            });
+        }
+        let mut it = slots
+            .into_iter()
+            .map(|r| r.expect("every task produces a report"));
+        SweepResults {
+            baselines: it.by_ref().take(n_base).collect(),
+            reports: it.collect(),
+            specs: self.points.clone(),
+        }
+    }
+
+    /// Run task `i` of the flat schedule: baselines first, then points.
+    fn execute(&self, i: usize, n_base: usize, scratch: &mut SimScratch) -> MappingReport {
+        if i < n_base {
+            let trace = self.traces[i];
+            return simulate_in(
+                scratch,
+                trace,
+                &MappingConfig::baseline(),
+                &Partition::single(trace.table_size),
+            );
+        }
+        let spec = &self.points[i - n_base];
+        let trace = self.traces[spec.trace.0];
+        match spec.partition {
+            PartitionSpec::Strategy(strategy) => {
+                let partition = strategy.build(trace, spec.config.match_processors);
+                simulate_in(scratch, trace, &spec.config, &partition)
+            }
+            PartitionSpec::GreedyPerCycle => {
+                let procs = spec.config.match_processors;
+                let parts: Vec<Partition> = (0..trace.cycles.len())
+                    .map(|c| {
+                        let work = crate::partition::cycle_bucket_work(trace, c, &spec.config.cost);
+                        Partition::greedy(&work, procs)
+                    })
+                    .collect();
+                simulate_per_cycle_in(scratch, trace, &spec.config, &parts)
+            }
+        }
+    }
+}
+
+/// Results of a [`SweepPlan::run`], keyed by the ids the plan handed out.
+pub struct SweepResults {
+    baselines: Vec<MappingReport>,
+    reports: Vec<MappingReport>,
+    specs: Vec<PointSpec>,
+}
+
+impl SweepResults {
+    /// The report of a point.
+    pub fn report(&self, id: PointId) -> &MappingReport {
+        &self.reports[id.0]
+    }
+
+    /// The memoized one-processor zero-overhead baseline of a trace.
+    pub fn baseline(&self, id: TraceId) -> &MappingReport {
+        &self.baselines[id.0]
+    }
+
+    /// Speedup of a point against its own trace's baseline.
+    pub fn speedup(&self, id: PointId) -> f64 {
+        self.reports[id.0].speedup_vs(&self.baselines[self.specs[id.0].trace.0])
+    }
+
+    /// The point as a [`SpeedupPoint`] (processor count from its config).
+    pub fn speedup_point(&self, id: PointId) -> SpeedupPoint {
+        SpeedupPoint {
+            processors: self.specs[id.0].config.match_processors,
+            speedup: self.speedup(id),
+            total_us: self.reports[id.0].total.as_us(),
+        }
+    }
+}
+
 /// Speedup vs processor count at a fixed overhead setting — one curve of
 /// Figure 5-1 (overhead zero) or Figure 5-2 (each Table 5-1 row).
 pub fn speedup_curve(
@@ -63,19 +267,33 @@ pub fn speedup_curve(
     overhead: OverheadSetting,
     strategy: PartitionStrategy,
 ) -> Vec<SpeedupPoint> {
-    let base = baseline(trace);
-    processors
+    speedup_curve_jobs(trace, processors, overhead, strategy, 1)
+}
+
+/// [`speedup_curve`] executed on a [`SweepPlan`] with `jobs` workers —
+/// identical output for any worker count.
+pub fn speedup_curve_jobs(
+    trace: &Trace,
+    processors: &[usize],
+    overhead: OverheadSetting,
+    strategy: PartitionStrategy,
+    jobs: usize,
+) -> Vec<SpeedupPoint> {
+    let mut plan = SweepPlan::new();
+    let t = plan.add_trace(trace);
+    let ids: Vec<PointId> = processors
         .iter()
         .map(|&p| {
-            let config = MappingConfig::standard(p, overhead);
-            let partition = strategy.build(trace, p);
-            let report = simulate(trace, &config, &partition);
-            SpeedupPoint {
-                processors: p,
-                speedup: report.speedup_vs(&base),
-                total_us: report.total.as_us(),
-            }
+            plan.add_point(PointSpec {
+                trace: t,
+                config: MappingConfig::standard(p, overhead),
+                partition: PartitionSpec::Strategy(strategy),
+            })
         })
+        .collect();
+    let results = plan.run(jobs);
+    ids.into_iter()
+        .map(|id| results.speedup_point(id))
         .collect()
 }
 
@@ -86,9 +304,46 @@ pub fn overhead_sweep(
     overheads: &[OverheadSetting],
     strategy: PartitionStrategy,
 ) -> Vec<(OverheadSetting, Vec<SpeedupPoint>)> {
-    overheads
+    overhead_sweep_jobs(trace, processors, overheads, strategy, 1)
+}
+
+/// [`overhead_sweep`] executed as one [`SweepPlan`] over all rows with
+/// `jobs` workers — duplicate rows collapse to shared points.
+pub fn overhead_sweep_jobs(
+    trace: &Trace,
+    processors: &[usize],
+    overheads: &[OverheadSetting],
+    strategy: PartitionStrategy,
+    jobs: usize,
+) -> Vec<(OverheadSetting, Vec<SpeedupPoint>)> {
+    let mut plan = SweepPlan::new();
+    let t = plan.add_trace(trace);
+    let ids: Vec<(OverheadSetting, Vec<PointId>)> = overheads
         .iter()
-        .map(|&o| (o, speedup_curve(trace, processors, o, strategy)))
+        .map(|&o| {
+            let row = processors
+                .iter()
+                .map(|&p| {
+                    plan.add_point(PointSpec {
+                        trace: t,
+                        config: MappingConfig::standard(p, o),
+                        partition: PartitionSpec::Strategy(strategy),
+                    })
+                })
+                .collect();
+            (o, row)
+        })
+        .collect();
+    let results = plan.run(jobs);
+    ids.into_iter()
+        .map(|(o, row)| {
+            (
+                o,
+                row.into_iter()
+                    .map(|id| results.speedup_point(id))
+                    .collect(),
+            )
+        })
         .collect()
 }
 
@@ -115,27 +370,9 @@ pub fn speedup_loss(zero_overhead: &[SpeedupPoint], with_overhead: &[SpeedupPoin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpps_ops::Sign;
-    use mpps_rete::trace::{ActKind, ActivationRecord, TraceCycle};
-    use mpps_rete::{NodeId, Side};
-
-    /// A cycle of `n` independent right activations over distinct buckets.
-    fn flat_trace(n: u64, table: u64) -> Trace {
-        let mut t = Trace::new(table);
-        t.cycles.push(TraceCycle {
-            activations: (0..n)
-                .map(|i| ActivationRecord {
-                    node: NodeId(1),
-                    side: Side::Right,
-                    sign: Sign::Plus,
-                    bucket: i % table,
-                    parent: None,
-                    kind: ActKind::TwoInput,
-                })
-                .collect(),
-        });
-        t
-    }
+    use mpps_rete::trace::test_support::{flat_trace, rec, trace_of};
+    use mpps_rete::trace::ActKind;
+    use mpps_rete::Side;
 
     #[test]
     fn embarrassingly_parallel_trace_scales() {
@@ -187,6 +424,138 @@ mod tests {
         }];
         assert_eq!(peak(&a).processors, 4);
         assert!((speedup_loss(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    /// A trace with parent/child structure so greedy-per-cycle and the
+    /// baseline see non-trivial work.
+    fn chain_trace(table: u64) -> Trace {
+        let cycles = (0..3u64)
+            .map(|cycle| {
+                let mut acts = vec![rec(1, Side::Right, cycle % table, None, ActKind::TwoInput)];
+                for i in 1..6u32 {
+                    acts.push(rec(
+                        1 + i,
+                        Side::Left,
+                        (cycle + i as u64 * 3) % table,
+                        Some(i - 1),
+                        ActKind::TwoInput,
+                    ));
+                }
+                acts
+            })
+            .collect();
+        trace_of(table, cycles)
+    }
+
+    #[test]
+    fn plan_deduplicates_points_and_traces() {
+        let t = flat_trace(16, 16);
+        let mut plan = SweepPlan::new();
+        let a = plan.add_trace(&t);
+        let b = plan.add_trace(&t);
+        assert_eq!(a, b);
+        assert_eq!(plan.trace_count(), 1);
+        let spec = PointSpec {
+            trace: a,
+            config: MappingConfig::standard(4, OverheadSetting::ZERO),
+            partition: PartitionSpec::Strategy(PartitionStrategy::RoundRobin),
+        };
+        let p1 = plan.add_point(spec);
+        let p2 = plan.add_point(spec);
+        assert_eq!(p1, p2);
+        assert_eq!(plan.point_count(), 1);
+        let other = PointSpec {
+            config: MappingConfig::standard(8, OverheadSetting::ZERO),
+            ..spec
+        };
+        assert_ne!(plan.add_point(other), p1);
+        assert_eq!(plan.point_count(), 2);
+    }
+
+    #[test]
+    fn plan_results_are_identical_for_any_worker_count() {
+        let t = chain_trace(16);
+        let build = || {
+            let mut plan = SweepPlan::new();
+            let tid = plan.add_trace(&t);
+            let ids: Vec<PointId> = [1usize, 2, 4, 8]
+                .iter()
+                .flat_map(|&p| {
+                    [
+                        PartitionSpec::Strategy(PartitionStrategy::RoundRobin),
+                        PartitionSpec::Strategy(PartitionStrategy::Random(7)),
+                        PartitionSpec::GreedyPerCycle,
+                    ]
+                    .map(|partition| {
+                        plan.add_point(PointSpec {
+                            trace: tid,
+                            config: MappingConfig::standard(p, OverheadSetting::table_5_1()[1]),
+                            partition,
+                        })
+                    })
+                })
+                .collect();
+            (plan, tid, ids)
+        };
+        let (plan, tid, ids) = build();
+        let serial = plan.run(1);
+        for jobs in [2, 3, 8, 64] {
+            let parallel = plan.run(jobs);
+            assert_eq!(parallel.baseline(tid).total, serial.baseline(tid).total);
+            for &id in &ids {
+                assert_eq!(parallel.report(id).total, serial.report(id).total);
+                assert_eq!(parallel.speedup(id), serial.speedup(id));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_matches_direct_simulation() {
+        let t = chain_trace(16);
+        let mut plan = SweepPlan::new();
+        let tid = plan.add_trace(&t);
+        let config = MappingConfig::standard(4, OverheadSetting::table_5_1()[2]);
+        let id = plan.add_point(PointSpec {
+            trace: tid,
+            config,
+            partition: PartitionSpec::Strategy(PartitionStrategy::RoundRobin),
+        });
+        let results = plan.run(4);
+        let direct = simulate(&t, &config, &Partition::round_robin(16, 4));
+        assert_eq!(results.report(id).total, direct.total);
+        assert_eq!(results.baseline(tid).total, baseline(&t).total);
+    }
+
+    #[test]
+    fn parallel_curves_match_serial_helpers() {
+        let t = chain_trace(16);
+        let procs = [1usize, 2, 4, 8];
+        let rows = OverheadSetting::table_5_1();
+        let serial = overhead_sweep(&t, &procs, &rows, PartitionStrategy::RoundRobin);
+        let parallel = overhead_sweep_jobs(&t, &procs, &rows, PartitionStrategy::RoundRobin, 6);
+        assert_eq!(serial, parallel);
+        let sc = speedup_curve(
+            &t,
+            &procs,
+            OverheadSetting::ZERO,
+            PartitionStrategy::Random(3),
+        );
+        let pc = speedup_curve_jobs(
+            &t,
+            &procs,
+            OverheadSetting::ZERO,
+            PartitionStrategy::Random(3),
+            5,
+        );
+        assert_eq!(sc, pc);
+    }
+
+    #[test]
+    fn empty_plan_runs() {
+        let plan = SweepPlan::new();
+        let results = plan.run(8);
+        assert_eq!(results.reports.len(), 0);
+        assert_eq!(results.baselines.len(), 0);
     }
 
     #[test]

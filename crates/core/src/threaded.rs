@@ -81,7 +81,10 @@ impl Worker {
     }
 
     fn process(&mut self, item: Work, local: &mut std::collections::VecDeque<Work>) {
-        debug_assert!(!matches!(item, Work::Prod { .. }), "prod work stays at the coordinator");
+        debug_assert!(
+            !matches!(item, Work::Prod { .. }),
+            "prod work stays at the coordinator"
+        );
         let (_bucket, outputs) = kernel::activate(&self.network, &mut self.memories, &item);
         for out in outputs {
             match out {
@@ -334,8 +337,14 @@ mod tests {
 
     fn blue_wmes() -> Vec<WmeChange> {
         vec![
-            add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
-            add(2, Wme::new("block", &[("name", "b1".into()), ("on", "table".into())])),
+            add(
+                1,
+                Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())]),
+            ),
+            add(
+                2,
+                Wme::new("block", &[("name", "b1".into()), ("on", "table".into())]),
+            ),
             add(3, Wme::new("hand", &[("state", "free".into())])),
         ]
     }
@@ -365,8 +374,7 @@ mod tests {
     #[test]
     fn incremental_cycles_stay_consistent() {
         let wmes = blue_wmes();
-        let batches: Vec<Vec<WmeChange>> =
-            wmes.iter().map(|c| vec![c.clone()]).collect();
+        let batches: Vec<Vec<WmeChange>> = wmes.iter().map(|c| vec![c.clone()]).collect();
         agree(BLUE, &batches, 3);
     }
 
@@ -387,7 +395,10 @@ mod tests {
         for i in 0..8 {
             changes.push(add(
                 1 + i,
-                Wme::new("team", &[("side", "left".into()), ("name", (i as i64).into())]),
+                Wme::new(
+                    "team",
+                    &[("side", "left".into()), ("name", (i as i64).into())],
+                ),
             ));
         }
         for i in 0..8 {

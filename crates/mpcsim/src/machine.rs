@@ -144,7 +144,12 @@ impl<'a, M: Clone> Ctx<'a, M> {
 
 enum Event<M> {
     /// A message finished its network transit and joins `to`'s queue.
-    Arrival { to: ProcId, from: ProcId, msg: M, remote: bool },
+    Arrival {
+        to: ProcId,
+        from: ProcId,
+        msg: M,
+        remote: bool,
+    },
     /// `proc` may have finished its current work; check its queue.
     Wakeup { proc: ProcId },
 }
@@ -185,7 +190,10 @@ impl<N: Node> Simulator<N> {
             proc_metrics: vec![ProcessorMetrics::default(); cfg.processors],
             nodes,
             cfg,
-            queue: EventQueue::new(),
+            // Every processor typically has at least a couple of deliveries
+            // in flight; pre-size so small simulations never reallocate the
+            // heap mid-cycle.
+            queue: EventQueue::with_capacity(4 * cfg.processors),
             usage: NetworkUsage::default(),
             max_events: u64::MAX,
         }
@@ -280,7 +288,14 @@ impl<N: Node> Simulator<N> {
         }
     }
 
-    fn start_message(&mut self, proc: ProcId, start: SimTime, from: ProcId, msg: N::Msg, remote: bool) {
+    fn start_message(
+        &mut self,
+        proc: ProcId,
+        start: SimTime,
+        from: ProcId,
+        msg: N::Msg,
+        remote: bool,
+    ) {
         self.proc_metrics[proc].messages_handled += 1;
         let recv = if remote {
             self.cfg.recv_overhead
@@ -349,12 +364,7 @@ impl<N: Node> Simulator<N> {
     }
 
     fn report(&self) -> RunReport {
-        let makespan = self
-            .free_at
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let makespan = self.free_at.iter().copied().max().unwrap_or(SimTime::ZERO);
         RunReport {
             makespan,
             metrics: MachineMetrics {
@@ -569,7 +579,10 @@ mod tests {
                 ctx.compute(SimTime::from_us(3));
             }
         }
-        let mut sim = Simulator::new(MachineConfig::ideal(2), vec![Echo { count: 0 }, Echo { count: 0 }]);
+        let mut sim = Simulator::new(
+            MachineConfig::ideal(2),
+            vec![Echo { count: 0 }, Echo { count: 0 }],
+        );
         sim.inject(SimTime::from_us(10), 1, ());
         let report = sim.run_injected();
         assert_eq!(sim.node(1).count, 1);

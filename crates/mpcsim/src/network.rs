@@ -77,9 +77,7 @@ impl NetworkModel {
         }
         match self {
             NetworkModel::Constant(l) => l,
-            NetworkModel::PerHop { per_hop, topology } => {
-                per_hop * topology.hops(n, from, to)
-            }
+            NetworkModel::PerHop { per_hop, topology } => per_hop * topology.hops(n, from, to),
         }
     }
 }

@@ -180,7 +180,9 @@ mod tests {
     #[test]
     fn builder_matches_parsed_equivalent() {
         let built = ProductionBuilder::new("clear-the-blue-block")
-            .ce("block", |ce| ce.var("name", "block2").constant("color", "blue"))
+            .ce("block", |ce| {
+                ce.var("name", "block2").constant("color", "blue")
+            })
             .ce("block", |ce| ce.var("name", "block2").var("on", "block1"))
             .ce("hand", |ce| ce.constant("state", "free"))
             .remove(2)

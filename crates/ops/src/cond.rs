@@ -167,9 +167,7 @@ impl ConditionElement {
         }
         self.tests.iter().all(|t| match &t.kind {
             TestKind::Constant(p, v) => wme.get(t.attr).is_some_and(|w| p.eval(w, *v)),
-            TestKind::Disjunction(vals) => {
-                wme.get(t.attr).is_some_and(|w| vals.contains(&w))
-            }
+            TestKind::Disjunction(vals) => wme.get(t.attr).is_some_and(|w| vals.contains(&w)),
             // A variable test requires the attribute to be *present*.
             TestKind::Variable(_) | TestKind::VariablePred(..) => wme.get(t.attr).is_some(),
         })

@@ -75,9 +75,7 @@ pub fn resolve<'a>(
         Strategy::Lex => lex_cmp,
         Strategy::Mea => mea_cmp,
     };
-    candidates
-        .into_iter()
-        .max_by(|a, b| cmp(program, a, b))
+    candidates.into_iter().max_by(|a, b| cmp(program, a, b))
 }
 
 #[cfg(test)]
@@ -165,8 +163,14 @@ mod tests {
         // with self-joins). Lowest wme_ids wins, both orders of presentation.
         let a = inst(0, &[4, 4]);
         let b = inst(0, &[4, 4]);
-        assert_eq!(resolve(&prog, Strategy::Lex, [&a, &b]).unwrap().key(), a.key());
-        assert_eq!(resolve(&prog, Strategy::Lex, [&b, &a]).unwrap().key(), a.key());
+        assert_eq!(
+            resolve(&prog, Strategy::Lex, [&a, &b]).unwrap().key(),
+            a.key()
+        );
+        assert_eq!(
+            resolve(&prog, Strategy::Lex, [&b, &a]).unwrap().key(),
+            a.key()
+        );
     }
 
     #[test]

@@ -167,8 +167,7 @@ impl<M: Matcher> Interpreter<M> {
             .iter()
             .filter(|i| !self.fired_keys.contains(&i.key()))
             .collect();
-        let Some(winner) = resolve(&self.program, self.strategy, candidates)
-        else {
+        let Some(winner) = resolve(&self.program, self.strategy, candidates) else {
             return Ok(StepOutcome::Quiescent);
         };
         let winner = winner.clone();
@@ -276,8 +275,7 @@ impl<M: Matcher> Interpreter<M> {
             .collect();
         // Conflict-resolution order: repeatedly extract the winner.
         let mut ordered: Vec<Instantiation> = Vec::new();
-        while let Some(winner) = resolve(&self.program, self.strategy, candidates.iter().copied())
-        {
+        while let Some(winner) = resolve(&self.program, self.strategy, candidates.iter().copied()) {
             let winner = winner.clone();
             candidates.retain(|c| c.key() != winner.key());
             ordered.push(winner);
@@ -302,7 +300,9 @@ impl<M: Matcher> Interpreter<M> {
                     _ => {}
                 }
             }
-            let compatible = my_deletes.iter().all(|id| !deleted.contains(id) && !matched.contains(id))
+            let compatible = my_deletes
+                .iter()
+                .all(|id| !deleted.contains(id) && !matched.contains(id))
                 && inst.wme_ids.iter().all(|id| !deleted.contains(id));
             if compatible {
                 deleted.extend(my_deletes);
@@ -537,8 +537,14 @@ mod tests {
         interp.wm_make("item", &[("tag", "new".into())]);
         interp.run(10).unwrap();
         // LEX: most recent WME wins first.
-        assert_eq!(interp.output()[0], vec![Value::sym("picked"), Value::sym("new")]);
-        assert_eq!(interp.output()[1], vec![Value::sym("picked"), Value::sym("old")]);
+        assert_eq!(
+            interp.output()[0],
+            vec![Value::sym("picked"), Value::sym("new")]
+        );
+        assert_eq!(
+            interp.output()[1],
+            vec![Value::sym("picked"), Value::sym("old")]
+        );
     }
 
     #[test]
@@ -562,7 +568,10 @@ mod tests {
         interp.run(10).unwrap();
         // MEA: g2's goal WME is more recent, so g2 is served first even
         // though g1's item instantiation also exists.
-        assert_eq!(interp.output()[0], vec![Value::sym("served"), Value::sym("g2")]);
+        assert_eq!(
+            interp.output()[0],
+            vec![Value::sym("served"), Value::sym("g2")]
+        );
     }
 
     #[test]
@@ -646,18 +655,13 @@ mod bind_tests {
 
     #[test]
     fn bind_use_before_definition_rejected() {
-        let bad = parse_program(
-            "(p bad (a) --> (write <x>) (bind <x> 1))",
-        );
+        let bad = parse_program("(p bad (a) --> (write <x>) (bind <x> 1))");
         assert!(bad.is_err());
     }
 
     #[test]
     fn bind_display_roundtrip() {
-        let prog = parse_program(
-            "(p b (a ^v <v>) --> (bind <w> (+ <v> 1)) (write <w>))",
-        )
-        .unwrap();
+        let prog = parse_program("(p b (a ^v <v>) --> (bind <w> (+ <v> 1)) (write <w>))").unwrap();
         let p = prog.get(crate::ProductionId(0));
         let again = crate::parse_production(&p.to_string()).unwrap();
         assert_eq!(p, &again);
@@ -684,7 +688,12 @@ mod parallel_tests {
         let rp = parallel.run_parallel(100).unwrap();
         assert_eq!(rs.fired.len(), 10);
         assert_eq!(rp.fired.len(), 10);
-        assert!(rp.cycles < rs.cycles, "parallel {} vs serial {}", rp.cycles, rs.cycles);
+        assert!(
+            rp.cycles < rs.cycles,
+            "parallel {} vs serial {}",
+            rp.cycles,
+            rs.cycles
+        );
         assert_eq!(rp.fired.iter().filter(|f| f.cycle == 1).count(), 10);
         assert_eq!(parallel.working_memory().len(), 0);
     }

@@ -156,10 +156,7 @@ mod tests {
     fn sorting_is_by_production_then_ids() {
         let mut v = vec![inst(1, &[1]), inst(0, &[9]), inst(0, &[2])];
         sort_conflict_set(&mut v);
-        assert_eq!(
-            v,
-            vec![inst(0, &[2]), inst(0, &[9]), inst(1, &[1])]
-        );
+        assert_eq!(v, vec![inst(0, &[2]), inst(0, &[9]), inst(1, &[1])]);
     }
 
     #[test]

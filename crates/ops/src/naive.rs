@@ -206,7 +206,10 @@ mod tests {
         )
         .unwrap();
         let mut m = NaiveMatcher::new(prog);
-        m.process(&changes_add(1, vec![Wme::new("block", &[("name", "b1".into())])]));
+        m.process(&changes_add(
+            1,
+            vec![Wme::new("block", &[("name", "b1".into())])],
+        ));
         assert_eq!(m.conflict_set().len(), 1);
         m.process(&changes_add(
             2,

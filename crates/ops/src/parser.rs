@@ -208,9 +208,7 @@ impl<'a> Lexer<'a> {
                 Tok::Pred(Predicate::Eq)
             }
             b'-' => {
-                if self.peek2() == Some(b'-')
-                    && self.src.get(self.pos + 2).copied() == Some(b'>')
-                {
+                if self.peek2() == Some(b'-') && self.src.get(self.pos + 2).copied() == Some(b'>') {
                     self.bump();
                     self.bump();
                     self.bump();
@@ -352,9 +350,7 @@ impl Parser {
                     let kind = self.attr_test_kind()?;
                     tests.push(AttrTest { attr, kind });
                 }
-                Some(t) => {
-                    return Err(self.err_at(format!("expected '^attr' or ')', found {t:?}")))
-                }
+                Some(t) => return Err(self.err_at(format!("expected '^attr' or ')', found {t:?}"))),
                 None => return Err(self.err_at("unterminated condition element")),
             }
         }
@@ -399,9 +395,9 @@ impl Parser {
                         Ok(TestKind::VariablePred(p, v))
                     }
                 }
-                other => Err(self.err_at(format!(
-                    "expected value after predicate, found {other:?}"
-                ))),
+                other => {
+                    Err(self.err_at(format!("expected value after predicate, found {other:?}")))
+                }
             },
             other => Err(self.err_at(format!("expected test value, found {other:?}"))),
         }
@@ -436,9 +432,9 @@ impl Parser {
                 let var = match self.next() {
                     Some(Tok::Var(v)) => v,
                     other => {
-                        return Err(self.err_at(format!(
-                            "expected variable after bind, found {other:?}"
-                        )))
+                        return Err(
+                            self.err_at(format!("expected variable after bind, found {other:?}"))
+                        )
                     }
                 };
                 Action::Bind(var, self.rhs_value()?)
@@ -492,9 +488,7 @@ impl Parser {
                         "-" => RhsOp::Sub,
                         "*" => RhsOp::Mul,
                         "mod" => RhsOp::Mod,
-                        other => {
-                            return Err(self.err_at(format!("unknown operator '{other}'")))
-                        }
+                        other => return Err(self.err_at(format!("unknown operator '{other}'"))),
                     },
                     other => return Err(self.err_at(format!("expected operator, found {other:?}"))),
                 };
@@ -603,10 +597,7 @@ mod tests {
 
     #[test]
     fn parses_negated_ce() {
-        let p = parse_production(
-            "(p neg (a ^x 1) -(b ^y <> 2) --> (halt))",
-        )
-        .unwrap();
+        let p = parse_production("(p neg (a ^x 1) -(b ^y <> 2) --> (halt))").unwrap();
         assert!(p.lhs[1].negated);
         assert_eq!(
             p.lhs[1].tests[0].kind,
@@ -623,7 +614,10 @@ mod tests {
         let t = &p.lhs[1].tests;
         assert_eq!(t[0].kind, TestKind::Constant(Predicate::Gt, Value::Int(4)));
         assert_eq!(t[1].kind, TestKind::Constant(Predicate::Le, Value::Int(9)));
-        assert_eq!(t[2].kind, TestKind::VariablePred(Predicate::Ge, intern("x")));
+        assert_eq!(
+            t[2].kind,
+            TestKind::VariablePred(Predicate::Ge, intern("x"))
+        );
         assert_eq!(t[3].kind, TestKind::Constant(Predicate::Lt, Value::Int(0)));
     }
 
@@ -635,19 +629,14 @@ mod tests {
 
     #[test]
     fn parses_arithmetic_rhs() {
-        let p = parse_production(
-            "(p arith (c ^v <v>) --> (modify 1 ^v (+ (* <v> 2) -3)))",
-        )
-        .unwrap();
+        let p =
+            parse_production("(p arith (c ^v <v>) --> (modify 1 ^v (+ (* <v> 2) -3)))").unwrap();
         let Action::Modify { attrs, .. } = &p.rhs[0] else {
             panic!("expected modify");
         };
         let (attr, val) = &attrs[0];
         assert_eq!(attr.as_str(), "v");
-        assert_eq!(
-            val.to_string(),
-            "(+ (* <v> 2) -3)"
-        );
+        assert_eq!(val.to_string(), "(+ (* <v> 2) -3)");
     }
 
     #[test]
@@ -661,10 +650,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let p = parse_program(
-            "; a leading comment\n(p c (a) --> (halt)) ; trailing\n",
-        )
-        .unwrap();
+        let p = parse_program("; a leading comment\n(p c (a) --> (halt)) ; trailing\n").unwrap();
         assert_eq!(p.len(), 1);
     }
 
@@ -757,10 +743,8 @@ mod disjunction_tests {
 
     #[test]
     fn parses_disjunction() {
-        let p = parse_production(
-            "(p disj (block ^color << red blue 3 >>) --> (remove 1))",
-        )
-        .unwrap();
+        let p =
+            parse_production("(p disj (block ^color << red blue 3 >>) --> (remove 1))").unwrap();
         let TestKind::Disjunction(vals) = &p.lhs[0].tests[0].kind else {
             panic!("expected disjunction, got {:?}", p.lhs[0].tests[0].kind);
         };

@@ -96,8 +96,7 @@ impl TreatMatcher {
         out: &mut Vec<Instantiation>,
     ) {
         let mems = &self.memories[p];
-        let mut chosen: Vec<WmeId> =
-            Vec::with_capacity(self.productions[p].positive.len());
+        let mut chosen: Vec<WmeId> = Vec::with_capacity(self.productions[p].positive.len());
         self.extend_positive(p, seed, id, wme, 0, &mut chosen, &HashMap::new(), mems, out);
     }
 
@@ -130,7 +129,17 @@ impl TreatMatcher {
         if pos == seed {
             if let Some(next) = ce.match_with_bindings(seed_wme, bindings) {
                 chosen.push(seed_id);
-                self.extend_positive(p, seed, seed_id, seed_wme, pos + 1, chosen, &next, mems, out);
+                self.extend_positive(
+                    p,
+                    seed,
+                    seed_id,
+                    seed_wme,
+                    pos + 1,
+                    chosen,
+                    &next,
+                    mems,
+                    out,
+                );
                 chosen.pop();
             }
             return;
@@ -145,7 +154,17 @@ impl TreatMatcher {
             }
             if let Some(next) = ce.match_with_bindings(cand, bindings) {
                 chosen.push(*cand_id);
-                self.extend_positive(p, seed, seed_id, seed_wme, pos + 1, chosen, &next, mems, out);
+                self.extend_positive(
+                    p,
+                    seed,
+                    seed_id,
+                    seed_wme,
+                    pos + 1,
+                    chosen,
+                    &next,
+                    mems,
+                    out,
+                );
                 chosen.pop();
             }
         }
@@ -344,8 +363,14 @@ mod tests {
         agree(
             BLUE,
             &[vec![
-                add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
-                add(2, Wme::new("block", &[("name", "b1".into()), ("on", "t".into())])),
+                add(
+                    1,
+                    Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())]),
+                ),
+                add(
+                    2,
+                    Wme::new("block", &[("name", "b1".into()), ("on", "t".into())]),
+                ),
                 add(3, Wme::new("hand", &[("state", "free".into())])),
             ]],
         );
@@ -358,8 +383,14 @@ mod tests {
             BLUE,
             &[
                 vec![
-                    add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
-                    add(2, Wme::new("block", &[("name", "b1".into()), ("on", "t".into())])),
+                    add(
+                        1,
+                        Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())]),
+                    ),
+                    add(
+                        2,
+                        Wme::new("block", &[("name", "b1".into()), ("on", "t".into())]),
+                    ),
                     add(3, hand.clone()),
                 ],
                 vec![del(3, hand)],
@@ -395,10 +426,7 @@ mod tests {
 
     #[test]
     fn cross_product_counts() {
-        let prog = parse_program(
-            "(p cross (a ^v <x>) (b ^w <y>) --> (remove 1))",
-        )
-        .unwrap();
+        let prog = parse_program("(p cross (a ^v <x>) (b ^w <y>) --> (remove 1))").unwrap();
         let mut treat = TreatMatcher::new(&prog);
         let mut changes = Vec::new();
         for i in 0..4 {

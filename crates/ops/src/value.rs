@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn ops_cmp_orders_syms_lexically() {
-        assert_eq!(Value::sym("apple").ops_cmp(Value::sym("zebra")), Ordering::Less);
+        assert_eq!(
+            Value::sym("apple").ops_cmp(Value::sym("zebra")),
+            Ordering::Less
+        );
     }
 
     #[test]

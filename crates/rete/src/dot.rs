@@ -27,20 +27,13 @@ impl ReteNetwork {
                         let opts: Vec<String> = vals.iter().map(ToString::to_string).collect();
                         write!(label, "\\n^{} << {} >>", attr, opts.join(" ")).unwrap();
                     }
-                    writeln!(
-                        out,
-                        "  n{} [shape=ellipse, label=\"{}\"];",
-                        id.0, label
-                    )
-                    .unwrap();
+                    writeln!(out, "  n{} [shape=ellipse, label=\"{}\"];", id.0, label).unwrap();
                     for succ in &a.successors {
                         match *succ {
-                            AlphaSucc::TwoInput(t, Side::Left) => writeln!(
-                                out,
-                                "  n{} -> n{} [label=\"L (seed)\"];",
-                                id.0, t.0
-                            )
-                            .unwrap(),
+                            AlphaSucc::TwoInput(t, Side::Left) => {
+                                writeln!(out, "  n{} -> n{} [label=\"L (seed)\"];", id.0, t.0)
+                                    .unwrap()
+                            }
                             AlphaSucc::TwoInput(t, Side::Right) => {
                                 writeln!(out, "  n{} -> n{} [label=\"R\"];", id.0, t.0).unwrap()
                             }
@@ -102,11 +95,9 @@ mod tests {
 
     #[test]
     fn dot_contains_every_node() {
-        let n = net(
-            r#"
+        let n = net(r#"
             (p a (goal ^id <g>) (task ^goal <g>) -(busy) --> (remove 1))
-            "#,
-        );
+            "#);
         let dot = n.to_dot();
         assert!(dot.starts_with("digraph rete {"));
         assert!(dot.trim_end().ends_with('}'));
@@ -139,22 +130,18 @@ mod tests {
         // Two 2-CE productions share only the g alpha (their t alphas and
         // hence their joins differ): 2 seed edges + 2 R edges + 2
         // production edges.
-        let n = net(
-            r#"
+        let n = net(r#"
             (p a (g ^id <i>) (t ^id <i> ^k 1) --> (remove 1))
             (p b (g ^id <i>) (t ^id <i> ^k 2) --> (remove 1))
-            "#,
-        );
+            "#);
         let dot = n.to_dot();
         assert_eq!(dot.matches(" -> ").count(), 6, "{dot}");
         // A genuinely shared prefix adds beta edges instead:
         // g⋈t shared, then two second-level joins and two productions.
-        let shared = net(
-            r#"
+        let shared = net(r#"
             (p a (g ^id <i>) (t ^id <i>) (u ^k 1) --> (remove 1))
             (p b (g ^id <i>) (t ^id <i>) (u ^k 2) --> (remove 1))
-            "#,
-        );
+            "#);
         let dot = shared.to_dot();
         // 1 seed + 1 R (t) + 2 beta (shared join -> each 2nd join) +
         // 2 R (u alphas) + 2 production edges = 8.

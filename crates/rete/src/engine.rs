@@ -10,9 +10,7 @@ use crate::kernel::{self, Work};
 use crate::memory::GlobalMemories;
 use crate::network::{NodeId, ReteNetwork, Side};
 use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
-use mpps_ops::{
-    sort_conflict_set, Instantiation, Matcher, ProductionId, Sign, WmeChange, WmeId,
-};
+use mpps_ops::{sort_conflict_set, Instantiation, Matcher, ProductionId, Sign, WmeChange, WmeId};
 use std::collections::{HashMap, VecDeque};
 
 /// Engine configuration.
@@ -251,8 +249,14 @@ mod tests {
 
     fn blue_wmes() -> Vec<WmeChange> {
         vec![
-            add(1, Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())])),
-            add(2, Wme::new("block", &[("name", "b1".into()), ("on", "table".into())])),
+            add(
+                1,
+                Wme::new("block", &[("name", "b1".into()), ("color", "blue".into())]),
+            ),
+            add(
+                2,
+                Wme::new("block", &[("name", "b1".into()), ("on", "table".into())]),
+            ),
             add(3, Wme::new("hand", &[("state", "free".into())])),
         ]
     }
@@ -264,10 +268,7 @@ mod tests {
         let cs = m.conflict_set();
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].wme_ids, vec![WmeId(1), WmeId(2), WmeId(3)]);
-        assert_eq!(
-            cs[0].bindings[&mpps_ops::intern("b1")],
-            Value::sym("table")
-        );
+        assert_eq!(cs[0].bindings[&mpps_ops::intern("b1")], Value::sym("table"));
     }
 
     #[test]
@@ -291,7 +292,10 @@ mod tests {
         // Memories for the hand WME are gone too.
         m.process(&[add(4, Wme::new("hand", &[("state", "free".into())]))]);
         assert_eq!(m.conflict_set().len(), 1);
-        assert_eq!(m.conflict_set()[0].wme_ids, vec![WmeId(1), WmeId(2), WmeId(4)]);
+        assert_eq!(
+            m.conflict_set()[0].wme_ids,
+            vec![WmeId(1), WmeId(2), WmeId(4)]
+        );
     }
 
     #[test]
@@ -381,7 +385,10 @@ mod tests {
             id += 1;
             changes.push(add(
                 id,
-                Wme::new("team", &[("side", "right".into()), ("name", (100 + i).into())]),
+                Wme::new(
+                    "team",
+                    &[("side", "right".into()), ("name", (100 + i).into())],
+                ),
             ));
         }
         m.process(&changes);
@@ -421,9 +428,7 @@ mod tests {
     fn trace_bucket_consistency_between_sides() {
         // The left and right activations that meet at a node with equal
         // join values must report the same bucket index.
-        let mut m = traced(
-            "(p j (a ^v <x>) (b ^v <x>) --> (remove 1))",
-        );
+        let mut m = traced("(p j (a ^v <x>) (b ^v <x>) --> (remove 1))");
         m.process(&[
             add(1, Wme::new("a", &[("v", 42.into())])),
             add(2, Wme::new("b", &[("v", 42.into())])),
@@ -461,8 +466,14 @@ mod tests {
         );
         m.process(&[
             add(1, Wme::new("box", &[("size", 5.into())])),
-            add(2, Wme::new("lid", &[("size", 7.into()), ("for", "x".into())])),
-            add(3, Wme::new("lid", &[("size", 3.into()), ("for", "y".into())])),
+            add(
+                2,
+                Wme::new("lid", &[("size", 7.into()), ("for", "x".into())]),
+            ),
+            add(
+                3,
+                Wme::new("lid", &[("size", 3.into()), ("for", "y".into())]),
+            ),
         ]);
         let cs = m.conflict_set();
         assert_eq!(cs.len(), 1);
@@ -475,10 +486,7 @@ mod tests {
         let wmes = blue_wmes();
         m.process(&wmes);
         assert!(m.memories().left_len() > 0);
-        let dels: Vec<WmeChange> = wmes
-            .iter()
-            .map(|c| del(c.id.0, c.wme.clone()))
-            .collect();
+        let dels: Vec<WmeChange> = wmes.iter().map(|c| del(c.id.0, c.wme.clone())).collect();
         m.process(&dels);
         assert_eq!(m.memories().left_len(), 0);
         assert_eq!(m.memories().right_len(), 0);
@@ -495,8 +503,14 @@ mod tests {
         );
         m.process(&[
             add(1, Wme::new("goal", &[("id", 1.into())])),
-            add(2, Wme::new("task", &[("goal", 1.into()), ("hard", "yes".into())])),
-            add(3, Wme::new("task", &[("goal", 1.into()), ("hard", "no".into())])),
+            add(
+                2,
+                Wme::new("task", &[("goal", 1.into()), ("hard", "yes".into())]),
+            ),
+            add(
+                3,
+                Wme::new("task", &[("goal", 1.into()), ("hard", "no".into())]),
+            ),
         ]);
         let cs = m.conflict_set();
         assert_eq!(cs.len(), 2);
@@ -521,9 +535,18 @@ mod disjunction_tests {
         let mut rete = ReteMatcher::from_program(&prog).unwrap();
         let mut naive = NaiveMatcher::new(prog);
         let changes = vec![
-            WmeChange::add(WmeId(1), Wme::new("block", &[("color", "red".into()), ("name", "a".into())])),
-            WmeChange::add(WmeId(2), Wme::new("block", &[("color", "blue".into()), ("name", "b".into())])),
-            WmeChange::add(WmeId(3), Wme::new("block", &[("color", "yellow".into()), ("name", "c".into())])),
+            WmeChange::add(
+                WmeId(1),
+                Wme::new("block", &[("color", "red".into()), ("name", "a".into())]),
+            ),
+            WmeChange::add(
+                WmeId(2),
+                Wme::new("block", &[("color", "blue".into()), ("name", "b".into())]),
+            ),
+            WmeChange::add(
+                WmeId(3),
+                Wme::new("block", &[("color", "yellow".into()), ("name", "c".into())]),
+            ),
         ];
         rete.process(&changes);
         naive.process(&changes);

@@ -45,11 +45,7 @@ pub fn token_hash(node: NodeId, values: impl IntoIterator<Item = Value>) -> u64 
 ///
 /// `table_size` is the *global* hash-index range that the mapping
 /// partitions across match processors.
-pub fn bucket_index(
-    node: NodeId,
-    values: impl IntoIterator<Item = Value>,
-    table_size: u64,
-) -> u64 {
+pub fn bucket_index(node: NodeId, values: impl IntoIterator<Item = Value>, table_size: u64) -> u64 {
     assert!(table_size > 0, "hash table must have at least one bucket");
     token_hash(node, values) % table_size
 }

@@ -63,7 +63,11 @@ impl Work {
         match self {
             Work::Right { node, wme, .. } => {
                 let spec = &net.join(*node).spec;
-                bucket_index(*node, spec.right_hash_values(wme).collect::<Vec<_>>(), table_size)
+                bucket_index(
+                    *node,
+                    spec.right_hash_values(wme).collect::<Vec<_>>(),
+                    table_size,
+                )
             }
             Work::Left { node, token, .. } => {
                 let spec = &net.join(*node).spec;
@@ -169,11 +173,7 @@ fn fan_out(net: &ReteNetwork, node: NodeId, token: BetaToken, sign: Sign, out: &
 /// Process one activation against the memories; returns `(bucket,
 /// generated work)`. `Prod` work must not be passed here — it is terminal
 /// and handled by the conflict-set owner.
-pub fn activate(
-    net: &ReteNetwork,
-    mem: &mut GlobalMemories,
-    work: &Work,
-) -> (u64, Vec<Work>) {
+pub fn activate(net: &ReteNetwork, mem: &mut GlobalMemories, work: &Work) -> (u64, Vec<Work>) {
     let table_size = mem.table_size();
     match work {
         Work::Right {
@@ -321,7 +321,9 @@ pub fn activate(
             }
             (bucket, out)
         }
-        Work::Prod { .. } => unreachable!("production work is terminal; apply it to the conflict set"),
+        Work::Prod { .. } => {
+            unreachable!("production work is terminal; apply it to the conflict set")
+        }
     }
 }
 

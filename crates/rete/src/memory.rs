@@ -77,9 +77,7 @@ impl GlobalMemories {
         token: &BetaToken,
     ) -> Option<LeftEntry> {
         let b = &mut self.left[bucket as usize];
-        let pos = b
-            .iter()
-            .position(|e| e.node == node && &e.token == token)?;
+        let pos = b.iter().position(|e| e.node == node && &e.token == token)?;
         Some(b.swap_remove(pos))
     }
 

@@ -106,12 +106,13 @@ impl AlphaNode {
                 .iter()
                 .all(|(attr, vals)| wme.get(*attr).is_some_and(|v| vals.contains(&v)))
             && self.required.iter().all(|a| wme.get(*a).is_some())
-            && self.intra_tests.iter().all(|t| {
-                match (wme.get(t.attr), wme.get(t.other_attr)) {
+            && self
+                .intra_tests
+                .iter()
+                .all(|t| match (wme.get(t.attr), wme.get(t.other_attr)) {
                     (Some(a), Some(b)) => t.pred.eval(a, b),
                     _ => false,
-                }
-            })
+                })
     }
 }
 
@@ -143,17 +144,18 @@ pub struct JoinSpec {
 impl JoinSpec {
     /// Does `(token, wme)` pass all variable tests?
     pub fn passes(&self, bindings: &Bindings, wme: &Wme) -> bool {
-        self.eq_checks.iter().all(|&(var, attr)| {
-            match (bindings.get(var), wme.get(attr)) {
+        self.eq_checks
+            .iter()
+            .all(|&(var, attr)| match (bindings.get(var), wme.get(attr)) {
                 (Some(b), Some(w)) => b == w,
                 _ => false,
-            }
-        }) && self.pred_checks.iter().all(|&(var, pred, attr)| {
-            match (bindings.get(var), wme.get(attr)) {
-                (Some(b), Some(w)) => pred.eval(w, b),
-                _ => false,
-            }
-        })
+            })
+            && self.pred_checks.iter().all(|&(var, pred, attr)| {
+                match (bindings.get(var), wme.get(attr)) {
+                    (Some(b), Some(w)) => pred.eval(w, b),
+                    _ => false,
+                }
+            })
     }
 
     /// Hash-signature values of a left token: the bindings of the
@@ -820,9 +822,18 @@ mod tests {
             .find(|(_, n)| matches!(n, NodeKind::Alpha(_)))
             .unwrap();
         let NodeKind::Alpha(a) = n else { panic!() };
-        assert!(a.matches(&Wme::new("box", &[("size", 5.into()), ("kind", "crate".into())])));
-        assert!(!a.matches(&Wme::new("box", &[("size", 4.into()), ("kind", "crate".into())])));
-        assert!(!a.matches(&Wme::new("box", &[("size", 9.into()), ("kind", "bin".into())])));
+        assert!(a.matches(&Wme::new(
+            "box",
+            &[("size", 5.into()), ("kind", "crate".into())]
+        )));
+        assert!(!a.matches(&Wme::new(
+            "box",
+            &[("size", 4.into()), ("kind", "crate".into())]
+        )));
+        assert!(!a.matches(&Wme::new(
+            "box",
+            &[("size", 9.into()), ("kind", "bin".into())]
+        )));
         assert!(!a.matches(&Wme::new("crate", &[("size", 9.into())])));
     }
 

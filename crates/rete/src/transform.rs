@@ -19,9 +19,7 @@
 use crate::hashfn::bucket_index;
 use crate::network::{CompileOptions, NodeId, ReteNetwork, Side};
 use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
-use mpps_ops::{
-    intern, AttrTest, OpsError, Predicate, Production, Program, TestKind, Value,
-};
+use mpps_ops::{intern, AttrTest, OpsError, Predicate, Production, Program, TestKind, Value};
 
 /// Compile `program` with two-input-node sharing disabled — the unsharing
 /// transform of §5.2.1.
@@ -84,10 +82,9 @@ pub fn split_fanout(trace: &Trace, opts: SplitFanoutOptions) -> Trace {
             };
             let new_idx = new_cycle.activations.len() as u32;
             remap[i] = new_idx;
-            new_cycle.activations.push(ActivationRecord {
-                parent,
-                ..*act
-            });
+            new_cycle
+                .activations
+                .push(ActivationRecord { parent, ..*act });
 
             let kids = &children[i];
             if kids.len() > opts.threshold {
@@ -262,7 +259,10 @@ mod tests {
 
     #[test]
     fn split_fanout_keeps_parent_before_child_invariant() {
-        let s = split_fanout(&sample_trace_with_big_fanout(), SplitFanoutOptions::default());
+        let s = split_fanout(
+            &sample_trace_with_big_fanout(),
+            SplitFanoutOptions::default(),
+        );
         for cycle in &s.cycles {
             for (i, a) in cycle.activations.iter().enumerate() {
                 if let Some(p) = a.parent {
@@ -295,10 +295,8 @@ mod tests {
 
     #[test]
     fn copy_and_constrain_produces_partitioning_copies() {
-        let p = parse_production(
-            "(p pairup (team ^id <a>) (team ^id <b>) --> (remove 1))",
-        )
-        .unwrap();
+        let p =
+            parse_production("(p pairup (team ^id <a>) (team ^id <b>) --> (remove 1))").unwrap();
         let copies = copy_and_constrain(&p, 1, "id", &[10, 20]).unwrap();
         assert_eq!(copies.len(), 3);
         assert_eq!(copies[0].name.as_str(), "pairup*cc0");
@@ -339,8 +337,7 @@ mod tests {
         m_cc.process(&changes);
         // Same WME combinations match (production ids differ by design).
         let keys = |m: &ReteMatcher| {
-            let mut v: Vec<Vec<WmeId>> =
-                m.conflict_set().into_iter().map(|i| i.wme_ids).collect();
+            let mut v: Vec<Vec<WmeId>> = m.conflict_set().into_iter().map(|i| i.wme_ids).collect();
             v.sort();
             v
         };
@@ -369,7 +366,10 @@ mod tests {
                     Wme::new("lhs", &[("id", (i as i64).into())]),
                 ));
             }
-            changes.push(WmeChange::add(WmeId(200), Wme::new("rhs", &[("id", 3.into())])));
+            changes.push(WmeChange::add(
+                WmeId(200),
+                Wme::new("rhs", &[("id", 3.into())]),
+            ));
             m.process(&changes);
             let trace = m.take_trace().unwrap();
             let mut buckets: Vec<u64> = trace.cycles[0]

@@ -80,7 +80,9 @@ impl Face {
 fn apply_rule(face: Face) -> Result<Production, OpsError> {
     let perm = face.permutation();
     let mut b = ProductionBuilder::new(&format!("apply-{}", face.name()))
-        .ce("plan", |ce| ce.constant("face", face.name()).var("step", "s"))
+        .ce("plan", |ce| {
+            ce.constant("face", face.name()).var("step", "s")
+        })
         .ce("tick", |ce| ce.var("n", "s"));
     for &(dest, _) in perm {
         let cvar = format!("c{dest}");
@@ -97,11 +99,7 @@ fn apply_rule(face: Face) -> Result<Production, OpsError> {
         2,
         &[(
             "n",
-            RhsValue::Compute(
-                RhsOp::Add,
-                Box::new(var("s")),
-                Box::new(lit(1)),
-            ),
+            RhsValue::Compute(RhsOp::Add, Box::new(var("s")), Box::new(lit(1))),
         )],
     );
     b.build()

@@ -213,10 +213,7 @@ mod tests {
     #[test]
     fn copy_constrained_program_schedules_the_same_games() {
         let mut a = Interpreter::new(program(), Strategy::Lex);
-        let mut b = Interpreter::new(
-            program_copy_constrained(4, 2).unwrap(),
-            Strategy::Lex,
-        );
+        let mut b = Interpreter::new(program_copy_constrained(4, 2).unwrap(), Strategy::Lex);
         for w in initial(3, 4) {
             a.add_wme(w.clone());
             b.add_wme(w);

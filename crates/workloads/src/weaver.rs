@@ -16,21 +16,30 @@ use mpps_ops::{ProductionBuilder, Program, RhsOp, RhsValue, Strategy, Wme};
 /// The routing program: extend the path head onto a free adjacent cell,
 /// and finish a net when its head reaches the target.
 pub fn program() -> Program {
-    let plus_one = |v: &str| {
-        RhsValue::Compute(RhsOp::Add, Box::new(var(v)), Box::new(lit(1)))
-    };
+    let plus_one = |v: &str| RhsValue::Compute(RhsOp::Add, Box::new(var(v)), Box::new(lit(1)));
     let extend = ProductionBuilder::new("extend-path")
         .ce("head", |ce| {
-            ce.var("net", "n").var("x", "x").var("y", "y").var("dist", "d")
+            ce.var("net", "n")
+                .var("x", "x")
+                .var("y", "y")
+                .var("dist", "d")
         })
         .ce("edge", |ce| {
-            ce.var("fx", "x").var("fy", "y").var("tx", "tx").var("ty", "ty")
+            ce.var("fx", "x")
+                .var("fy", "y")
+                .var("tx", "tx")
+                .var("ty", "ty")
         })
         .ce("cell", |ce| {
             ce.var("x", "tx").var("y", "ty").constant("state", "free")
         })
-        .neg_ce("target", |ce| ce.var("net", "n").var("x", "x").var("y", "y"))
-        .modify(1, &[("x", var("tx")), ("y", var("ty")), ("dist", plus_one("d"))])
+        .neg_ce("target", |ce| {
+            ce.var("net", "n").var("x", "x").var("y", "y")
+        })
+        .modify(
+            1,
+            &[("x", var("tx")), ("y", var("ty")), ("dist", plus_one("d"))],
+        )
         .modify(3, &[("state", lit("used"))])
         .make(
             "segment",
@@ -40,7 +49,9 @@ pub fn program() -> Program {
         .expect("extend rule is valid");
     let arrive = ProductionBuilder::new("net-routed")
         .ce("head", |ce| ce.var("net", "n").var("x", "x").var("y", "y"))
-        .ce("target", |ce| ce.var("net", "n").var("x", "x").var("y", "y"))
+        .ce("target", |ce| {
+            ce.var("net", "n").var("x", "x").var("y", "y")
+        })
         .remove(1)
         .make("routed", &[("net", var("n"))])
         .write(&[lit("routed"), var("n")])
@@ -99,7 +110,11 @@ pub fn initial(width: i64, height: i64) -> Vec<Wme> {
     ));
     wmes.push(Wme::new(
         "target",
-        &[("net", 1.into()), ("x", (width - 1).into()), ("y", 0.into())],
+        &[
+            ("net", 1.into()),
+            ("x", (width - 1).into()),
+            ("y", 0.into()),
+        ],
     ));
     wmes
 }

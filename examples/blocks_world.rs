@@ -68,7 +68,11 @@ fn main() {
         interp.add_wme(parse_wme(src).unwrap());
     }
     let result = interp.run(20).expect("runs");
-    println!("\nrun: {:?}, {} firings", result.outcome, result.fired.len());
+    println!(
+        "\nrun: {:?}, {} firings",
+        result.outcome,
+        result.fired.len()
+    );
     for line in interp.output() {
         let rendered: Vec<String> = line.iter().map(ToString::to_string).collect();
         println!("  wrote: {}", rendered.join(" "));

@@ -36,7 +36,10 @@ fn main() {
 
     let result = interp.run(100).expect("run succeeds");
 
-    println!("outcome: {:?} after {} cycles", result.outcome, result.cycles);
+    println!(
+        "outcome: {:?} after {} cycles",
+        result.outcome, result.cycles
+    );
     for f in &result.fired {
         println!("  cycle {:>2}: fired {} {:?}", f.cycle, f.name, f.wme_ids);
     }

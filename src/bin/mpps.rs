@@ -6,18 +6,16 @@
 //! mpps trace <program.ops> [--wm <file.wm>] [--cycles N] [--table-size N]
 //!            [--out <file.trace>]
 //! mpps simulate <file.trace> [--procs 1,2,4,8,16,32] [--overhead 0|8|16|32]
-//!               [--partition rr|random|greedy] [--seed N]
+//!               [--partition rr|random|greedy] [--seed N] [--jobs N]
 //! ```
 //!
 //! `.ops` files hold productions in the textual syntax; `.wm` files hold
 //! one WME per line, e.g. `(block ^name b1 ^color blue)`. Lines starting
 //! with `;` are comments.
 
-use mpps::core::sweep::{baseline, speedup_curve, PartitionStrategy};
+use mpps::core::sweep::{baseline, speedup_curve_jobs, PartitionStrategy};
 use mpps::core::{OverheadSetting, ThreadedMatcher};
-use mpps::ops::{
-    parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, Wme,
-};
+use mpps::ops::{parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, Wme};
 use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
 use std::process::exit;
 
@@ -27,7 +25,7 @@ fn usage() -> ! {
          \x20          [--matcher rete|naive|threaded] [--workers N] [--quiet]\n\
          \x20 mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N] [--out FILE]\n\
          \x20 mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
-         \x20          [--partition rr|random|greedy] [--seed N]"
+         \x20          [--partition rr|random|greedy] [--seed N] [--jobs N]"
     );
     exit(2)
 }
@@ -245,9 +243,15 @@ fn cmd_simulate(args: &Args) {
         stats.total(),
         stats
     );
+    let jobs = args.get_parse(
+        "jobs",
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    );
     let base = baseline(&trace);
     println!("serial match time: {}", base.total);
-    let curve = speedup_curve(&trace, &procs, overhead, partition);
+    let curve = speedup_curve_jobs(&trace, &procs, overhead, partition, jobs);
     println!("P, time_us, speedup");
     for point in curve {
         println!(

@@ -22,7 +22,11 @@ fn run_monkey_and_bananas() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("push-ladder"));
     assert!(stdout.contains("climb-ladder"));
@@ -46,7 +50,11 @@ fn run_with_each_matcher_agrees() {
             ])
             .output()
             .expect("binary runs");
-        assert!(out.status.success(), "{matcher}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{matcher}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
     let rete = run("rete");
@@ -72,7 +80,11 @@ fn trace_then_simulate_roundtrip() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&trace_path).unwrap();
     assert!(text.starts_with("mpps-trace v1 table_size=64"));
 
@@ -87,7 +99,11 @@ fn trace_then_simulate_roundtrip() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("P, time_us, speedup"));
     // P=1 at zero overhead is the baseline: speedup 1.00.

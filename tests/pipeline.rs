@@ -136,7 +136,11 @@ fn simulation_processes_every_activation_regardless_of_partition() {
         let config = MappingConfig::standard(p, OverheadSetting::table_5_1()[1]);
         let partition = Partition::round_robin(trace.table_size, p);
         let report = simulate(&trace, &config, &partition);
-        let left: u64 = report.cycles.iter().map(|c| c.left_acts.iter().sum::<u64>()).sum();
+        let left: u64 = report
+            .cycles
+            .iter()
+            .map(|c| c.left_acts.iter().sum::<u64>())
+            .sum();
         let right: u64 = report
             .cycles
             .iter()
@@ -144,7 +148,10 @@ fn simulation_processes_every_activation_regardless_of_partition() {
             .sum();
         let insts: u64 = report.cycles.iter().map(|c| c.instantiations).sum();
         assert_eq!(left as usize, expected.left, "left conservation at P={p}");
-        assert_eq!(right as usize, expected.right, "right conservation at P={p}");
+        assert_eq!(
+            right as usize, expected.right,
+            "right conservation at P={p}"
+        );
         assert_eq!(
             insts as usize, expected.instantiations,
             "instantiation conservation at P={p}"
@@ -172,9 +179,8 @@ fn unshared_network_reduces_sharing_but_preserves_firings() {
     assert!(unshared.stats().shared_two_input <= shared.stats().shared_two_input);
     // Semantics preserved end to end.
     let initial = tourney::initial(3, 3);
-    let mk = |net: mpps::rete::ReteNetwork| {
-        ReteMatcher::new(net, mpps::rete::EngineConfig::default())
-    };
+    let mk =
+        |net: mpps::rete::ReteNetwork| ReteMatcher::new(net, mpps::rete::EngineConfig::default());
     assert_same_run(
         program.clone(),
         initial,
@@ -188,8 +194,9 @@ fn parallel_firing_on_independent_workloads() {
     // Ten independent grid cells to consume: run_parallel retires them in
     // one act phase where serial needs ten.
     use mpps::ops::parse_program;
-    let prog = parse_program("(p take (cell ^state free ^x <x> ^y <y>) --> (modify 1 ^state used))")
-        .unwrap();
+    let prog =
+        parse_program("(p take (cell ^state free ^x <x> ^y <y>) --> (modify 1 ^state used))")
+            .unwrap();
     let mut interp = Interpreter::with_matcher(
         prog.clone(),
         Strategy::Lex,
@@ -220,7 +227,11 @@ fn parallel_firing_negation_interference_is_documented_behaviour() {
         interp.add_wme(w);
     }
     let fired = interp.step_parallel().unwrap();
-    assert_eq!(fired.len(), 9, "all 9 pairings admitted in one parallel cycle");
+    assert_eq!(
+        fired.len(),
+        9,
+        "all 9 pairings admitted in one parallel cycle"
+    );
 }
 
 #[test]

@@ -17,11 +17,11 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
     proptest::collection::vec(
         proptest::collection::vec(
             (
-                0u32..20,              // node
-                any::<bool>(),         // side (roots only)
-                0u64..TABLE,           // bucket
+                0u32..20,                     // node
+                any::<bool>(),                // side (roots only)
+                0u64..TABLE,                  // bucket
                 any::<prop::sample::Index>(), // parent selector
-                0u8..10,               // parent? kind? mixing byte
+                0u8..10,                      // parent? kind? mixing byte
             ),
             0..40,
         ),
@@ -207,6 +207,52 @@ proptest! {
                 first.stats().total() + rest.stats().total(),
                 full.total()
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel sweep engine is a pure optimization: for any trace,
+    /// worker count, and partition strategy, its curves are identical to
+    /// the serial helpers' (same points, bit-equal speedups and times).
+    #[test]
+    fn parallel_sweep_matches_serial(
+        trace in arb_trace(),
+        jobs in 2usize..9,
+        strat in 0usize..3,
+    ) {
+        use mpps::core::sweep::{
+            overhead_sweep, overhead_sweep_jobs, speedup_curve, speedup_curve_jobs,
+            PartitionStrategy,
+        };
+        let strategy = [
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::Random(7),
+            PartitionStrategy::GreedyWholeTrace,
+        ][strat];
+        let procs = [1usize, 2, 3, 5, 8];
+        let overhead = OverheadSetting::table_5_1()[1];
+        let serial = speedup_curve(&trace, &procs, overhead, strategy);
+        let parallel = speedup_curve_jobs(&trace, &procs, overhead, strategy, jobs);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            prop_assert_eq!(a.processors, b.processors);
+            prop_assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+            prop_assert_eq!(a.total_us.to_bits(), b.total_us.to_bits());
+        }
+        let rows = OverheadSetting::table_5_1();
+        let serial_rows = overhead_sweep(&trace, &procs, &rows, strategy);
+        let parallel_rows = overhead_sweep_jobs(&trace, &procs, &rows, strategy, jobs);
+        prop_assert_eq!(serial_rows.len(), parallel_rows.len());
+        for ((ro, rc), (po, pc)) in serial_rows.iter().zip(parallel_rows.iter()) {
+            prop_assert_eq!(ro.total(), po.total());
+            for (a, b) in rc.iter().zip(pc.iter()) {
+                prop_assert_eq!(a.processors, b.processors);
+                prop_assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+                prop_assert_eq!(a.total_us.to_bits(), b.total_us.to_bits());
+            }
         }
     }
 }
