@@ -257,6 +257,41 @@ fn bench_simulate_hot_loop(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The Recorder hook's cost. `null_recorder` is the default path —
+    // the `NullRecorder` calls must monomorphize to nothing, so it has
+    // to stay within noise of `simulate_hot_loop/reused_scratch`;
+    // `trace_recorder` prices the opt-in enabled path (span/counter
+    // pushes and histogram updates per simulated event).
+    use mpps_core::{simulate_in, simulate_recorded, SimScratch};
+    use mpps_telemetry::TraceRecorder;
+    let trace = synth::rubik(SEED);
+    let p = 16;
+    let partition = Partition::round_robin(trace.table_size, p);
+    let config = MappingConfig::standard(p, OverheadSetting::table_5_1()[1]);
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(20);
+    g.bench_function("null_recorder", |b| {
+        let mut scratch = SimScratch::new();
+        b.iter(|| black_box(simulate_in(&mut scratch, &trace, &config, &partition)).total)
+    });
+    g.bench_function("trace_recorder", |b| {
+        let mut scratch = SimScratch::new();
+        b.iter(|| {
+            let mut rec = TraceRecorder::new();
+            black_box(simulate_recorded(
+                &mut scratch,
+                &trace,
+                &config,
+                &partition,
+                &mut rec,
+            ))
+            .total
+        })
+    });
+    g.finish();
+}
+
 fn bench_sweep_plan(c: &mut Criterion) {
     // The figure driver's fan-out: one section's full overhead sweep as a
     // single plan, serial vs a worker pool.
@@ -307,6 +342,7 @@ criterion_group!(
     bench_sequential_vs_threaded,
     bench_machine_throughput,
     bench_simulate_hot_loop,
+    bench_telemetry_overhead,
     bench_sweep_plan,
     bench_trace_generation,
 );

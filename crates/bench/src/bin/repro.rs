@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [FIGURE] [--figures a,b,c] [--jobs N] [--bench-out PATH]
+//!       [--telemetry-out DIR] [--check-telemetry DIR]
 //!
 //! repro all            # everything below, in paper order (the default)
 //! repro fig5-1         # speedups, zero overhead
@@ -25,15 +26,24 @@
 //! [`SweepPlan`]; shared points (same trace, mapping, and partition) are
 //! simulated once, and the plan executes on `--jobs` worker threads
 //! (default: available parallelism). Results are keyed by point id, so
-//! stdout is byte-identical for every `--jobs` value. Wall-clock and
-//! point counts are written to `BENCH_repro.json` (stderr notes the
-//! path); pass `--bench-out ''` to skip the file.
+//! stdout is byte-identical for every `--jobs` value. A run manifest —
+//! git commit, jobs, seed, sweep configuration, dedup hits, and
+//! per-figure wall-clock histograms — is written to `BENCH_repro.json`
+//! (stderr notes the path); pass `--bench-out ''` to skip the file.
+//!
+//! `--telemetry-out DIR` runs the sweep with wall-time telemetry and
+//! writes `trace.json` (Chrome `trace_event`, one lane per worker —
+//! open at <https://ui.perfetto.dev>), `events.jsonl`, and
+//! `summary.json` into DIR. `--check-telemetry DIR` validates such a
+//! directory structurally and exits; CI uses it as the schema check.
 
 use std::time::Instant;
 
 use mpps_analysis::{render_series, render_table};
 use mpps_bench::experiments as exp;
+use mpps_bench::telemetry as tel;
 use mpps_core::sweep::{SpeedupPoint, SweepPlan, SweepResults};
+use mpps_telemetry::{Histogram, TraceRecorder};
 
 /// Canonical figure order (paper order) — also the output order.
 const FIGURES: &[&str] = &[
@@ -458,11 +468,14 @@ struct Args {
     figures: Vec<&'static str>,
     jobs: usize,
     bench_out: Option<String>,
+    telemetry_out: Option<String>,
+    check_telemetry: Option<String>,
 }
 
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: repro [FIGURE|all] [--figures a,b,c] [--jobs N] [--bench-out PATH]\n\
+         \x20            [--telemetry-out DIR] [--check-telemetry DIR]\n\
          figures: {}",
         FIGURES.join(", ")
     );
@@ -484,6 +497,8 @@ fn parse_args() -> Args {
     let mut figures: Vec<&'static str> = Vec::new();
     let mut jobs: Option<usize> = None;
     let mut bench_out: Option<String> = Some("BENCH_repro.json".to_owned());
+    let mut telemetry_out: Option<String> = None;
+    let mut check_telemetry: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |what: &str| {
@@ -514,6 +529,8 @@ fn parse_args() -> Args {
                 let v = value("--bench-out");
                 bench_out = if v.is_empty() { None } else { Some(v) };
             }
+            "--telemetry-out" => telemetry_out = Some(value("--telemetry-out")),
+            "--check-telemetry" => check_telemetry = Some(value("--check-telemetry")),
             "--help" | "-h" => usage(0),
             "all" => figures.extend(FIGURES),
             name if !name.starts_with('-') => figures.push(canonical(name)),
@@ -542,44 +559,93 @@ fn parse_args() -> Args {
         figures: ordered,
         jobs,
         bench_out,
+        telemetry_out,
+        check_telemetry,
     }
+}
+
+/// The current git commit hash, for the run manifest. `"unknown"` when
+/// the binary runs outside a git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Nearest-rank summary of a slice of wall-clock samples, as JSON.
+fn wall_ns_json(samples: &[u64]) -> String {
+    let mut hist = Histogram::new();
+    for &ns in samples {
+        hist.record(ns);
+    }
+    hist.summary().to_json()
 }
 
 fn main() {
     let args = parse_args();
+    if let Some(dir) = &args.check_telemetry {
+        match tel::check_dir(std::path::Path::new(dir)) {
+            Ok(report) => {
+                eprintln!("repro: {dir}: {report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("repro: {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let wall = Instant::now();
 
     // Phase 1: one shared plan across every selected figure. Identical
     // points registered by different figures are simulated once.
     let sections = exp::Sections::generate();
     let mut plan = SweepPlan::new();
-    let mut planned: Vec<(&'static str, FigPlan, usize)> = Vec::new();
+    let mut planned: Vec<(&'static str, FigPlan, std::ops::Range<usize>)> = Vec::new();
     for name in &args.figures {
         let before = plan.point_count();
         let ids = plan_figure(name, &sections, &mut plan);
-        planned.push((name, ids, plan.point_count() - before));
+        planned.push((name, ids, before..plan.point_count()));
     }
 
     // Phase 2: execute every point (plus one baseline per trace) on the
-    // worker pool.
+    // worker pool — with wall-time telemetry when requested.
+    let mut recorder = args.telemetry_out.as_ref().map(|_| TraceRecorder::new());
     let run_start = Instant::now();
-    let results = plan.run(args.jobs);
+    let results = match recorder.as_mut() {
+        Some(rec) => plan.run_traced(args.jobs, rec),
+        None => plan.run(args.jobs),
+    };
     let run_ms = run_start.elapsed().as_secs_f64() * 1e3;
+    if let (Some(dir), Some(rec)) = (&args.telemetry_out, &recorder) {
+        match tel::write_dir(std::path::Path::new(dir), rec) {
+            Ok(written) => eprintln!(
+                "repro: telemetry ({} files) written to {dir}",
+                written.len()
+            ),
+            Err(e) => {
+                eprintln!("repro: cannot write telemetry to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Phase 3: render in canonical order — byte-identical for any --jobs.
     let separators = args.figures.len() > 1;
-    let mut figure_stats: Vec<(&'static str, usize, f64)> = Vec::new();
-    for (name, ids, new_points) in &planned {
+    let mut figure_stats: Vec<(&'static str, &std::ops::Range<usize>, f64)> = Vec::new();
+    for (name, ids, points) in &planned {
         if separators {
             println!("==================================================================");
         }
         let render_start = Instant::now();
         render_figure(name, ids, &sections, &results);
-        figure_stats.push((
-            name,
-            *new_points,
-            render_start.elapsed().as_secs_f64() * 1e3,
-        ));
+        figure_stats.push((name, points, render_start.elapsed().as_secs_f64() * 1e3));
     }
 
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
@@ -590,17 +656,26 @@ fn main() {
                 per_figure.push_str(",\n");
             }
             per_figure.push_str(&format!(
-                "    {{\"name\": \"{name}\", \"points_added\": {points}, \"render_ms\": {render_ms:.3}}}"
+                "    {{\"name\": \"{name}\", \"points_added\": {}, \"render_ms\": {render_ms:.3}, \
+                 \"sim_wall_ns\": {}}}",
+                points.len(),
+                wall_ns_json(&results.point_wall_ns_all()[points.start..points.end])
             ));
         }
+        let procs: Vec<String> = exp::PROCS.iter().map(ToString::to_string).collect();
         let json = format!(
-            "{{\n  \"bench\": \"repro\",\n  \"jobs\": {},\n  \"traces\": {},\n  \"points\": {},\n  \"baselines\": {},\n  \"plan_run_ms\": {:.3},\n  \"wall_ms\": {:.3},\n  \"figures\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"repro\",\n  \"commit\": \"{}\",\n  \"jobs\": {},\n  \"seed\": {},\n  \"procs\": [{}],\n  \"default_partition\": \"round-robin\",\n  \"traces\": {},\n  \"points\": {},\n  \"baselines\": {},\n  \"dedup_hits\": {},\n  \"plan_run_ms\": {:.3},\n  \"wall_ms\": {:.3},\n  \"point_wall_ns\": {},\n  \"figures\": [\n{}\n  ]\n}}\n",
+            git_commit(),
             args.jobs,
+            exp::SEED,
+            procs.join(", "),
             plan.trace_count(),
             plan.point_count(),
             plan.trace_count(),
+            plan.dedup_hits(),
             run_ms,
             wall_ms,
+            wall_ns_json(results.point_wall_ns_all()),
             per_figure
         );
         match std::fs::write(path, json) {

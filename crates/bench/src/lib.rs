@@ -6,3 +6,4 @@
 //! DESIGN.md).
 
 pub mod experiments;
+pub mod telemetry;

@@ -1,0 +1,260 @@
+//! Telemetry export for `repro --telemetry-out DIR`, and the schema check
+//! behind `repro --check-telemetry DIR`.
+//!
+//! A telemetry directory holds three files produced from one traced sweep:
+//!
+//! * `trace.json` — Chrome `trace_event` JSON (open at
+//!   <https://ui.perfetto.dev>), one wall-time lane per sweep worker.
+//! * `events.jsonl` — the same spans and counters, one JSON object per
+//!   line, for ad-hoc scripting.
+//! * `summary.json` — per-metric histogram percentiles.
+//!
+//! [`check_dir`] validates the directory structurally — required keys,
+//! types, and cross-file consistency — using only the workspace's own
+//! JSON parser, so CI can assert schema validity without a `jsonschema`
+//! dependency.
+
+use std::path::Path;
+
+use mpps_telemetry::json::{parse, Value};
+use mpps_telemetry::{chrome::chrome_trace, jsonl, TraceRecorder};
+
+/// File names written into a telemetry directory.
+pub const FILES: [&str; 3] = ["trace.json", "events.jsonl", "summary.json"];
+
+/// Write the three telemetry files for `rec` into `dir` (created if
+/// missing). Returns the paths written.
+pub fn write_dir(dir: &Path, rec: &TraceRecorder) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let contents = [
+        chrome_trace(rec),
+        jsonl::events_jsonl(rec),
+        jsonl::summary_json(rec),
+    ];
+    let mut written = Vec::with_capacity(FILES.len());
+    for (name, text) in FILES.iter().zip(contents) {
+        let path = dir.join(name);
+        std::fs::write(&path, text)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+fn read(dir: &Path, name: &str) -> Result<String, String> {
+    std::fs::read_to_string(dir.join(name)).map_err(|e| format!("{name}: cannot read: {e}"))
+}
+
+fn require_u64(obj: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer {key:?}"))
+}
+
+fn require_f64(obj: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric {key:?}"))
+}
+
+fn require_str<'v>(obj: &'v Value, key: &str, ctx: &str) -> Result<&'v str, String> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{ctx}: missing or non-string {key:?}"))
+}
+
+/// Validate `trace.json`: a Chrome `trace_event` document whose events
+/// all carry a phase and pid, with well-formed metadata, complete-span
+/// and counter records. Returns the number of `"X"` spans.
+fn check_trace(text: &str) -> Result<u64, String> {
+    let doc = parse(text).map_err(|e| format!("trace.json: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("trace.json: missing \"traceEvents\" array")?;
+    let mut spans = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = format!("trace.json: event {i}");
+        let ph = require_str(ev, "ph", &ctx)?;
+        require_u64(ev, "pid", &ctx)?;
+        match ph {
+            "M" => {
+                let name = require_str(ev, "name", &ctx)?;
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("{ctx}: metadata without \"args\""))?;
+                match name {
+                    "process_name" | "thread_name" => {
+                        require_str(args, "name", &ctx)?;
+                    }
+                    "thread_sort_index" => {
+                        require_f64(args, "sort_index", &ctx)?;
+                    }
+                    other => return Err(format!("{ctx}: unknown metadata {other:?}")),
+                }
+            }
+            "X" => {
+                require_str(ev, "name", &ctx)?;
+                require_u64(ev, "tid", &ctx)?;
+                require_f64(ev, "ts", &ctx)?;
+                require_f64(ev, "dur", &ctx)?;
+                spans += 1;
+            }
+            "C" => {
+                require_str(ev, "name", &ctx)?;
+                require_f64(ev, "ts", &ctx)?;
+                ev.get("args")
+                    .and_then(Value::as_object)
+                    .filter(|args| args.values().all(|v| v.as_f64().is_some()))
+                    .ok_or_else(|| format!("{ctx}: counter args must be numeric"))?;
+            }
+            other => return Err(format!("{ctx}: unknown phase {other:?}")),
+        }
+    }
+    Ok(spans)
+}
+
+/// Validate `events.jsonl`: one object per line, each a span or counter
+/// with the full field set. Returns the number of span lines.
+fn check_events(text: &str) -> Result<u64, String> {
+    let mut spans = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = format!("events.jsonl: line {}", lineno + 1);
+        let ev = parse(line).map_err(|e| format!("{ctx}: {e}"))?;
+        require_u64(&ev, "pid", &ctx)?;
+        require_u64(&ev, "tid", &ctx)?;
+        require_str(&ev, "name", &ctx)?;
+        match require_str(&ev, "type", &ctx)? {
+            "span" => {
+                let start = require_u64(&ev, "start_ns", &ctx)?;
+                let end = require_u64(&ev, "end_ns", &ctx)?;
+                if start > end {
+                    return Err(format!("{ctx}: span ends before it starts"));
+                }
+                spans += 1;
+            }
+            "counter" => {
+                require_u64(&ev, "t_ns", &ctx)?;
+                require_u64(&ev, "value", &ctx)?;
+            }
+            other => return Err(format!("{ctx}: unknown event type {other:?}")),
+        }
+    }
+    Ok(spans)
+}
+
+/// Validate `summary.json`: a `"metrics"` object mapping metric names to
+/// complete histogram summaries with internally consistent percentiles.
+fn check_summary(text: &str) -> Result<(), String> {
+    let doc = parse(text).map_err(|e| format!("summary.json: {e}"))?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(Value::as_object)
+        .ok_or("summary.json: missing \"metrics\" object")?;
+    for (name, stats) in metrics {
+        let ctx = format!("summary.json: metric {name:?}");
+        let count = require_u64(stats, "count", &ctx)?;
+        let min = require_u64(stats, "min", &ctx)?;
+        let max = require_u64(stats, "max", &ctx)?;
+        let p50 = require_u64(stats, "p50", &ctx)?;
+        let p95 = require_u64(stats, "p95", &ctx)?;
+        require_f64(stats, "mean", &ctx)?;
+        if count > 0 && !(min <= p50 && p50 <= p95 && p95 <= max) {
+            return Err(format!(
+                "{ctx}: percentiles out of order (min {min}, p50 {p50}, p95 {p95}, max {max})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a telemetry directory written by [`write_dir`]. Checks each
+/// file's structure and that the two event files agree on the span count.
+/// Returns a one-line description of what was validated.
+pub fn check_dir(dir: &Path) -> Result<String, String> {
+    let trace_spans = check_trace(&read(dir, "trace.json")?)?;
+    let event_spans = check_events(&read(dir, "events.jsonl")?)?;
+    check_summary(&read(dir, "summary.json")?)?;
+    if trace_spans != event_spans {
+        return Err(format!(
+            "span count mismatch: trace.json has {trace_spans}, events.jsonl has {event_spans}"
+        ));
+    }
+    Ok(format!(
+        "telemetry ok: {} files, {trace_spans} spans",
+        FILES.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpps_telemetry::{Recorder, Track};
+
+    fn sample_recorder() -> TraceRecorder {
+        let mut rec = TraceRecorder::new();
+        rec.name_process(2, "sweep workers");
+        rec.name_track(Track::worker(0), "worker 0");
+        rec.span(Track::worker(0), "point", 100, 250);
+        rec.counter(Track::worker(0), "queue-depth", 150, 3);
+        rec.sample("task-wall-ns", 150);
+        rec
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpps-bench-tel-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn written_dir_passes_the_check() {
+        let dir = tmp_dir("ok");
+        let written = write_dir(&dir, &sample_recorder()).unwrap();
+        assert_eq!(written.len(), FILES.len());
+        let report = check_dir(&dir).unwrap();
+        assert!(report.contains("1 spans"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_fails() {
+        let dir = tmp_dir("missing");
+        write_dir(&dir, &sample_recorder()).unwrap();
+        std::fs::remove_file(dir.join("summary.json")).unwrap();
+        let err = check_dir(&dir).unwrap_err();
+        assert!(err.contains("summary.json"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_trace_fails() {
+        let dir = tmp_dir("corrupt");
+        write_dir(&dir, &sample_recorder()).unwrap();
+        std::fs::write(
+            dir.join("trace.json"),
+            "{\"traceEvents\": [{\"ph\": \"X\"}]}",
+        )
+        .unwrap();
+        let err = check_dir(&dir).unwrap_err();
+        assert!(err.contains("event 0"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn span_count_mismatch_fails() {
+        let dir = tmp_dir("mismatch");
+        write_dir(&dir, &sample_recorder()).unwrap();
+        std::fs::write(dir.join("events.jsonl"), "").unwrap();
+        let err = check_dir(&dir).unwrap_err();
+        assert!(err.contains("span count mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_recorder_round_trips() {
+        let dir = tmp_dir("empty");
+        write_dir(&dir, &TraceRecorder::new()).unwrap();
+        check_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,8 +34,9 @@ pub use cost::{CostModel, OverheadSetting, NECTAR_LATENCY};
 pub use partition::{bucket_activity, cycle_bucket_activity, cycle_bucket_work, Partition};
 pub use sharedbus::{shared_bus_simulate, SharedBusConfig, SharedBusReport};
 pub use simexec::{
-    simulate, simulate_in, simulate_per_cycle, simulate_per_cycle_in, CycleReport, MappingConfig,
-    MappingReport, MappingVariant, RootDistribution, SimScratch, TerminationModel,
+    name_machine_tracks, simulate, simulate_in, simulate_per_cycle, simulate_per_cycle_in,
+    simulate_recorded, CycleReport, MappingConfig, MappingReport, MappingVariant, RootDistribution,
+    SimScratch, TerminationModel,
 };
 pub use sweep::{
     overhead_sweep, overhead_sweep_jobs, speedup_curve, speedup_curve_jobs, PartitionSpec,

@@ -31,6 +31,7 @@ use crate::partition::Partition;
 use mpps_mpcsim::{Ctx, MachineConfig, NetworkModel, Node, ProcId, SimTime, Simulator};
 use mpps_rete::trace::{ActKind, ActivationRecord};
 use mpps_rete::{Side, Trace};
+use mpps_telemetry::{NullRecorder, OffsetRecorder, Recorder, TraceRecorder, Track};
 
 /// How left/right buckets of an index map onto processors.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -189,12 +190,10 @@ impl MappingReport {
     }
 
     /// Run-level network idle fraction (the paper reports 97–98%).
+    /// Delegates to the canonical [`mpps_mpcsim::idle_fraction`].
     pub fn network_idle_fraction(&self) -> f64 {
-        if self.total == SimTime::ZERO {
-            return 1.0;
-        }
         let busy: u64 = self.cycles.iter().map(|c| c.network_busy.as_ns()).sum();
-        1.0 - busy as f64 / self.total.as_ns() as f64
+        mpps_mpcsim::idle_fraction(SimTime::from_ns(busy), self.total)
     }
 
     /// Total messages across all cycles.
@@ -440,6 +439,30 @@ impl Node for MapNode<'_> {
             }
         }
     }
+
+    /// Phase labels for the telemetry spans (§3.2's steps): the WME
+    /// broadcast/constant tests, left/right token processing, the pairs'
+    /// comparison half, and the conflict-set report at the control
+    /// processor.
+    fn describe(&self, msg: &Msg) -> &'static str {
+        match (self.role, msg) {
+            (Role::Control, Msg::Start) => match self.roots {
+                RootDistribution::BroadcastDuplicate => "broadcast-wmes",
+                RootDistribution::CentralRoute => "constant-tests",
+            },
+            (Role::Control, Msg::Act(_)) => "conflict-set-report",
+            (Role::Match { .. } | Role::RightHalf, Msg::Start) => "constant-tests",
+            (Role::Match { .. }, Msg::Act(i)) => {
+                if self.data.acts[*i as usize].side == Side::Left {
+                    "left-token"
+                } else {
+                    "right-token"
+                }
+            }
+            (Role::RightHalf, Msg::Half(_)) => "compare-generate",
+            _ => "message",
+        }
+    }
 }
 
 /// Where each cycle's [`Partition`] comes from — both variants borrow, so
@@ -476,7 +499,54 @@ pub fn simulate_in(
     config: &MappingConfig,
     partition: &Partition,
 ) -> MappingReport {
-    simulate_with(scratch, trace, config, PartitionSource::Single(partition))
+    simulate_with(
+        scratch,
+        trace,
+        config,
+        PartitionSource::Single(partition),
+        &mut NullRecorder,
+    )
+}
+
+/// [`simulate_in`] with telemetry: per-processor busy spans (continuous
+/// across cycles), cycle-boundary spans, queue-depth counters, and
+/// histogram samples for activation skew and cycle makespans all flow
+/// into `recorder`. The returned report is identical to an unrecorded
+/// run's — recording never changes simulation results.
+pub fn simulate_recorded<R: Recorder>(
+    scratch: &mut SimScratch,
+    trace: &Trace,
+    config: &MappingConfig,
+    partition: &Partition,
+    recorder: &mut R,
+) -> MappingReport {
+    simulate_with(
+        scratch,
+        trace,
+        config,
+        PartitionSource::Single(partition),
+        recorder,
+    )
+}
+
+/// Name the simulated machine's trace lanes on `rec` to match `config`'s
+/// processor layout (call once per recorded run, before or after the
+/// simulation — metadata order does not matter).
+pub fn name_machine_tracks(rec: &mut TraceRecorder, config: &MappingConfig) {
+    rec.name_process(mpps_telemetry::recorder::SIM_PID, "simulated machine");
+    rec.name_track(Track::sim_proc(0), "control");
+    for m in 0..config.match_processors {
+        match config.variant {
+            MappingVariant::Combined => {
+                rec.name_track(Track::sim_proc(1 + m), format!("match {m}"));
+            }
+            MappingVariant::ProcessorPairs => {
+                rec.name_track(Track::sim_proc(1 + 2 * m), format!("match {m} (left)"));
+                rec.name_track(Track::sim_proc(2 + 2 * m), format!("match {m} (right)"));
+            }
+        }
+    }
+    rec.name_track(Track::sim_cycles(), "cycles");
 }
 
 /// Simulate with a (possibly different) partition per cycle — the paper's
@@ -506,17 +576,29 @@ pub fn simulate_per_cycle_in(
         trace,
         config,
         PartitionSource::PerCycle(partitions),
+        &mut NullRecorder,
     )
 }
 
-fn simulate_with(
+fn simulate_with<R: Recorder>(
     scratch: &mut SimScratch,
     trace: &Trace,
     config: &MappingConfig,
     source: PartitionSource<'_>,
+    recorder: &mut R,
 ) -> MappingReport {
     let mut cycles = Vec::with_capacity(trace.cycles.len());
     let mut total = SimTime::ZERO;
+    // Scratch for the per-cycle activation-skew histogram; only the
+    // recorded path ever touches it.
+    let mut bucket_counts = vec![
+        0u64;
+        if R::ENABLED {
+            trace.table_size as usize
+        } else {
+            0
+        }
+    ];
     for (c, cycle) in trace.cycles.iter().enumerate() {
         let partition = source.for_cycle(c);
         assert_eq!(
@@ -529,19 +611,46 @@ fn simulate_with(
             config.match_processors,
             "partition processor count must match the config"
         );
-        let mut report = run_one_cycle(&cycle.activations, config, partition, scratch);
+        // Each cycle's discrete-event simulation restarts at t = 0; the
+        // offset re-bases its events onto the continuous run timeline.
+        let mut report = run_one_cycle(
+            &cycle.activations,
+            config,
+            partition,
+            scratch,
+            OffsetRecorder::new(&mut *recorder, total.as_ns()),
+        );
         report.makespan += config.termination.cycle_overhead(config);
+        if R::ENABLED {
+            let end = total + report.makespan;
+            recorder.span(Track::sim_cycles(), "cycle", total.as_ns(), end.as_ns());
+            recorder.sample("cycle-makespan-us", report.makespan.as_ns() / 1_000);
+            bucket_counts.fill(0);
+            for a in &cycle.activations {
+                if a.kind == ActKind::TwoInput {
+                    bucket_counts[a.bucket as usize] += 1;
+                }
+            }
+            for &n in &bucket_counts {
+                recorder.sample("acts-per-bucket", n);
+            }
+            for (&l, &r) in report.left_acts.iter().zip(&report.right_acts) {
+                recorder.sample("left-acts-per-proc", l);
+                recorder.sample("right-acts-per-proc", r);
+            }
+        }
         total += report.makespan;
         cycles.push(report);
     }
     MappingReport { cycles, total }
 }
 
-fn run_one_cycle(
+fn run_one_cycle<R: Recorder>(
     acts: &[ActivationRecord],
     config: &MappingConfig,
     partition: &Partition,
     scratch: &mut SimScratch,
+    recorder: R,
 ) -> CycleReport {
     let p = config.match_processors;
     let data = scratch.prepare(acts, partition, config.variant);
@@ -573,7 +682,7 @@ fn run_one_cycle(
             nodes.push(mk_node(Role::RightHalf));
         }
     }
-    let mut sim = Simulator::new(cfg, nodes);
+    let mut sim = Simulator::with_recorder(cfg, nodes, recorder);
     // Kick the control processor; its Start handler either broadcasts the
     // WME packet (§3.2) or routes roots centrally (ablation).
     sim.inject(SimTime::ZERO, 0, Msg::Start);
@@ -787,6 +896,83 @@ mod tests {
             r.network_idle_fraction() > 0.95,
             "idle = {}",
             r.network_idle_fraction()
+        );
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_and_covers_all_processors() {
+        // A trace with roots and routed tokens over several cycles.
+        let mut cycles_in = Vec::new();
+        for c in 0..3u64 {
+            // Cycle 0 routes a right token so both token labels appear
+            // (right *roots* run inside the constant-tests unit).
+            let child_side = if c == 0 { Side::Right } else { Side::Left };
+            let mut acts = vec![
+                rec(1, Side::Right, c % 8, None, ActKind::TwoInput),
+                rec(2, child_side, (c + 1) % 8, Some(0), ActKind::TwoInput),
+                rec(9, Side::Left, 0, Some(1), ActKind::Production),
+            ];
+            if c == 2 {
+                acts.push(rec(1, Side::Right, 3, None, ActKind::TwoInput));
+            }
+            cycles_in.push(acts);
+        }
+        let t = trace_of(cycles_in);
+        let row8 = OverheadSetting::table_5_1()[1];
+        let cfg = config(2, row8);
+        let part = Partition::round_robin(8, 2);
+
+        let plain = simulate(&t, &cfg, &part);
+        let mut rec_out = TraceRecorder::new();
+        let recorded = simulate_recorded(&mut SimScratch::new(), &t, &cfg, &part, &mut rec_out);
+
+        // Telemetry must never change simulation results.
+        assert_eq!(recorded.total, plain.total);
+        assert_eq!(recorded.cycles.len(), plain.cycles.len());
+        for (a, b) in recorded.cycles.iter().zip(&plain.cycles) {
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.left_acts, b.left_acts);
+            assert_eq!(a.network_messages, b.network_messages);
+        }
+
+        // One complete track per machine processor: the per-track span sum
+        // equals the run's accumulated busy time for that processor.
+        for proc in 0..3 {
+            let busy: u64 = plain.cycles.iter().map(|c| c.proc_busy[proc].as_ns()).sum();
+            let track: u64 = rec_out
+                .spans()
+                .iter()
+                .filter(|s| s.track == Track::sim_proc(proc))
+                .map(|s| s.end_ns - s.start_ns)
+                .sum();
+            assert_eq!(track, busy, "proc {proc}");
+        }
+
+        // Cycle spans tile [0, total) on the cycles lane.
+        let cycle_spans: Vec<_> = rec_out
+            .spans()
+            .iter()
+            .filter(|s| s.track == Track::sim_cycles())
+            .collect();
+        assert_eq!(cycle_spans.len(), 3);
+        assert_eq!(cycle_spans[0].start_ns, 0);
+        assert_eq!(cycle_spans[2].end_ns, plain.total.as_ns());
+        assert_eq!(cycle_spans[0].end_ns, cycle_spans[1].start_ns);
+
+        // Phase labels and skew histograms came through.
+        let names: std::collections::BTreeSet<_> = rec_out.spans().iter().map(|s| s.name).collect();
+        assert!(names.contains("constant-tests"));
+        assert!(names.contains("left-token"));
+        assert!(names.contains("right-token"));
+        assert!(names.contains("broadcast-wmes"));
+        assert!(names.contains("conflict-set-report"));
+        let skew = rec_out.histogram("acts-per-bucket").unwrap();
+        assert_eq!(skew.count(), 3 * 8); // one sample per bucket per cycle
+        assert_eq!(skew.max(), Some(2)); // cycle 2 puts two activations in bucket 3
+        assert_eq!(rec_out.histogram("cycle-makespan-us").unwrap().count(), 3);
+        assert_eq!(
+            rec_out.histogram("left-acts-per-proc").unwrap().count(),
+            3 * 2
         );
     }
 

@@ -8,8 +8,11 @@ use crate::simexec::{
     simulate, simulate_in, simulate_per_cycle_in, MappingConfig, MappingReport, SimScratch,
 };
 use mpps_rete::Trace;
+use mpps_telemetry::recorder::SWEEP_PID;
+use mpps_telemetry::{Recorder, TraceRecorder, Track};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// One point on a speedup curve.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -103,6 +106,7 @@ pub struct PointSpec {
 pub struct SweepPlan<'t> {
     traces: Vec<&'t Trace>,
     points: Vec<PointSpec>,
+    dedup_hits: u64,
 }
 
 impl<'t> SweepPlan<'t> {
@@ -124,10 +128,17 @@ impl<'t> SweepPlan<'t> {
     /// Add a simulation point, deduplicating against existing ones.
     pub fn add_point(&mut self, spec: PointSpec) -> PointId {
         if let Some(i) = self.points.iter().position(|p| *p == spec) {
+            self.dedup_hits += 1;
             return PointId(i);
         }
         self.points.push(spec);
         PointId(self.points.len() - 1)
+    }
+
+    /// How many [`SweepPlan::add_point`] calls were answered by an
+    /// already-planned point instead of a new run.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
     }
 
     /// Number of distinct simulation points (excluding baselines).
@@ -143,54 +154,141 @@ impl<'t> SweepPlan<'t> {
     /// Execute every baseline and point on `jobs` workers (clamped to at
     /// least 1) and return the results keyed by id.
     pub fn run(&self, jobs: usize) -> SweepResults {
+        self.run_impl(jobs, None)
+    }
+
+    /// [`SweepPlan::run`] with wall-time telemetry: one trace track per
+    /// worker carrying a span per executed task (labeled `baseline` /
+    /// `point`), per-task wall-clock and per-worker busy-time histograms,
+    /// and the plan's dedup-hit count. Simulation results are identical
+    /// to an untraced [`SweepPlan::run`].
+    pub fn run_traced(&self, jobs: usize, recorder: &mut TraceRecorder) -> SweepResults {
+        self.run_impl(jobs, Some(recorder))
+    }
+
+    fn task_label(i: usize, n_base: usize) -> &'static str {
+        if i < n_base {
+            "baseline"
+        } else {
+            "point"
+        }
+    }
+
+    fn run_impl(&self, jobs: usize, mut recorder: Option<&mut TraceRecorder>) -> SweepResults {
         let n_base = self.traces.len();
         let n = n_base + self.points.len();
-        let mut slots: Vec<Option<MappingReport>> = Vec::new();
+        let mut slots: Vec<Option<(MappingReport, u64)>> = Vec::new();
         slots.resize_with(n, || None);
         let workers = jobs.max(1).min(n);
+        // All worker spans share one wall-clock origin: the run start.
+        let run_start = Instant::now();
+        let traced = recorder.is_some();
         if workers <= 1 {
             let mut scratch = SimScratch::new();
+            let mut busy_ns = 0u64;
             for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.execute(i, n_base, &mut scratch));
+                let t0 = Instant::now();
+                let report = self.execute(i, n_base, &mut scratch);
+                let wall = t0.elapsed().as_nanos() as u64;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    let end = run_start.elapsed().as_nanos() as u64;
+                    rec.span(
+                        Track::worker(0),
+                        Self::task_label(i, n_base),
+                        end.saturating_sub(wall),
+                        end,
+                    );
+                    rec.sample("task-wall-ns", wall);
+                    busy_ns += wall;
+                }
+                *slot = Some((report, wall));
+            }
+            if let Some(rec) = recorder.as_deref_mut() {
+                if n > 0 {
+                    rec.sample("worker-busy-ns", busy_ns);
+                }
             }
         } else {
             let next = AtomicUsize::new(0);
+            let mut worker_recs: Vec<TraceRecorder> = Vec::new();
             std::thread::scope(|s| {
-                let (tx, rx) = mpsc::channel::<(usize, MappingReport)>();
-                for _ in 0..workers {
+                let (tx, rx) = mpsc::channel::<(usize, MappingReport, u64)>();
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
-                    s.spawn(move || {
+                    handles.push(s.spawn(move || {
                         // One scratch per worker: cycle-index buffers are
                         // reused across every point the worker claims.
                         let mut scratch = SimScratch::new();
+                        let mut rec = TraceRecorder::new();
+                        let mut busy_ns = 0u64;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
+                            let t0 = Instant::now();
                             let report = self.execute(i, n_base, &mut scratch);
-                            if tx.send((i, report)).is_err() {
+                            let wall = t0.elapsed().as_nanos() as u64;
+                            if traced {
+                                let end = run_start.elapsed().as_nanos() as u64;
+                                rec.span(
+                                    Track::worker(w),
+                                    Self::task_label(i, n_base),
+                                    end.saturating_sub(wall),
+                                    end,
+                                );
+                                rec.sample("task-wall-ns", wall);
+                                busy_ns += wall;
+                            }
+                            if tx.send((i, report, wall)).is_err() {
                                 break;
                             }
                         }
-                    });
+                        if traced && busy_ns > 0 {
+                            rec.sample("worker-busy-ns", busy_ns);
+                        }
+                        rec
+                    }));
                 }
                 drop(tx);
                 // Results land in their slot by index: completion order
                 // (and therefore worker count) cannot affect the output.
-                for (i, report) in rx {
-                    slots[i] = Some(report);
+                for (i, report, wall) in rx {
+                    slots[i] = Some((report, wall));
                 }
+                // Merge per-worker recorders in worker-index order so the
+                // combined trace layout is stable.
+                worker_recs = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect();
             });
+            if let Some(rec) = recorder.as_deref_mut() {
+                for wrec in worker_recs {
+                    rec.merge(wrec);
+                }
+            }
+        }
+        if let Some(rec) = recorder {
+            rec.name_process(SWEEP_PID, "sweep workers");
+            for w in 0..workers {
+                rec.name_track(Track::worker(w), format!("worker {w}"));
+            }
+            rec.sample("dedup-hits", self.dedup_hits);
         }
         let mut it = slots
             .into_iter()
             .map(|r| r.expect("every task produces a report"));
+        let (baselines, baseline_wall_ns): (Vec<_>, Vec<_>) = it.by_ref().take(n_base).unzip();
+        let (reports, point_wall_ns): (Vec<_>, Vec<_>) = it.unzip();
         SweepResults {
-            baselines: it.by_ref().take(n_base).collect(),
-            reports: it.collect(),
+            baselines,
+            reports,
             specs: self.points.clone(),
+            baseline_wall_ns,
+            point_wall_ns,
         }
     }
 
@@ -231,9 +329,28 @@ pub struct SweepResults {
     baselines: Vec<MappingReport>,
     reports: Vec<MappingReport>,
     specs: Vec<PointSpec>,
+    baseline_wall_ns: Vec<u64>,
+    point_wall_ns: Vec<u64>,
 }
 
 impl SweepResults {
+    /// Host wall-clock spent simulating a point (always measured; the
+    /// cost is two `Instant` reads per task).
+    pub fn point_wall_ns(&self, id: PointId) -> u64 {
+        self.point_wall_ns[id.0]
+    }
+
+    /// Host wall-clock spent on every point, indexed like the plan's
+    /// point ids.
+    pub fn point_wall_ns_all(&self) -> &[u64] {
+        &self.point_wall_ns
+    }
+
+    /// Host wall-clock spent computing a trace's memoized baseline.
+    pub fn baseline_wall_ns(&self, id: TraceId) -> u64 {
+        self.baseline_wall_ns[id.0]
+    }
+
     /// The report of a point.
     pub fn report(&self, id: PointId) -> &MappingReport {
         &self.reports[id.0]
@@ -548,6 +665,49 @@ mod tests {
             5,
         );
         assert_eq!(sc, pc);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_worker_tracks() {
+        let t = chain_trace(16);
+        let mut plan = SweepPlan::new();
+        let tid = plan.add_trace(&t);
+        let spec = PointSpec {
+            trace: tid,
+            config: MappingConfig::standard(4, OverheadSetting::table_5_1()[1]),
+            partition: PartitionSpec::Strategy(PartitionStrategy::RoundRobin),
+        };
+        let id = plan.add_point(spec);
+        let dup = plan.add_point(spec); // dedup hit
+        assert_eq!(id, dup);
+        assert_eq!(plan.dedup_hits(), 1);
+        plan.add_point(PointSpec {
+            config: MappingConfig::standard(8, OverheadSetting::table_5_1()[1]),
+            ..spec
+        });
+
+        let untraced = plan.run(2);
+        let mut rec = TraceRecorder::new();
+        let traced = plan.run_traced(2, &mut rec);
+        assert_eq!(traced.report(id).total, untraced.report(id).total);
+        assert_eq!(traced.baseline(tid).total, untraced.baseline(tid).total);
+
+        // One span per executed task (1 baseline + 2 points), all on
+        // worker lanes in the sweep track group.
+        assert_eq!(rec.spans().len(), 3);
+        assert!(rec.spans().iter().all(|s| s.track.pid == SWEEP_PID));
+        assert_eq!(rec.histogram("task-wall-ns").unwrap().count(), 3);
+        assert_eq!(rec.histogram("dedup-hits").unwrap().max(), Some(1));
+        assert!(rec.histogram("worker-busy-ns").is_some());
+        assert!(rec
+            .process_names()
+            .iter()
+            .any(|(p, n)| *p == SWEEP_PID && n == "sweep workers"));
+
+        // Wall-clock was measured for every task even without tracing.
+        assert!(untraced.point_wall_ns(id) > 0);
+        assert_eq!(untraced.point_wall_ns_all().len(), 2);
+        assert!(untraced.baseline_wall_ns(tid) > 0);
     }
 
     #[test]

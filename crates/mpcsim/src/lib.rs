@@ -28,6 +28,10 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use machine::{Ctx, MachineConfig, Node, ProcId, RunReport, Simulator};
-pub use metrics::{MachineMetrics, ProcessorMetrics};
+pub use metrics::{idle_fraction, MachineMetrics, ProcessorMetrics};
 pub use network::{NetworkModel, Topology};
 pub use time::SimTime;
+
+// Re-exported so downstream crates can name recorder types without a
+// separate dependency edge.
+pub use mpps_telemetry as telemetry;

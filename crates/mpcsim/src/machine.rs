@@ -17,6 +17,7 @@ use crate::event::EventQueue;
 use crate::metrics::{MachineMetrics, ProcessorMetrics};
 use crate::network::{NetworkModel, NetworkUsage};
 use crate::time::SimTime;
+use mpps_telemetry::{NullRecorder, Recorder, Track};
 use std::collections::VecDeque;
 
 /// Index of a processor in the machine.
@@ -57,6 +58,13 @@ pub trait Node {
 
     /// Called for each delivered message.
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: ProcId, msg: Self::Msg);
+
+    /// Static label for the handler that `msg` will run — used to name
+    /// telemetry spans. Only called when the simulator's [`Recorder`] is
+    /// enabled.
+    fn describe(&self, _msg: &Self::Msg) -> &'static str {
+        "message"
+    }
 }
 
 /// Where an outgoing message should go.
@@ -164,7 +172,14 @@ pub struct RunReport {
 }
 
 /// The discrete-event machine simulator.
-pub struct Simulator<N: Node> {
+///
+/// Generic over a telemetry [`Recorder`]; the default [`NullRecorder`]
+/// monomorphizes every recording site away, so `Simulator<N>` is the
+/// uninstrumented simulator it always was. Pass a
+/// [`mpps_telemetry::TraceRecorder`] (usually via
+/// [`Simulator::with_recorder`]) to capture per-processor busy spans in
+/// simulated time, queue-depth counters, and network-transit samples.
+pub struct Simulator<N: Node, R: Recorder = NullRecorder> {
     cfg: MachineConfig,
     nodes: Vec<N>,
     queue: EventQueue<Event<N::Msg>>,
@@ -173,11 +188,19 @@ pub struct Simulator<N: Node> {
     proc_metrics: Vec<ProcessorMetrics>,
     usage: NetworkUsage,
     max_events: u64,
+    recorder: R,
 }
 
 impl<N: Node> Simulator<N> {
     /// Build a simulator; `nodes.len()` must equal `cfg.processors`.
     pub fn new(cfg: MachineConfig, nodes: Vec<N>) -> Self {
+        Simulator::with_recorder(cfg, nodes, NullRecorder)
+    }
+}
+
+impl<N: Node, R: Recorder> Simulator<N, R> {
+    /// Build a simulator that reports telemetry to `recorder`.
+    pub fn with_recorder(cfg: MachineConfig, nodes: Vec<N>, recorder: R) -> Self {
         assert_eq!(
             nodes.len(),
             cfg.processors,
@@ -196,6 +219,7 @@ impl<N: Node> Simulator<N> {
             queue: EventQueue::with_capacity(4 * cfg.processors),
             usage: NetworkUsage::default(),
             max_events: u64::MAX,
+            recorder,
         }
     }
 
@@ -229,9 +253,20 @@ impl<N: Node> Simulator<N> {
         &mut self.nodes[id]
     }
 
+    /// The telemetry recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consume the simulator and return its recorder (to export a trace
+    /// after the run).
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
     /// Run a handler on `proc` starting at `start`; schedules outgoing
     /// messages and advances the processor clock.
-    fn execute<F>(&mut self, proc: ProcId, start: SimTime, f: F)
+    fn execute<F>(&mut self, proc: ProcId, start: SimTime, label: &'static str, f: F)
     where
         F: FnOnce(&mut N, &mut Ctx<'_, N::Msg>),
     {
@@ -251,6 +286,9 @@ impl<N: Node> Simulator<N> {
                 let arrival = out.departure + latency;
                 self.usage.record(out.departure, arrival);
                 self.proc_metrics[proc].messages_sent += 1;
+                if R::ENABLED {
+                    self.recorder.sample("network-transit-ns", latency.as_ns());
+                }
                 self.queue.push(
                     arrival,
                     Event::Arrival {
@@ -273,6 +311,10 @@ impl<N: Node> Simulator<N> {
             }
         }
         let end = start + elapsed;
+        if R::ENABLED && elapsed > SimTime::ZERO {
+            self.recorder
+                .span(Track::sim_proc(proc), label, start.as_ns(), end.as_ns());
+        }
         self.free_at[proc] = end;
         self.proc_metrics[proc].busy_time += elapsed;
         if !self.pending[proc].is_empty() {
@@ -284,6 +326,14 @@ impl<N: Node> Simulator<N> {
     /// its free time).
     fn run_next_pending(&mut self, proc: ProcId, now: SimTime) {
         if let Some((from, msg, remote)) = self.pending[proc].pop_front() {
+            if R::ENABLED {
+                self.recorder.counter(
+                    Track::sim_proc(proc),
+                    "queue-depth",
+                    now.as_ns(),
+                    self.pending[proc].len() as u64,
+                );
+            }
             self.start_message(proc, now, from, msg, remote);
         }
     }
@@ -302,7 +352,12 @@ impl<N: Node> Simulator<N> {
         } else {
             SimTime::ZERO
         };
-        self.execute(proc, start, |node, ctx| {
+        let label = if R::ENABLED {
+            self.nodes[proc].describe(&msg)
+        } else {
+            "message"
+        };
+        self.execute(proc, start, label, |node, ctx| {
             ctx.compute(recv);
             node.on_message(ctx, from, msg);
         });
@@ -313,7 +368,7 @@ impl<N: Node> Simulator<N> {
     pub fn run(&mut self) -> RunReport {
         for proc in 0..self.cfg.processors {
             let start = self.free_at[proc];
-            self.execute(proc, start, |node, ctx| node.on_start(ctx));
+            self.execute(proc, start, "start", |node, ctx| node.on_start(ctx));
         }
         self.drain();
         self.report()
@@ -345,6 +400,16 @@ impl<N: Node> Simulator<N> {
                         self.start_message(to, time, from, msg, remote);
                     } else {
                         self.pending[to].push_back((from, msg, remote));
+                        if R::ENABLED {
+                            let depth = self.pending[to].len() as u64;
+                            self.recorder.counter(
+                                Track::sim_proc(to),
+                                "queue-depth",
+                                time.as_ns(),
+                                depth,
+                            );
+                            self.recorder.sample("queue-depth", depth);
+                        }
                         // Guarantee a wakeup no earlier than both now and
                         // the processor's current busy horizon. Redundant
                         // wakeups are harmless: they re-check the queue.
@@ -371,7 +436,6 @@ impl<N: Node> Simulator<N> {
                 processors: self.proc_metrics.clone(),
                 network_busy: self.usage.busy_time(),
                 network_messages: self.usage.messages,
-                network_idle_fraction: self.usage.idle_fraction(makespan),
             },
         }
     }
@@ -604,6 +668,52 @@ mod tests {
         sim.reset_clocks();
         sim.inject(SimTime::ZERO, 0, ());
         assert_eq!(sim.run_injected().makespan, SimTime::from_us(5));
+    }
+
+    #[test]
+    fn trace_recorder_captures_spans_without_changing_results() {
+        use mpps_telemetry::TraceRecorder;
+
+        let plain = {
+            let mut sim = relay_machine(4, 1, 1, 1, 2, 3);
+            sim.run()
+        };
+        let cfg = MachineConfig {
+            processors: 4,
+            send_overhead: SimTime::from_us(1),
+            recv_overhead: SimTime::from_us(1),
+            network: NetworkModel::Constant(SimTime::from_us(1)),
+        };
+        let nodes = (0..4)
+            .map(|_| Relay {
+                work: SimTime::from_us(2),
+                hops: 3,
+                received: 0,
+            })
+            .collect();
+        let mut sim = Simulator::with_recorder(cfg, nodes, TraceRecorder::new());
+        let traced = sim.run();
+        assert_eq!(traced.makespan, plain.makespan);
+        assert_eq!(traced.metrics, plain.metrics);
+
+        let rec = sim.into_recorder();
+        // Every busy interval shows up as a span; their per-track sum must
+        // equal the reported busy time.
+        for (proc, pm) in plain.metrics.processors.iter().enumerate() {
+            let track_busy: u64 = rec
+                .spans()
+                .iter()
+                .filter(|s| s.track == Track::sim_proc(proc))
+                .map(|s| s.end_ns - s.start_ns)
+                .sum();
+            assert_eq!(track_busy, pm.busy_time.as_ns(), "proc {proc}");
+        }
+        // Default describe() labels message handlers.
+        assert!(rec.spans().iter().any(|s| s.name == "message"));
+        assert_eq!(
+            rec.histogram("network-transit-ns").unwrap().count(),
+            plain.metrics.network_messages
+        );
     }
 
     #[test]

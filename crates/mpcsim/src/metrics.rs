@@ -2,6 +2,17 @@
 
 use crate::time::SimTime;
 
+/// The canonical idle-fraction computation: the fraction of `[0, span)`
+/// during which a resource busy for `busy` was idle. Every idle-percentage
+/// figure in the workspace (network idle, `MappingReport`'s run-level
+/// number) delegates here; a zero span counts as fully idle.
+pub fn idle_fraction(busy: SimTime, span: SimTime) -> f64 {
+    if span == SimTime::ZERO {
+        return 1.0;
+    }
+    1.0 - busy.as_ns() as f64 / span.as_ns() as f64
+}
+
 /// Per-processor counters for one simulation run.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ProcessorMetrics {
@@ -22,11 +33,15 @@ pub struct MachineMetrics {
     pub network_busy: SimTime,
     /// Messages carried by the interconnect (remote sends only).
     pub network_messages: u64,
-    /// `1 - network_busy / makespan` — the paper reports 97–98% here.
-    pub network_idle_fraction: f64,
 }
 
 impl MachineMetrics {
+    /// `1 - network_busy / makespan` — the paper reports 97–98% here.
+    /// Delegates to the canonical [`idle_fraction`].
+    pub fn network_idle_fraction(&self, makespan: SimTime) -> f64 {
+        idle_fraction(self.network_busy, makespan)
+    }
+
     /// Mean processor utilization over `[0, makespan)`.
     pub fn mean_utilization(&self, makespan: SimTime) -> f64 {
         if makespan == SimTime::ZERO || self.processors.is_empty() {
@@ -78,6 +93,19 @@ mod tests {
     fn mean_idle_averages_gaps() {
         let m = metrics(&[10, 4]);
         assert_eq!(m.mean_idle(SimTime::from_us(10)), SimTime::from_us(3));
+    }
+
+    #[test]
+    fn idle_fraction_is_canonical() {
+        assert_eq!(idle_fraction(SimTime::ZERO, SimTime::ZERO), 1.0);
+        assert_eq!(idle_fraction(SimTime::from_us(50), SimTime::ZERO), 1.0);
+        let f = idle_fraction(SimTime::from_us(3), SimTime::from_us(100));
+        assert!((f - 0.97).abs() < 1e-12);
+        let m = MachineMetrics {
+            network_busy: SimTime::from_us(3),
+            ..Default::default()
+        };
+        assert_eq!(m.network_idle_fraction(SimTime::from_us(100)), f);
     }
 
     #[test]

@@ -126,11 +126,9 @@ impl NetworkUsage {
     }
 
     /// Fraction of `[0, makespan)` during which the network was idle.
+    /// Delegates to the canonical [`crate::metrics::idle_fraction`].
     pub fn idle_fraction(&self, makespan: SimTime) -> f64 {
-        if makespan == SimTime::ZERO {
-            return 1.0;
-        }
-        1.0 - self.busy_time().as_ns() as f64 / makespan.as_ns() as f64
+        crate::metrics::idle_fraction(self.busy_time(), makespan)
     }
 }
 

@@ -1,0 +1,141 @@
+//! Chrome `trace_event` export.
+//!
+//! Emits the JSON object format (`{"traceEvents": [...]}`) understood
+//! by [Perfetto](https://ui.perfetto.dev) and `chrome://tracing`:
+//! `"M"` metadata events name the processes and threads, `"X"`
+//! complete events carry the spans, and `"C"` counter events carry the
+//! counters. Timestamps in the format are *microseconds*; recorded
+//! nanoseconds are written as fractional µs with three decimals so no
+//! precision is lost.
+
+use crate::recorder::TraceRecorder;
+use std::fmt::Write as _;
+
+/// Nanoseconds rendered as fractional trace-format microseconds.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the recorder's events as a Chrome `trace_event` JSON
+/// document. The output is deterministic: metadata first (processes,
+/// then tracks, in naming order), then spans and counters in recording
+/// order.
+pub fn chrome_trace(rec: &TraceRecorder) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    for (pid, name) in rec.process_names() {
+        events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        ));
+    }
+    for (track, name) in rec.track_names() {
+        events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": {}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            track.pid,
+            track.tid,
+            escape(name)
+        ));
+        // Keep lanes in tid order rather than first-event order.
+        events.push(format!(
+            "{{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": {}, \"tid\": {}, \
+             \"args\": {{\"sort_index\": {}}}}}",
+            track.pid, track.tid, track.tid
+        ));
+    }
+    for s in rec.spans() {
+        events.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {}, \"tid\": {}, \
+             \"ts\": {}, \"dur\": {}}}",
+            escape(s.name),
+            s.track.pid,
+            s.track.tid,
+            us(s.start_ns),
+            us(s.end_ns.saturating_sub(s.start_ns))
+        ));
+    }
+    for c in rec.counters() {
+        events.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": {}, \"tid\": {}, \
+             \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+            escape(c.name),
+            c.track.pid,
+            c.track.tid,
+            us(c.t_ns),
+            c.value
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::recorder::{Recorder, Track};
+
+    #[test]
+    fn trace_is_valid_json_with_expected_events() {
+        let mut rec = TraceRecorder::new();
+        rec.name_process(crate::recorder::SIM_PID, "simulated machine");
+        rec.name_track(Track::sim_proc(0), "proc 0");
+        rec.span(Track::sim_proc(0), "constant-tests", 1_500, 31_500);
+        rec.counter(Track::sim_proc(0), "queue-depth", 2_000, 4);
+
+        let text = chrome_trace(&rec);
+        let doc = json::parse(&text).expect("trace parses as JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // 1 process_name + 1 thread_name + 1 thread_sort_index + 1 span + 1 counter
+        assert_eq!(events.len(), 5);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("one X event");
+        assert_eq!(span.get("ts").and_then(|t| t.as_f64()), Some(1.5));
+        assert_eq!(span.get("dur").and_then(|t| t.as_f64()), Some(30.0));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut rec = TraceRecorder::new();
+        rec.name_track(Track::worker(0), "odd \"name\"\n");
+        let text = chrome_trace(&rec);
+        assert!(json::parse(&text).is_ok());
+        assert!(text.contains("odd \\\"name\\\"\\n"));
+    }
+}

@@ -1,0 +1,400 @@
+//! The [`Recorder`] trait and its implementations.
+//!
+//! Instrumented code is generic over `R: Recorder`. The default
+//! [`NullRecorder`] reports `ENABLED = false` and has empty `#[inline]`
+//! methods, so the disabled build monomorphizes every recording site to
+//! nothing. [`TraceRecorder`] keeps everything in memory for export;
+//! [`OffsetRecorder`] shifts span/counter timestamps so per-cycle
+//! simulations (which each restart at t = 0) land on one continuous
+//! per-run timeline.
+
+use crate::hist::Histogram;
+
+/// A (process, thread) pair identifying one horizontal lane in the
+/// exported trace. `pid` groups related tracks (all simulated
+/// processors; all sweep workers); `tid` is the lane within the group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Trace process id (a track group).
+    pub pid: u32,
+    /// Trace thread id (a lane within the group).
+    pub tid: u32,
+}
+
+/// Track group for simulated processors (timestamps in simulated time).
+pub const SIM_PID: u32 = 1;
+/// Track group for sweep workers (timestamps in wall time).
+pub const SWEEP_PID: u32 = 2;
+
+impl Track {
+    /// The lane for simulated processor `index` (simulated time).
+    pub fn sim_proc(index: usize) -> Self {
+        Self {
+            pid: SIM_PID,
+            tid: index as u32,
+        }
+    }
+
+    /// The lane for sweep worker `index` (wall time).
+    pub fn worker(index: usize) -> Self {
+        Self {
+            pid: SWEEP_PID,
+            tid: index as u32,
+        }
+    }
+
+    /// The run-level lane marking MRA cycle boundaries (simulated time).
+    /// `tid` is `u32::MAX` so it sorts after every processor lane.
+    pub fn sim_cycles() -> Self {
+        Self {
+            pid: SIM_PID,
+            tid: u32::MAX,
+        }
+    }
+}
+
+/// Sink for telemetry events. All timestamps are `u64` nanoseconds on
+/// whatever clock the track uses (simulated time for processor tracks,
+/// wall time for worker tracks).
+///
+/// Implementations must be cheap to call: recording sites sit inside
+/// the simulator's inner loop and are guarded only by monomorphization,
+/// never by a runtime flag.
+pub trait Recorder {
+    /// Whether this recorder keeps anything. Instrumented code may skip
+    /// *computing* expensive inputs when this is `false`; it must not
+    /// change any other behaviour based on it.
+    const ENABLED: bool;
+
+    /// Record a completed interval `[start_ns, end_ns)` on `track`.
+    fn span(&mut self, track: Track, name: &'static str, start_ns: u64, end_ns: u64);
+
+    /// Record an instantaneous counter value at `t_ns` on `track`.
+    fn counter(&mut self, track: Track, name: &'static str, t_ns: u64, value: u64);
+
+    /// Record one order-free scalar observation for metric `metric`.
+    fn sample(&mut self, metric: &'static str, value: u64);
+}
+
+/// The disabled recorder: every method is an empty inline body, so
+/// instrumentation generic over it compiles to the uninstrumented code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn span(&mut self, _: Track, _: &'static str, _: u64, _: u64) {}
+
+    #[inline(always)]
+    fn counter(&mut self, _: Track, _: &'static str, _: u64, _: u64) {}
+
+    #[inline(always)]
+    fn sample(&mut self, _: &'static str, _: u64) {}
+}
+
+/// Forward through mutable references so a borrowed [`TraceRecorder`]
+/// can be handed by value to a consumer that takes `R: Recorder`.
+impl<R: Recorder> Recorder for &mut R {
+    const ENABLED: bool = R::ENABLED;
+
+    #[inline(always)]
+    fn span(&mut self, track: Track, name: &'static str, start_ns: u64, end_ns: u64) {
+        (**self).span(track, name, start_ns, end_ns);
+    }
+
+    #[inline(always)]
+    fn counter(&mut self, track: Track, name: &'static str, t_ns: u64, value: u64) {
+        (**self).counter(track, name, t_ns, value);
+    }
+
+    #[inline(always)]
+    fn sample(&mut self, metric: &'static str, value: u64) {
+        (**self).sample(metric, value);
+    }
+}
+
+/// Shifts span and counter timestamps by a fixed offset before
+/// forwarding. Each MRA cycle runs a fresh discrete-event simulation
+/// starting at t = 0; wrapping the run's recorder in an
+/// `OffsetRecorder` carrying the accumulated simulated time keeps the
+/// per-processor tracks continuous across cycles.
+#[derive(Debug)]
+pub struct OffsetRecorder<R> {
+    inner: R,
+    offset_ns: u64,
+}
+
+impl<R: Recorder> OffsetRecorder<R> {
+    /// Wrap `inner`, adding `offset_ns` to every timestamp.
+    pub fn new(inner: R, offset_ns: u64) -> Self {
+        Self { inner, offset_ns }
+    }
+}
+
+impl<R: Recorder> Recorder for OffsetRecorder<R> {
+    const ENABLED: bool = R::ENABLED;
+
+    #[inline]
+    fn span(&mut self, track: Track, name: &'static str, start_ns: u64, end_ns: u64) {
+        self.inner.span(
+            track,
+            name,
+            start_ns + self.offset_ns,
+            end_ns + self.offset_ns,
+        );
+    }
+
+    #[inline]
+    fn counter(&mut self, track: Track, name: &'static str, t_ns: u64, value: u64) {
+        self.inner
+            .counter(track, name, t_ns + self.offset_ns, value);
+    }
+
+    #[inline]
+    fn sample(&mut self, metric: &'static str, value: u64) {
+        self.inner.sample(metric, value);
+    }
+}
+
+/// One recorded interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Lane the span belongs to.
+    pub track: Track,
+    /// Static label ("constant-tests", "point #12", ...).
+    pub name: &'static str,
+    /// Start of the interval, ns.
+    pub start_ns: u64,
+    /// End of the interval, ns.
+    pub end_ns: u64,
+}
+
+/// One recorded counter observation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterEvent {
+    /// Lane the counter belongs to.
+    pub track: Track,
+    /// Counter name ("queue-depth", ...).
+    pub name: &'static str,
+    /// Observation time, ns.
+    pub t_ns: u64,
+    /// Observed value.
+    pub value: u64,
+}
+
+/// The in-memory recorder behind every export format: keeps spans and
+/// counters verbatim and aggregates samples into exact [`Histogram`]s
+/// (keyed by metric name, in first-seen order so exports are stable).
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    spans: Vec<SpanEvent>,
+    counters: Vec<CounterEvent>,
+    histograms: Vec<(&'static str, Histogram)>,
+    track_names: Vec<(Track, String)>,
+    process_names: Vec<(u32, String)>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Give `track` a human-readable lane name in the exported trace.
+    /// Later calls for the same track win.
+    pub fn name_track(&mut self, track: Track, name: impl Into<String>) {
+        let name = name.into();
+        if let Some(slot) = self.track_names.iter_mut().find(|(t, _)| *t == track) {
+            slot.1 = name;
+        } else {
+            self.track_names.push((track, name));
+        }
+    }
+
+    /// Give a track group (`pid`) a name in the exported trace.
+    pub fn name_process(&mut self, pid: u32, name: impl Into<String>) {
+        let name = name.into();
+        if let Some(slot) = self.process_names.iter_mut().find(|(p, _)| *p == pid) {
+            slot.1 = name;
+        } else {
+            self.process_names.push((pid, name));
+        }
+    }
+
+    /// Recorded spans, in recording order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Recorded counter observations, in recording order.
+    pub fn counters(&self) -> &[CounterEvent] {
+        &self.counters
+    }
+
+    /// Histograms keyed by metric name, in first-seen order.
+    pub fn histograms(&self) -> &[(&'static str, Histogram)] {
+        &self.histograms
+    }
+
+    /// The histogram for `metric`, if any sample was recorded.
+    pub fn histogram(&self, metric: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(m, _)| *m == metric)
+            .map(|(_, h)| h)
+    }
+
+    /// Track names assigned via [`TraceRecorder::name_track`].
+    pub fn track_names(&self) -> &[(Track, String)] {
+        &self.track_names
+    }
+
+    /// Process names assigned via [`TraceRecorder::name_process`].
+    pub fn process_names(&self) -> &[(u32, String)] {
+        &self.process_names
+    }
+
+    /// Fold another recorder's events into this one (spans and counters
+    /// append; histograms merge by metric; names fill gaps). Used to
+    /// combine per-worker recorders in worker-index order so the merged
+    /// trace is deterministic.
+    pub fn merge(&mut self, other: TraceRecorder) {
+        self.spans.extend(other.spans);
+        self.counters.extend(other.counters);
+        for (metric, hist) in other.histograms {
+            if let Some((_, mine)) = self.histograms.iter_mut().find(|(m, _)| *m == metric) {
+                mine.merge(&hist);
+            } else {
+                self.histograms.push((metric, hist));
+            }
+        }
+        for (track, name) in other.track_names {
+            if !self.track_names.iter().any(|(t, _)| *t == track) {
+                self.track_names.push((track, name));
+            }
+        }
+        for (pid, name) in other.process_names {
+            if !self.process_names.iter().any(|(p, _)| *p == pid) {
+                self.process_names.push((pid, name));
+            }
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    const ENABLED: bool = true;
+
+    fn span(&mut self, track: Track, name: &'static str, start_ns: u64, end_ns: u64) {
+        debug_assert!(start_ns <= end_ns, "span ends before it starts");
+        self.spans.push(SpanEvent {
+            track,
+            name,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    fn counter(&mut self, track: Track, name: &'static str, t_ns: u64, value: u64) {
+        self.counters.push(CounterEvent {
+            track,
+            name,
+            t_ns,
+            value,
+        });
+    }
+
+    fn sample(&mut self, metric: &'static str, value: u64) {
+        if let Some((_, hist)) = self.histograms.iter_mut().find(|(m, _)| *m == metric) {
+            hist.record(value);
+        } else {
+            let mut hist = Histogram::new();
+            hist.record(value);
+            self.histograms.push((metric, hist));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        const { assert!(!NullRecorder::ENABLED) };
+        // And callable: the calls must be no-ops, not panics.
+        let mut r = NullRecorder;
+        r.span(Track::sim_proc(0), "x", 0, 1);
+        r.counter(Track::sim_proc(0), "c", 0, 1);
+        r.sample("m", 1);
+    }
+
+    #[test]
+    fn trace_recorder_collects_events() {
+        let mut r = TraceRecorder::new();
+        r.span(Track::sim_proc(2), "work", 10, 30);
+        r.counter(Track::sim_proc(2), "queue-depth", 15, 3);
+        r.sample("acts", 4);
+        r.sample("acts", 6);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.spans()[0].track, Track::sim_proc(2));
+        assert_eq!(r.counters()[0].value, 3);
+        let h = r.histogram("acts").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(6));
+    }
+
+    #[test]
+    fn offset_recorder_shifts_spans_not_samples() {
+        let mut inner = TraceRecorder::new();
+        {
+            let mut r = OffsetRecorder::new(&mut inner, 100);
+            r.span(Track::sim_proc(0), "w", 5, 7);
+            r.counter(Track::sim_proc(0), "q", 6, 2);
+            r.sample("m", 9);
+        }
+        assert_eq!(inner.spans()[0].start_ns, 105);
+        assert_eq!(inner.spans()[0].end_ns, 107);
+        assert_eq!(inner.counters()[0].t_ns, 106);
+        assert_eq!(inner.histogram("m").unwrap().max(), Some(9));
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut r = TraceRecorder::new();
+        fn record<R: Recorder>(mut r: R) {
+            r.span(Track::worker(1), "task", 0, 2);
+        }
+        record(&mut r);
+        assert_eq!(r.spans().len(), 1);
+        const { assert!(<&mut TraceRecorder as Recorder>::ENABLED) };
+    }
+
+    #[test]
+    fn merge_combines_histograms_and_names() {
+        let mut a = TraceRecorder::new();
+        a.sample("wall", 10);
+        a.name_process(SWEEP_PID, "sweep");
+        a.name_track(Track::worker(0), "worker 0");
+        let mut b = TraceRecorder::new();
+        b.sample("wall", 20);
+        b.span(Track::worker(1), "point", 0, 5);
+        b.name_track(Track::worker(0), "ignored duplicate");
+        b.name_track(Track::worker(1), "worker 1");
+        a.merge(b);
+        assert_eq!(a.histogram("wall").unwrap().count(), 2);
+        assert_eq!(a.spans().len(), 1);
+        assert_eq!(a.track_names().len(), 2);
+        assert_eq!(a.track_names()[0].1, "worker 0");
+    }
+
+    #[test]
+    fn name_track_last_call_wins() {
+        let mut r = TraceRecorder::new();
+        r.name_track(Track::sim_proc(0), "first");
+        r.name_track(Track::sim_proc(0), "second");
+        assert_eq!(r.track_names().len(), 1);
+        assert_eq!(r.track_names()[0].1, "second");
+    }
+}

@@ -7,16 +7,29 @@
 //!            [--out <file.trace>]
 //! mpps simulate <file.trace> [--procs 1,2,4,8,16,32] [--overhead 0|8|16|32]
 //!               [--partition rr|random|greedy] [--seed N] [--jobs N]
+//!               [--format text|json] [--trace-out FILE] [--stats]
 //! ```
 //!
 //! `.ops` files hold productions in the textual syntax; `.wm` files hold
 //! one WME per line, e.g. `(block ^name b1 ^color blue)`. Lines starting
 //! with `;` are comments.
+//!
+//! `--trace-out FILE` re-runs the largest requested machine with telemetry
+//! enabled and writes a Chrome `trace_event` file (open it at
+//! <https://ui.perfetto.dev>); `--stats` prints histogram percentiles of
+//! the recorded metrics. Neither changes the summary output.
 
+mod format;
+
+use format::{stats_block, OutputFormat, SimulateSummary};
 use mpps::core::sweep::{baseline, speedup_curve_jobs, PartitionStrategy};
-use mpps::core::{OverheadSetting, ThreadedMatcher};
+use mpps::core::{
+    name_machine_tracks, simulate_recorded, MappingConfig, OverheadSetting, SimScratch,
+    ThreadedMatcher,
+};
 use mpps::ops::{parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, Wme};
 use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
+use mpps::telemetry::{chrome::chrome_trace, TraceRecorder};
 use std::process::exit;
 
 fn usage() -> ! {
@@ -25,7 +38,8 @@ fn usage() -> ! {
          \x20          [--matcher rete|naive|threaded] [--workers N] [--quiet]\n\
          \x20 mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N] [--out FILE]\n\
          \x20 mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
-         \x20          [--partition rr|random|greedy] [--seed N] [--jobs N]"
+         \x20          [--partition rr|random|greedy] [--seed N] [--jobs N]\n\
+         \x20          [--format text|json] [--trace-out FILE] [--stats]"
     );
     exit(2)
 }
@@ -48,7 +62,7 @@ impl Args {
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if key == "quiet" {
+                if key == "quiet" || key == "stats" {
                     flags.push((key.to_owned(), "true".to_owned()));
                 } else {
                     let Some(v) = it.next() else {
@@ -236,13 +250,10 @@ fn cmd_simulate(args: &Args) {
         "greedy" => PartitionStrategy::GreedyWholeTrace,
         other => fail(format!("unknown partition {other:?} (rr|random|greedy)")),
     };
-    let stats = trace.stats();
-    println!(
-        "trace: {} cycles, {} activations ({})",
-        trace.cycles.len(),
-        stats.total(),
-        stats
-    );
+    let format = match args.get("format") {
+        None => OutputFormat::Text,
+        Some(v) => OutputFormat::parse(v).unwrap_or_else(|e| fail(e)),
+    };
     let jobs = args.get_parse(
         "jobs",
         std::thread::available_parallelism()
@@ -250,14 +261,39 @@ fn cmd_simulate(args: &Args) {
             .unwrap_or(1),
     );
     let base = baseline(&trace);
-    println!("serial match time: {}", base.total);
     let curve = speedup_curve_jobs(&trace, &procs, overhead, partition, jobs);
-    println!("P, time_us, speedup");
-    for point in curve {
-        println!(
-            "{}, {:.1}, {:.2}",
-            point.processors, point.total_us, point.speedup
+    let summary = SimulateSummary {
+        trace: &trace,
+        serial_total: base.total,
+        points: &curve,
+    };
+    print!("{}", summary.render(format));
+
+    // Telemetry is a separate, opt-in re-run of the largest requested
+    // machine — the summary above is untouched by it.
+    let trace_out = args.get("trace-out");
+    let want_stats = args.get("stats").is_some();
+    if trace_out.is_some() || want_stats {
+        let procs_max = procs.iter().copied().max().unwrap_or(1);
+        let config = MappingConfig::standard(procs_max, overhead);
+        let bucket_partition = partition.build(&trace, procs_max);
+        let mut recorder = TraceRecorder::new();
+        name_machine_tracks(&mut recorder, &config);
+        simulate_recorded(
+            &mut SimScratch::new(),
+            &trace,
+            &config,
+            &bucket_partition,
+            &mut recorder,
         );
+        if let Some(path) = trace_out {
+            std::fs::write(path, chrome_trace(&recorder))
+                .unwrap_or_else(|e| fail(format!("write {path}: {e}")));
+            eprintln!("telemetry trace ({procs_max} match processors) written to {path}");
+        }
+        if want_stats {
+            print!("{}", stats_block(&recorder));
+        }
     }
 }
 

@@ -17,6 +17,8 @@
 //! * [`core`] — the paper's contribution: the distributed hash-table
 //!   mapping of Rete onto an MPC, with a trace-driven simulated executor
 //!   and a real multi-threaded message-passing executor.
+//! * [`telemetry`] — zero-cost-when-disabled simulation telemetry:
+//!   recorders, exact histograms, Chrome-trace and JSONL export.
 //! * [`workloads`] — Rubik / Tourney / Weaver style rulesets and synthetic
 //!   trace generators reproducing the paper's characteristic sections.
 //! * [`analysis`] — the probabilistic active-bucket model, greedy bucket
@@ -30,4 +32,5 @@ pub use mpps_core as core;
 pub use mpps_mpcsim as mpcsim;
 pub use mpps_ops as ops;
 pub use mpps_rete as rete;
+pub use mpps_telemetry as telemetry;
 pub use mpps_workloads as workloads;

@@ -111,6 +111,147 @@ fn trace_then_simulate_roundtrip() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Write the monkey-and-bananas trace into a fresh temp dir named `tag`.
+fn make_trace(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("mpps-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("monkey.trace");
+    let out = mpps()
+        .args([
+            "trace",
+            &repo_file("examples/data/monkey.ops"),
+            "--wm",
+            &repo_file("examples/data/monkey.wm"),
+            "--table-size",
+            "64",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (dir, trace_path)
+}
+
+#[test]
+fn simulate_trace_out_keeps_stdout_identical_and_writes_perfetto_trace() {
+    let (dir, trace_path) = make_trace("traceout");
+    let chrome_path = dir.join("t.json");
+    let base_args = [
+        "simulate",
+        trace_path.to_str().unwrap(),
+        "--procs",
+        "1,2,4",
+        "--overhead",
+        "8",
+        "--jobs",
+        "2",
+    ];
+    let plain = mpps().args(base_args).output().expect("binary runs");
+    let traced = mpps()
+        .args(base_args)
+        .args(["--trace-out", chrome_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(plain.status.success() && traced.status.success());
+    // Enabling telemetry must not change the figure output.
+    assert_eq!(plain.stdout, traced.stdout);
+
+    // The exported file is a Chrome trace with one named lane per machine
+    // processor of the largest requested configuration (4 match + control).
+    let text = std::fs::read_to_string(&chrome_path).unwrap();
+    let doc = mpps::telemetry::json::parse(&text).expect("trace parses as JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+    let lane_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(lane_names.contains(&"control"), "{lane_names:?}");
+    for m in 0..4 {
+        assert!(lane_names.contains(&format!("match {m}").as_str()));
+    }
+    // Every processor lane carries at least one complete ("X") span.
+    for tid in 0..5u32 {
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                    && e.get("tid").and_then(|t| t.as_u64()) == Some(tid as u64)
+                    && e.get("pid").and_then(|p| p.as_u64()) == Some(1)
+            }),
+            "no span on processor lane {tid}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_format_json_emits_parseable_summary() {
+    let (dir, trace_path) = make_trace("json");
+    let out = mpps()
+        .args([
+            "simulate",
+            trace_path.to_str().unwrap(),
+            "--procs",
+            "1,2",
+            "--overhead",
+            "0",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = mpps::telemetry::json::parse(&stdout).expect("summary parses as JSON");
+    let points = doc.get("points").and_then(|p| p.as_array()).unwrap();
+    assert_eq!(points.len(), 2);
+    assert_eq!(
+        points[0].get("processors").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    assert!(doc.get("serial_match_us").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    assert!(doc.get("trace").and_then(|t| t.get("cycles")).is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_stats_prints_histogram_summaries() {
+    let (dir, trace_path) = make_trace("stats");
+    let out = mpps()
+        .args([
+            "simulate",
+            trace_path.to_str().unwrap(),
+            "--procs",
+            "1,2,4",
+            "--overhead",
+            "8",
+            "--stats",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The summary table is still there, followed by the histogram block.
+    assert!(stdout.contains("P, time_us, speedup"));
+    assert!(stdout.contains("telemetry histograms"));
+    assert!(stdout.contains("acts-per-bucket:"));
+    assert!(stdout.contains("cycle-makespan-us:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_input_fails_cleanly() {
     let out = mpps().args(["run", "/nonexistent.ops"]).output().unwrap();
