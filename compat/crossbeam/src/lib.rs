@@ -1,13 +1,14 @@
 //! Offline stand-in for the subset of `crossbeam` 0.8 this workspace uses:
-//! `channel::{unbounded, Sender, Receiver}` with `send`/`recv`/`try_recv`
-//! and cloneable senders. Backed by `std::sync::mpsc`, which has identical
-//! semantics for this MPSC usage (each receiver is moved into exactly one
-//! worker thread).
+//! `channel::{unbounded, Sender, Receiver}` with `send`/`recv`/`recv_timeout`/
+//! `try_recv` and cloneable senders. Backed by `std::sync::mpsc`, which has
+//! identical semantics for this MPSC usage (each receiver is moved into
+//! exactly one worker thread).
 
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     pub struct Sender<T>(mpsc::Sender<T>);
 
@@ -36,6 +37,10 @@ pub mod channel {
             self.0.recv()
         }
 
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
         }
@@ -49,6 +54,23 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel;
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)).unwrap(), 7);
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        ));
+    }
 
     #[test]
     fn fifo_across_threads() {

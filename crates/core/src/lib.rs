@@ -42,4 +42,4 @@ pub use sweep::{
     overhead_sweep, overhead_sweep_jobs, speedup_curve, speedup_curve_jobs, PartitionSpec,
     PartitionStrategy, PointId, PointSpec, SpeedupPoint, SweepPlan, SweepResults, TraceId,
 };
-pub use threaded::ThreadedMatcher;
+pub use threaded::{name_threaded_tracks, ThreadedMatcher, ThreadedStats, WorkerStats};

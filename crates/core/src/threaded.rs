@@ -7,6 +7,12 @@
 //! [`mpps_rete::kernel`], so a token is processed by exactly the processor
 //! that owns its destination bucket — the distributed hash table of §3.
 //!
+//! **Bucket ownership.** Ownership is an arbitrary [`Partition`] (round
+//! robin, seeded random, or the §5.2.2 offline greedy), shared verbatim
+//! with the trace-driven simulator, so the distribution experiments run on
+//! real threads. [`ThreadedMatcher::with_partition`] takes any partition;
+//! [`ThreadedMatcher::new`] defaults to round robin.
+//!
 //! **Termination detection.** The paper explicitly deferred this ("we do
 //! not simulate termination detection … the subject of future work"). A
 //! real executor cannot: the coordinator must know when a cycle's token
@@ -16,23 +22,53 @@
 //! when no work exists anywhere. A fully message-based detector (Safra's
 //! algorithm) is provided in [`crate::termination`] and demonstrated on
 //! the simulated machine.
+//!
+//! **Failure model.** A worker thread that panics can never decrement the
+//! counter, so quiescence would never be observed; the coordinator
+//! therefore waits with a timeout and polls its [`JoinHandle`]s, turning a
+//! dead worker into a typed [`MatchError::WorkerPanicked`] from
+//! [`Matcher::try_process`] within bounded time (the blanket
+//! [`Matcher::process`] panics with the same context instead of hanging).
+//! Once a worker has died the matcher is poisoned: every later cycle
+//! reports the same error, and drop still shuts the survivors down
+//! cleanly.
+//!
+//! **Retraction ordering.** The conflict set is kept as *signed counts*
+//! per instantiation key. Token cascades for the same key race across
+//! workers, so a `Sign::Minus` may reach the coordinator before the
+//! matching `Sign::Plus`; the count simply goes transiently negative and
+//! the entry is dropped when it settles back at zero. Only entries with a
+//! positive count are visible in [`Matcher::conflict_set`].
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::partition::Partition;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mpps_ops::{
-    sort_conflict_set, Instantiation, Matcher, OpsError, ProductionId, Program, Sign, WmeChange,
-    WmeId,
+    sort_conflict_set, Instantiation, MatchError, Matcher, OpsError, ProductionId, Program, Sign,
+    WmeChange, WmeId,
 };
 use mpps_rete::kernel::{self, Work};
 use mpps_rete::token::BetaToken;
 use mpps_rete::{GlobalMemories, ReteNetwork};
+use mpps_telemetry::recorder::THREADED_PID;
+use mpps_telemetry::{Recorder, TraceRecorder, Track};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the blocked coordinator checks worker liveness. Bounds the
+/// time between a worker dying and `try_process` returning an error.
+const LIVENESS_POLL: Duration = Duration::from_millis(20);
 
 enum ToWorker {
     Work(Vec<Work>),
     Shutdown,
+    /// Test-only: make the receiving worker panic mid-run, simulating a
+    /// crash inside the match kernel.
+    #[cfg(test)]
+    Poison,
 }
 
 enum ToCoordinator {
@@ -44,48 +80,110 @@ enum ToCoordinator {
     Quiescent,
 }
 
+/// Monotonic per-worker activity counters, shared with the coordinator.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    /// Activations executed on this worker.
+    tokens_processed: AtomicU64,
+    /// Left tokens handed to *another* worker.
+    tokens_forwarded: AtomicU64,
+    /// Cross-thread `Work` messages actually sent (≤ tokens forwarded,
+    /// thanks to per-peer coalescing).
+    messages_sent: AtomicU64,
+    /// Instantiations reported to the coordinator.
+    instantiations_sent: AtomicU64,
+    /// Peak local work-queue depth observed.
+    max_queue_depth: AtomicU64,
+}
+
+/// Snapshot of one worker's [`WorkerCounters`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Activations executed on this worker.
+    pub tokens_processed: u64,
+    /// Left tokens handed to another worker.
+    pub tokens_forwarded: u64,
+    /// Cross-thread `Work` messages sent (coalesced per peer per drain).
+    pub messages_sent: u64,
+    /// Instantiations reported to the coordinator.
+    pub instantiations_sent: u64,
+    /// Peak local work-queue depth observed.
+    pub max_queue_depth: u64,
+}
+
+/// Executor-wide activity snapshot (see [`ThreadedMatcher::stats`]).
+#[derive(Clone, Debug)]
+pub struct ThreadedStats {
+    /// One entry per worker thread, in worker order.
+    pub per_worker: Vec<WorkerStats>,
+    /// Match cycles executed so far.
+    pub cycles: u64,
+    /// Instantiations currently live in the conflict set.
+    pub conflict_entries: usize,
+}
+
 struct Worker {
     me: usize,
     network: Arc<ReteNetwork>,
     memories: GlobalMemories,
     table_size: u64,
-    workers: usize,
+    partition: Arc<Partition>,
     inbox: Receiver<ToWorker>,
     peers: Vec<Sender<ToWorker>>,
     coordinator: Sender<ToCoordinator>,
     outstanding: Arc<AtomicI64>,
+    counters: Arc<WorkerCounters>,
 }
 
 impl Worker {
-    fn owner(&self, bucket: u64) -> usize {
-        (bucket % self.workers as u64) as usize
-    }
-
     fn run(mut self) {
         // FIFO is load-bearing: a +token and the cancelling −token of the
         // same value are always generated on one thread (same parent
         // bucket) and must reach their destination bucket in generation
-        // order, or the delete would precede the add.
+        // order, or the delete would precede the add. Per-peer outgoing
+        // buffers preserve that order while coalescing one message per
+        // peer per drain.
         let mut local: std::collections::VecDeque<Work> = std::collections::VecDeque::new();
+        let mut outgoing: Vec<Vec<Work>> = (0..self.peers.len()).map(|_| Vec::new()).collect();
         while let Ok(msg) = self.inbox.recv() {
             match msg {
                 ToWorker::Shutdown => break,
+                #[cfg(test)]
+                ToWorker::Poison => panic!("worker {} poisoned by test hook", self.me),
                 ToWorker::Work(batch) => {
                     local.extend(batch);
+                    self.counters
+                        .max_queue_depth
+                        .fetch_max(local.len() as u64, Ordering::Relaxed);
                     while let Some(item) = local.pop_front() {
-                        self.process(item, &mut local);
+                        if !self.process(item, &mut local, &mut outgoing) {
+                            return;
+                        }
+                    }
+                    if !self.flush(&mut outgoing) {
+                        return;
                     }
                 }
             }
         }
     }
 
-    fn process(&mut self, item: Work, local: &mut std::collections::VecDeque<Work>) {
+    /// Process one activation; returns `false` if a channel endpoint died
+    /// (coordinator or a peer gone), which terminates this worker too.
+    fn process(
+        &mut self,
+        item: Work,
+        local: &mut std::collections::VecDeque<Work>,
+        outgoing: &mut [Vec<Work>],
+    ) -> bool {
         debug_assert!(
             !matches!(item, Work::Prod { .. }),
             "prod work stays at the coordinator"
         );
         let (_bucket, outputs) = kernel::activate(&self.network, &mut self.memories, &item);
+        self.counters
+            .tokens_processed
+            .fetch_add(1, Ordering::Relaxed);
         for out in outputs {
             match out {
                 Work::Prod {
@@ -97,24 +195,35 @@ impl Worker {
                     // Increment-before-send keeps zero unreachable while
                     // this instantiation is in flight.
                     self.outstanding.fetch_add(1, Ordering::SeqCst);
-                    self.coordinator
+                    self.counters
+                        .instantiations_sent
+                        .fetch_add(1, Ordering::Relaxed);
+                    if self
+                        .coordinator
                         .send(ToCoordinator::Prod {
                             production,
                             sign,
                             token,
                         })
-                        .expect("coordinator alive");
+                        .is_err()
+                    {
+                        return false;
+                    }
                 }
                 left @ Work::Left { .. } => {
                     let bucket = left.bucket(&self.network, self.table_size);
-                    let to = self.owner(bucket);
+                    let to = self.partition.owner(bucket);
                     self.outstanding.fetch_add(1, Ordering::SeqCst);
                     if to == self.me {
                         local.push_back(left);
+                        self.counters
+                            .max_queue_depth
+                            .fetch_max(local.len() as u64, Ordering::Relaxed);
                     } else {
-                        self.peers[to]
-                            .send(ToWorker::Work(vec![left]))
-                            .expect("peer alive");
+                        self.counters
+                            .tokens_forwarded
+                            .fetch_add(1, Ordering::Relaxed);
+                        outgoing[to].push(left);
                     }
                 }
                 Work::Right { .. } => {
@@ -124,22 +233,47 @@ impl Worker {
         }
         if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
             // We performed the final decrement: the cascade has drained.
-            self.coordinator
-                .send(ToCoordinator::Quiescent)
-                .expect("coordinator alive");
+            // (Buffered outgoing tokens hold their own increments, so a
+            // non-empty buffer makes this branch unreachable.)
+            if self.coordinator.send(ToCoordinator::Quiescent).is_err() {
+                return false;
+            }
         }
+        true
+    }
+
+    /// Send each peer its coalesced batch; returns `false` if a peer died.
+    fn flush(&mut self, outgoing: &mut [Vec<Work>]) -> bool {
+        for (to, buf) in outgoing.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            self.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+            if self.peers[to]
+                .send(ToWorker::Work(std::mem::take(buf)))
+                .is_err()
+            {
+                return false;
+            }
+        }
+        true
     }
 }
 
 /// The distributed hash-table matcher running on real threads.
 pub struct ThreadedMatcher {
     network: Arc<ReteNetwork>,
+    partition: Arc<Partition>,
     table_size: u64,
     workers: Vec<Sender<ToWorker>>,
     from_workers: Receiver<ToCoordinator>,
     outstanding: Arc<AtomicI64>,
     conflict: HashMap<(ProductionId, Vec<WmeId>), (Instantiation, i64)>,
     handles: Vec<JoinHandle<()>>,
+    counters: Vec<Arc<WorkerCounters>>,
+    cycles: u64,
+    /// First worker observed dead; poisons every later cycle.
+    failed: Option<usize>,
 }
 
 impl ThreadedMatcher {
@@ -148,12 +282,27 @@ impl ThreadedMatcher {
     pub fn new(network: ReteNetwork, workers: usize, table_size: u64) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(table_size > 0, "need at least one bucket");
+        Self::with_partition(network, Partition::round_robin(table_size, workers))
+    }
+
+    /// Spawn one match-processor thread per partition processor, with
+    /// bucket ownership taken verbatim from `partition` — the same
+    /// strategies (round robin / random / offline greedy) the simulator
+    /// sweeps in §5.2.2, on real threads.
+    pub fn with_partition(network: ReteNetwork, partition: Partition) -> Self {
+        let table_size = partition.table_size();
+        assert!(table_size > 0, "need at least one bucket");
+        let workers = partition.processors();
         let network = Arc::new(network);
+        let partition = Arc::new(partition);
         let outstanding = Arc::new(AtomicI64::new(0));
         let (to_coord, from_workers) = unbounded();
         let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
             (0..workers).map(|_| unbounded()).collect();
         let senders: Vec<Sender<ToWorker>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let counters: Vec<Arc<WorkerCounters>> = (0..workers)
+            .map(|_| Arc::new(WorkerCounters::default()))
+            .collect();
         let mut handles = Vec::with_capacity(workers);
         for (me, (_, rx)) in channels.into_iter().enumerate() {
             let worker = Worker {
@@ -161,11 +310,12 @@ impl ThreadedMatcher {
                 network: network.clone(),
                 memories: GlobalMemories::new(table_size),
                 table_size,
-                workers,
+                partition: partition.clone(),
                 inbox: rx,
                 peers: senders.clone(),
                 coordinator: to_coord.clone(),
                 outstanding: outstanding.clone(),
+                counters: counters[me].clone(),
             };
             handles.push(
                 std::thread::Builder::new()
@@ -176,12 +326,16 @@ impl ThreadedMatcher {
         }
         ThreadedMatcher {
             network,
+            partition,
             table_size,
             workers: senders,
             from_workers,
             outstanding,
             conflict: HashMap::new(),
             handles,
+            counters,
+            cycles: 0,
+            failed: None,
         }
     }
 
@@ -195,38 +349,76 @@ impl ThreadedMatcher {
         self.workers.len()
     }
 
-    fn apply_production(&mut self, production: ProductionId, sign: Sign, token: &BetaToken) {
-        let key = (production, token.wme_ids.clone());
-        match sign {
-            Sign::Plus => {
-                let entry = self.conflict.entry(key).or_insert_with(|| {
-                    (
-                        Instantiation {
-                            production,
-                            wme_ids: token.wme_ids.clone(),
-                            bindings: token.bindings.to_map(),
-                        },
-                        0,
-                    )
-                });
-                entry.1 += 1;
-            }
-            Sign::Minus => {
-                let entry = self
-                    .conflict
-                    .get_mut(&key)
-                    .expect("retracting unknown instantiation");
-                entry.1 -= 1;
-                if entry.1 <= 0 {
-                    self.conflict.remove(&key);
-                }
-            }
+    /// The bucket-ownership partition this executor routes with.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Snapshot of per-worker and coordinator activity since spawn.
+    pub fn stats(&self) -> ThreadedStats {
+        ThreadedStats {
+            per_worker: self
+                .counters
+                .iter()
+                .map(|c| WorkerStats {
+                    tokens_processed: c.tokens_processed.load(Ordering::Relaxed),
+                    tokens_forwarded: c.tokens_forwarded.load(Ordering::Relaxed),
+                    messages_sent: c.messages_sent.load(Ordering::Relaxed),
+                    instantiations_sent: c.instantiations_sent.load(Ordering::Relaxed),
+                    max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
+                })
+                .collect(),
+            cycles: self.cycles,
+            conflict_entries: self
+                .conflict
+                .values()
+                .filter(|(_, count)| *count > 0)
+                .count(),
         }
     }
-}
 
-impl Matcher for ThreadedMatcher {
-    fn process(&mut self, changes: &[WmeChange]) {
+    /// Emit the current [`ThreadedStats`] into a [`Recorder`]: one lane
+    /// per worker ([`Track::match_worker`]) carrying final counter values,
+    /// plus cross-worker histograms — the real executor's counterpart of
+    /// the simulated machine's per-processor tracks.
+    pub fn record_into<R: Recorder>(&self, rec: &mut R) {
+        let stats = self.stats();
+        for (i, w) in stats.per_worker.iter().enumerate() {
+            let track = Track::match_worker(i);
+            rec.counter(track, "tokens-processed", 0, w.tokens_processed);
+            rec.counter(track, "tokens-forwarded", 0, w.tokens_forwarded);
+            rec.counter(track, "messages-sent", 0, w.messages_sent);
+            rec.counter(track, "queue-depth-max", 0, w.max_queue_depth);
+            rec.sample("threaded.tokens-processed", w.tokens_processed);
+            rec.sample("threaded.tokens-forwarded", w.tokens_forwarded);
+            rec.sample("threaded.messages-sent", w.messages_sent);
+            rec.sample("threaded.queue-depth-max", w.max_queue_depth);
+        }
+        rec.sample("threaded.conflict-set-size", stats.conflict_entries as u64);
+        rec.sample("threaded.cycles", stats.cycles);
+    }
+
+    /// Returns the first dead (panicked) worker, if any, and poisons the
+    /// matcher. A worker only exits early when it — or a thread it talks
+    /// to — has panicked mid-cycle.
+    fn dead_worker(&mut self) -> Option<usize> {
+        if self.failed.is_some() {
+            return self.failed;
+        }
+        let dead = self.handles.iter().position(JoinHandle::is_finished);
+        if dead.is_some() {
+            self.failed = dead;
+        }
+        dead
+    }
+
+    /// The fallible cycle driver behind both `Matcher::process` and
+    /// `Matcher::try_process`.
+    fn process_cycle(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
+        if let Some(worker) = self.failed {
+            return Err(MatchError::WorkerPanicked { worker });
+        }
+        self.cycles += 1;
         // Constant tests run here (the coordinator plays the part of the
         // broadcast + duplicated constant tests of §3.2); root activations
         // are then routed to their bucket owners.
@@ -248,7 +440,7 @@ impl Matcher for ThreadedMatcher {
                     }
                     other => {
                         let bucket = other.bucket(&self.network, self.table_size);
-                        let owner = (bucket % self.workers.len() as u64) as usize;
+                        let owner = self.partition.owner(bucket);
                         batches[owner].push(other);
                         total += 1;
                     }
@@ -256,37 +448,110 @@ impl Matcher for ThreadedMatcher {
             }
         }
         if total == 0 {
-            return;
+            return Ok(());
         }
         self.outstanding.fetch_add(total, Ordering::SeqCst);
         for (owner, batch) in batches.into_iter().enumerate() {
-            if !batch.is_empty() {
-                self.workers[owner]
-                    .send(ToWorker::Work(batch))
-                    .expect("worker alive");
+            if !batch.is_empty() && self.workers[owner].send(ToWorker::Work(batch)).is_err() {
+                self.failed = Some(owner);
+                return Err(MatchError::WorkerPanicked { worker: owner });
             }
         }
         loop {
-            match self.from_workers.recv().expect("workers alive") {
-                ToCoordinator::Prod {
+            match self.from_workers.recv_timeout(LIVENESS_POLL) {
+                Ok(ToCoordinator::Prod {
                     production,
                     sign,
                     token,
-                } => {
+                }) => {
                     self.apply_production(production, sign, &token);
                     if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
-                        break;
+                        return Ok(());
                     }
                 }
-                ToCoordinator::Quiescent => {
+                Ok(ToCoordinator::Quiescent) => {
                     // A stale notification from a previous cycle is
                     // harmless: the counter is non-zero while work remains.
                     if self.outstanding.load(Ordering::SeqCst) == 0 {
-                        break;
+                        return Ok(());
                     }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // A panicked worker can never drain its share of the
+                    // outstanding count; surface it instead of hanging.
+                    if let Some(worker) = self.dead_worker() {
+                        return Err(MatchError::WorkerPanicked { worker });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(match self.dead_worker() {
+                        Some(worker) => MatchError::WorkerPanicked { worker },
+                        None => MatchError::Disconnected,
+                    });
                 }
             }
         }
+    }
+
+    /// Fold one instantiation report into the signed conflict counts.
+    ///
+    /// Cascades for the same key race across workers, so a `Minus` may
+    /// arrive before its `Plus`: the count goes transiently negative and
+    /// the entry is removed once it settles back at zero (from either
+    /// direction). This replaces the historical
+    /// `expect("retracting unknown instantiation")` panic.
+    fn apply_production(&mut self, production: ProductionId, sign: Sign, token: &BetaToken) {
+        let key = (production, token.wme_ids.clone());
+        let delta: i64 = match sign {
+            Sign::Plus => 1,
+            Sign::Minus => -1,
+        };
+        match self.conflict.entry(key) {
+            Entry::Occupied(mut slot) => {
+                slot.get_mut().1 += delta;
+                if slot.get().1 == 0 {
+                    slot.remove();
+                }
+            }
+            Entry::Vacant(slot) => {
+                slot.insert((
+                    Instantiation {
+                        production,
+                        wme_ids: token.wme_ids.clone(),
+                        bindings: token.bindings.to_map(),
+                    },
+                    delta,
+                ));
+            }
+        }
+    }
+
+    /// Test hook: make worker `worker` panic at its next message,
+    /// simulating a crash inside the match kernel.
+    #[cfg(test)]
+    fn poison_worker(&self, worker: usize) {
+        let _ = self.workers[worker].send(ToWorker::Poison);
+    }
+}
+
+/// Name the threaded executor's worker lanes in an exported trace, the
+/// way [`crate::simexec::name_machine_tracks`] names the simulated ones.
+pub fn name_threaded_tracks(rec: &mut TraceRecorder, workers: usize) {
+    rec.name_process(THREADED_PID, "threaded matcher");
+    for w in 0..workers {
+        rec.name_track(Track::match_worker(w), format!("match thread {w}"));
+    }
+}
+
+impl Matcher for ThreadedMatcher {
+    fn process(&mut self, changes: &[WmeChange]) {
+        if let Err(e) = self.process_cycle(changes) {
+            panic!("ThreadedMatcher::process: {e}");
+        }
+    }
+
+    fn try_process(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
+        self.process_cycle(changes)
     }
 
     fn conflict_set(&self) -> Vec<Instantiation> {
@@ -360,6 +625,27 @@ mod tests {
                 seq.conflict_set(),
                 par.conflict_set(),
                 "diverged after a batch with {workers} workers"
+            );
+        }
+    }
+
+    fn agree_on_partition(src: &str, batches: &[Vec<WmeChange>], partition: Partition) {
+        let prog = parse_program(src).unwrap();
+        let label = format!(
+            "{} workers over {} buckets",
+            partition.processors(),
+            partition.table_size()
+        );
+        let mut seq = ReteMatcher::from_program(&prog).unwrap();
+        let network = ReteNetwork::compile(&prog).unwrap();
+        let mut par = ThreadedMatcher::with_partition(network, partition);
+        for batch in batches {
+            seq.process(batch);
+            par.process(batch);
+            assert_eq!(
+                seq.conflict_set(),
+                par.conflict_set(),
+                "diverged after a batch ({label})"
             );
         }
     }
@@ -475,5 +761,223 @@ mod tests {
         let par = ThreadedMatcher::from_program(&prog, 4).unwrap();
         assert_eq!(par.worker_count(), 4);
         drop(par); // must not hang or panic
+    }
+
+    /// Regression pin for the retraction race: a `Minus` report reaching
+    /// the coordinator before its matching `Plus` used to hit
+    /// `expect("retracting unknown instantiation")`. Signed counts keep
+    /// the entry latent at −1 until the `Plus` settles it at zero.
+    #[test]
+    fn minus_before_plus_settles_without_panicking() {
+        let prog = parse_program("(p solo (alarm ^level <l>) --> (remove 1))").unwrap();
+        let network = ReteNetwork::compile(&prog).unwrap();
+        let roots = kernel::alpha_roots(
+            &network,
+            &WmeChange::add(WmeId(1), Wme::new("alarm", &[("level", 3.into())])),
+        );
+        let Work::Prod {
+            production, token, ..
+        } = roots.into_iter().next().unwrap()
+        else {
+            panic!("single-CE production produces prod work");
+        };
+        let mut par = ThreadedMatcher::from_program(&prog, 2).unwrap();
+
+        // Minus first: transiently negative, invisible, no panic.
+        par.apply_production(production, Sign::Minus, &token);
+        assert!(par.conflict_set().is_empty());
+        // The matching Plus settles the count at zero: entry dropped.
+        par.apply_production(production, Sign::Plus, &token);
+        assert!(par.conflict_set().is_empty());
+        assert_eq!(par.stats().conflict_entries, 0);
+
+        // And the normal order still works on the same key afterwards.
+        par.apply_production(production, Sign::Plus, &token);
+        assert_eq!(par.conflict_set().len(), 1);
+        par.apply_production(production, Sign::Minus, &token);
+        assert!(par.conflict_set().is_empty());
+    }
+
+    fn stress_iterations() -> u64 {
+        std::env::var("MPPS_STRESS_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100)
+    }
+
+    /// Interleaving stress over the Tourney-style cross-product section:
+    /// adds and deletes of the *same join values* race through ≥4 workers
+    /// for many seeds, and the conflict set must agree with the
+    /// sequential engine after every batch. Iteration count is env-gated
+    /// (`MPPS_STRESS_ITERS`) so CI can crank it up in release mode.
+    #[test]
+    fn retraction_race_stress() {
+        // Two join levels sharing <x> spread the buckets across workers,
+        // so +/− cascades for one instantiation cross thread boundaries.
+        let src = r#"
+            (p pair (slot ^v <x>) (east ^v <x>) (west ^v <x>) --> (remove 1))
+        "#;
+        let prog = parse_program(src).unwrap();
+        for seed in 0..stress_iterations() {
+            // Seed-varied shape: how many join values, and which half of
+            // the WMEs gets deleted-and-readded in the racing batch.
+            let values = 3 + (seed % 5) as i64;
+            let mut id = 0u64;
+            let mut wme = |class: &str, v: i64| {
+                id += 1;
+                (WmeId(id), Wme::new(class, &[("v", v.into())]))
+            };
+            let mut first = Vec::new();
+            let mut live: Vec<(WmeId, Wme)> = Vec::new();
+            for v in 0..values {
+                for class in ["slot", "east", "west"] {
+                    let (i, w) = wme(class, v);
+                    live.push((i, w.clone()));
+                    first.push(WmeChange::add(i, w));
+                }
+            }
+            // Racing batch: delete every east/west WME of the even join
+            // values and re-add fresh WMEs with the *same* join values,
+            // so Minus and Plus instantiations for identical keys are in
+            // flight simultaneously.
+            let mut second = Vec::new();
+            for (i, w) in &live {
+                let v = w.get(mpps_ops::intern("v")).unwrap();
+                let is_even = matches!(v, mpps_ops::Value::Int(n) if n % 2 == (seed % 2) as i64);
+                if is_even && w.class() != mpps_ops::intern("slot") {
+                    second.push(WmeChange::remove(*i, w.clone()));
+                }
+            }
+            for v in 0..values {
+                if v % 2 == (seed % 2) as i64 {
+                    let (i, w) = wme("east", v);
+                    second.push(WmeChange::add(i, w));
+                    let (i, w) = wme("west", v);
+                    second.push(WmeChange::add(i, w));
+                }
+            }
+            let mut seq = ReteMatcher::from_program(&prog).unwrap();
+            let mut par = ThreadedMatcher::from_program(&prog, 4).unwrap();
+            for batch in [&first, &second] {
+                seq.process(batch);
+                par.try_process(batch).expect("workers healthy");
+                assert_eq!(
+                    seq.conflict_set(),
+                    par.conflict_set(),
+                    "diverged at seed {seed}"
+                );
+            }
+        }
+    }
+
+    /// A dead worker must surface as a typed error in bounded time — this
+    /// used to leave the coordinator blocked in `recv()` forever.
+    #[test]
+    fn worker_death_surfaces_error_not_hang() {
+        let prog = parse_program(BLUE).unwrap();
+        let mut par = ThreadedMatcher::from_program(&prog, 4).unwrap();
+        for w in 0..4 {
+            par.poison_worker(w);
+        }
+        // Give the panics a moment to land so the cycle reliably needs a
+        // dead worker (the error path is exercised either way).
+        std::thread::sleep(Duration::from_millis(10));
+        let err = par
+            .try_process(&blue_wmes())
+            .expect_err("cycle over dead workers must fail");
+        assert!(matches!(err, MatchError::WorkerPanicked { .. }), "{err:?}");
+        // The matcher is poisoned: later cycles fail fast with the same
+        // error instead of touching dead channels.
+        let again = par.try_process(&blue_wmes()).expect_err("still poisoned");
+        assert_eq!(again, err);
+        drop(par); // must not hang on join
+    }
+
+    /// The infallible `Matcher::process` entry point panics with context
+    /// (never hangs) when a worker has died.
+    #[test]
+    fn process_panics_with_context_after_worker_death() {
+        let prog = parse_program(BLUE).unwrap();
+        let mut par = ThreadedMatcher::from_program(&prog, 2).unwrap();
+        par.poison_worker(0);
+        par.poison_worker(1);
+        std::thread::sleep(Duration::from_millis(10));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par.process(&blue_wmes());
+        }))
+        .expect_err("process must panic, not hang");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("panicked"), "panic lacks context: {msg:?}");
+    }
+
+    #[test]
+    fn partition_strategies_agree_with_sequential() {
+        let wmes = blue_wmes();
+        let batches = vec![wmes.clone(), vec![del(3, wmes[2].wme.clone())]];
+        for partition in [
+            Partition::round_robin(64, 4),
+            Partition::random(64, 4, 1989),
+            Partition::single(64),
+            Partition::greedy(&[7, 0, 3, 0, 9, 1, 0, 2], 3),
+        ] {
+            agree_on_partition(BLUE, &batches, partition);
+        }
+    }
+
+    #[test]
+    fn forwarding_is_coalesced_per_peer() {
+        // Many join values across two join levels force heavy cross-
+        // worker forwarding; per-drain coalescing must send strictly
+        // fewer messages than tokens.
+        let src = "(p j3 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (remove 1))";
+        let prog = parse_program(src).unwrap();
+        let mut changes = Vec::new();
+        let mut id = 0u64;
+        for v in 0..64i64 {
+            for class in ["a", "b", "c"] {
+                id += 1;
+                changes.push(add(id, Wme::new(class, &[("v", v.into())])));
+            }
+        }
+        let mut par = ThreadedMatcher::from_program(&prog, 4).unwrap();
+        par.process(&changes);
+        assert_eq!(par.conflict_set().len(), 64);
+        let stats = par.stats();
+        let forwarded: u64 = stats.per_worker.iter().map(|w| w.tokens_forwarded).sum();
+        let messages: u64 = stats.per_worker.iter().map(|w| w.messages_sent).sum();
+        assert!(forwarded > 0, "expected cross-worker traffic: {stats:?}");
+        assert!(
+            messages < forwarded,
+            "coalescing should batch tokens: {messages} messages for {forwarded} tokens"
+        );
+        let processed: u64 = stats.per_worker.iter().map(|w| w.tokens_processed).sum();
+        assert!(processed > 0);
+        assert_eq!(stats.cycles, 1);
+        assert_eq!(stats.conflict_entries, 64);
+    }
+
+    #[test]
+    fn record_into_emits_worker_lanes() {
+        let prog = parse_program(BLUE).unwrap();
+        let mut par = ThreadedMatcher::from_program(&prog, 3).unwrap();
+        par.process(&blue_wmes());
+        let mut rec = TraceRecorder::new();
+        name_threaded_tracks(&mut rec, par.worker_count());
+        par.record_into(&mut rec);
+        let lanes: std::collections::BTreeSet<_> = rec.counters().iter().map(|c| c.track).collect();
+        assert_eq!(lanes.len(), 3, "one lane per worker");
+        assert!(lanes.contains(&Track::match_worker(0)));
+        assert!(rec.histogram("threaded.tokens-processed").is_some());
+        assert_eq!(
+            rec.histogram("threaded.conflict-set-size").unwrap().max(),
+            Some(1)
+        );
+        assert!(rec
+            .track_names()
+            .iter()
+            .any(|(t, n)| *t == Track::match_worker(2) && n == "match thread 2"));
     }
 }

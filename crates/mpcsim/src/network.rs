@@ -83,46 +83,56 @@ impl NetworkModel {
 }
 
 /// Accumulates transfer intervals and reports busy/idle fractions.
+///
+/// Intervals are merged *incrementally*: the structure keeps a sorted set
+/// of disjoint busy intervals plus a running busy total, so [`record`] is
+/// `O(log n)` amortized and [`busy_time`] is `O(1)`. (The original
+/// implementation stored every transfer forever and re-sorted the whole
+/// history on each query, which made long simulations quadratic.)
+///
+/// [`record`]: NetworkUsage::record
+/// [`busy_time`]: NetworkUsage::busy_time
 #[derive(Clone, Debug, Default)]
 pub struct NetworkUsage {
-    /// `(start, end)` of every transfer, in schedule order.
+    /// Sorted, pairwise-disjoint busy intervals `(start, end)`.
     intervals: Vec<(SimTime, SimTime)>,
+    /// Cached union length of `intervals`.
+    busy: SimTime,
     /// Total number of messages carried.
     pub messages: u64,
 }
 
 impl NetworkUsage {
-    /// Record a transfer occupying `[start, end)`.
+    /// Record a transfer occupying `[start, end)`, merging it into the
+    /// disjoint interval set.
     pub fn record(&mut self, start: SimTime, end: SimTime) {
         self.messages += 1;
-        if end > start {
-            self.intervals.push((start, end));
+        if end <= start {
+            return;
+        }
+        // Everything strictly left of us (ends before our start) stays;
+        // `[lo, hi)` is the run of intervals that touch `[start, end]`
+        // (adjacency counts as touching, matching the old `s <= ce` merge).
+        let lo = self.intervals.partition_point(|&(_, e)| e < start);
+        let hi = lo + self.intervals[lo..].partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.intervals.insert(lo, (start, end));
+            self.busy += end - start;
+        } else {
+            let merged_start = start.min(self.intervals[lo].0);
+            let merged_end = end.max(self.intervals[hi - 1].1);
+            for &(s, e) in &self.intervals[lo..hi] {
+                self.busy -= e - s;
+            }
+            self.busy += merged_end - merged_start;
+            self.intervals[lo] = (merged_start, merged_end);
+            self.intervals.drain(lo + 1..hi);
         }
     }
 
     /// Total time at least one message was in flight.
     pub fn busy_time(&self) -> SimTime {
-        let mut iv = self.intervals.clone();
-        iv.sort_unstable();
-        let mut busy = SimTime::ZERO;
-        let mut cur: Option<(SimTime, SimTime)> = None;
-        for (s, e) in iv {
-            match cur {
-                None => cur = Some((s, e)),
-                Some((cs, ce)) => {
-                    if s <= ce {
-                        cur = Some((cs, ce.max(e)));
-                    } else {
-                        busy += ce - cs;
-                        cur = Some((s, e));
-                    }
-                }
-            }
-        }
-        if let Some((cs, ce)) = cur {
-            busy += ce - cs;
-        }
-        busy
+        self.busy
     }
 
     /// Fraction of `[0, makespan)` during which the network was idle.
@@ -199,5 +209,78 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn hops_rejects_bad_proc() {
         Topology::Bus.hops(4, 0, 9);
+    }
+
+    /// The historical sort-everything-on-query implementation, kept as a
+    /// test oracle for the incremental merge.
+    fn oracle_busy_time(raw: &[(SimTime, SimTime)]) -> SimTime {
+        let mut iv: Vec<_> = raw.iter().copied().filter(|&(s, e)| e > s).collect();
+        iv.sort_unstable();
+        let mut busy = SimTime::ZERO;
+        let mut cur: Option<(SimTime, SimTime)> = None;
+        for (s, e) in iv {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cur = Some((cs, ce.max(e)));
+                    } else {
+                        busy += ce - cs;
+                        cur = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            busy += ce - cs;
+        }
+        busy
+    }
+
+    #[test]
+    fn incremental_merge_matches_oracle() {
+        // Deterministic LCG stream of nasty intervals: duplicates,
+        // containments, exact adjacency, zero-length, arrival out of order.
+        let mut state: u64 = 0x1989_1989_1989_1989;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut u = NetworkUsage::default();
+        let mut raw = Vec::new();
+        for i in 0..500 {
+            let start = SimTime::from_ns(next(2_000));
+            let len = SimTime::from_ns(next(60));
+            let end = start + len;
+            raw.push((start, end));
+            u.record(start, end);
+            if i % 17 == 0 {
+                // Query mid-stream too: busy must be correct at any point.
+                assert_eq!(
+                    u.busy_time(),
+                    oracle_busy_time(&raw),
+                    "after {} records",
+                    i + 1
+                );
+            }
+        }
+        assert_eq!(u.busy_time(), oracle_busy_time(&raw));
+        assert_eq!(u.messages, 500);
+        // Invariant check: stored intervals are sorted and disjoint.
+        for w in u.intervals.windows(2) {
+            assert!(w[0].1 < w[1].0, "intervals not disjoint: {w:?}");
+        }
+    }
+
+    #[test]
+    fn adjacent_intervals_coalesce() {
+        let mut u = NetworkUsage::default();
+        u.record(SimTime::from_us(0), SimTime::from_us(1));
+        u.record(SimTime::from_us(2), SimTime::from_us(3));
+        u.record(SimTime::from_us(1), SimTime::from_us(2)); // bridges both
+        assert_eq!(u.intervals.len(), 1);
+        assert_eq!(u.busy_time(), SimTime::from_us(3));
     }
 }

@@ -25,6 +25,36 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// A failure inside a [`crate::Matcher`] during the match phase.
+///
+/// Sequential matchers are infallible; the variants here describe ways a
+/// *distributed* matcher (threads, message passing) can die mid-cycle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MatchError {
+    /// A match-processor thread panicked (or otherwise exited) before the
+    /// cycle's token cascade drained; the conflict set is unreliable.
+    WorkerPanicked {
+        /// Index of the first dead worker detected.
+        worker: usize,
+    },
+    /// Every match-processor channel disconnected at once (the executor
+    /// was already torn down when `process` was called).
+    Disconnected,
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::WorkerPanicked { worker } => {
+                write!(f, "match worker {worker} panicked mid-cycle")
+            }
+            MatchError::Disconnected => write!(f, "all match workers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
 /// Errors raised while building or running a production system.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum OpsError {
@@ -42,6 +72,9 @@ pub enum OpsError {
     StaleWme(String),
     /// A `(call …)` named a function never registered on the interpreter.
     UnknownFunction(String),
+    /// The matcher failed during the match phase (e.g. a worker thread of
+    /// a parallel matcher died).
+    Match(MatchError),
 }
 
 impl fmt::Display for OpsError {
@@ -60,6 +93,7 @@ impl fmt::Display for OpsError {
             OpsError::UnknownFunction(name) => {
                 write!(f, "(call {name}) but no such function is registered")
             }
+            OpsError::Match(e) => write!(f, "match phase failed: {e}"),
         }
     }
 }
@@ -69,6 +103,12 @@ impl std::error::Error for OpsError {}
 impl From<ParseError> for OpsError {
     fn from(e: ParseError) -> Self {
         OpsError::Parse(e)
+    }
+}
+
+impl From<MatchError> for OpsError {
+    fn from(e: MatchError) -> Self {
+        OpsError::Match(e)
     }
 }
 
@@ -84,6 +124,15 @@ mod tests {
             message: "expected ')'".into(),
         };
         assert_eq!(e.to_string(), "parse error at 3:14: expected ')'");
+    }
+
+    #[test]
+    fn match_error_display_and_wrap() {
+        let e = MatchError::WorkerPanicked { worker: 3 };
+        assert_eq!(e.to_string(), "match worker 3 panicked mid-cycle");
+        let oe: OpsError = e.clone().into();
+        assert_eq!(oe, OpsError::Match(e));
+        assert!(oe.to_string().contains("match phase failed"));
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl<M: Matcher> Interpreter<M> {
         self.cycle += 1;
         let batch = std::mem::take(&mut self.pending);
         self.change_log.push(batch.clone());
-        self.matcher.process(&batch);
+        self.matcher.try_process(&batch)?;
 
         let conflict_set = self.matcher.conflict_set();
         let candidates: Vec<&Instantiation> = conflict_set
@@ -266,7 +266,7 @@ impl<M: Matcher> Interpreter<M> {
         self.cycle += 1;
         let batch = std::mem::take(&mut self.pending);
         self.change_log.push(batch.clone());
-        self.matcher.process(&batch);
+        self.matcher.try_process(&batch)?;
 
         let conflict_set = self.matcher.conflict_set();
         let mut candidates: Vec<&Instantiation> = conflict_set

@@ -62,7 +62,7 @@ pub mod wme;
 pub use builder::ProductionBuilder;
 pub use cond::{AttrTest, ConditionElement, Predicate, TestKind};
 pub use conflict::{resolve, Strategy};
-pub use error::{OpsError, ParseError};
+pub use error::{MatchError, OpsError, ParseError};
 pub use interpreter::{FiredRecord, Interpreter, RunOutcome, RunResult};
 pub use matcher::{sort_conflict_set, Instantiation, Matcher, WmeChange};
 pub use naive::NaiveMatcher;

@@ -12,6 +12,7 @@
 //!
 //! Property tests assert all three produce identical conflict sets.
 
+use crate::error::MatchError;
 use crate::production::ProductionId;
 use crate::symbol::Symbol;
 use crate::value::Value;
@@ -110,7 +111,21 @@ impl fmt::Display for Instantiation {
 /// Maintains the conflict set of a fixed program under WM deltas.
 pub trait Matcher {
     /// Apply a batch of WM changes (one MRA cycle's act-phase output).
+    ///
+    /// Infallible by contract: a matcher that *can* fail (a distributed
+    /// one losing a worker thread) must panic here with context rather
+    /// than hang — callers that want the failure as a value use
+    /// [`Matcher::try_process`].
     fn process(&mut self, changes: &[WmeChange]);
+
+    /// Like [`Matcher::process`], but surfaces match-phase failures as a
+    /// typed [`MatchError`] instead of panicking. The default forwards to
+    /// `process` (sequential matchers cannot fail); fallible matchers
+    /// override it and implement `process` on top.
+    fn try_process(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
+        self.process(changes);
+        Ok(())
+    }
 
     /// The current conflict set, sorted by `(production, wme_ids)` so that
     /// different matchers are directly comparable.

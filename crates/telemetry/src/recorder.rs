@@ -25,6 +25,8 @@ pub struct Track {
 pub const SIM_PID: u32 = 1;
 /// Track group for sweep workers (timestamps in wall time).
 pub const SWEEP_PID: u32 = 2;
+/// Track group for the real threaded matcher's worker threads (wall time).
+pub const THREADED_PID: u32 = 3;
 
 impl Track {
     /// The lane for simulated processor `index` (simulated time).
@@ -39,6 +41,15 @@ impl Track {
     pub fn worker(index: usize) -> Self {
         Self {
             pid: SWEEP_PID,
+            tid: index as u32,
+        }
+    }
+
+    /// The lane for threaded-matcher worker `index` (wall time) — the real
+    /// executor's counterpart of [`Track::sim_proc`].
+    pub fn match_worker(index: usize) -> Self {
+        Self {
+            pid: THREADED_PID,
             tid: index as u32,
         }
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mpps run <program.ops> [--wm <file.wm>] [--cycles N] [--strategy lex|mea]
-//!          [--matcher rete|naive|threaded] [--workers N] [--quiet]
+//!          [--matcher rete|naive|threaded] [--workers N] [--table-size N]
+//!          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]
 //! mpps trace <program.ops> [--wm <file.wm>] [--cycles N] [--table-size N]
 //!            [--out <file.trace>]
 //! mpps simulate <file.trace> [--procs 1,2,4,8,16,32] [--overhead 0|8|16|32]
@@ -18,14 +19,19 @@
 //! enabled and writes a Chrome `trace_event` file (open it at
 //! <https://ui.perfetto.dev>); `--stats` prints histogram percentiles of
 //! the recorded metrics. Neither changes the summary output.
+//!
+//! With `--matcher threaded`, `--partition` picks the bucket-ownership
+//! strategy for the real thread pool (greedy does an offline traced
+//! sequential pre-run to measure bucket activity, as in §5.2.2), and
+//! `--stats` prints per-worker activity counters to stderr.
 
 mod format;
 
 use format::{stats_block, OutputFormat, SimulateSummary};
 use mpps::core::sweep::{baseline, speedup_curve_jobs, PartitionStrategy};
 use mpps::core::{
-    name_machine_tracks, simulate_recorded, MappingConfig, OverheadSetting, SimScratch,
-    ThreadedMatcher,
+    bucket_activity, name_machine_tracks, simulate_recorded, MappingConfig, OverheadSetting,
+    Partition, SimScratch, ThreadedMatcher,
 };
 use mpps::ops::{parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, Wme};
 use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
@@ -35,7 +41,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mpps run <program.ops> [--wm FILE] [--cycles N] [--strategy lex|mea]\n\
-         \x20          [--matcher rete|naive|threaded] [--workers N] [--quiet]\n\
+         \x20          [--matcher rete|naive|threaded] [--workers N] [--table-size N]\n\
+         \x20          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]\n\
          \x20 mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N] [--out FILE]\n\
          \x20 mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--jobs N]\n\
@@ -47,6 +54,13 @@ fn usage() -> ! {
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("mpps: {msg}");
     exit(1)
+}
+
+/// Invalid command-line input: report and exit with the usage status (2),
+/// distinguishing caller mistakes from runtime failures (1).
+fn usage_error(msg: impl std::fmt::Display) -> ! {
+    eprintln!("mpps: {msg}");
+    exit(2)
 }
 
 /// Minimal flag parser: positional args plus `--key value` pairs.
@@ -126,7 +140,7 @@ fn run_with<M: Matcher>(
     strategy: Strategy,
     cycles: usize,
     quiet: bool,
-) {
+) -> Interpreter<M> {
     let mut interp = Interpreter::with_matcher(program, strategy, matcher);
     for w in wmes {
         interp.add_wme(w);
@@ -148,6 +162,38 @@ fn run_with<M: Matcher>(
         result.fired.len(),
         interp.working_memory().len()
     );
+    interp
+}
+
+/// Offline greedy bucket partition (§5.2.2): a traced sequential pre-run
+/// measures per-bucket activity, then buckets are placed longest-first on
+/// the least-loaded worker.
+fn greedy_partition(
+    program: &mpps::ops::Program,
+    wmes: &[Wme],
+    strategy: Strategy,
+    cycles: usize,
+    table_size: u64,
+    workers: usize,
+) -> Partition {
+    let network = ReteNetwork::compile(program).unwrap_or_else(|e| fail(e));
+    let matcher = ReteMatcher::new(
+        network,
+        EngineConfig {
+            table_size,
+            record_trace: true,
+        },
+    );
+    let mut interp = Interpreter::with_matcher(program.clone(), strategy, matcher);
+    for w in wmes {
+        interp.add_wme(w.clone());
+    }
+    interp.run(cycles).unwrap_or_else(|e| fail(e));
+    let trace = interp
+        .matcher_mut()
+        .take_trace()
+        .expect("tracing was enabled");
+    Partition::greedy(&bucket_activity(&trace), workers)
 }
 
 fn cmd_run(args: &Args) {
@@ -170,8 +216,36 @@ fn cmd_run(args: &Args) {
         }
         "threaded" => {
             let workers = args.get_parse("workers", 4usize);
-            let m = ThreadedMatcher::from_program(&program, workers).unwrap_or_else(|e| fail(e));
-            run_with(program, wmes, m, strategy, cycles, quiet);
+            if workers == 0 {
+                usage_error("--workers must be at least 1 for --matcher threaded");
+            }
+            let table_size = args.get_parse("table-size", 2048u64);
+            if table_size == 0 {
+                usage_error("--table-size must be at least 1");
+            }
+            let seed = args.get_parse("seed", 1989u64);
+            let partition = match args.get("partition").unwrap_or("rr") {
+                "rr" => Partition::round_robin(table_size, workers),
+                "random" => Partition::random(table_size, workers, seed),
+                "greedy" => {
+                    greedy_partition(&program, &wmes, strategy, cycles, table_size, workers)
+                }
+                other => usage_error(format!("unknown partition {other:?} (rr|random|greedy)")),
+            };
+            let network = ReteNetwork::compile(&program).unwrap_or_else(|e| fail(e));
+            let m = ThreadedMatcher::with_partition(network, partition);
+            let interp = run_with(program, wmes, m, strategy, cycles, quiet);
+            if args.get("stats").is_some() {
+                let stats = interp.matcher().stats();
+                eprintln!("threaded matcher: {} cycles", stats.cycles);
+                for (i, w) in stats.per_worker.iter().enumerate() {
+                    eprintln!(
+                        "  worker {i}: {} tokens processed, {} forwarded in {} messages, \
+                         peak queue {}",
+                        w.tokens_processed, w.tokens_forwarded, w.messages_sent, w.max_queue_depth
+                    );
+                }
+            }
         }
         other => fail(format!("unknown matcher {other:?} (rete|naive|threaded)")),
     }

@@ -253,6 +253,94 @@ fn simulate_stats_prints_histogram_summaries() {
 }
 
 #[test]
+fn threaded_workers_zero_is_usage_error() {
+    let out = mpps()
+        .args([
+            "run",
+            &repo_file("examples/data/monkey.ops"),
+            "--wm",
+            &repo_file("examples/data/monkey.wm"),
+            "--matcher",
+            "threaded",
+            "--workers",
+            "0",
+        ])
+        .output()
+        .expect("binary runs");
+    // Caller mistake: usage status (2), a diagnostic naming the flag, and
+    // no panic backtrace.
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--workers"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn threaded_partition_strategies_agree_with_rete() {
+    let run = |extra: &[&str]| {
+        let out = mpps()
+            .args([
+                "run",
+                &repo_file("examples/data/monkey.ops"),
+                "--wm",
+                &repo_file("examples/data/monkey.wm"),
+                "--quiet",
+            ])
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let rete = run(&["--matcher", "rete"]);
+    for partition in ["rr", "random", "greedy"] {
+        let threaded = run(&[
+            "--matcher",
+            "threaded",
+            "--workers",
+            "3",
+            "--partition",
+            partition,
+            "--seed",
+            "42",
+        ]);
+        assert_eq!(rete, threaded, "partition {partition} diverged");
+    }
+}
+
+#[test]
+fn threaded_stats_prints_worker_lines() {
+    let out = mpps()
+        .args([
+            "run",
+            &repo_file("examples/data/monkey.ops"),
+            "--wm",
+            &repo_file("examples/data/monkey.wm"),
+            "--matcher",
+            "threaded",
+            "--workers",
+            "2",
+            "--stats",
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("threaded matcher:"), "{stderr}");
+    assert!(stderr.contains("worker 0:"), "{stderr}");
+    assert!(stderr.contains("worker 1:"), "{stderr}");
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = mpps().args(["run", "/nonexistent.ops"]).output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,95 @@
+//! Threaded-vs-sequential equivalence across the paper's workloads,
+//! worker counts and bucket-partition strategies.
+//!
+//! For each characteristic section (Rubik / Tourney / Weaver) we run the
+//! sequential engine once with tracing on, keeping both the per-cycle WM
+//! change batches and the activation trace (the latter feeds the offline
+//! greedy partition, as in §5.2.2). Then every (workers × partition)
+//! combination replays the same batches through a [`ThreadedMatcher`] and
+//! must produce the sequential conflict set after *every* batch — not just
+//! at quiescence, so transient divergence can't cancel out.
+
+use mpps::core::{bucket_activity, Partition, ThreadedMatcher};
+use mpps::ops::{Interpreter, Matcher, Program, Strategy, Wme, WmeChange};
+use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
+use mpps::workloads::{rubik, tourney, weaver};
+
+const TABLE_SIZE: u64 = 256;
+
+/// Run the sequential tracing interpreter and return the per-cycle change
+/// batches plus the activation trace.
+fn sequential_reference(
+    program: &Program,
+    initial: &[Wme],
+    cycles: usize,
+) -> (Vec<Vec<WmeChange>>, Trace) {
+    let network = ReteNetwork::compile(program).expect("workload compiles");
+    let matcher = ReteMatcher::new(
+        network,
+        EngineConfig {
+            table_size: TABLE_SIZE,
+            record_trace: true,
+        },
+    );
+    let mut interp = Interpreter::with_matcher(program.clone(), Strategy::Lex, matcher);
+    for w in initial {
+        interp.add_wme(w.clone());
+    }
+    interp.run(cycles).expect("sequential run succeeds");
+    let batches = interp.change_log().to_vec();
+    let trace = interp
+        .matcher_mut()
+        .take_trace()
+        .expect("tracing was enabled");
+    (batches, trace)
+}
+
+fn check_workload(name: &str, program: Program, initial: Vec<Wme>, cycles: usize) {
+    let (batches, trace) = sequential_reference(&program, &initial, cycles);
+    assert!(
+        batches.iter().any(|b| !b.is_empty()),
+        "{name}: section produced no WM activity"
+    );
+    let activity = bucket_activity(&trace);
+    for workers in [1usize, 2, 4, 8] {
+        let partitions = [
+            ("round_robin", Partition::round_robin(TABLE_SIZE, workers)),
+            ("random", Partition::random(TABLE_SIZE, workers, 1989)),
+            ("greedy", Partition::greedy(&activity, workers)),
+        ];
+        for (strategy, partition) in partitions {
+            let mut seq = ReteMatcher::from_program(&program).expect("workload compiles");
+            let network = ReteNetwork::compile(&program).expect("workload compiles");
+            let mut par = ThreadedMatcher::with_partition(network, partition);
+            for (cycle, batch) in batches.iter().enumerate() {
+                seq.process(batch);
+                par.try_process(batch).expect("workers healthy");
+                assert_eq!(
+                    seq.conflict_set(),
+                    par.conflict_set(),
+                    "{name} diverged at cycle {cycle} ({workers} workers, {strategy})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rubik_agrees_across_workers_and_partitions() {
+    check_workload(
+        "rubik",
+        rubik::program(),
+        rubik::initial(&rubik::alternating_moves(2)),
+        10,
+    );
+}
+
+#[test]
+fn tourney_agrees_across_workers_and_partitions() {
+    check_workload("tourney", tourney::program(), tourney::initial(6, 6), 4);
+}
+
+#[test]
+fn weaver_agrees_across_workers_and_partitions() {
+    check_workload("weaver", weaver::program(), weaver::initial(4, 4), 12);
+}
