@@ -55,8 +55,11 @@ impl Partition {
     }
 
     /// Offline greedy (LPT): sort buckets by descending activity, place
-    /// each on the currently least-loaded processor. Inactive buckets are
-    /// round-robined afterwards.
+    /// each on the currently least-loaded processor. Inactive buckets
+    /// continue the same LPT pass, charged a unit weight each — a trace is
+    /// only an activity *sample*, so a "cold" bucket still costs something
+    /// when the real workload touches it. (The old round-robin tail ignored
+    /// the loads accumulated so far and could re-skew a balanced placement.)
     pub fn greedy(activity: &[u64], processors: usize) -> Self {
         assert!(processors > 0, "need at least one match processor");
         let mut owners = vec![u32::MAX; activity.len()];
@@ -64,19 +67,11 @@ impl Partition {
         let mut order: Vec<usize> = (0..activity.len()).collect();
         order.sort_by_key(|&b| std::cmp::Reverse(activity[b]));
         for b in order {
-            if activity[b] == 0 {
-                break; // remaining buckets are inactive
-            }
-            let target = (0..processors).min_by_key(|&p| load[p]).unwrap();
+            let weight = activity[b].max(1);
+            // Ties go to the lowest-numbered processor for determinism.
+            let target = (0..processors).min_by_key(|&p| (load[p], p)).unwrap();
             owners[b] = target as u32;
-            load[target] += activity[b];
-        }
-        let mut rr = 0u32;
-        for o in owners.iter_mut() {
-            if *o == u32::MAX {
-                *o = rr % processors as u32;
-                rr += 1;
-            }
+            load[target] += weight;
         }
         Partition { owners, processors }
     }
@@ -237,6 +232,41 @@ mod tests {
         for b in 0..4 {
             assert!(p.owner(b) < 3);
         }
+    }
+
+    #[test]
+    fn greedy_leftovers_go_to_least_loaded() {
+        // Active buckets LPT to loads [6] and [5,4] on 2 processors; the
+        // three inactive buckets (unit weight each) must all pile onto the
+        // lighter processor, ending at [9,9]. The old round-robin tail
+        // produced [8,10], re-skewing a balanced placement.
+        let activity = [6u64, 5, 4, 0, 0, 0];
+        let p = Partition::greedy(&activity, 2);
+        let unit: Vec<u64> = activity.iter().map(|&a| a.max(1)).collect();
+        let loads = p.loads(&unit);
+        let (max, min) = (loads.iter().max().unwrap(), loads.iter().min().unwrap());
+        assert!(
+            max - min <= 1,
+            "unit-augmented loads must be within one bucket of each other: {loads:?}"
+        );
+        assert_eq!(loads, vec![9, 9]);
+        // All three leftovers landed next to the lone hot bucket (load 6),
+        // not with the [5,4] pair (load 9).
+        let light_owner = p.owner(0);
+        for b in 3..6 {
+            assert_eq!(p.owner(b), light_owner);
+        }
+    }
+
+    #[test]
+    fn greedy_leftover_loads_within_one_bucket_of_optimal() {
+        // With uniform unit weights (all-inactive trace), greedy degenerates
+        // to balanced assignment: every processor gets ⌈n/p⌉ or ⌊n/p⌋.
+        let p = Partition::greedy(&[0; 13], 4);
+        let counts = p.loads(&[1; 13]);
+        assert_eq!(counts.iter().sum::<u64>(), 13);
+        let (max, min) = (counts.iter().max().unwrap(), counts.iter().min().unwrap());
+        assert!(max - min <= 1, "counts = {counts:?}");
     }
 
     #[test]

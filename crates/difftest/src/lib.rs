@@ -1,0 +1,186 @@
+#![warn(missing_docs)]
+
+//! # mpps-difftest — differential match-fuzzing harness
+//!
+//! The workspace carries four matcher implementations that must agree on
+//! every program and every working-memory history: [`NaiveMatcher`] (the
+//! brute-force semantic reference), `ReteMatcher`, `TreatMatcher`, and the
+//! message-passing `ThreadedMatcher`. Hand-written equivalence tests cover
+//! the shapes we thought of; this crate covers the ones we didn't.
+//!
+//! The harness has three parts:
+//!
+//! * [`gen`] — a seeded generator of random OPS5 programs (multi-CE
+//!   productions over a small class/attribute vocabulary, shared join
+//!   prefixes, negated CEs, LEX and MEA, `make`/`remove`/`modify` RHS
+//!   actions) and random external WM-change schedules;
+//! * [`oracle`] — a lockstep driver that runs one [`Interpreter`] per
+//!   matcher through the same cycles and compares conflict sets, fired
+//!   instantiations, and working memory after every cycle, with the naive
+//!   matcher as ground truth;
+//! * [`shrink`] — a delta-debugging minimizer that, given a diverging
+//!   case, drops productions, schedule rounds/ops, condition elements and
+//!   attribute tests while the divergence persists, then emits the result
+//!   as a runnable `.ops` + `.sched` reproducer pair ([`repro`]).
+//!
+//! The `mpps fuzz` CLI subcommand and the `MPPS_FUZZ_ITERS`-gated CI smoke
+//! test are thin wrappers over [`fuzz_one`].
+//!
+//! [`NaiveMatcher`]: mpps_ops::NaiveMatcher
+//! [`Interpreter`]: mpps_ops::Interpreter
+
+pub mod gen;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+use mpps_ops::{Matcher, NaiveMatcher, OpsError, Program, TreatMatcher};
+use mpps_rete::{ReteMatcher, ReteNetwork};
+use std::fmt;
+use std::str::FromStr;
+
+pub use gen::{generate_case, FuzzCase, GenConfig, Schedule, ScheduleOp};
+pub use oracle::{run_case, Divergence};
+pub use repro::{load_repro, render_ops, render_sched, write_repro};
+pub use shrink::shrink_case;
+
+/// One of the four matcher implementations under test.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MatcherKind {
+    /// Brute-force recomputation — the semantic reference.
+    Naive,
+    /// Sequential hashed-memory Rete.
+    Rete,
+    /// TREAT (alpha memories + conflict set, no beta state).
+    Treat,
+    /// Message-passing Rete over real threads.
+    Threaded,
+}
+
+impl MatcherKind {
+    /// Every matcher, reference first.
+    pub const ALL: [MatcherKind; 4] = [
+        MatcherKind::Naive,
+        MatcherKind::Rete,
+        MatcherKind::Treat,
+        MatcherKind::Threaded,
+    ];
+
+    /// CLI/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatcherKind::Naive => "naive",
+            MatcherKind::Rete => "rete",
+            MatcherKind::Treat => "treat",
+            MatcherKind::Threaded => "threaded",
+        }
+    }
+
+    /// Build a boxed matcher for `program`. The threaded matcher is kept
+    /// deliberately small (2 workers, 64 buckets) — the fuzzer's programs
+    /// are tiny and the point is agreement, not throughput.
+    pub fn build(self, program: &Program) -> Result<Box<dyn Matcher>, OpsError> {
+        Ok(match self {
+            MatcherKind::Naive => Box::new(NaiveMatcher::new(program.clone())),
+            MatcherKind::Rete => Box::new(ReteMatcher::from_program(program)?),
+            MatcherKind::Treat => Box::new(TreatMatcher::new(program)),
+            MatcherKind::Threaded => {
+                let network = ReteNetwork::compile(program)?;
+                Box::new(mpps_core::ThreadedMatcher::new(network, 2, 64))
+            }
+        })
+    }
+
+    /// Parse a comma-separated matcher list (e.g. `"rete,treat"`); the
+    /// literal `"all"` selects every matcher.
+    pub fn parse_list(s: &str) -> Result<Vec<MatcherKind>, String> {
+        if s == "all" {
+            return Ok(Self::ALL.to_vec());
+        }
+        s.split(',')
+            .map(|part| part.trim().parse())
+            .collect::<Result<Vec<_>, _>>()
+    }
+}
+
+impl fmt::Display for MatcherKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for MatcherKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(MatcherKind::Naive),
+            "rete" => Ok(MatcherKind::Rete),
+            "treat" => Ok(MatcherKind::Treat),
+            "threaded" => Ok(MatcherKind::Threaded),
+            other => Err(format!(
+                "unknown matcher {other:?} (naive|rete|treat|threaded|all)"
+            )),
+        }
+    }
+}
+
+/// Generate case `seed`, oracle it, and — when it diverges and `do_shrink`
+/// is set — minimize before returning. The returned pair is the (possibly
+/// shrunk) case plus the divergence found on it, or `None` if all matchers
+/// agreed.
+pub fn fuzz_one(
+    seed: u64,
+    cfg: &GenConfig,
+    matchers: &[MatcherKind],
+    do_shrink: bool,
+) -> (FuzzCase, Option<Divergence>) {
+    let case = generate_case(seed, cfg);
+    match run_case(&case, matchers) {
+        None => (case, None),
+        Some(div) => {
+            if do_shrink {
+                let small = shrink_case(&case, matchers, 1000);
+                let small_div = run_case(&small, matchers).unwrap_or(div);
+                (small, Some(small_div))
+            } else {
+                (case, Some(div))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_str() {
+        for k in MatcherKind::ALL {
+            assert_eq!(k.name().parse::<MatcherKind>().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn parse_list_all_and_csv() {
+        assert_eq!(MatcherKind::parse_list("all").unwrap().len(), 4);
+        assert_eq!(
+            MatcherKind::parse_list("rete, treat").unwrap(),
+            vec![MatcherKind::Rete, MatcherKind::Treat]
+        );
+        assert!(MatcherKind::parse_list("bogus").is_err());
+    }
+
+    #[test]
+    fn build_produces_working_matchers() {
+        let prog = mpps_ops::parse_program("(p t (a ^p <v>) --> (remove 1))").unwrap();
+        for k in MatcherKind::ALL {
+            let mut m = k.build(&prog).unwrap();
+            m.process(&[mpps_ops::WmeChange::add(
+                mpps_ops::WmeId(1),
+                mpps_ops::Wme::new("a", &[("p", 1.into())]),
+            )]);
+            assert_eq!(m.conflict_set().len(), 1, "{k}");
+        }
+    }
+}

@@ -11,8 +11,9 @@
 //!   production id and WME ids (OPS5 says "arbitrary"; we need
 //!   reproducibility).
 //! * **MEA** — like LEX but first compares the recency of the WME matching
-//!   the *first* condition element (the "means–ends-analysis" goal
-//!   element), then falls back to the LEX ordering.
+//!   the first *positive* condition element (the "means–ends-analysis"
+//!   goal element; negated CEs match no WME and are skipped), then falls
+//!   back to the LEX ordering.
 
 use crate::matcher::Instantiation;
 use crate::production::Program;
@@ -57,11 +58,39 @@ fn lex_cmp(program: &Program, a: &Instantiation, b: &Instantiation) -> Ordering 
         .then_with(|| b.wme_ids.cmp(&a.wme_ids))
 }
 
-/// MEA dominance: first-CE recency first, then LEX.
+/// The MEA goal element: the WME matching the production's first
+/// *positive* condition element. `wme_ids` lists the matches of the
+/// non-negated CEs in LHS order — negated CEs contribute no entry — so the
+/// goal element is the first entry even when the production's LHS *starts*
+/// with negated CEs. An instantiation with no WMEs at all (only possible
+/// for hand-built values; validation requires a positive CE) compares
+/// below every real one via `None < Some`.
+fn mea_goal(inst: &Instantiation) -> Option<WmeId> {
+    inst.wme_ids.first().copied()
+}
+
+/// MEA dominance: first-positive-CE recency first, then LEX.
 fn mea_cmp(program: &Program, a: &Instantiation, b: &Instantiation) -> Ordering {
-    let fa = a.wme_ids.first().copied().unwrap_or(WmeId(0));
-    let fb = b.wme_ids.first().copied().unwrap_or(WmeId(0));
-    fa.cmp(&fb).then_with(|| lex_cmp(program, a, b))
+    mea_goal(a)
+        .cmp(&mea_goal(b))
+        .then_with(|| lex_cmp(program, a, b))
+}
+
+/// Compare two instantiations under `strategy`; `Greater` means `a` fires
+/// over `b`. This is the exact comparator [`resolve`] maximizes with, made
+/// public so tests can check it is a total order (antisymmetric and
+/// transitive, with `Equal` only for identical `(production, wme_ids)`
+/// keys) — the contract `max_by` and sort-based callers rely on.
+pub fn compare(
+    program: &Program,
+    strategy: Strategy,
+    a: &Instantiation,
+    b: &Instantiation,
+) -> Ordering {
+    match strategy {
+        Strategy::Lex => lex_cmp(program, a, b),
+        Strategy::Mea => mea_cmp(program, a, b),
+    }
 }
 
 /// Select the winning instantiation from `candidates` (already filtered for
@@ -71,11 +100,9 @@ pub fn resolve<'a>(
     strategy: Strategy,
     candidates: impl IntoIterator<Item = &'a Instantiation>,
 ) -> Option<&'a Instantiation> {
-    let cmp = match strategy {
-        Strategy::Lex => lex_cmp,
-        Strategy::Mea => mea_cmp,
-    };
-    candidates.into_iter().max_by(|a, b| cmp(program, a, b))
+    candidates
+        .into_iter()
+        .max_by(|a, b| compare(program, strategy, a, b))
 }
 
 #[cfg(test)]
@@ -191,5 +218,62 @@ mod tests {
         let a = inst(0, &[10, 1]);
         let b = inst(0, &[10, 5]);
         assert_eq!(resolve(&prog, Strategy::Mea, [&a, &b]).unwrap(), &b);
+    }
+
+    #[test]
+    fn mea_goal_element_with_negated_first_ce_against_naive() {
+        // Regression: the production's LHS *starts* with a negated CE, so
+        // the MEA goal element is the first positive CE's WME — which is
+        // still `wme_ids[0]`, because negated CEs contribute no entry.
+        // NaiveMatcher produces the conflict set; MEA must serve the goal
+        // with the more recent `goal` WME even though LEX prefers the
+        // instantiation holding the globally newest WME.
+        use crate::matcher::{Matcher, WmeChange};
+        use crate::naive::NaiveMatcher;
+        use crate::parser::{parse_program, parse_wme};
+        let prog = parse_program(
+            r#"
+            (p serve
+               -(inhibit ^on yes)
+               (goal ^id <g>)
+               (item ^for <g>)
+               -->
+               (remove 2))
+            "#,
+        )
+        .unwrap();
+        let mut naive = NaiveMatcher::new(prog.clone());
+        let wmes = [
+            "(goal ^id g1)",  // t1: old goal
+            "(goal ^id g2)",  // t2: recent goal
+            "(item ^for g2)", // t3
+            "(item ^for g1)", // t4: globally newest WME belongs to g1
+        ];
+        let changes: Vec<WmeChange> = wmes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| WmeChange::add(WmeId(i as u64 + 1), parse_wme(s).unwrap()))
+            .collect();
+        naive.process(&changes);
+        let cs = naive.conflict_set();
+        assert_eq!(cs.len(), 2);
+        // Every instantiation's first id is a goal WME (the negated CE
+        // added nothing in front of it).
+        assert!(cs.iter().all(|i| i.wme_ids[0] <= WmeId(2)));
+        let mea = resolve(&prog, Strategy::Mea, cs.iter()).unwrap();
+        assert_eq!(mea.wme_ids, vec![WmeId(2), WmeId(3)], "goal recency rules");
+        let lex = resolve(&prog, Strategy::Lex, cs.iter()).unwrap();
+        assert_eq!(lex.wme_ids, vec![WmeId(1), WmeId(4)], "global recency");
+    }
+
+    #[test]
+    fn compare_equal_only_for_identical_keys() {
+        let prog = two_prod_program();
+        let a = inst(0, &[4, 2]);
+        let b = inst(0, &[2, 4]); // same recency vector, different key
+        for s in [Strategy::Lex, Strategy::Mea] {
+            assert_ne!(compare(&prog, s, &a, &b), Ordering::Equal);
+            assert_eq!(compare(&prog, s, &a, &a), Ordering::Equal);
+        }
     }
 }

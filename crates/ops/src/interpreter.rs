@@ -154,11 +154,32 @@ impl<M: Matcher> Interpreter<M> {
         Ok(())
     }
 
+    /// Flush pending WM changes into a match batch, cancelling add/remove
+    /// pairs: a WME added *and* removed between two match phases was never
+    /// visible to any matcher, and handing both changes through would break
+    /// the matcher contract that a batch mentions each time tag at most
+    /// once. (Found by the differential fuzzer: `add_wme` + `remove_wme` of
+    /// the same element before a `step` tripped the Rete engine's batch
+    /// assertion while the naive matcher shrugged it off.) Time tags are
+    /// never reused, so an id occurring twice is always exactly one add
+    /// followed by one remove.
+    fn take_batch(&mut self) -> Vec<WmeChange> {
+        let batch = std::mem::take(&mut self.pending);
+        let mut count: HashMap<WmeId, u32> = HashMap::new();
+        for c in &batch {
+            *count.entry(c.id).or_insert(0) += 1;
+        }
+        if count.values().all(|&n| n == 1) {
+            return batch;
+        }
+        batch.into_iter().filter(|c| count[&c.id] == 1).collect()
+    }
+
     /// Execute one MRA cycle. Flushes pending WM changes into the matcher,
     /// resolves, and fires at most one instantiation.
     pub fn step(&mut self) -> Result<StepOutcome, OpsError> {
         self.cycle += 1;
-        let batch = std::mem::take(&mut self.pending);
+        let batch = self.take_batch();
         self.change_log.push(batch.clone());
         self.matcher.try_process(&batch)?;
 
@@ -264,7 +285,7 @@ impl<M: Matcher> Interpreter<M> {
     /// caveat of compatible-set parallel firing.)
     pub fn step_parallel(&mut self) -> Result<Vec<FiredRecord>, OpsError> {
         self.cycle += 1;
-        let batch = std::mem::take(&mut self.pending);
+        let batch = self.take_batch();
         self.change_log.push(batch.clone());
         self.matcher.try_process(&batch)?;
 
@@ -823,5 +844,24 @@ mod call_tests {
         let p = prog.get(crate::ProductionId(0));
         let again = crate::parse_production(&p.to_string()).unwrap();
         assert_eq!(p, &again);
+    }
+
+    #[test]
+    fn add_then_remove_between_steps_cancels_in_batch() {
+        // Regression (differential fuzzer): a WME added and removed between
+        // two match phases must never reach the matcher — handing both
+        // changes through gives the batch two entries for one time tag,
+        // which the Rete engine (rightly) rejects.
+        let prog = parse_program("(p t (a) --> (halt))").unwrap();
+        let mut interp = Interpreter::new(prog, Strategy::Lex);
+        let keep = interp.wm_make("b", &[]);
+        let id = interp.wm_make("a", &[]);
+        interp.remove_wme(id).unwrap();
+        interp.step().unwrap();
+        let batch = interp.change_log().last().unwrap();
+        assert_eq!(batch.len(), 1, "transient WME leaked into the batch");
+        assert_eq!(batch[0].id, keep);
+        // And the production over the transient class never fired.
+        assert!(interp.fired().is_empty());
     }
 }

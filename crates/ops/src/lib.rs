@@ -61,7 +61,7 @@ pub mod wme;
 
 pub use builder::ProductionBuilder;
 pub use cond::{AttrTest, ConditionElement, Predicate, TestKind};
-pub use conflict::{resolve, Strategy};
+pub use conflict::{compare, resolve, Strategy};
 pub use error::{MatchError, OpsError, ParseError};
 pub use interpreter::{FiredRecord, Interpreter, RunOutcome, RunResult};
 pub use matcher::{sort_conflict_set, Instantiation, Matcher, WmeChange};

@@ -7,10 +7,13 @@
 //! * [`crate::NaiveMatcher`] — brute-force recomputation (the semantic
 //!   reference);
 //! * `mpps_rete::ReteMatcher` — the sequential hashed-memory Rete engine;
+//! * [`crate::TreatMatcher`] — the TREAT algorithm (alpha memories plus
+//!   conflict set, no beta state; the paper's reference \[30\]);
 //! * `mpps_core::ThreadedMatcher` — the paper's distributed-hash-table
 //!   mapping running on real threads with message passing.
 //!
-//! Property tests assert all three produce identical conflict sets.
+//! Property tests and the `mpps-difftest` differential fuzzer assert all
+//! four produce identical conflict sets on the same change schedules.
 
 use crate::error::MatchError;
 use crate::production::ProductionId;
@@ -130,6 +133,22 @@ pub trait Matcher {
     /// The current conflict set, sorted by `(production, wme_ids)` so that
     /// different matchers are directly comparable.
     fn conflict_set(&self) -> Vec<Instantiation>;
+}
+
+/// Boxed matchers forward — this lets heterogeneous matcher collections
+/// (e.g. the differential oracle) drive `Interpreter<Box<dyn Matcher>>`.
+impl Matcher for Box<dyn Matcher> {
+    fn process(&mut self, changes: &[WmeChange]) {
+        (**self).process(changes)
+    }
+
+    fn try_process(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
+        (**self).try_process(changes)
+    }
+
+    fn conflict_set(&self) -> Vec<Instantiation> {
+        (**self).conflict_set()
+    }
 }
 
 /// Sort instantiations into the canonical comparison order.

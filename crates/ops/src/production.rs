@@ -172,7 +172,11 @@ pub struct Production {
 impl Production {
     /// Validate structural invariants:
     ///
-    /// * at least one CE, and the first CE must be non-negated (OPS5);
+    /// * at least one *non-negated* CE (a production made only of negated
+    ///   CEs has no working-memory support and could never be retracted
+    ///   deterministically); negated CEs may appear anywhere, including
+    ///   before the first positive CE — a leading negated CE simply has no
+    ///   visible bindings, so all its variables are existential locals;
     /// * every variable used in a negated CE, a `VariablePred` test, or the
     ///   RHS must be bound by an equality test in an earlier (or same,
     ///   for negated CE locals) non-negated CE;
@@ -182,8 +186,8 @@ impl Production {
         if self.lhs.is_empty() {
             return err("production has no condition elements".into());
         }
-        if self.lhs[0].negated {
-            return err("first condition element may not be negated".into());
+        if self.lhs.iter().all(|ce| ce.negated) {
+            return err("production needs at least one non-negated condition element".into());
         }
         // Walk CEs tracking bound variables.
         let mut bound: HashSet<Symbol> = HashSet::new();
@@ -442,13 +446,31 @@ mod tests {
     }
 
     #[test]
-    fn negated_first_ce_rejected() {
+    fn all_negated_lhs_rejected() {
         let p = Production {
-            name: intern("neg-first"),
-            lhs: vec![ConditionElement::negative("block", vec![])],
+            name: intern("all-neg"),
+            lhs: vec![
+                ConditionElement::negative("block", vec![]),
+                ConditionElement::negative("hand", vec![]),
+            ],
             rhs: vec![],
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negated_first_ce_accepted_with_positive_support() {
+        // A leading negated CE is legal: its variables are existential
+        // locals evaluated before any binding exists.
+        let p = Production {
+            name: intern("neg-first"),
+            lhs: vec![
+                ConditionElement::negative("inhibit", vec![var_test("on", "v")]),
+                ConditionElement::positive("block", vec![var_test("name", "b")]),
+            ],
+            rhs: vec![Action::Remove(1)],
+        };
+        assert!(p.validate().is_ok());
     }
 
     #[test]

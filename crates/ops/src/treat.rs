@@ -15,27 +15,57 @@
 //! * negated CEs are handled by filtering candidate instantiations against
 //!   the negated alpha memories; additions matching a negated CE retract
 //!   blocked instantiations, deletions re-derive what they unblocked.
+//!   Negation is *positional*: a negated CE sees only the variables bound
+//!   by positive CEs that precede it in LHS order, so before testing the
+//!   negated memories the instantiation's bindings are restricted to that
+//!   visible set — a variable bound by a later positive CE stays an
+//!   existential local inside the negation, exactly as in the reference
+//!   [`crate::NaiveMatcher`] enumeration.
 //!
 //! Duplicate-free enumeration uses the standard seeding discipline: when
 //! the new WME is pinned at position *k*, positions before *k* join
 //! against their memories *without* the new WME and positions after *k*
 //! with it, so every combination is generated at exactly one seed.
 
-use crate::cond::ConditionElement;
+use crate::cond::{ConditionElement, TestKind};
 use crate::matcher::{sort_conflict_set, Instantiation, Matcher, WmeChange};
 use crate::production::{Production, ProductionId, Program};
 use crate::symbol::Symbol;
 use crate::value::Value;
 use crate::wme::{Sign, Wme, WmeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// A negated condition element with its binding context.
+struct NegatedCe {
+    /// Index into the production's LHS.
+    lhs_idx: usize,
+    /// The condition element.
+    ce: ConditionElement,
+    /// Variables bound by positive CEs *earlier in LHS order* — the only
+    /// bindings this negation may observe. Everything else it mentions is
+    /// an existential local.
+    visible: HashSet<Symbol>,
+}
+
+impl NegatedCe {
+    /// Does `wme` violate this negation for an instantiation carrying
+    /// `bindings`? Only the visible bindings participate in the test.
+    fn blocked_by(&self, wme: &Wme, bindings: &HashMap<Symbol, Value>) -> bool {
+        let restricted: HashMap<Symbol, Value> = bindings
+            .iter()
+            .filter(|(var, _)| self.visible.contains(*var))
+            .map(|(&var, &val)| (var, val))
+            .collect();
+        self.ce.match_with_bindings(wme, &restricted).is_some()
+    }
+}
 
 /// Per-production compiled view: positive and negated CEs in LHS order.
 struct CompiledProduction {
     /// `(lhs index, CE)` of positive condition elements, in order.
     positive: Vec<(usize, ConditionElement)>,
-    /// Negated condition elements with the count of *positive* CEs that
-    /// precede them (their binding context).
-    negative: Vec<(usize, ConditionElement)>,
+    /// Negated condition elements, each with its visible-variable set.
+    negative: Vec<NegatedCe>,
 }
 
 /// Alpha memory of one condition element: WMEs passing its constant tests.
@@ -170,15 +200,16 @@ impl TreatMatcher {
         }
     }
 
-    /// True when no WME in the negated memories matches under `bindings`.
+    /// True when no WME in the negated memories matches under the bindings
+    /// each negation is allowed to see (its visible-variable restriction).
     fn negations_clear(&self, p: usize, bindings: &HashMap<Symbol, Value>) -> bool {
         let compiled = &self.productions[p];
         let mems = &self.memories[p];
-        compiled.negative.iter().all(|(lhs_idx, ce)| {
-            !mems[lhs_idx]
+        compiled.negative.iter().all(|neg| {
+            !mems[&neg.lhs_idx]
                 .entries
                 .iter()
-                .any(|(_, w)| ce.match_with_bindings(w, bindings).is_some())
+                .any(|(_, w)| neg.blocked_by(w, bindings))
         })
     }
 
@@ -217,32 +248,30 @@ impl TreatMatcher {
                     matched_pos.push(i);
                 }
             }
-            for (i, ce) in self.productions[p]
+            let neg_hits: Vec<usize> = self.productions[p]
                 .negative
                 .iter()
-                .map(|(i, ce)| (*i, ce.clone()))
-                .collect::<Vec<_>>()
-            {
-                if ce.constant_match(wme) {
-                    self.memories[p].get_mut(&i).unwrap().add(id, wme);
-                    matched_neg.push(i);
-                }
+                .enumerate()
+                .filter(|(_, neg)| neg.ce.constant_match(wme))
+                .map(|(k, _)| k)
+                .collect();
+            for &k in &neg_hits {
+                let lhs_idx = self.productions[p].negative[k].lhs_idx;
+                self.memories[p].get_mut(&lhs_idx).unwrap().add(id, wme);
+                matched_neg.push(lhs_idx);
             }
             // Retractions: the new WME may violate negated CEs of existing
-            // instantiations.
-            if !matched_neg.is_empty() {
-                let negs: Vec<ConditionElement> = self.productions[p]
-                    .negative
-                    .iter()
-                    .filter(|(i, _)| matched_neg.contains(i))
-                    .map(|(_, ce)| ce.clone())
-                    .collect();
+            // instantiations — testing each negation only against the
+            // bindings it can see.
+            if !neg_hits.is_empty() {
+                let negative = std::mem::take(&mut self.productions[p].negative);
                 self.conflict.retain(|(pid, _), inst| {
                     pid.0 as usize != p
-                        || !negs
+                        || !neg_hits
                             .iter()
-                            .any(|ce| ce.match_with_bindings(wme, &inst.bindings).is_some())
+                            .any(|&k| negative[k].blocked_by(wme, &inst.bindings))
                 });
+                self.productions[p].negative = negative;
             }
             // Assertions: seed each positive position the WME matches.
             let seeds: Vec<usize> = self.productions[p]
@@ -270,7 +299,7 @@ impl TreatMatcher {
             let neg_indices: Vec<usize> = self.productions[p]
                 .negative
                 .iter()
-                .map(|(i, _)| *i)
+                .map(|neg| neg.lhs_idx)
                 .collect();
             for (i, mem) in self.memories[p].iter_mut() {
                 let before = mem.entries.len();
@@ -293,10 +322,21 @@ impl TreatMatcher {
 fn compile(prod: &Production) -> CompiledProduction {
     let mut positive = Vec::new();
     let mut negative = Vec::new();
+    // Variables bound by the positive CEs seen so far, in LHS order.
+    let mut bound: HashSet<Symbol> = HashSet::new();
     for (i, ce) in prod.lhs.iter().enumerate() {
         if ce.negated {
-            negative.push((i, ce.clone()));
+            negative.push(NegatedCe {
+                lhs_idx: i,
+                ce: ce.clone(),
+                visible: bound.clone(),
+            });
         } else {
+            for t in &ce.tests {
+                if let TestKind::Variable(v) = t.kind {
+                    bound.insert(v);
+                }
+            }
             positive.push((i, ce.clone()));
         }
     }
@@ -455,6 +495,56 @@ mod tests {
         }
         assert_eq!(together.conflict_set(), one_by_one.conflict_set());
         assert_eq!(together.conflict_set().len(), 2);
+    }
+
+    #[test]
+    fn negation_sees_only_earlier_positive_bindings() {
+        // Regression (found by the differential fuzzer): `<v>` is bound by
+        // a positive CE *after* the negation, so inside the negation it is
+        // an existential local — ANY (b ^q …) WME blocks, not just one
+        // whose q equals the later binding. The old TREAT evaluated
+        // negations with the instantiation's full bindings and wrongly
+        // kept the instantiation alive when q ≠ r.
+        agree(
+            "(p diverge (a) -(b ^q <v>) (c ^r <v>) --> (remove 1))",
+            &[vec![
+                add(1, Wme::new("c", &[("r", 1.into())])),
+                add(2, Wme::new("a", &[])),
+                add(3, Wme::new("b", &[("q", 2.into())])),
+            ]],
+        );
+    }
+
+    #[test]
+    fn negation_visibility_on_add_retraction_path() {
+        // Same visibility rule on the incremental path: the blocking WME
+        // arrives after the instantiation exists, so the retraction filter
+        // must also restrict bindings to the negation's visible set.
+        agree(
+            "(p diverge (a) -(b ^q <v>) (c ^r <v>) --> (remove 1))",
+            &[
+                vec![
+                    add(1, Wme::new("c", &[("r", 1.into())])),
+                    add(2, Wme::new("a", &[])),
+                ],
+                vec![add(3, Wme::new("b", &[("q", 2.into())]))],
+                vec![del(3, Wme::new("b", &[("q", 2.into())]))],
+            ],
+        );
+    }
+
+    #[test]
+    fn leading_negated_ce_agrees_with_naive() {
+        // A negated CE before any positive CE sees no bindings at all.
+        let inhibit = Wme::new("inhibit", &[("on", "yes".into())]);
+        agree(
+            "(p guard -(inhibit ^on <w>) (job ^id <j>) --> (remove 1))",
+            &[
+                vec![add(1, Wme::new("job", &[("id", 1.into())]))],
+                vec![add(2, inhibit.clone())],
+                vec![del(2, inhibit)],
+            ],
+        );
     }
 
     #[test]

@@ -516,6 +516,67 @@ mod tests {
         assert_eq!(cs.len(), 2);
         assert_ne!(cs[0].production, cs[1].production);
     }
+
+    /// Run the same batches through Rete and Naive, asserting identical
+    /// conflict sets after each batch.
+    fn agree(src: &str, batches: &[Vec<WmeChange>]) {
+        let prog = parse_program(src).unwrap();
+        let mut rete = ReteMatcher::from_program(&prog).unwrap();
+        let mut naive = NaiveMatcher::new(prog);
+        for batch in batches {
+            rete.process(batch);
+            naive.process(batch);
+            assert_eq!(rete.conflict_set(), naive.conflict_set(), "diverged");
+        }
+    }
+
+    #[test]
+    fn leading_negated_ce_blocks_and_unblocks() {
+        // The LHS starts with a negated CE; the network must seed from the
+        // first positive CE and chain the negation in behind it.
+        let inhibit = Wme::new("inhibit", &[("on", "yes".into())]);
+        agree(
+            "(p guard -(inhibit ^on yes) (job ^id <j>) --> (remove 1))",
+            &[
+                vec![add(1, Wme::new("job", &[("id", 1.into())]))],
+                vec![add(2, inhibit.clone())],
+                vec![del(2, inhibit)],
+            ],
+        );
+    }
+
+    #[test]
+    fn leading_negated_ce_variable_is_existential() {
+        // `<w>` in the leading negation is unbound at that point, so ANY
+        // inhibit WME carrying attribute `on` blocks — the variable must
+        // not join against the later positive CE's binding of `<w>`.
+        agree(
+            "(p guard -(inhibit ^on <w>) (job ^id <w>) --> (remove 1))",
+            &[
+                vec![add(1, Wme::new("job", &[("id", 1.into())]))],
+                // on=2 ≠ id=1, yet it blocks: existential semantics.
+                vec![add(2, Wme::new("inhibit", &[("on", 2.into())]))],
+                vec![del(2, Wme::new("inhibit", &[("on", 2.into())]))],
+            ],
+        );
+    }
+
+    #[test]
+    fn leading_negation_with_mid_lhs_negation_agrees() {
+        agree(
+            "(p mix -(stop) (a ^x <v>) -(b ^y <v>) (c ^z <v>) --> (remove 1))",
+            &[
+                vec![
+                    add(1, Wme::new("a", &[("x", 1.into())])),
+                    add(2, Wme::new("c", &[("z", 1.into())])),
+                ],
+                vec![add(3, Wme::new("b", &[("y", 1.into())]))],
+                vec![del(3, Wme::new("b", &[("y", 1.into())]))],
+                vec![add(4, Wme::new("stop", &[]))],
+                vec![del(4, Wme::new("stop", &[]))],
+            ],
+        );
+    }
 }
 
 #[cfg(test)]

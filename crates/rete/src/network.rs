@@ -589,8 +589,16 @@ impl Compiler {
 
     fn compile_production(&mut self, pid: ProductionId, prod: &Production) -> Result<(), OpsError> {
         let mut bound: HashMap<Symbol, ()> = HashMap::new();
-        // First CE (guaranteed positive by validation).
-        let first = Self::analyze_ce(&prod.lhs[0], &bound)?;
+        // Seed the chain from the first *positive* CE (validation guarantees
+        // one exists). Negated CEs earlier in the LHS are chained in right
+        // after the seed — order among negations is irrelevant because they
+        // contribute no WME and no bindings.
+        let first_pos = prod
+            .lhs
+            .iter()
+            .position(|ce| !ce.negated)
+            .expect("validated production has a positive CE");
+        let first = Self::analyze_ce(&prod.lhs[first_pos], &bound)?;
         debug_assert!(first.spec.eq_checks.is_empty() && first.spec.pred_checks.is_empty());
         let alpha0 = self.alpha_node(first.alpha);
         let seed_binds = first
@@ -621,8 +629,18 @@ impl Compiler {
         let mut left = LeftSource::Alpha(alpha0);
         let mut pending_seed = Some(seed_binds);
         let mut last: Option<NodeId> = None;
-        for ce in &prod.lhs[1..] {
-            let analysis = Self::analyze_ce(ce, &bound)?;
+        let chain = (0..first_pos).chain(first_pos + 1..prod.lhs.len());
+        for idx in chain {
+            let ce = &prod.lhs[idx];
+            // A negated CE positioned before the first positive CE sees no
+            // bindings at all: its variables are existential locals, so it
+            // must be analyzed against an empty scope even though the seed's
+            // bindings are already flowing down the chain.
+            let analysis = if idx < first_pos {
+                Self::analyze_ce(ce, &HashMap::new())?
+            } else {
+                Self::analyze_ce(ce, &bound)?
+            };
             let alpha = self.alpha_node(analysis.alpha);
             let key = BetaKey {
                 left,

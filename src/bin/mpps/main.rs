@@ -2,14 +2,23 @@
 //!
 //! ```text
 //! mpps run <program.ops> [--wm <file.wm>] [--cycles N] [--strategy lex|mea]
-//!          [--matcher rete|naive|threaded] [--workers N] [--table-size N]
+//!          [--matcher rete|naive|treat|threaded] [--workers N] [--table-size N]
 //!          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]
 //! mpps trace <program.ops> [--wm <file.wm>] [--cycles N] [--table-size N]
 //!            [--out <file.trace>]
 //! mpps simulate <file.trace> [--procs 1,2,4,8,16,32] [--overhead 0|8|16|32]
 //!               [--partition rr|random|greedy] [--seed N] [--jobs N]
 //!               [--format text|json] [--trace-out FILE] [--stats]
+//! mpps fuzz [--seed N] [--iters N] [--matchers naive,rete,treat,threaded|all]
+//!           [--max-productions N] [--shrink] [--out DIR]
 //! ```
+//!
+//! `mpps fuzz` drives the differential oracle: every case is a random
+//! program plus a random WM-change schedule, run through all requested
+//! matchers in lockstep with the naive matcher as ground truth. Diverging
+//! cases are (optionally `--shrink`-minimized and) written to `--out` as
+//! runnable `.ops` + `.sched` reproducer pairs; the exit status is 1 when
+//! any divergence was found.
 //!
 //! `.ops` files hold productions in the textual syntax; `.wm` files hold
 //! one WME per line, e.g. `(block ^name b1 ^color blue)`. Lines starting
@@ -33,7 +42,10 @@ use mpps::core::{
     bucket_activity, name_machine_tracks, simulate_recorded, MappingConfig, OverheadSetting,
     Partition, SimScratch, ThreadedMatcher,
 };
-use mpps::ops::{parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, Wme};
+use mpps::difftest::{fuzz_one, write_repro, GenConfig, MatcherKind};
+use mpps::ops::{
+    parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, TreatMatcher, Wme,
+};
 use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
 use mpps::telemetry::{chrome::chrome_trace, TraceRecorder};
 use std::process::exit;
@@ -41,12 +53,14 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mpps run <program.ops> [--wm FILE] [--cycles N] [--strategy lex|mea]\n\
-         \x20          [--matcher rete|naive|threaded] [--workers N] [--table-size N]\n\
+         \x20          [--matcher rete|naive|treat|threaded] [--workers N] [--table-size N]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]\n\
          \x20 mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N] [--out FILE]\n\
          \x20 mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--jobs N]\n\
-         \x20          [--format text|json] [--trace-out FILE] [--stats]"
+         \x20          [--format text|json] [--trace-out FILE] [--stats]\n\
+         \x20 mpps fuzz [--seed N] [--iters N] [--matchers LIST|all]\n\
+         \x20          [--max-productions N] [--shrink] [--out DIR]"
     );
     exit(2)
 }
@@ -76,7 +90,7 @@ impl Args {
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if key == "quiet" || key == "stats" {
+                if key == "quiet" || key == "stats" || key == "shrink" {
                     flags.push((key.to_owned(), "true".to_owned()));
                 } else {
                     let Some(v) = it.next() else {
@@ -214,6 +228,10 @@ fn cmd_run(args: &Args) {
             let m = NaiveMatcher::new(program.clone());
             run_with(program, wmes, m, strategy, cycles, quiet);
         }
+        "treat" => {
+            let m = TreatMatcher::new(&program);
+            run_with(program, wmes, m, strategy, cycles, quiet);
+        }
         "threaded" => {
             let workers = args.get_parse("workers", 4usize);
             if workers == 0 {
@@ -247,7 +265,55 @@ fn cmd_run(args: &Args) {
                 }
             }
         }
-        other => fail(format!("unknown matcher {other:?} (rete|naive|threaded)")),
+        other => fail(format!(
+            "unknown matcher {other:?} (rete|naive|treat|threaded)"
+        )),
+    }
+}
+
+fn cmd_fuzz(args: &Args) {
+    if !args.positional.is_empty() {
+        usage_error("fuzz takes no positional arguments");
+    }
+    let seed = args.get_parse("seed", 0u64);
+    let iters = args.get_parse("iters", 100u64);
+    let matchers = MatcherKind::parse_list(args.get("matchers").unwrap_or("all"))
+        .unwrap_or_else(|e| usage_error(e));
+    let cfg = GenConfig {
+        max_productions: args.get_parse("max-productions", 4usize).max(1),
+        ..GenConfig::default()
+    };
+    let do_shrink = args.get("shrink").is_some();
+    let out_dir = std::path::PathBuf::from(args.get("out").unwrap_or("target/fuzz"));
+
+    let mut divergences = 0u64;
+    for i in 0..iters {
+        let case_seed = seed + i;
+        let (case, divergence) = fuzz_one(case_seed, &cfg, &matchers, do_shrink);
+        if let Some(d) = divergence {
+            divergences += 1;
+            eprintln!("seed {case_seed}: {d}");
+            match write_repro(&out_dir, &format!("fuzz-{case_seed}"), &case) {
+                Ok((ops, sched)) => {
+                    eprintln!(
+                        "  reproducer: {} + {}{}",
+                        ops.display(),
+                        sched.display(),
+                        if do_shrink { " (shrunk)" } else { "" }
+                    );
+                }
+                Err(e) => eprintln!("  could not write reproducer: {e}"),
+            }
+        }
+    }
+    let names: Vec<&str> = matchers.iter().map(|m| m.name()).collect();
+    println!(
+        "fuzz: {iters} cases (seeds {seed}..{}), matchers [{}]: {divergences} divergences",
+        seed + iters,
+        names.join(",")
+    );
+    if divergences > 0 {
+        exit(1);
     }
 }
 
@@ -382,6 +448,7 @@ fn main() {
         "run" => cmd_run(&args),
         "trace" => cmd_trace(&args),
         "simulate" => cmd_simulate(&args),
+        "fuzz" => cmd_fuzz(&args),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command {other:?}");

@@ -59,7 +59,63 @@ fn run_with_each_matcher_agrees() {
     };
     let rete = run("rete");
     assert_eq!(rete, run("naive"));
+    assert_eq!(rete, run("treat"));
     assert_eq!(rete, run("threaded"));
+}
+
+#[test]
+fn fuzz_clean_sweep_reports_zero_divergences() {
+    // A short fixed-seed sweep: all matchers agree, summary on stdout,
+    // exit status 0.
+    let out = mpps()
+        .args(["fuzz", "--iters", "25", "--seed", "0", "--shrink"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fuzz: 25 cases (seeds 0..25)"), "{stdout}");
+    assert!(stdout.contains("0 divergences"), "{stdout}");
+    assert!(stdout.contains("naive,rete,treat,threaded"), "{stdout}");
+}
+
+#[test]
+fn fuzz_subset_of_matchers_is_accepted() {
+    let out = mpps()
+        .args(["fuzz", "--iters", "5", "--matchers", "rete,treat"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matchers [rete,treat]"), "{stdout}");
+}
+
+#[test]
+fn fuzz_bad_matcher_is_usage_error() {
+    let out = mpps()
+        .args(["fuzz", "--iters", "1", "--matchers", "dragnet"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("dragnet"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn fuzz_rejects_positional_arguments() {
+    let out = mpps()
+        .args(["fuzz", "extra.ops"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -1,0 +1,95 @@
+//! Conflict-resolution comparators are total orders.
+//!
+//! `resolve` picks the winner with `max_by(compare)`, and the difftest
+//! oracle sorts whole conflict sets with the same comparator — both are
+//! only well-defined when `compare` is a total order. These property
+//! tests pin that contract for LEX and MEA: antisymmetry, transitivity,
+//! and `Equal` exactly on identical `(production, wme_ids)` keys.
+
+use mpps::ops::{
+    compare, intern, Action, AttrTest, ConditionElement, Instantiation, Production, ProductionId,
+    Program, Strategy as CrStrategy, TestKind, Value, WmeId,
+};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Three productions with specificities 1, 2, and 3, so the specificity
+/// tie-break is exercised alongside recency and the id-based final rung.
+fn order_program() -> Program {
+    let prods = (0..3usize)
+        .map(|i| Production {
+            name: intern(&format!("order-p{i}")),
+            lhs: vec![ConditionElement::positive(
+                "a",
+                (0..i)
+                    .map(|t| AttrTest {
+                        attr: intern(["p", "q"][t]),
+                        kind: TestKind::Constant(mpps::ops::Predicate::Eq, Value::Int(0)),
+                    })
+                    .collect(),
+            )],
+            rhs: vec![Action::Halt],
+        })
+        .collect();
+    Program::from_productions(prods).unwrap()
+}
+
+/// Arbitrary instantiations over a deliberately tiny id space (tags
+/// 1..=6, 1–3 WMEs) so recency ties, prefix cases, and identical keys all
+/// occur with high probability.
+fn arb_inst() -> impl Strategy<Value = Instantiation> {
+    (0u32..3, proptest::collection::vec(1u64..7, 1..=3)).prop_map(|(p, ids)| Instantiation {
+        production: ProductionId(p),
+        wme_ids: ids.into_iter().map(WmeId).collect(),
+        bindings: HashMap::new(),
+    })
+}
+
+fn key(i: &Instantiation) -> (ProductionId, Vec<WmeId>) {
+    (i.production, i.wme_ids.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// compare(a, b) is the reverse of compare(b, a), and Equal appears
+    /// exactly when the instantiation keys coincide.
+    #[test]
+    fn compare_is_antisymmetric(a in arb_inst(), b in arb_inst()) {
+        let prog = order_program();
+        for strategy in [CrStrategy::Lex, CrStrategy::Mea] {
+            let ab = compare(&prog, strategy, &a, &b);
+            let ba = compare(&prog, strategy, &b, &a);
+            prop_assert_eq!(ab, ba.reverse(), "{:?}", strategy);
+            prop_assert_eq!(ab == Ordering::Equal, key(&a) == key(&b), "{:?}", strategy);
+        }
+    }
+
+    /// a ≥ b and b ≥ c imply a ≥ c — the property `max_by` and any
+    /// sort-based caller silently rely on.
+    #[test]
+    fn compare_is_transitive(a in arb_inst(), b in arb_inst(), c in arb_inst()) {
+        let prog = order_program();
+        for strategy in [CrStrategy::Lex, CrStrategy::Mea] {
+            let ab = compare(&prog, strategy, &a, &b);
+            let bc = compare(&prog, strategy, &b, &c);
+            if ab != Ordering::Less && bc != Ordering::Less {
+                prop_assert_ne!(
+                    compare(&prog, strategy, &a, &c),
+                    Ordering::Less,
+                    "{:?}: a>=b and b>=c but a<c", strategy
+                );
+            }
+        }
+    }
+
+    /// Every instantiation equals itself under both strategies.
+    #[test]
+    fn compare_is_reflexive(a in arb_inst()) {
+        let prog = order_program();
+        for strategy in [CrStrategy::Lex, CrStrategy::Mea] {
+            prop_assert_eq!(compare(&prog, strategy, &a, &a), Ordering::Equal);
+        }
+    }
+}
