@@ -1,0 +1,299 @@
+//! `matchkernel` — match-kernel benchmark baselines and regression gate.
+//!
+//! ```text
+//! matchkernel                      # measure, print table
+//! matchkernel --out BENCH_matchkernel.json   # measure + write manifest
+//! matchkernel --check [--max-regress 0.10]   # measure, compare against
+//!                                            # the committed manifest
+//! ```
+//!
+//! Measures the three characteristic sections of the `match_executors`
+//! criterion group (Rubik: modify-heavy; Tourney: cross-product; Weaver:
+//! in between) end to end — network compile + full replay of the
+//! captured change batches — exactly as the criterion group does, plus a
+//! compile-only lane so compile and match cost can be tracked apart.
+//!
+//! The manifest (`BENCH_matchkernel.json`, same style as
+//! `BENCH_repro.json`) records the median of `--samples` runs together
+//! with the commit hash, machine info, and the frozen **pre-rework
+//! baselines** measured before the arena/id-keyed-hash kernel landed.
+//! `--check` re-measures and fails (exit 1) if any section regressed
+//! more than `--max-regress` (default 10%) against the committed
+//! medians — the CI gate for the match-kernel speed work.
+
+use mpps_ops::{Matcher, Program, Wme, WmeChange, WmeId};
+use mpps_rete::{ReteMatcher, ReteNetwork};
+use mpps_workloads::{rubik, tourney, weaver};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Pre-rework sequential medians (µs), measured on the CI container at
+/// the commit immediately before the match-kernel rework. The rework's
+/// acceptance bar is ≥2× against these.
+const PRE_REWORK_BASELINE_US: &[(&str, f64)] =
+    &[("rubik", 738.10), ("tourney", 855.71), ("weaver", 217.96)];
+
+/// WM changes that trigger a sizable cross-product match (the Tourney
+/// pathology) — mirrors the criterion group.
+fn cross_changes(n: usize) -> Vec<WmeChange> {
+    let mut changes = Vec::new();
+    for i in 0..n {
+        changes.push(WmeChange::add(
+            WmeId(1 + i as u64),
+            Wme::new("team", &[("div", "east".into()), ("id", (i as i64).into())]),
+        ));
+        changes.push(WmeChange::add(
+            WmeId(1000 + i as u64),
+            Wme::new(
+                "team",
+                &[("div", "west".into()), ("id", (100 + i as i64).into())],
+            ),
+        ));
+    }
+    changes.push(WmeChange::add(
+        WmeId(5000),
+        Wme::new("round", &[("n", 1.into())]),
+    ));
+    changes
+}
+
+/// Replay-capture helper: run `program` under the interpreter and return
+/// the per-cycle WM change batches it handed the matcher.
+fn section_batches(program: &Program, initial: Vec<Wme>, cycles: usize) -> Vec<Vec<WmeChange>> {
+    use mpps_ops::{Interpreter, Strategy};
+    let m = ReteMatcher::from_program(program).unwrap();
+    let mut interp = Interpreter::with_matcher(program.clone(), Strategy::Lex, m);
+    for w in initial {
+        interp.add_wme(w);
+    }
+    interp.run(cycles).unwrap();
+    interp.change_log().to_vec()
+}
+
+fn sections() -> Vec<(&'static str, Program, Vec<Vec<WmeChange>>)> {
+    vec![
+        (
+            "rubik",
+            rubik::program(),
+            section_batches(
+                &rubik::program(),
+                rubik::initial(&rubik::alternating_moves(2)),
+                10,
+            ),
+        ),
+        ("tourney", tourney::program(), vec![cross_changes(20)]),
+        (
+            "weaver",
+            weaver::program(),
+            section_batches(&weaver::program(), weaver::initial(4, 4), 12),
+        ),
+    ]
+}
+
+/// Median of `samples` timed runs of `f`, in µs.
+fn median_us(samples: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup run to populate the symbol interner and allocator.
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct SectionResult {
+    name: &'static str,
+    compile_us: f64,
+    total_us: f64,
+    baseline_us: f64,
+}
+
+fn measure(samples: usize) -> Vec<SectionResult> {
+    sections()
+        .into_iter()
+        .map(|(name, program, batches)| {
+            let compile_us = median_us(samples, || {
+                black_box(ReteNetwork::compile(black_box(&program)).unwrap());
+            });
+            let total_us = median_us(samples, || {
+                let mut m = ReteMatcher::from_program(&program).unwrap();
+                for batch in &batches {
+                    m.process(black_box(batch));
+                }
+                black_box(m.conflict_set().len());
+            });
+            let baseline_us = PRE_REWORK_BASELINE_US
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, us)| *us)
+                .unwrap();
+            SectionResult {
+                name,
+                compile_us,
+                total_us,
+                baseline_us,
+            }
+        })
+        .collect()
+}
+
+/// The current git commit hash. `"unknown"` outside a work tree.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn manifest(results: &[SectionResult]) -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let sections = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"compile_us\": {:.2}, \"total_us\": {:.2}, \"pre_rework_us\": {:.2}, \"speedup\": {:.2}}}",
+                r.name,
+                r.compile_us,
+                r.total_us,
+                r.baseline_us,
+                r.baseline_us / r.total_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"matchkernel\",\n  \"commit\": \"{}\",\n  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n  \"sections\": [\n{}\n  ]\n}}\n",
+        git_commit(),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cpus,
+        sections
+    )
+}
+
+/// Pull `"total_us"` for `name` out of a committed manifest. The manifest
+/// is machine-written by this binary, so a line-oriented scan suffices
+/// (no JSON dependency in the sealed build environment).
+fn committed_total_us(manifest: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"name\": \"{name}\"");
+    manifest
+        .lines()
+        .find(|l| l.contains(&tag))?
+        .split("\"total_us\": ")
+        .nth(1)?
+        .split(&[',', '}'][..])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut check = false;
+    let mut max_regress = 0.10f64;
+    let mut samples = 21usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--check" => check = true,
+            "--max-regress" => {
+                i += 1;
+                max_regress = args
+                    .get(i)
+                    .expect("--max-regress needs a fraction")
+                    .parse()
+                    .expect("--max-regress: not a number");
+            }
+            "--samples" => {
+                i += 1;
+                samples = args
+                    .get(i)
+                    .expect("--samples needs a count")
+                    .parse()
+                    .expect("--samples: not a number");
+            }
+            other => {
+                eprintln!("matchkernel: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let results = measure(samples);
+    println!("section    compile      total     pre-rework   speedup");
+    for r in &results {
+        println!(
+            "{:<10} {:>8.2}µs {:>9.2}µs {:>10.2}µs {:>8.2}x",
+            r.name,
+            r.compile_us,
+            r.total_us,
+            r.baseline_us,
+            r.baseline_us / r.total_us
+        );
+    }
+
+    if let Some(path) = out {
+        let json = manifest(&results);
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("matchkernel: wrote {path}"),
+            Err(e) => {
+                eprintln!("matchkernel: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if check {
+        let committed = match std::fs::read_to_string("BENCH_matchkernel.json") {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("matchkernel --check: cannot read BENCH_matchkernel.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut failed = false;
+        for r in &results {
+            let Some(recorded) = committed_total_us(&committed, r.name) else {
+                eprintln!("matchkernel --check: {} missing from manifest", r.name);
+                failed = true;
+                continue;
+            };
+            let limit = recorded * (1.0 + max_regress);
+            if r.total_us > limit {
+                eprintln!(
+                    "matchkernel --check: {} regressed: {:.2}µs > {:.2}µs (recorded {:.2}µs + {:.0}%)",
+                    r.name,
+                    r.total_us,
+                    limit,
+                    recorded,
+                    max_regress * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "matchkernel --check: {} ok ({:.2}µs vs recorded {:.2}µs)",
+                    r.name, r.total_us, recorded
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,6 +7,14 @@
 //! [`mpps_rete::kernel`], so a token is processed by exactly the processor
 //! that owns its destination bucket — the distributed hash table of §3.
 //!
+//! **Sharded two-global-hash-tables.** The two global tables (§3: one for
+//! all left memories, one for all right memories) are physically sharded:
+//! each worker materializes only the bucket pairs its partition owns, as a
+//! [`ShardedMemories`] indexed through a process-wide slot map. Workers
+//! keep private [`mpps_rete::TokenArena`]s; a token crossing a shard
+//! boundary travels as a self-contained [`FlatToken`] and is re-interned
+//! by the receiving arena.
+//!
 //! **Bucket ownership.** Ownership is an arbitrary [`Partition`] (round
 //! robin, seeded random, or the §5.2.2 offline greedy), shared verbatim
 //! with the trace-driven simulator, so the distribution experiments run on
@@ -44,11 +52,10 @@ use crate::partition::Partition;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mpps_ops::{
     sort_conflict_set, Instantiation, MatchError, Matcher, OpsError, ProductionId, Program, Sign,
-    WmeChange, WmeId,
+    Value, Wme, WmeChange, WmeId,
 };
-use mpps_rete::kernel::{self, Work};
-use mpps_rete::token::BetaToken;
-use mpps_rete::{GlobalMemories, ReteNetwork};
+use mpps_rete::kernel::{self, Kernel, RootWork, Work};
+use mpps_rete::{FlatToken, NodeId, ReteNetwork, ShardedMemories};
 use mpps_telemetry::recorder::THREADED_PID;
 use mpps_telemetry::{Recorder, TraceRecorder, Track};
 use std::collections::hash_map::Entry;
@@ -62,8 +69,34 @@ use std::time::Duration;
 /// time between a worker dying and `try_process` returning an error.
 const LIVENESS_POLL: Duration = Duration::from_millis(20);
 
+/// Cross-thread work: arena-agnostic form of [`Work`]. Tokens travel as
+/// seed values or [`FlatToken`]s and are adopted into the receiving
+/// worker's private arena.
+enum WireWork {
+    Right {
+        node: NodeId,
+        sign: Sign,
+        wme_id: WmeId,
+        wme: Arc<Wme>,
+        key_hash: u64,
+    },
+    Seed {
+        node: NodeId,
+        sign: Sign,
+        wme_id: WmeId,
+        vals: Vec<Value>,
+        key_hash: u64,
+    },
+    Left {
+        node: NodeId,
+        sign: Sign,
+        flat: FlatToken,
+        key_hash: u64,
+    },
+}
+
 enum ToWorker {
-    Work(Vec<Work>),
+    Work(Vec<WireWork>),
     Shutdown,
     /// Test-only: make the receiving worker panic mid-run, simulating a
     /// crash inside the match kernel.
@@ -72,11 +105,7 @@ enum ToWorker {
 }
 
 enum ToCoordinator {
-    Prod {
-        production: ProductionId,
-        sign: Sign,
-        token: BetaToken,
-    },
+    Prod { sign: Sign, inst: Instantiation },
     Quiescent,
 }
 
@@ -94,6 +123,10 @@ struct WorkerCounters {
     instantiations_sent: AtomicU64,
     /// Peak local work-queue depth observed.
     max_queue_depth: AtomicU64,
+    /// Left-table entries examined by probes on this worker's shard.
+    left_probes: AtomicU64,
+    /// Right-table entries examined by probes on this worker's shard.
+    right_probes: AtomicU64,
 }
 
 /// Snapshot of one worker's [`WorkerCounters`].
@@ -109,6 +142,10 @@ pub struct WorkerStats {
     pub instantiations_sent: u64,
     /// Peak local work-queue depth observed.
     pub max_queue_depth: u64,
+    /// Left-table entries examined by probes on this worker's shard.
+    pub left_probes: u64,
+    /// Right-table entries examined by probes on this worker's shard.
+    pub right_probes: u64,
 }
 
 /// Executor-wide activity snapshot (see [`ThreadedMatcher::stats`]).
@@ -125,7 +162,7 @@ pub struct ThreadedStats {
 struct Worker {
     me: usize,
     network: Arc<ReteNetwork>,
-    memories: GlobalMemories,
+    kernel: Kernel<ShardedMemories>,
     table_size: u64,
     partition: Arc<Partition>,
     inbox: Receiver<ToWorker>,
@@ -144,27 +181,80 @@ impl Worker {
         // buffers preserve that order while coalescing one message per
         // peer per drain.
         let mut local: std::collections::VecDeque<Work> = std::collections::VecDeque::new();
-        let mut outgoing: Vec<Vec<Work>> = (0..self.peers.len()).map(|_| Vec::new()).collect();
+        let mut outgoing: Vec<Vec<WireWork>> = (0..self.peers.len()).map(|_| Vec::new()).collect();
+        let mut out: Vec<Work> = Vec::new();
         while let Ok(msg) = self.inbox.recv() {
             match msg {
                 ToWorker::Shutdown => break,
                 #[cfg(test)]
                 ToWorker::Poison => panic!("worker {} poisoned by test hook", self.me),
                 ToWorker::Work(batch) => {
-                    local.extend(batch);
+                    for w in batch {
+                        let adopted = self.adopt(w);
+                        local.push_back(adopted);
+                    }
                     self.counters
                         .max_queue_depth
                         .fetch_max(local.len() as u64, Ordering::Relaxed);
                     while let Some(item) = local.pop_front() {
-                        if !self.process(item, &mut local, &mut outgoing) {
+                        if !self.process(item, &mut local, &mut outgoing, &mut out) {
                             return;
                         }
                     }
                     if !self.flush(&mut outgoing) {
                         return;
                     }
+                    // Publish probe totals once per drain (single writer).
+                    self.counters
+                        .left_probes
+                        .store(self.kernel.stats.left_probes, Ordering::Relaxed);
+                    self.counters
+                        .right_probes
+                        .store(self.kernel.stats.right_probes, Ordering::Relaxed);
                 }
             }
+        }
+    }
+
+    /// Adopt one wire item into this worker's arena.
+    fn adopt(&mut self, w: WireWork) -> Work {
+        match w {
+            WireWork::Right {
+                node,
+                sign,
+                wme_id,
+                wme,
+                key_hash,
+            } => Work::Right {
+                node,
+                sign,
+                wme_id,
+                wme,
+                key_hash,
+            },
+            WireWork::Seed {
+                node,
+                sign,
+                wme_id,
+                vals,
+                key_hash,
+            } => Work::Left {
+                node,
+                sign,
+                token: self.kernel.seed(wme_id, &vals),
+                key_hash,
+            },
+            WireWork::Left {
+                node,
+                sign,
+                flat,
+                key_hash,
+            } => Work::Left {
+                node,
+                sign,
+                token: self.kernel.arena.intern(&flat),
+                key_hash,
+            },
         }
     }
 
@@ -174,24 +264,34 @@ impl Worker {
         &mut self,
         item: Work,
         local: &mut std::collections::VecDeque<Work>,
-        outgoing: &mut [Vec<Work>],
+        outgoing: &mut [Vec<WireWork>],
+        out: &mut Vec<Work>,
     ) -> bool {
         debug_assert!(
             !matches!(item, Work::Prod { .. }),
             "prod work stays at the coordinator"
         );
-        let (_bucket, outputs) = kernel::activate(&self.network, &mut self.memories, &item);
+        debug_assert_eq!(
+            self.partition.owner(item.bucket(self.table_size)),
+            self.me,
+            "routed work must target an owned shard bucket"
+        );
+        self.kernel.activate(&self.network, item, out);
         self.counters
             .tokens_processed
             .fetch_add(1, Ordering::Relaxed);
-        for out in outputs {
-            match out {
+        for o in out.drain(..) {
+            match o {
                 Work::Prod {
+                    node,
                     production,
                     sign,
                     token,
-                    ..
                 } => {
+                    let inst = self
+                        .kernel
+                        .instantiation(&self.network, node, production, token);
+                    self.kernel.arena.release(token);
                     // Increment-before-send keeps zero unreachable while
                     // this instantiation is in flight.
                     self.outstanding.fetch_add(1, Ordering::SeqCst);
@@ -200,22 +300,28 @@ impl Worker {
                         .fetch_add(1, Ordering::Relaxed);
                     if self
                         .coordinator
-                        .send(ToCoordinator::Prod {
-                            production,
-                            sign,
-                            token,
-                        })
+                        .send(ToCoordinator::Prod { sign, inst })
                         .is_err()
                     {
                         return false;
                     }
                 }
-                left @ Work::Left { .. } => {
-                    let bucket = left.bucket(&self.network, self.table_size);
+                Work::Left {
+                    node,
+                    sign,
+                    token,
+                    key_hash,
+                } => {
+                    let bucket = key_hash % self.table_size;
                     let to = self.partition.owner(bucket);
                     self.outstanding.fetch_add(1, Ordering::SeqCst);
                     if to == self.me {
-                        local.push_back(left);
+                        local.push_back(Work::Left {
+                            node,
+                            sign,
+                            token,
+                            key_hash,
+                        });
                         self.counters
                             .max_queue_depth
                             .fetch_max(local.len() as u64, Ordering::Relaxed);
@@ -223,7 +329,14 @@ impl Worker {
                         self.counters
                             .tokens_forwarded
                             .fetch_add(1, Ordering::Relaxed);
-                        outgoing[to].push(left);
+                        let flat = self.kernel.arena.extract(token);
+                        self.kernel.arena.release(token);
+                        outgoing[to].push(WireWork::Left {
+                            node,
+                            sign,
+                            flat,
+                            key_hash,
+                        });
                     }
                 }
                 Work::Right { .. } => {
@@ -243,7 +356,7 @@ impl Worker {
     }
 
     /// Send each peer its coalesced batch; returns `false` if a peer died.
-    fn flush(&mut self, outgoing: &mut [Vec<Work>]) -> bool {
+    fn flush(&mut self, outgoing: &mut [Vec<WireWork>]) -> bool {
         for (to, buf) in outgoing.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
@@ -288,13 +401,24 @@ impl ThreadedMatcher {
     /// Spawn one match-processor thread per partition processor, with
     /// bucket ownership taken verbatim from `partition` — the same
     /// strategies (round robin / random / offline greedy) the simulator
-    /// sweeps in §5.2.2, on real threads.
+    /// sweeps in §5.2.2, on real threads. The partition also fixes the
+    /// physical shard layout: worker *w* materializes exactly the bucket
+    /// pairs it owns, densely packed through a shared slot map.
     pub fn with_partition(network: ReteNetwork, partition: Partition) -> Self {
         let table_size = partition.table_size();
         assert!(table_size > 0, "need at least one bucket");
         let workers = partition.processors();
         let network = Arc::new(network);
         let partition = Arc::new(partition);
+        // Dense shard layout: global bucket → local slot in its owner.
+        let mut slot_of = vec![0u32; table_size as usize];
+        let mut shard_len = vec![0usize; workers];
+        for b in 0..table_size {
+            let w = partition.owner(b);
+            slot_of[b as usize] = shard_len[w] as u32;
+            shard_len[w] += 1;
+        }
+        let slot_of = Arc::new(slot_of);
         let outstanding = Arc::new(AtomicI64::new(0));
         let (to_coord, from_workers) = unbounded();
         let channels: Vec<(Sender<ToWorker>, Receiver<ToWorker>)> =
@@ -308,7 +432,7 @@ impl ThreadedMatcher {
             let worker = Worker {
                 me,
                 network: network.clone(),
-                memories: GlobalMemories::new(table_size),
+                kernel: Kernel::new(ShardedMemories::new(slot_of.clone(), shard_len[me])),
                 table_size,
                 partition: partition.clone(),
                 inbox: rx,
@@ -366,6 +490,8 @@ impl ThreadedMatcher {
                     messages_sent: c.messages_sent.load(Ordering::Relaxed),
                     instantiations_sent: c.instantiations_sent.load(Ordering::Relaxed),
                     max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
+                    left_probes: c.left_probes.load(Ordering::Relaxed),
+                    right_probes: c.right_probes.load(Ordering::Relaxed),
                 })
                 .collect(),
             cycles: self.cycles,
@@ -380,7 +506,8 @@ impl ThreadedMatcher {
     /// Emit the current [`ThreadedStats`] into a [`Recorder`]: one lane
     /// per worker ([`Track::match_worker`]) carrying final counter values,
     /// plus cross-worker histograms — the real executor's counterpart of
-    /// the simulated machine's per-processor tracks.
+    /// the simulated machine's per-processor tracks. Per-shard probe
+    /// counts feed the skew histograms of the sharded tables.
     pub fn record_into<R: Recorder>(&self, rec: &mut R) {
         let stats = self.stats();
         for (i, w) in stats.per_worker.iter().enumerate() {
@@ -389,10 +516,14 @@ impl ThreadedMatcher {
             rec.counter(track, "tokens-forwarded", 0, w.tokens_forwarded);
             rec.counter(track, "messages-sent", 0, w.messages_sent);
             rec.counter(track, "queue-depth-max", 0, w.max_queue_depth);
+            rec.counter(track, "left-probes", 0, w.left_probes);
+            rec.counter(track, "right-probes", 0, w.right_probes);
             rec.sample("threaded.tokens-processed", w.tokens_processed);
             rec.sample("threaded.tokens-forwarded", w.tokens_forwarded);
             rec.sample("threaded.messages-sent", w.messages_sent);
             rec.sample("threaded.queue-depth-max", w.max_queue_depth);
+            rec.sample("threaded.left-probes", w.left_probes);
+            rec.sample("threaded.right-probes", w.right_probes);
         }
         rec.sample("threaded.conflict-set-size", stats.conflict_entries as u64);
         rec.sample("threaded.cycles", stats.cycles);
@@ -412,6 +543,31 @@ impl ThreadedMatcher {
         dead
     }
 
+    /// Materialize the instantiation of a single-CE production satisfied
+    /// at the coordinator (root-level seed values).
+    fn root_instantiation(
+        &self,
+        node: NodeId,
+        production: ProductionId,
+        wme_id: WmeId,
+        vals: &[Value],
+    ) -> Instantiation {
+        Instantiation {
+            production,
+            wme_ids: vec![wme_id],
+            bindings: self
+                .network
+                .layout(node)
+                .vars
+                .iter()
+                .map(|&(s, r)| {
+                    debug_assert_eq!(r.level, 0, "root instantiation has one level");
+                    (s, vals[r.slot as usize])
+                })
+                .collect(),
+        }
+    }
+
     /// The fallible cycle driver behind both `Matcher::process` and
     /// `Matcher::try_process`.
     fn process_cycle(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
@@ -422,26 +578,57 @@ impl ThreadedMatcher {
         // Constant tests run here (the coordinator plays the part of the
         // broadcast + duplicated constant tests of §3.2); root activations
         // are then routed to their bucket owners.
-        let mut batches: Vec<Vec<Work>> = vec![Vec::new(); self.workers.len()];
+        let mut batches: Vec<Vec<WireWork>> = (0..self.workers.len()).map(|_| Vec::new()).collect();
+        let mut roots: Vec<RootWork> = Vec::new();
         let mut total: i64 = 0;
         for change in changes {
-            for work in kernel::alpha_roots(&self.network, change) {
-                match work {
-                    Work::Prod {
+            kernel::alpha_roots(&self.network, change, &mut roots);
+            for root in roots.drain(..) {
+                match root {
+                    RootWork::Prod {
+                        node,
                         production,
                         sign,
-                        ref token,
-                        ..
+                        wme_id,
+                        vals,
                     } => {
                         // Single-CE productions complete at the control
                         // processor without touching the hash table.
-                        let token = token.clone();
-                        self.apply_production(production, sign, &token);
+                        let inst = self.root_instantiation(node, production, wme_id, &vals);
+                        self.apply_production(sign, inst);
                     }
-                    other => {
-                        let bucket = other.bucket(&self.network, self.table_size);
-                        let owner = self.partition.owner(bucket);
-                        batches[owner].push(other);
+                    RootWork::Right {
+                        node,
+                        sign,
+                        wme_id,
+                        wme,
+                        key_hash,
+                    } => {
+                        let owner = self.partition.owner(key_hash % self.table_size);
+                        batches[owner].push(WireWork::Right {
+                            node,
+                            sign,
+                            wme_id,
+                            wme,
+                            key_hash,
+                        });
+                        total += 1;
+                    }
+                    RootWork::Seed {
+                        node,
+                        sign,
+                        wme_id,
+                        vals,
+                        key_hash,
+                    } => {
+                        let owner = self.partition.owner(key_hash % self.table_size);
+                        batches[owner].push(WireWork::Seed {
+                            node,
+                            sign,
+                            wme_id,
+                            vals,
+                            key_hash,
+                        });
                         total += 1;
                     }
                 }
@@ -459,12 +646,8 @@ impl ThreadedMatcher {
         }
         loop {
             match self.from_workers.recv_timeout(LIVENESS_POLL) {
-                Ok(ToCoordinator::Prod {
-                    production,
-                    sign,
-                    token,
-                }) => {
-                    self.apply_production(production, sign, &token);
+                Ok(ToCoordinator::Prod { sign, inst }) => {
+                    self.apply_production(sign, inst);
                     if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
                         return Ok(());
                     }
@@ -500,8 +683,8 @@ impl ThreadedMatcher {
     /// the entry is removed once it settles back at zero (from either
     /// direction). This replaces the historical
     /// `expect("retracting unknown instantiation")` panic.
-    fn apply_production(&mut self, production: ProductionId, sign: Sign, token: &BetaToken) {
-        let key = (production, token.wme_ids.clone());
+    fn apply_production(&mut self, sign: Sign, inst: Instantiation) {
+        let key = inst.key();
         let delta: i64 = match sign {
             Sign::Plus => 1,
             Sign::Minus => -1,
@@ -514,14 +697,7 @@ impl ThreadedMatcher {
                 }
             }
             Entry::Vacant(slot) => {
-                slot.insert((
-                    Instantiation {
-                        production,
-                        wme_ids: token.wme_ids.clone(),
-                        bindings: token.bindings.to_map(),
-                    },
-                    delta,
-                ));
+                slot.insert((inst, delta));
             }
         }
     }
@@ -771,30 +947,37 @@ mod tests {
     fn minus_before_plus_settles_without_panicking() {
         let prog = parse_program("(p solo (alarm ^level <l>) --> (remove 1))").unwrap();
         let network = ReteNetwork::compile(&prog).unwrap();
-        let roots = kernel::alpha_roots(
+        let mut roots = Vec::new();
+        kernel::alpha_roots(
             &network,
             &WmeChange::add(WmeId(1), Wme::new("alarm", &[("level", 3.into())])),
+            &mut roots,
         );
-        let Work::Prod {
-            production, token, ..
+        let RootWork::Prod {
+            node,
+            production,
+            wme_id,
+            vals,
+            ..
         } = roots.into_iter().next().unwrap()
         else {
             panic!("single-CE production produces prod work");
         };
         let mut par = ThreadedMatcher::from_program(&prog, 2).unwrap();
+        let inst = par.root_instantiation(node, production, wme_id, &vals);
 
         // Minus first: transiently negative, invisible, no panic.
-        par.apply_production(production, Sign::Minus, &token);
+        par.apply_production(Sign::Minus, inst.clone());
         assert!(par.conflict_set().is_empty());
         // The matching Plus settles the count at zero: entry dropped.
-        par.apply_production(production, Sign::Plus, &token);
+        par.apply_production(Sign::Plus, inst.clone());
         assert!(par.conflict_set().is_empty());
         assert_eq!(par.stats().conflict_entries, 0);
 
         // And the normal order still works on the same key afterwards.
-        par.apply_production(production, Sign::Plus, &token);
+        par.apply_production(Sign::Plus, inst.clone());
         assert_eq!(par.conflict_set().len(), 1);
-        par.apply_production(production, Sign::Minus, &token);
+        par.apply_production(Sign::Minus, inst);
         assert!(par.conflict_set().is_empty());
     }
 
@@ -960,6 +1143,29 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_probe_counters_are_reported() {
+        // Probes on the sharded tables must show up per worker so the
+        // skew histograms can compare shard load.
+        let src = "(p j3 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (remove 1))";
+        let prog = parse_program(src).unwrap();
+        let mut changes = Vec::new();
+        let mut id = 0u64;
+        for v in 0..32i64 {
+            for class in ["a", "b", "c"] {
+                id += 1;
+                changes.push(add(id, Wme::new(class, &[("v", v.into())])));
+            }
+        }
+        let mut par = ThreadedMatcher::from_program(&prog, 4).unwrap();
+        par.process(&changes);
+        let stats = par.stats();
+        let left: u64 = stats.per_worker.iter().map(|w| w.left_probes).sum();
+        let right: u64 = stats.per_worker.iter().map(|w| w.right_probes).sum();
+        assert!(left > 0, "left-table probes recorded: {stats:?}");
+        assert!(right > 0, "right-table probes recorded: {stats:?}");
+    }
+
+    #[test]
     fn record_into_emits_worker_lanes() {
         let prog = parse_program(BLUE).unwrap();
         let mut par = ThreadedMatcher::from_program(&prog, 3).unwrap();
@@ -971,6 +1177,10 @@ mod tests {
         assert_eq!(lanes.len(), 3, "one lane per worker");
         assert!(lanes.contains(&Track::match_worker(0)));
         assert!(rec.histogram("threaded.tokens-processed").is_some());
+        assert!(
+            rec.histogram("threaded.left-probes").is_some(),
+            "per-shard probe lanes exported"
+        );
         assert_eq!(
             rec.histogram("threaded.conflict-set-size").unwrap().max(),
             Some(1)

@@ -165,6 +165,9 @@ impl<M: Matcher> Interpreter<M> {
     /// followed by one remove.
     fn take_batch(&mut self) -> Vec<WmeChange> {
         let batch = std::mem::take(&mut self.pending);
+        if batch.len() < 2 {
+            return batch;
+        }
         let mut count: HashMap<WmeId, u32> = HashMap::new();
         for c in &batch {
             *count.entry(c.id).or_insert(0) += 1;
@@ -180,10 +183,12 @@ impl<M: Matcher> Interpreter<M> {
     pub fn step(&mut self) -> Result<StepOutcome, OpsError> {
         self.cycle += 1;
         let batch = self.take_batch();
-        self.change_log.push(batch.clone());
-        self.matcher.try_process(&batch)?;
+        // Log first, match from the log: one owned batch, zero copies.
+        self.change_log.push(batch);
+        self.matcher
+            .try_process(self.change_log.last().expect("batch just pushed"))?;
 
-        let conflict_set = self.matcher.conflict_set();
+        let mut conflict_set = self.matcher.conflict_set();
         let candidates: Vec<&Instantiation> = conflict_set
             .iter()
             .filter(|i| !self.fired_keys.contains(&i.key()))
@@ -191,7 +196,13 @@ impl<M: Matcher> Interpreter<M> {
         let Some(winner) = resolve(&self.program, self.strategy, candidates) else {
             return Ok(StepOutcome::Quiescent);
         };
-        let winner = winner.clone();
+        // `resolve` hands back a reference into `conflict_set`; take the
+        // winner by position instead of cloning its bindings.
+        let widx = conflict_set
+            .iter()
+            .position(|i| std::ptr::eq(i, winner))
+            .expect("winner borrowed from the conflict set");
+        let winner = conflict_set.swap_remove(widx);
         self.fired_keys.insert(winner.key());
         let record = FiredRecord {
             cycle: self.cycle,
@@ -205,12 +216,27 @@ impl<M: Matcher> Interpreter<M> {
     }
 
     /// Execute the RHS of `inst`, queuing WM changes.
+    ///
+    /// The program is moved aside for the duration of the firing so the
+    /// RHS can be walked by reference while actions mutate the
+    /// interpreter — no per-firing clone of the action list. Nothing an
+    /// action can reach reads `self.program` (user functions only see the
+    /// working memory).
     fn fire(&mut self, inst: &Instantiation) -> Result<(), OpsError> {
-        let production: &Production = self.program.get(inst.production);
-        let actions = production.rhs.clone();
+        let program = std::mem::take(&mut self.program);
+        let result = self.fire_actions(program.get(inst.production), inst);
+        self.program = program;
+        result
+    }
+
+    fn fire_actions(
+        &mut self,
+        production: &Production,
+        inst: &Instantiation,
+    ) -> Result<(), OpsError> {
         // `(bind …)` actions extend the bindings for later actions.
         let mut bindings = inst.bindings.clone();
-        for action in &actions {
+        for action in &production.rhs {
             match action {
                 Action::Make { class, attrs } => {
                     let mut wme = Wme::from_pairs(*class, []);
@@ -286,27 +312,32 @@ impl<M: Matcher> Interpreter<M> {
     pub fn step_parallel(&mut self) -> Result<Vec<FiredRecord>, OpsError> {
         self.cycle += 1;
         let batch = self.take_batch();
-        self.change_log.push(batch.clone());
-        self.matcher.try_process(&batch)?;
+        self.change_log.push(batch);
+        self.matcher
+            .try_process(self.change_log.last().expect("batch just pushed"))?;
 
         let conflict_set = self.matcher.conflict_set();
         let mut candidates: Vec<&Instantiation> = conflict_set
             .iter()
             .filter(|i| !self.fired_keys.contains(&i.key()))
             .collect();
-        // Conflict-resolution order: repeatedly extract the winner.
-        let mut ordered: Vec<Instantiation> = Vec::new();
+        // Conflict-resolution order: repeatedly extract the winner (by
+        // position, preserving candidate order for deterministic ties —
+        // no instantiation clones and no per-comparison key allocation).
+        let mut ordered: Vec<&Instantiation> = Vec::new();
         while let Some(winner) = resolve(&self.program, self.strategy, candidates.iter().copied()) {
-            let winner = winner.clone();
-            candidates.retain(|c| c.key() != winner.key());
-            ordered.push(winner);
+            let widx = candidates
+                .iter()
+                .position(|c| std::ptr::eq(*c, winner))
+                .expect("winner borrowed from the candidate list");
+            ordered.push(candidates.remove(widx));
         }
         // Greedy compatible set: an instantiation joins if the WMEs it
         // deletes/modifies are untouched and unmatched by those selected
         // before it, and nothing it matched is deleted by them.
         let mut deleted: HashSet<WmeId> = HashSet::new();
         let mut matched: HashSet<WmeId> = HashSet::new();
-        let mut selected: Vec<Instantiation> = Vec::new();
+        let mut selected: Vec<&Instantiation> = Vec::new();
         for inst in ordered {
             let production = self.program.get(inst.production);
             let mut my_deletes: HashSet<WmeId> = HashSet::new();
@@ -340,7 +371,7 @@ impl<M: Matcher> Interpreter<M> {
                 name: self.program.get(inst.production).name,
                 wme_ids: inst.wme_ids.clone(),
             };
-            self.fire(&inst)?;
+            self.fire(inst)?;
             self.fired.push(record.clone());
             records.push(record);
         }

@@ -16,9 +16,20 @@ use std::sync::{OnceLock, RwLock};
 /// A handle to an interned string.
 ///
 /// Equality and hashing are on the handle (O(1)). Two `Symbol`s are equal
-/// iff their source strings are equal. Ordering is *lexicographic on the
-/// underlying string*, so sorted containers of symbols have a canonical,
-/// process-independent order (WME attribute maps rely on this).
+/// iff their source strings are equal.
+///
+/// Two orders exist, with different jobs:
+///
+/// * [`Ord`] is *lexicographic on the underlying string* — a canonical,
+///   process-independent order for anything textual (trace goldens, WME
+///   `Display`, sorted program listings).
+/// * [`Symbol::index`] is the *id order* key — the raw `u32` interning
+///   order, `Copy` and comparable without touching the string table. Hot
+///   containers (WME attribute vectors, token [`Bindings`] in the rete
+///   crate) sort on this instead; their iteration order is deterministic
+///   within a process but not lexicographic.
+///
+/// [`Bindings`]: https://docs.rs/mpps-rete
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Symbol(u32);
 
@@ -86,8 +97,14 @@ impl Symbol {
         resolve(self)
     }
 
-    /// Raw handle value; stable for the lifetime of the process. Used by
-    /// the Rete hash function to mix node and value identities.
+    /// Raw handle value; stable for the lifetime of the process.
+    ///
+    /// This is the **id-order key**: hot containers sort and search on it
+    /// because it is `Copy`, compares as a single `u32`, and never touches
+    /// the string table. The Rete hash function also mixes it into node
+    /// and value identities. Id order is interning order — deterministic
+    /// within a process, *not* lexicographic; use [`Ord`] where canonical
+    /// textual order matters.
     pub fn index(self) -> u32 {
         self.0
     }
@@ -154,5 +171,15 @@ mod tests {
     fn index_is_stable() {
         let a = intern("stable-idx-test");
         assert_eq!(a.index(), intern("stable-idx-test").index());
+    }
+
+    #[test]
+    fn id_order_is_interning_order_not_lexicographic() {
+        // Freshly interned symbols get increasing indices regardless of
+        // their lexicographic relation — the two orders are independent.
+        let z = intern("zzz-id-order-probe");
+        let a = intern("aaa-id-order-probe");
+        assert!(z.index() < a.index(), "interning order");
+        assert!(z > a, "Ord stays lexicographic");
     }
 }

@@ -34,6 +34,7 @@ use crate::symbol::Symbol;
 use crate::value::Value;
 use crate::wme::{Sign, Wme, WmeId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A negated condition element with its binding context.
 struct NegatedCe {
@@ -51,6 +52,11 @@ impl NegatedCe {
     /// Does `wme` violate this negation for an instantiation carrying
     /// `bindings`? Only the visible bindings participate in the test.
     fn blocked_by(&self, wme: &Wme, bindings: &HashMap<Symbol, Value>) -> bool {
+        // Common case: every binding is visible — test directly without
+        // building a restricted copy.
+        if bindings.keys().all(|var| self.visible.contains(var)) {
+            return self.ce.match_with_bindings(wme, bindings).is_some();
+        }
         let restricted: HashMap<Symbol, Value> = bindings
             .iter()
             .filter(|(var, _)| self.visible.contains(*var))
@@ -69,13 +75,15 @@ struct CompiledProduction {
 }
 
 /// Alpha memory of one condition element: WMEs passing its constant tests.
+/// Entries share one [`Arc`] per working-memory element, so a WME matching
+/// several CEs (the common case) is stored once, not cloned per memory.
 #[derive(Default)]
 struct AlphaMemory {
-    entries: Vec<(WmeId, Wme)>,
+    entries: Vec<(WmeId, Arc<Wme>)>,
 }
 
 impl AlphaMemory {
-    fn add(&mut self, id: WmeId, wme: &Wme) {
+    fn add(&mut self, id: WmeId, wme: &Arc<Wme>) {
         self.entries.push((id, wme.clone()));
     }
 
@@ -231,47 +239,36 @@ impl TreatMatcher {
         out
     }
 
-    fn handle_add(&mut self, id: WmeId, wme: &Wme) {
+    fn handle_add(&mut self, id: WmeId, wme: &Arc<Wme>) {
         for p in 0..self.productions.len() {
             // Update this production's memories first (a WME may match
-            // several CEs).
+            // several CEs). `productions` and `memories` are disjoint
+            // fields, so the CE list is walked by reference — no clones.
             let mut matched_pos: Vec<usize> = Vec::new();
-            let mut matched_neg: Vec<usize> = Vec::new();
-            for (i, ce) in self.productions[p]
-                .positive
-                .iter()
-                .map(|(i, ce)| (*i, ce.clone()))
-                .collect::<Vec<_>>()
-            {
+            for (i, ce) in &self.productions[p].positive {
                 if ce.constant_match(wme) {
-                    self.memories[p].get_mut(&i).unwrap().add(id, wme);
-                    matched_pos.push(i);
+                    self.memories[p].get_mut(i).unwrap().add(id, wme);
+                    matched_pos.push(*i);
                 }
             }
-            let neg_hits: Vec<usize> = self.productions[p]
-                .negative
-                .iter()
-                .enumerate()
-                .filter(|(_, neg)| neg.ce.constant_match(wme))
-                .map(|(k, _)| k)
-                .collect();
-            for &k in &neg_hits {
-                let lhs_idx = self.productions[p].negative[k].lhs_idx;
-                self.memories[p].get_mut(&lhs_idx).unwrap().add(id, wme);
-                matched_neg.push(lhs_idx);
+            let mut neg_hits: Vec<usize> = Vec::new();
+            for (k, neg) in self.productions[p].negative.iter().enumerate() {
+                if neg.ce.constant_match(wme) {
+                    self.memories[p].get_mut(&neg.lhs_idx).unwrap().add(id, wme);
+                    neg_hits.push(k);
+                }
             }
             // Retractions: the new WME may violate negated CEs of existing
             // instantiations — testing each negation only against the
             // bindings it can see.
             if !neg_hits.is_empty() {
-                let negative = std::mem::take(&mut self.productions[p].negative);
+                let negative = &self.productions[p].negative;
                 self.conflict.retain(|(pid, _), inst| {
                     pid.0 as usize != p
                         || !neg_hits
                             .iter()
                             .any(|&k| negative[k].blocked_by(wme, &inst.bindings))
                 });
-                self.productions[p].negative = negative;
             }
             // Assertions: seed each positive position the WME matches.
             let seeds: Vec<usize> = self.productions[p]
@@ -347,7 +344,9 @@ impl Matcher for TreatMatcher {
     fn process(&mut self, changes: &[WmeChange]) {
         for c in changes {
             match c.sign {
-                Sign::Plus => self.handle_add(c.id, &c.wme),
+                // One clone per change to share the WME across all the
+                // alpha memories it lands in.
+                Sign::Plus => self.handle_add(c.id, &Arc::new(c.wme.clone())),
                 Sign::Minus => self.handle_delete(c.id),
             }
         }

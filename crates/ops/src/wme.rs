@@ -10,6 +10,14 @@ use crate::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Attribute pairs are kept sorted by [`Symbol::index`] — the copyable
+/// interning-order key — so lookups are a `u32` binary search and equality
+/// never touches strings. Id order is stable within a process but is *not*
+/// lexicographic; [`Wme`]'s `Display` re-sorts by string for canonical text.
+fn sort_key(pair: &(Symbol, Value)) -> u32 {
+    pair.0.index()
+}
+
 /// Unique identifier (and time tag) of a working-memory element.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct WmeId(pub u64);
@@ -50,35 +58,41 @@ impl fmt::Display for Sign {
 
 /// A working-memory element: class plus attribute/value pairs.
 ///
-/// Attributes are stored in a sorted map so that WMEs have a canonical
-/// form: two WMEs constructed with the same pairs in any order are equal,
-/// and iteration order is deterministic (important for reproducible traces).
+/// Attributes are stored as a vector sorted by symbol id, so that WMEs have
+/// a canonical in-process form: two WMEs constructed with the same pairs in
+/// any order are equal, iteration order is deterministic, and the hot match
+/// path (`get` during alpha tests and join-value extraction) is a `u32`
+/// binary search with no string comparison and no tree-node chasing.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Wme {
     class: Symbol,
-    attrs: BTreeMap<Symbol, Value>,
+    attrs: Vec<(Symbol, Value)>,
 }
 
 impl Wme {
     /// Create a WME of class `class` with the given attribute pairs.
     /// Later duplicates of the same attribute overwrite earlier ones.
     pub fn new(class: impl Into<Symbol>, attrs: &[(&str, Value)]) -> Self {
-        let mut map = BTreeMap::new();
-        for (a, v) in attrs {
-            map.insert(intern(a), *v);
-        }
-        Wme {
+        let mut wme = Wme {
             class: class.into(),
-            attrs: map,
+            attrs: Vec::with_capacity(attrs.len()),
+        };
+        for (a, v) in attrs {
+            wme.set(intern(a), *v);
         }
+        wme
     }
 
     /// Create a WME from already-interned attribute symbols.
     pub fn from_pairs(class: Symbol, pairs: impl IntoIterator<Item = (Symbol, Value)>) -> Self {
-        Wme {
+        let mut wme = Wme {
             class,
-            attrs: pairs.into_iter().collect(),
+            attrs: Vec::new(),
+        };
+        for (a, v) in pairs {
+            wme.set(a, v);
         }
+        wme
     }
 
     /// The class symbol of this WME.
@@ -88,17 +102,25 @@ impl Wme {
 
     /// Look up an attribute value.
     pub fn get(&self, attr: Symbol) -> Option<Value> {
-        self.attrs.get(&attr).copied()
+        self.attrs
+            .binary_search_by_key(&attr.index(), sort_key)
+            .ok()
+            .map(|i| self.attrs[i].1)
     }
 
     /// Set (or overwrite) an attribute. Used by `modify` actions.
     pub fn set(&mut self, attr: Symbol, value: Value) {
-        self.attrs.insert(attr, value);
+        match self.attrs.binary_search_by_key(&attr.index(), sort_key) {
+            Ok(i) => self.attrs[i].1 = value,
+            Err(i) => self.attrs.insert(i, (attr, value)),
+        }
     }
 
-    /// Iterate attribute pairs in canonical (sorted) order.
+    /// Iterate attribute pairs in canonical (id-sorted) order. This is
+    /// interning order, not lexicographic — use [`Wme`]'s `Display` for
+    /// canonical text.
     pub fn attrs(&self) -> impl Iterator<Item = (Symbol, Value)> + '_ {
-        self.attrs.iter().map(|(a, v)| (*a, *v))
+        self.attrs.iter().copied()
     }
 
     /// Number of attributes.
@@ -114,8 +136,12 @@ impl Wme {
 
 impl fmt::Display for Wme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Canonical text sorts attributes lexicographically, independent of
+        // interning order (traces and goldens compare this form).
+        let mut pairs: Vec<(Symbol, Value)> = self.attrs.clone();
+        pairs.sort_by_key(|(a, _)| a.as_str());
         write!(f, "({}", self.class)?;
-        for (a, v) in &self.attrs {
+        for (a, v) in pairs {
             write!(f, " ^{a} {v}")?;
         }
         write!(f, ")")
@@ -218,6 +244,20 @@ mod tests {
     fn display_format() {
         let w = block("b1", "blue");
         assert_eq!(w.to_string(), "(block ^color blue ^name b1)");
+    }
+
+    #[test]
+    fn display_is_lexicographic_even_when_id_order_differs() {
+        // Intern the lexicographically-smaller attribute *second*, so id
+        // order and string order disagree; Display must still sort by
+        // string while attrs() iterates id order.
+        let w = Wme::new(
+            "probe",
+            &[("zz-disp-probe", 1.into()), ("aa-disp-probe", 2.into())],
+        );
+        assert_eq!(w.to_string(), "(probe ^aa-disp-probe 2 ^zz-disp-probe 1)");
+        let ids: Vec<u32> = w.attrs().map(|(a, _)| a.index()).collect();
+        assert!(ids.windows(2).all(|p| p[0] < p[1]), "attrs id-sorted");
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! faithful serial schedule of the parallel computation (parents always
 //! precede children).
 
-use crate::kernel::{self, Work};
+use crate::kernel::{self, Kernel, RootWork, Work};
 use crate::memory::GlobalMemories;
 use crate::network::{NodeId, ReteNetwork, Side};
 use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
 use mpps_ops::{sort_conflict_set, Instantiation, Matcher, ProductionId, Sign, WmeChange, WmeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{hash_map::Entry, HashMap, VecDeque};
 
 /// Engine configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,10 +35,13 @@ impl Default for EngineConfig {
 /// The sequential hashed-memory Rete matcher.
 pub struct ReteMatcher {
     network: ReteNetwork,
-    memories: GlobalMemories,
+    kernel: Kernel<GlobalMemories>,
     conflict: HashMap<(ProductionId, Vec<WmeId>), (Instantiation, i64)>,
     config: EngineConfig,
     trace: Option<Trace>,
+    queue: VecDeque<(Work, Option<u32>)>,
+    out: Vec<Work>,
+    roots: Vec<RootWork>,
 }
 
 impl ReteMatcher {
@@ -46,11 +49,14 @@ impl ReteMatcher {
     pub fn new(network: ReteNetwork, config: EngineConfig) -> Self {
         let trace = config.record_trace.then(|| Trace::new(config.table_size));
         ReteMatcher {
-            memories: GlobalMemories::new(config.table_size),
+            kernel: Kernel::new(GlobalMemories::new(config.table_size)),
             network,
             conflict: HashMap::new(),
             config,
             trace,
+            queue: VecDeque::new(),
+            out: Vec::new(),
+            roots: Vec::new(),
         }
     }
 
@@ -69,7 +75,13 @@ impl ReteMatcher {
 
     /// The global memories (diagnostics).
     pub fn memories(&self) -> &GlobalMemories {
-        &self.memories
+        &self.kernel.mem
+    }
+
+    /// Number of live token-arena records (diagnostics; equals the stored
+    /// left-token population whenever the work queue is drained).
+    pub fn arena_live(&self) -> usize {
+        self.kernel.arena.live()
     }
 
     /// The recorded trace, if tracing was enabled.
@@ -111,29 +123,37 @@ impl ReteMatcher {
         Some((cycle.activations.len() - 1) as u32)
     }
 
-    /// Apply a `Prod` work item to the conflict set.
+    /// Apply a `Prod` work item to the conflict set (does not release the
+    /// token's arena reference — the caller does).
     fn apply_production(
         &mut self,
+        node: NodeId,
         production: ProductionId,
         sign: Sign,
-        token: &crate::token::BetaToken,
+        token: crate::token::TokenId,
     ) {
-        let key = (production, token.wme_ids.clone());
+        let key = (production, self.kernel.arena.wme_ids(token));
         match sign {
-            Sign::Plus => {
-                let entry = self.conflict.entry(key).or_insert_with(|| {
-                    (
-                        Instantiation {
-                            production,
-                            wme_ids: token.wme_ids.clone(),
-                            bindings: token.bindings.to_map(),
-                        },
-                        0,
-                    )
-                });
-                entry.1 += 1;
-                debug_assert!(entry.1 <= 1, "duplicate instantiation derivation");
-            }
+            Sign::Plus => match self.conflict.entry(key) {
+                Entry::Occupied(mut e) => {
+                    e.get_mut().1 += 1;
+                    debug_assert!(e.get().1 <= 1, "duplicate instantiation derivation");
+                }
+                Entry::Vacant(v) => {
+                    let inst = Instantiation {
+                        production,
+                        wme_ids: v.key().1.clone(),
+                        bindings: self
+                            .network
+                            .layout(node)
+                            .vars
+                            .iter()
+                            .map(|&(s, r)| (s, self.kernel.arena.value(token, r)))
+                            .collect(),
+                    };
+                    v.insert((inst, 1));
+                }
+            },
             Sign::Minus => {
                 let count = {
                     let entry = self
@@ -164,13 +184,54 @@ impl Matcher for ReteMatcher {
             },
             "a batch must mention each WmeId at most once"
         );
-        let mut queue: VecDeque<(Work, Option<u32>)> = VecDeque::new();
+        debug_assert!(self.queue.is_empty());
         for change in changes {
-            for work in kernel::alpha_roots(&self.network, change) {
-                queue.push_back((work, None));
+            self.roots.clear();
+            kernel::alpha_roots(&self.network, change, &mut self.roots);
+            for root in self.roots.drain(..) {
+                let work = match root {
+                    RootWork::Right {
+                        node,
+                        sign,
+                        wme_id,
+                        wme,
+                        key_hash,
+                    } => Work::Right {
+                        node,
+                        sign,
+                        wme_id,
+                        wme,
+                        key_hash,
+                    },
+                    RootWork::Seed {
+                        node,
+                        sign,
+                        wme_id,
+                        vals,
+                        key_hash,
+                    } => Work::Left {
+                        node,
+                        sign,
+                        token: self.kernel.seed(wme_id, &vals),
+                        key_hash,
+                    },
+                    RootWork::Prod {
+                        node,
+                        production,
+                        sign,
+                        wme_id,
+                        vals,
+                    } => Work::Prod {
+                        node,
+                        production,
+                        sign,
+                        token: self.kernel.seed(wme_id, &vals),
+                    },
+                };
+                self.queue.push_back((work, None));
             }
         }
-        while let Some((work, parent)) = queue.pop_front() {
+        while let Some((work, parent)) = self.queue.pop_front() {
             match work {
                 Work::Prod {
                     node,
@@ -179,18 +240,19 @@ impl Matcher for ReteMatcher {
                     token,
                 } => {
                     self.record(node, Side::Left, sign, 0, parent, ActKind::Production);
-                    self.apply_production(production, sign, &token);
+                    self.apply_production(node, production, sign, token);
+                    self.kernel.arena.release(token);
                 }
-                ref w @ (Work::Left { .. } | Work::Right { .. }) => {
-                    let (node, side, sign) = match w {
+                w @ (Work::Left { .. } | Work::Right { .. }) => {
+                    let (node, side, sign) = match &w {
                         Work::Left { node, sign, .. } => (*node, Side::Left, *sign),
                         Work::Right { node, sign, .. } => (*node, Side::Right, *sign),
                         Work::Prod { .. } => unreachable!(),
                     };
-                    let (bucket, outputs) = kernel::activate(&self.network, &mut self.memories, w);
+                    let bucket = self.kernel.activate(&self.network, w, &mut self.out);
                     let act = self.record(node, side, sign, bucket, parent, ActKind::TwoInput);
-                    for out in outputs {
-                        queue.push_back((out, act));
+                    for o in self.out.drain(..) {
+                        self.queue.push_back((o, act));
                     }
                 }
             }
@@ -486,10 +548,12 @@ mod tests {
         let wmes = blue_wmes();
         m.process(&wmes);
         assert!(m.memories().left_len() > 0);
+        assert!(m.arena_live() > 0);
         let dels: Vec<WmeChange> = wmes.iter().map(|c| del(c.id.0, c.wme.clone())).collect();
         m.process(&dels);
         assert_eq!(m.memories().left_len(), 0);
         assert_eq!(m.memories().right_len(), 0);
+        assert_eq!(m.arena_live(), 0, "token arena fully reclaimed");
         assert!(m.conflict_set().is_empty());
     }
 

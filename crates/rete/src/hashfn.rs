@@ -21,7 +21,7 @@
 //! platforms, so traces and simulations are exactly reproducible.
 
 use crate::network::NodeId;
-use mpps_ops::Value;
+use mpps_ops::{Value, WmeId};
 
 /// splitmix64 finalizer: a well-distributed, invertible 64-bit mix.
 #[inline]
@@ -32,13 +32,45 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Start an incremental token hash for destination node `node`.
+///
+/// `hash_init` + repeated [`hash_mix`] produce exactly [`token_hash`]; the
+/// split form lets the kernel hash values as it resolves them from an
+/// arena chain without collecting them first.
+#[inline]
+pub fn hash_init(node: NodeId) -> u64 {
+    mix(0x6d70_7073 ^ u64::from(node.0))
+}
+
+/// Fold one equality-tested value into an incremental token hash.
+#[inline]
+pub fn hash_mix(h: u64, v: Value) -> u64 {
+    mix(h ^ v.fingerprint())
+}
+
 /// Raw 64-bit hash of `(node, values)`.
 pub fn token_hash(node: NodeId, values: impl IntoIterator<Item = Value>) -> u64 {
-    let mut h = mix(0x6d70_7073 ^ u64::from(node.0));
+    let mut h = hash_init(node);
     for v in values {
-        h = mix(h ^ v.fingerprint());
+        h = hash_mix(h, v);
     }
     h
+}
+
+/// Fingerprint of a one-WME token chain (seed level).
+///
+/// Chain fingerprints are the arena's token-equality prefilter: two chains
+/// with different fingerprints are certainly different; equal fingerprints
+/// are confirmed by an exact WME-id walk.
+#[inline]
+pub fn chain_seed(wme: WmeId) -> u64 {
+    mix(0x746f_6b65 ^ wme.0)
+}
+
+/// Extend a chain fingerprint by one matched WME.
+#[inline]
+pub fn chain_extend(h: u64, wme: WmeId) -> u64 {
+    mix(h ^ wme.0)
 }
 
 /// Bucket index in a table of `table_size` buckets.

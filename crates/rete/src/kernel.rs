@@ -6,17 +6,29 @@
 //! and emit successor tokens. This module is that micro-task, factored out
 //! so every executor shares one source of truth for match semantics.
 //!
-//! Functions here mutate a [`GlobalMemories`] and return the generated
-//! outputs; they never queue, send, or record — the caller decides whether
-//! an output becomes a local queue entry (sequential engine), a simulated
-//! message (trace-driven simulator), or a crossbeam-channel send (threaded
-//! executor).
+//! A [`Kernel`] bundles the per-executor match state: a [`TokenArena`]
+//! (flat token records, integer identity), a [`TokenStore`] (the two
+//! global hash tables — whole or one worker's shard), probe counters, and
+//! reusable scratch. [`Kernel::activate`] mutates that state and appends
+//! the generated work to a caller-owned buffer; it never queues, sends, or
+//! records — the caller decides whether an output becomes a local queue
+//! entry (sequential engine), a simulated message (trace-driven
+//! simulator), or a crossbeam-channel send (threaded executor).
+//!
+//! Every in-flight [`Work::Left`]/[`Work::Prod`] owns one arena reference
+//! to its token; `activate` consumes it (transferring it into a memory
+//! entry, handing it to a successor, or releasing it), so arena occupancy
+//! returns to exactly the stored-token population once all queues drain.
+//!
+//! Hash prefilters (`key_hash`, chain fingerprints) only *reject*; every
+//! accepted candidate is confirmed by exact value or chain comparison, so
+//! 64-bit collisions cost time, never correctness.
 
-use crate::hashfn::bucket_index;
-use crate::memory::{GlobalMemories, LeftEntry, RightEntry};
-use crate::network::{AlphaSucc, NodeId, NodeKind, ReteNetwork, Side, Succ};
-use crate::token::{BetaToken, Bindings};
-use mpps_ops::{ProductionId, Sign, Symbol, Wme, WmeChange, WmeId};
+use crate::hashfn::{hash_init, hash_mix, token_hash};
+use crate::memory::{LeftEntry, RightEntry, TokenStore};
+use crate::network::{AlphaSucc, JoinSpec, NodeId, NodeKind, NodeLayout, ReteNetwork, Side, Succ};
+use crate::token::{TokenArena, TokenId};
+use mpps_ops::{Instantiation, ProductionId, Sign, Value, Wme, WmeChange, WmeId};
 use std::sync::Arc;
 
 /// A unit of match work: one pending node activation.
@@ -32,17 +44,23 @@ pub enum Work {
         wme_id: WmeId,
         /// The WME.
         wme: Arc<Wme>,
+        /// Full token hash of the node's equality-tested attribute values.
+        key_hash: u64,
     },
-    /// A beta token arriving on a node's left input.
+    /// A beta token arriving on a node's left input. Owns one arena
+    /// reference to `token`.
     Left {
         /// Target two-input node.
         node: NodeId,
         /// Polarity.
         sign: Sign,
-        /// The token.
-        token: BetaToken,
+        /// The token (arena id).
+        token: TokenId,
+        /// Full token hash of the node's equality-tested variable values.
+        key_hash: u64,
     },
-    /// A complete token arriving at a production node.
+    /// A complete token arriving at a production node. Owns one arena
+    /// reference to `token`.
     Prod {
         /// The production node.
         node: NodeId,
@@ -50,8 +68,8 @@ pub enum Work {
         production: ProductionId,
         /// Polarity.
         sign: Sign,
-        /// The instantiation token.
-        token: BetaToken,
+        /// The instantiation token (arena id).
+        token: TokenId,
     },
 }
 
@@ -59,69 +77,102 @@ impl Work {
     /// The hash bucket this work operates on, under `table_size` buckets.
     /// Production work has no bucket (instantiations go to the control
     /// processor); it reports bucket 0.
-    pub fn bucket(&self, net: &ReteNetwork, table_size: u64) -> u64 {
+    pub fn bucket(&self, table_size: u64) -> u64 {
         match self {
-            Work::Right { node, wme, .. } => {
-                let spec = &net.join(*node).spec;
-                bucket_index(
-                    *node,
-                    spec.right_hash_values(wme).collect::<Vec<_>>(),
-                    table_size,
-                )
-            }
-            Work::Left { node, token, .. } => {
-                let spec = &net.join(*node).spec;
-                bucket_index(
-                    *node,
-                    spec.left_hash_values(&token.bindings).collect::<Vec<_>>(),
-                    table_size,
-                )
-            }
+            Work::Right { key_hash, .. } | Work::Left { key_hash, .. } => key_hash % table_size,
             Work::Prod { .. } => 0,
         }
     }
 }
 
-/// Build the seed token for a first-CE WME.
-pub fn seed_token(wme_id: WmeId, wme: &Wme, seed_binds: &[(Symbol, Symbol)]) -> BetaToken {
-    let bindings: Bindings = seed_binds
-        .iter()
-        .map(|&(var, attr)| (var, wme.get(attr).expect("alpha guaranteed presence")))
-        .collect();
-    BetaToken::seed(wme_id, bindings)
+/// A root activation produced by the constant-test phase — executor-agnostic
+/// (carries values, not arena ids, so any arena can adopt it).
+#[derive(Clone, Debug)]
+pub enum RootWork {
+    /// A WME entering a two-input node's right input.
+    Right {
+        /// Target node.
+        node: NodeId,
+        /// Polarity.
+        sign: Sign,
+        /// The WME's time tag.
+        wme_id: WmeId,
+        /// The WME.
+        wme: Arc<Wme>,
+        /// Precomputed key hash (node + equality-tested attribute values).
+        key_hash: u64,
+    },
+    /// A first-CE WME seeding a chain: becomes a level-0 token.
+    Seed {
+        /// Target node (left input).
+        node: NodeId,
+        /// Polarity.
+        sign: Sign,
+        /// The WME's time tag.
+        wme_id: WmeId,
+        /// Seed-bind values, in seed-bind (slot) order.
+        vals: Vec<Value>,
+        /// Precomputed key hash for the target node.
+        key_hash: u64,
+    },
+    /// A WME satisfying a single-positive-CE production outright.
+    Prod {
+        /// The production node.
+        node: NodeId,
+        /// The satisfied production.
+        production: ProductionId,
+        /// Polarity.
+        sign: Sign,
+        /// The WME's time tag.
+        wme_id: WmeId,
+        /// Seed-bind values, in seed-bind (slot) order.
+        vals: Vec<Value>,
+    },
 }
 
 /// The constant-test phase for one WME change: evaluate every alpha node of
-/// the WME's class and produce the root activations (§3.2 step 2 — the
-/// work every match processor duplicates).
-pub fn alpha_roots(net: &ReteNetwork, change: &WmeChange) -> Vec<Work> {
-    let wme = Arc::new(change.wme.clone());
-    let mut out = Vec::new();
-    for &alpha_id in net.alphas_for_class(wme.class()) {
+/// the WME's class and append the root activations (§3.2 step 2 — the work
+/// every match processor duplicates).
+pub fn alpha_roots(net: &ReteNetwork, change: &WmeChange, out: &mut Vec<RootWork>) {
+    let mut wme: Option<Arc<Wme>> = None;
+    for &alpha_id in net.alphas_for_class(change.wme.class()) {
         let NodeKind::Alpha(alpha) = net.node(alpha_id) else {
             unreachable!("class index points at alpha nodes");
         };
-        if !alpha.matches(&wme) {
+        if !alpha.matches(&change.wme) {
             continue;
         }
+        let wme = wme.get_or_insert_with(|| Arc::new(change.wme.clone()));
         for succ in &alpha.successors {
             match *succ {
-                AlphaSucc::TwoInput(node, Side::Right) => out.push(Work::Right {
-                    node,
-                    sign: change.sign,
-                    wme_id: change.id,
-                    wme: wme.clone(),
-                }),
+                AlphaSucc::TwoInput(node, Side::Right) => {
+                    let spec = &net.join(node).spec;
+                    out.push(RootWork::Right {
+                        node,
+                        sign: change.sign,
+                        wme_id: change.id,
+                        wme: wme.clone(),
+                        key_hash: token_hash(node, spec.right_hash_values(wme)),
+                    });
+                }
                 AlphaSucc::TwoInput(node, Side::Left) => {
                     let seed_binds = net
                         .join(node)
                         .seed_binds
                         .as_ref()
                         .expect("alpha-fed join has seed binds");
-                    out.push(Work::Left {
+                    let vals = seed_vals(wme, seed_binds);
+                    let mut h = hash_init(node);
+                    for &r in &net.layout(node).left_key {
+                        debug_assert_eq!(r.level, 0, "seed-fed node tests only seed bindings");
+                        h = hash_mix(h, vals[r.slot as usize]);
+                    }
+                    out.push(RootWork::Seed {
                         node,
                         sign: change.sign,
-                        token: seed_token(change.id, &wme, seed_binds),
+                        wme_id: change.id,
+                        vals,
+                        key_hash: h,
                     });
                 }
                 AlphaSucc::Production(node) => {
@@ -132,29 +183,416 @@ pub fn alpha_roots(net: &ReteNetwork, change: &WmeChange) -> Vec<Work> {
                         .seed_binds
                         .as_ref()
                         .expect("alpha-fed production node has seed binds");
-                    out.push(Work::Prod {
+                    out.push(RootWork::Prod {
                         node,
                         production: p.production,
                         sign: change.sign,
-                        token: seed_token(change.id, &wme, seed_binds),
+                        wme_id: change.id,
+                        vals: seed_vals(wme, seed_binds),
                     });
                 }
             }
         }
     }
-    out
 }
 
-/// Wrap a generated token for each successor of `node`.
-fn fan_out(net: &ReteNetwork, node: NodeId, token: BetaToken, sign: Sign, out: &mut Vec<Work>) {
-    let join = net.join(node);
-    for succ in &join.successors {
-        match *succ {
-            Succ::TwoInput(next) => out.push(Work::Left {
-                node: next,
+fn seed_vals(wme: &Wme, seed_binds: &[(mpps_ops::Symbol, mpps_ops::Symbol)]) -> Vec<Value> {
+    seed_binds
+        .iter()
+        .map(|&(_, attr)| wme.get(attr).expect("alpha guaranteed presence"))
+        .collect()
+}
+
+/// Per-kernel probe counters (the telemetry skew histograms read these).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Left-table entries examined by probes (right + delete activations).
+    pub left_probes: u64,
+    /// Right-table entries examined by left-activation probes.
+    pub right_probes: u64,
+}
+
+/// One executor's match state: token arena, hash tables, counters, scratch.
+#[derive(Debug)]
+pub struct Kernel<S> {
+    /// The token arena (public: executors intern/extract/release tokens).
+    pub arena: TokenArena,
+    /// The two hash tables (whole or this worker's shard).
+    pub mem: S,
+    /// Probe counters.
+    pub stats: KernelStats,
+    eq_vals: Vec<Value>,
+    pred_vals: Vec<Value>,
+    bind_vals: Vec<Value>,
+    transitions: Vec<TokenId>,
+}
+
+impl<S: TokenStore> Kernel<S> {
+    /// A fresh kernel over `mem`.
+    pub fn new(mem: S) -> Self {
+        Kernel {
+            arena: TokenArena::new(),
+            mem,
+            stats: KernelStats::default(),
+            eq_vals: Vec::new(),
+            pred_vals: Vec::new(),
+            bind_vals: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Build a level-0 token from root-seed values (caller owns one ref).
+    pub fn seed(&mut self, wme_id: WmeId, vals: &[Value]) -> TokenId {
+        let t = self.arena.alloc(TokenId::NONE, wme_id);
+        for &v in vals {
+            self.arena.push_val(t, v);
+        }
+        t
+    }
+
+    /// Materialize the instantiation for a complete token at production
+    /// node `node` (does not consume the token's reference).
+    pub fn instantiation(
+        &self,
+        net: &ReteNetwork,
+        node: NodeId,
+        production: ProductionId,
+        token: TokenId,
+    ) -> Instantiation {
+        let lay = net.layout(node);
+        Instantiation {
+            production,
+            wme_ids: self.arena.wme_ids(token),
+            bindings: lay
+                .vars
+                .iter()
+                .map(|&(v, r)| (v, self.arena.value(token, r)))
+                .collect(),
+        }
+    }
+
+    /// Process one activation: update the owned bucket, probe the opposite
+    /// bucket, append generated work to `out`. Returns the bucket index.
+    /// `Prod` work must not be passed here — it is terminal and handled by
+    /// the conflict-set owner.
+    pub fn activate(&mut self, net: &ReteNetwork, work: Work, out: &mut Vec<Work>) -> u64 {
+        let table_size = self.mem.table_size();
+        match work {
+            Work::Right {
+                node,
                 sign,
-                token: token.clone(),
-            }),
+                wme_id,
+                wme,
+                key_hash,
+            } => {
+                let join = net.join(node);
+                let lay = net.layout(node);
+                let bucket = key_hash % table_size;
+                // Update the right table first (self-joins must see the WME).
+                {
+                    let rb = self.mem.right_bucket_mut(bucket);
+                    match sign {
+                        Sign::Plus => rb.push(RightEntry {
+                            node,
+                            key_hash,
+                            wme_id,
+                            wme: wme.clone(),
+                        }),
+                        Sign::Minus => {
+                            let pos = rb.iter().position(|e| e.node == node && e.wme_id == wme_id);
+                            debug_assert!(pos.is_some(), "deleting unknown right entry");
+                            if let Some(p) = pos {
+                                rb.swap_remove(p);
+                            }
+                        }
+                    }
+                }
+                // Resolve the WME side of the tests once.
+                self.eq_vals.clear();
+                for &(_, attr) in &join.spec.eq_checks {
+                    self.eq_vals
+                        .push(wme.get(attr).expect("alpha guaranteed presence"));
+                }
+                self.pred_vals.clear();
+                for &(_, _, attr) in &join.spec.pred_checks {
+                    self.pred_vals
+                        .push(wme.get(attr).expect("alpha guaranteed presence"));
+                }
+                if join.negative {
+                    self.transitions.clear();
+                    let lb = self.mem.left_bucket_mut(bucket);
+                    self.stats.left_probes += lb.len() as u64;
+                    for e in lb.iter_mut() {
+                        if e.node != node
+                            || e.key_hash != key_hash
+                            || !token_passes(
+                                &self.arena,
+                                &join.spec,
+                                lay,
+                                e.token,
+                                &self.eq_vals,
+                                &self.pred_vals,
+                            )
+                        {
+                            continue;
+                        }
+                        match sign {
+                            Sign::Plus => {
+                                e.neg_count += 1;
+                                if e.neg_count == 1 {
+                                    self.transitions.push(e.token);
+                                }
+                            }
+                            Sign::Minus => {
+                                debug_assert!(e.neg_count > 0, "negative count underflow");
+                                e.neg_count -= 1;
+                                if e.neg_count == 0 {
+                                    self.transitions.push(e.token);
+                                }
+                            }
+                        }
+                    }
+                    let out_sign = sign.flipped();
+                    for i in 0..self.transitions.len() {
+                        let t = self.transitions[i];
+                        // Stored tokens stay in memory: give fan-out its own ref.
+                        self.arena.retain(t);
+                        fan_out(net, &mut self.arena, node, t, out_sign, out);
+                    }
+                } else {
+                    self.bind_vals.clear();
+                    for &(_, attr) in &join.spec.binds {
+                        self.bind_vals
+                            .push(wme.get(attr).expect("alpha guaranteed presence"));
+                    }
+                    let lb = self.mem.left_bucket_mut(bucket);
+                    self.stats.left_probes += lb.len() as u64;
+                    // Indexing, not iteration: the loop body borrows the
+                    // arena mutably, which an iterator over `lb` (a borrow
+                    // of `self.mem`) would otherwise pin across the calls.
+                    #[allow(clippy::needless_range_loop)]
+                    for i in 0..lb.len() {
+                        let e = lb[i];
+                        if e.node != node
+                            || e.key_hash != key_hash
+                            || !token_passes(
+                                &self.arena,
+                                &join.spec,
+                                lay,
+                                e.token,
+                                &self.eq_vals,
+                                &self.pred_vals,
+                            )
+                        {
+                            continue;
+                        }
+                        let child = self.arena.alloc(e.token, wme_id);
+                        for vi in 0..self.bind_vals.len() {
+                            self.arena.push_val(child, self.bind_vals[vi]);
+                        }
+                        fan_out(net, &mut self.arena, node, child, sign, out);
+                    }
+                }
+                bucket
+            }
+            Work::Left {
+                node,
+                sign,
+                token,
+                key_hash,
+            } => {
+                let join = net.join(node);
+                let lay = net.layout(node);
+                let bucket = key_hash % table_size;
+                // Resolve the token side of the tests once.
+                self.eq_vals.clear();
+                for &r in &lay.left_key {
+                    self.eq_vals.push(self.arena.value(token, r));
+                }
+                self.pred_vals.clear();
+                for &r in &lay.left_preds {
+                    self.pred_vals.push(self.arena.value(token, r));
+                }
+                if join.negative {
+                    match sign {
+                        Sign::Plus => {
+                            let rb = self.mem.right_bucket_mut(bucket);
+                            self.stats.right_probes += rb.len() as u64;
+                            let mut count = 0u32;
+                            for e in rb.iter() {
+                                if e.node == node
+                                    && e.key_hash == key_hash
+                                    && wme_passes(
+                                        &e.wme,
+                                        &join.spec,
+                                        &self.eq_vals,
+                                        &self.pred_vals,
+                                    )
+                                {
+                                    count += 1;
+                                }
+                            }
+                            // The entry takes over the queued work's ref.
+                            self.mem.left_bucket_mut(bucket).push(LeftEntry {
+                                node,
+                                key_hash,
+                                token,
+                                neg_count: count,
+                            });
+                            if count == 0 {
+                                self.arena.retain(token);
+                                fan_out(net, &mut self.arena, node, token, Sign::Plus, out);
+                            }
+                        }
+                        Sign::Minus => {
+                            let lb = self.mem.left_bucket_mut(bucket);
+                            self.stats.left_probes += lb.len() as u64;
+                            let pos = lb
+                                .iter()
+                                .position(|e| {
+                                    e.node == node
+                                        && e.key_hash == key_hash
+                                        && self.arena.chain_eq(e.token, token)
+                                })
+                                .expect("deleting unknown left entry at negative node");
+                            let entry = lb.swap_remove(pos);
+                            self.arena.release(entry.token);
+                            if entry.neg_count == 0 {
+                                // Hand the queued work's ref to fan-out.
+                                fan_out(net, &mut self.arena, node, token, Sign::Minus, out);
+                            } else {
+                                self.arena.release(token);
+                            }
+                        }
+                    }
+                } else {
+                    match sign {
+                        Sign::Plus => {
+                            // The entry takes over the queued work's ref.
+                            self.mem.left_bucket_mut(bucket).push(LeftEntry {
+                                node,
+                                key_hash,
+                                token,
+                                neg_count: 0,
+                            });
+                        }
+                        Sign::Minus => {
+                            let lb = self.mem.left_bucket_mut(bucket);
+                            self.stats.left_probes += lb.len() as u64;
+                            let pos = lb.iter().position(|e| {
+                                e.node == node
+                                    && e.key_hash == key_hash
+                                    && self.arena.chain_eq(e.token, token)
+                            });
+                            debug_assert!(pos.is_some(), "deleting unknown left entry");
+                            if let Some(p) = pos {
+                                let entry = lb.swap_remove(p);
+                                self.arena.release(entry.token);
+                            }
+                        }
+                    }
+                    let rb = self.mem.right_bucket_mut(bucket);
+                    self.stats.right_probes += rb.len() as u64;
+                    // Indexing for the same arena-vs-memory borrow split as
+                    // the right-activation path above.
+                    #[allow(clippy::needless_range_loop)]
+                    for i in 0..rb.len() {
+                        let e = &rb[i];
+                        if e.node != node
+                            || e.key_hash != key_hash
+                            || !wme_passes(&e.wme, &join.spec, &self.eq_vals, &self.pred_vals)
+                        {
+                            continue;
+                        }
+                        let (e_wme_id, e_wme) = (e.wme_id, e.wme.clone());
+                        let child = self.arena.alloc(token, e_wme_id);
+                        for &(_, attr) in &join.spec.binds {
+                            self.arena.push_val(
+                                child,
+                                e_wme.get(attr).expect("alpha guaranteed presence"),
+                            );
+                        }
+                        fan_out(net, &mut self.arena, node, child, sign, out);
+                    }
+                    if sign == Sign::Minus {
+                        // Children hold their own parent refs; drop the
+                        // queued work's ref.
+                        self.arena.release(token);
+                    }
+                }
+                bucket
+            }
+            Work::Prod { .. } => {
+                unreachable!("production work is terminal; apply it to the conflict set")
+            }
+        }
+    }
+}
+
+/// Exact (post-prefilter) check of a stored left token against a WME whose
+/// test values are already resolved into `eq_vals`/`pred_vals`.
+fn token_passes(
+    arena: &TokenArena,
+    spec: &JoinSpec,
+    lay: &NodeLayout,
+    token: TokenId,
+    eq_vals: &[Value],
+    pred_vals: &[Value],
+) -> bool {
+    lay.left_key
+        .iter()
+        .zip(eq_vals)
+        .all(|(&r, &w)| arena.value(token, r) == w)
+        && lay
+            .left_preds
+            .iter()
+            .zip(spec.pred_checks.iter())
+            .zip(pred_vals)
+            .all(|((&r, &(_, pred, _)), &w)| pred.eval(w, arena.value(token, r)))
+}
+
+/// Exact (post-prefilter) check of a stored right WME against a left token
+/// whose test values are already resolved into `eq_vals`/`pred_vals`.
+fn wme_passes(wme: &Wme, spec: &JoinSpec, eq_vals: &[Value], pred_vals: &[Value]) -> bool {
+    spec.eq_checks
+        .iter()
+        .zip(eq_vals)
+        .all(|(&(_, attr), &b)| wme.get(attr).is_some_and(|w| w == b))
+        && spec
+            .pred_checks
+            .iter()
+            .zip(pred_vals)
+            .all(|(&(_, pred, attr), &b)| wme.get(attr).is_some_and(|w| pred.eval(w, b)))
+}
+
+/// Wrap a generated token for each successor of `node`, consuming one arena
+/// reference (the first successor takes it; extras retain).
+fn fan_out(
+    net: &ReteNetwork,
+    arena: &mut TokenArena,
+    node: NodeId,
+    token: TokenId,
+    sign: Sign,
+    out: &mut Vec<Work>,
+) {
+    let succs = &net.join(node).successors;
+    for (i, succ) in succs.iter().enumerate() {
+        if i > 0 {
+            arena.retain(token);
+        }
+        match *succ {
+            Succ::TwoInput(next) => {
+                let mut h = hash_init(next);
+                for &r in &net.layout(next).left_key {
+                    h = hash_mix(h, arena.value(token, r));
+                }
+                out.push(Work::Left {
+                    node: next,
+                    sign,
+                    token,
+                    key_hash: h,
+                });
+            }
             Succ::Production(pnode) => {
                 let NodeKind::Production(p) = net.node(pnode) else {
                     unreachable!("production successor must be a production node");
@@ -163,175 +601,28 @@ fn fan_out(net: &ReteNetwork, node: NodeId, token: BetaToken, sign: Sign, out: &
                     node: pnode,
                     production: p.production,
                     sign,
-                    token: token.clone(),
+                    token,
                 });
             }
         }
     }
-}
-
-/// Process one activation against the memories; returns `(bucket,
-/// generated work)`. `Prod` work must not be passed here — it is terminal
-/// and handled by the conflict-set owner.
-pub fn activate(net: &ReteNetwork, mem: &mut GlobalMemories, work: &Work) -> (u64, Vec<Work>) {
-    let table_size = mem.table_size();
-    match work {
-        Work::Right {
-            node,
-            sign,
-            wme_id,
-            wme,
-        } => {
-            let node = *node;
-            let join = net.join(node);
-            let bucket = bucket_index(
-                node,
-                join.spec.right_hash_values(wme).collect::<Vec<_>>(),
-                table_size,
-            );
-            let mut out = Vec::new();
-            if join.negative {
-                match sign {
-                    Sign::Plus => mem.add_right(
-                        bucket,
-                        RightEntry {
-                            node,
-                            wme_id: *wme_id,
-                            wme: wme.clone(),
-                        },
-                    ),
-                    Sign::Minus => {
-                        let removed = mem.remove_right(bucket, node, *wme_id);
-                        debug_assert!(removed.is_some(), "deleting unknown right entry");
-                    }
-                }
-                let mut transitions = Vec::new();
-                for entry in mem.left_bucket_mut(bucket, node) {
-                    if join.spec.passes(&entry.token.bindings, wme) {
-                        match sign {
-                            Sign::Plus => {
-                                entry.neg_count += 1;
-                                if entry.neg_count == 1 {
-                                    transitions.push(entry.token.clone());
-                                }
-                            }
-                            Sign::Minus => {
-                                debug_assert!(entry.neg_count > 0, "negative count underflow");
-                                entry.neg_count -= 1;
-                                if entry.neg_count == 0 {
-                                    transitions.push(entry.token.clone());
-                                }
-                            }
-                        }
-                    }
-                }
-                let out_sign = sign.flipped();
-                for t in transitions {
-                    fan_out(net, node, t, out_sign, &mut out);
-                }
-            } else {
-                match sign {
-                    Sign::Plus => mem.add_right(
-                        bucket,
-                        RightEntry {
-                            node,
-                            wme_id: *wme_id,
-                            wme: wme.clone(),
-                        },
-                    ),
-                    Sign::Minus => {
-                        let removed = mem.remove_right(bucket, node, *wme_id);
-                        debug_assert!(removed.is_some(), "deleting unknown right entry");
-                    }
-                }
-                let binds = join.spec.extract_binds(wme);
-                let generated: Vec<BetaToken> = mem
-                    .left_bucket(bucket, node)
-                    .filter(|e| join.spec.passes(&e.token.bindings, wme))
-                    .map(|e| e.token.extended(*wme_id, &binds))
-                    .collect();
-                for t in generated {
-                    fan_out(net, node, t, *sign, &mut out);
-                }
-            }
-            (bucket, out)
-        }
-        Work::Left { node, sign, token } => {
-            let node = *node;
-            let join = net.join(node);
-            let bucket = bucket_index(
-                node,
-                join.spec
-                    .left_hash_values(&token.bindings)
-                    .collect::<Vec<_>>(),
-                table_size,
-            );
-            let mut out = Vec::new();
-            if join.negative {
-                match sign {
-                    Sign::Plus => {
-                        let count = mem
-                            .right_bucket(bucket, node)
-                            .filter(|e| join.spec.passes(&token.bindings, &e.wme))
-                            .count() as u32;
-                        mem.add_left(
-                            bucket,
-                            LeftEntry {
-                                node,
-                                token: token.clone(),
-                                neg_count: count,
-                            },
-                        );
-                        if count == 0 {
-                            fan_out(net, node, token.clone(), Sign::Plus, &mut out);
-                        }
-                    }
-                    Sign::Minus => {
-                        let entry = mem
-                            .remove_left(bucket, node, token)
-                            .expect("deleting unknown left entry at negative node");
-                        if entry.neg_count == 0 {
-                            fan_out(net, node, token.clone(), Sign::Minus, &mut out);
-                        }
-                    }
-                }
-            } else {
-                match sign {
-                    Sign::Plus => mem.add_left(
-                        bucket,
-                        LeftEntry {
-                            node,
-                            token: token.clone(),
-                            neg_count: 0,
-                        },
-                    ),
-                    Sign::Minus => {
-                        let removed = mem.remove_left(bucket, node, token);
-                        debug_assert!(removed.is_some(), "deleting unknown left entry");
-                    }
-                }
-                let generated: Vec<BetaToken> = mem
-                    .right_bucket(bucket, node)
-                    .filter(|e| join.spec.passes(&token.bindings, &e.wme))
-                    .map(|e| token.extended(e.wme_id, &join.spec.extract_binds(&e.wme)))
-                    .collect();
-                for t in generated {
-                    fan_out(net, node, t, *sign, &mut out);
-                }
-            }
-            (bucket, out)
-        }
-        Work::Prod { .. } => {
-            unreachable!("production work is terminal; apply it to the conflict set")
-        }
+    if succs.is_empty() {
+        arena.release(token);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::GlobalMemories;
     use crate::network::ReteNetwork;
     use mpps_ops::parse_program;
+
+    fn roots(net: &ReteNetwork, change: &WmeChange) -> Vec<RootWork> {
+        let mut out = Vec::new();
+        alpha_roots(net, change, &mut out);
+        out
+    }
 
     #[test]
     fn alpha_roots_produce_expected_sides() {
@@ -342,54 +633,170 @@ mod tests {
         )
         .unwrap();
         let net = ReteNetwork::compile(&prog).unwrap();
-        let a = alpha_roots(
+        let a = roots(
             &net,
             &WmeChange::add(WmeId(1), Wme::new("a", &[("v", 1.into())])),
         );
         assert_eq!(a.len(), 1);
-        assert!(matches!(a[0], Work::Left { .. }));
-        let b = alpha_roots(
+        assert!(matches!(a[0], RootWork::Seed { .. }));
+        let b = roots(
             &net,
             &WmeChange::add(WmeId(2), Wme::new("b", &[("v", 1.into())])),
         );
         assert_eq!(b.len(), 1);
-        assert!(matches!(b[0], Work::Right { .. }));
+        assert!(matches!(b[0], RootWork::Right { .. }));
     }
 
     #[test]
     fn activate_join_generates_on_second_arrival() {
         let prog = parse_program("(p two (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
         let net = ReteNetwork::compile(&prog).unwrap();
-        let mut mem = GlobalMemories::new(64);
-        let left = alpha_roots(
+        let mut k = Kernel::new(GlobalMemories::new(64));
+        let left = roots(
             &net,
             &WmeChange::add(WmeId(1), Wme::new("a", &[("v", 5.into())])),
         );
-        let (b1, out1) = activate(&net, &mut mem, &left[0]);
-        assert!(out1.is_empty(), "no partner yet");
-        let right = alpha_roots(
+        let RootWork::Seed {
+            node,
+            sign,
+            wme_id,
+            ref vals,
+            key_hash,
+        } = left[0]
+        else {
+            panic!("expected seed root");
+        };
+        let token = k.seed(wme_id, vals);
+        let mut out = Vec::new();
+        let b1 = k.activate(
+            &net,
+            Work::Left {
+                node,
+                sign,
+                token,
+                key_hash,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "no partner yet");
+        let right = roots(
             &net,
             &WmeChange::add(WmeId(2), Wme::new("b", &[("v", 5.into())])),
         );
-        let (b2, out2) = activate(&net, &mut mem, &right[0]);
+        let RootWork::Right {
+            node,
+            sign,
+            wme_id,
+            ref wme,
+            key_hash,
+        } = right[0]
+        else {
+            panic!("expected right root");
+        };
+        let b2 = k.activate(
+            &net,
+            Work::Right {
+                node,
+                sign,
+                wme_id,
+                wme: wme.clone(),
+                key_hash,
+            },
+            &mut out,
+        );
         assert_eq!(b1, b2, "equal join values share a bucket index");
-        assert_eq!(out2.len(), 1);
-        assert!(matches!(&out2[0], Work::Prod { token, .. }
-            if token.wme_ids == vec![WmeId(1), WmeId(2)]));
+        assert_eq!(out.len(), 1);
+        match out[0] {
+            Work::Prod { token, .. } => {
+                assert_eq!(k.arena.wme_ids(token), vec![WmeId(1), WmeId(2)]);
+            }
+            ref other => panic!("expected production work, got {other:?}"),
+        }
     }
 
     #[test]
-    fn work_bucket_matches_activate_bucket() {
+    fn root_key_hash_matches_legacy_token_hash() {
+        // The precomputed seed key hash must equal the §3 hash over the
+        // node's equality-tested values (trace byte-identity depends on it).
         let prog = parse_program("(p two (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
         let net = ReteNetwork::compile(&prog).unwrap();
-        let mut mem = GlobalMemories::new(64);
-        let w = alpha_roots(
+        let left = roots(
             &net,
             &WmeChange::add(WmeId(1), Wme::new("a", &[("v", 9.into())])),
-        )
-        .remove(0);
-        let predicted = w.bucket(&net, 64);
-        let (actual, _) = activate(&net, &mut mem, &w);
-        assert_eq!(predicted, actual);
+        );
+        let RootWork::Seed { node, key_hash, .. } = left[0] else {
+            panic!("expected seed root");
+        };
+        assert_eq!(key_hash, token_hash(node, [Value::Int(9)]));
+        let right = roots(
+            &net,
+            &WmeChange::add(WmeId(2), Wme::new("b", &[("v", 9.into())])),
+        );
+        let RootWork::Right { key_hash: rh, .. } = right[0] else {
+            panic!("expected right root");
+        };
+        assert_eq!(rh, key_hash, "left and right keys agree on equal values");
+    }
+
+    #[test]
+    fn activate_releases_match_state_on_retraction() {
+        let prog = parse_program("(p two (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
+        let net = ReteNetwork::compile(&prog).unwrap();
+        let mut k = Kernel::new(GlobalMemories::new(64));
+        let mut queue: Vec<Work> = Vec::new();
+        let mut out = Vec::new();
+        let changes = [
+            WmeChange::add(WmeId(1), Wme::new("a", &[("v", 5.into())])),
+            WmeChange::add(WmeId(2), Wme::new("b", &[("v", 5.into())])),
+            WmeChange::remove(WmeId(1), Wme::new("a", &[("v", 5.into())])),
+            WmeChange::remove(WmeId(2), Wme::new("b", &[("v", 5.into())])),
+        ];
+        for c in &changes {
+            for r in roots(&net, c) {
+                match r {
+                    RootWork::Right {
+                        node,
+                        sign,
+                        wme_id,
+                        wme,
+                        key_hash,
+                    } => queue.push(Work::Right {
+                        node,
+                        sign,
+                        wme_id,
+                        wme,
+                        key_hash,
+                    }),
+                    RootWork::Seed {
+                        node,
+                        sign,
+                        wme_id,
+                        vals,
+                        key_hash,
+                    } => {
+                        let token = k.seed(wme_id, &vals);
+                        queue.push(Work::Left {
+                            node,
+                            sign,
+                            token,
+                            key_hash,
+                        });
+                    }
+                    RootWork::Prod { .. } => unreachable!("no single-CE production"),
+                }
+            }
+            while let Some(w) = queue.pop() {
+                if let Work::Prod { token, .. } = w {
+                    k.arena.release(token);
+                    continue;
+                }
+                k.activate(&net, w, &mut out);
+                queue.append(&mut out);
+            }
+        }
+        assert_eq!(k.mem.left_len(), 0);
+        assert_eq!(k.mem.right_len(), 0);
+        assert_eq!(k.arena.live(), 0, "all token records reclaimed");
+        assert!(k.stats.left_probes + k.stats.right_probes > 0);
     }
 }

@@ -33,12 +33,13 @@ pub mod trace;
 pub mod transform;
 
 pub use engine::{EngineConfig, ReteMatcher};
-pub use hashfn::{bucket_index, token_hash};
-pub use memory::{GlobalMemories, LeftEntry, RightEntry};
+pub use hashfn::{bucket_index, chain_extend, chain_seed, hash_init, hash_mix, token_hash};
+pub use kernel::{Kernel, KernelStats, RootWork, Work};
+pub use memory::{GlobalMemories, LeftEntry, RightEntry, ShardedMemories, TokenStore};
 pub use network::{
-    AlphaNode, CompileOptions, JoinNode, NetworkStats, NodeId, NodeKind, ProductionNode,
-    ReteNetwork, Side,
+    AlphaNode, CompileOptions, JoinNode, NetworkStats, NodeId, NodeKind, NodeLayout,
+    ProductionNode, ReteNetwork, Side, VarRef,
 };
-pub use token::{BetaToken, Bindings};
+pub use token::{BetaToken, Bindings, FlatToken, TokenArena, TokenId};
 pub use trace::{ActKind, ActivationId, ActivationRecord, Trace, TraceCycle, TraceStats};
 pub use transform::{copy_and_constrain, split_fanout, unshare, SplitFanoutOptions};

@@ -294,10 +294,42 @@ pub struct NetworkStats {
     pub shared_two_input: usize,
 }
 
+/// Compile-time resolution of a variable occurrence to its storage site in
+/// an arena token chain: the `slot`-th value introduced at chain `level`.
+///
+/// Levels count positive CEs from the top of the chain (seed = level 0);
+/// slots index the values a level introduced, in `JoinSpec::binds` (or
+/// seed-bind) order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VarRef {
+    /// 0-based chain level.
+    pub level: u16,
+    /// Index into the values introduced at that level.
+    pub slot: u16,
+}
+
+/// Per-node variable layout, precomputed at compile time so the kernel
+/// resolves variables by `(level, slot)` arithmetic instead of name lookup.
+#[derive(Clone, Debug, Default)]
+pub struct NodeLayout {
+    /// Chain depth (number of levels) of tokens arriving on the left input
+    /// (for production nodes: of complete tokens). 0 for alpha nodes.
+    pub depth: u16,
+    /// Site of each `JoinSpec::eq_checks` variable in the left token, in
+    /// hash-signature order.
+    pub left_key: Vec<VarRef>,
+    /// Site of each `JoinSpec::pred_checks` variable in the left token.
+    pub left_preds: Vec<VarRef>,
+    /// Production nodes only: every visible variable and its site, for
+    /// materializing instantiation bindings.
+    pub vars: Vec<(Symbol, VarRef)>,
+}
+
 /// A compiled Rete network.
 #[derive(Clone, Debug)]
 pub struct ReteNetwork {
     nodes: Vec<NodeKind>,
+    layouts: Vec<NodeLayout>,
     alpha_by_class: HashMap<Symbol, Vec<NodeId>>,
     production_nodes: Vec<NodeId>,
     options: CompileOptions,
@@ -314,18 +346,133 @@ impl ReteNetwork {
         let mut c = Compiler {
             net: ReteNetwork {
                 nodes: Vec::new(),
+                layouts: Vec::new(),
                 alpha_by_class: HashMap::new(),
                 production_nodes: Vec::new(),
                 options,
             },
-            alpha_cache: HashMap::new(),
-            beta_cache: HashMap::new(),
+            alpha_cache: HashMap::default(),
+            beta_cache: HashMap::default(),
             options,
         };
         for (pid, prod) in program.iter() {
             c.compile_production(pid, prod)?;
         }
+        c.net.compute_layouts();
         Ok(c.net)
+    }
+
+    /// The precomputed variable layout of a two-input or production node.
+    pub fn layout(&self, id: NodeId) -> &NodeLayout {
+        &self.layouts[id.0 as usize]
+    }
+
+    /// Resolve every node's variable layout. Runs once at the end of
+    /// compilation; relies on left sources having smaller ids than their
+    /// consumers (guaranteed by construction order).
+    fn compute_layouts(&mut self) {
+        /// Variable scope at a point in a chain: where each visible
+        /// variable lives as a `(level, slot)` site.
+        type VarSites = Vec<(Symbol, VarRef)>;
+        let n = self.nodes.len();
+        let mut layouts = vec![NodeLayout::default(); n];
+        // Scope flowing out of each two-input node: (depth, var sites).
+        let mut outs: Vec<Option<(u16, VarSites)>> = vec![None; n];
+        let find = |env: &[(Symbol, VarRef)], v: Symbol| -> VarRef {
+            env.iter()
+                .find(|&&(s, _)| s == v)
+                .map(|&(_, r)| r)
+                .expect("tested variable bound by an upstream CE")
+        };
+        for i in 0..n {
+            let NodeKind::TwoInput(j) = &self.nodes[i] else {
+                continue;
+            };
+            let (depth_in, env_in): (u16, VarSites) = match j.left_src {
+                LeftSource::Alpha(_) => {
+                    let seeds = j
+                        .seed_binds
+                        .as_ref()
+                        .expect("alpha-fed join has seed binds");
+                    let env = seeds
+                        .iter()
+                        .enumerate()
+                        .map(|(s, &(v, _))| {
+                            (
+                                v,
+                                VarRef {
+                                    level: 0,
+                                    slot: s as u16,
+                                },
+                            )
+                        })
+                        .collect();
+                    (1, env)
+                }
+                LeftSource::Beta(b) => outs[b.0 as usize]
+                    .clone()
+                    .expect("left source compiled before its consumer"),
+            };
+            let lay = &mut layouts[i];
+            lay.depth = depth_in;
+            lay.left_key = j
+                .spec
+                .eq_checks
+                .iter()
+                .map(|&(v, _)| find(&env_in, v))
+                .collect();
+            lay.left_preds = j
+                .spec
+                .pred_checks
+                .iter()
+                .map(|&(v, _, _)| find(&env_in, v))
+                .collect();
+            let (depth_out, env_out) = if j.negative {
+                (depth_in, env_in)
+            } else {
+                let mut env = env_in;
+                for (s, &(v, _)) in j.spec.binds.iter().enumerate() {
+                    env.push((
+                        v,
+                        VarRef {
+                            level: depth_in,
+                            slot: s as u16,
+                        },
+                    ));
+                }
+                (depth_in + 1, env)
+            };
+            for succ in &j.successors {
+                if let Succ::Production(p) = *succ {
+                    layouts[p.0 as usize].depth = depth_out;
+                    layouts[p.0 as usize].vars = env_out.clone();
+                }
+            }
+            outs[i] = Some((depth_out, env_out));
+        }
+        // Single-CE productions fed directly by an alpha node.
+        for (node, lay) in self.nodes.iter().zip(layouts.iter_mut()) {
+            let NodeKind::Production(p) = node else {
+                continue;
+            };
+            if let Some(seeds) = &p.seed_binds {
+                lay.depth = 1;
+                lay.vars = seeds
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &(v, _))| {
+                        (
+                            v,
+                            VarRef {
+                                level: 0,
+                                slot: s as u16,
+                            },
+                        )
+                    })
+                    .collect();
+            }
+        }
+        self.layouts = layouts;
     }
 
     /// The node with the given id.
@@ -399,7 +546,7 @@ impl ReteNetwork {
 }
 
 /// Alpha-node structural identity (for sharing).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Hash)]
 struct AlphaKey {
     class: Symbol,
     const_tests: Vec<ConstTest>,
@@ -409,13 +556,69 @@ struct AlphaKey {
 }
 
 /// Two-input-node structural identity (for sharing).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Hash)]
 struct BetaKey {
     left: LeftSource,
     seed_binds: Option<Vec<(Symbol, Symbol)>>,
     right_alpha: NodeId,
     negative: bool,
     spec: JoinSpec,
+}
+
+/// Multiply-xor hasher for the compiler's structural keys and scratch
+/// maps. The std `DefaultHasher` (SipHash) dominated sharing-probe cost
+/// on large programs; compile-time sharing needs no DoS resistance, so a
+/// two-instruction mix per word is the right trade.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, w: u64) {
+        self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// One [`FxHasher`] pass over a structural key. The sharing caches index
+/// candidate nodes by this hash and confirm with a field-by-field compare
+/// against the existing node, so key contents are hashed exactly once and
+/// then *moved* into the created node — never cloned.
+fn structural_hash<T: std::hash::Hash>(t: &T) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FxHasher::default();
+    t.hash(&mut h);
+    h.finish()
 }
 
 /// Per-CE analysis output.
@@ -426,8 +629,8 @@ struct CeAnalysis {
 
 struct Compiler {
     net: ReteNetwork,
-    alpha_cache: HashMap<AlphaKey, NodeId>,
-    beta_cache: HashMap<BetaKey, NodeId>,
+    alpha_cache: HashMap<u64, Vec<NodeId>, FxBuildHasher>,
+    beta_cache: HashMap<u64, Vec<NodeId>, FxBuildHasher>,
     options: CompileOptions,
 }
 
@@ -440,48 +643,52 @@ impl Compiler {
     /// and the join part (tests against variables bound by earlier CEs).
     fn analyze_ce(
         ce: &ConditionElement,
-        bound: &HashMap<Symbol, ()>,
+        bound: &HashMap<Symbol, (), FxBuildHasher>,
     ) -> Result<CeAnalysis, OpsError> {
-        let mut const_tests = Vec::new();
+        let mut const_tests = Vec::with_capacity(ce.tests.len());
         let mut disj = Vec::new();
         let mut intra = Vec::new();
-        let mut required = Vec::new();
+        let mut required = Vec::with_capacity(ce.tests.len());
         let mut spec = JoinSpec::default();
-        // First occurrence attr of each locally fresh variable.
-        let mut local: HashMap<Symbol, Symbol> = HashMap::new();
+        // First occurrence attr of each locally fresh variable. A CE has a
+        // handful of variables at most, so a linear-scanned vec beats a
+        // heap-allocated map here.
+        let mut local: Vec<(Symbol, Symbol)> = Vec::new();
         for t in &ce.tests {
-            match t.kind.clone() {
+            match &t.kind {
                 TestKind::Constant(pred, value) => const_tests.push(ConstTest {
                     attr: t.attr,
-                    pred,
-                    value,
+                    pred: *pred,
+                    value: *value,
                 }),
-                TestKind::Disjunction(values) => disj.push((t.attr, values)),
+                TestKind::Disjunction(values) => disj.push((t.attr, values.clone())),
                 TestKind::Variable(v) => {
+                    let v = *v;
                     required.push(t.attr);
                     if bound.contains_key(&v) {
                         spec.eq_checks.push((v, t.attr));
-                    } else if let Some(&binder) = local.get(&v) {
+                    } else if let Some(&(_, binder)) = local.iter().find(|&&(lv, _)| lv == v) {
                         intra.push(IntraTest {
                             attr: t.attr,
                             pred: Predicate::Eq,
                             other_attr: binder,
                         });
                     } else {
-                        local.insert(v, t.attr);
+                        local.push((v, t.attr));
                         if !ce.negated {
                             spec.binds.push((v, t.attr));
                         }
                     }
                 }
                 TestKind::VariablePred(pred, v) => {
+                    let v = *v;
                     required.push(t.attr);
                     if bound.contains_key(&v) {
-                        spec.pred_checks.push((v, pred, t.attr));
-                    } else if let Some(&binder) = local.get(&v) {
+                        spec.pred_checks.push((v, *pred, t.attr));
+                    } else if let Some(&(_, binder)) = local.iter().find(|&&(lv, _)| lv == v) {
                         intra.push(IntraTest {
                             attr: t.attr,
-                            pred,
+                            pred: *pred,
                             other_attr: binder,
                         });
                     } else {
@@ -490,13 +697,21 @@ impl Compiler {
                 }
             }
         }
-        const_tests.sort_unstable();
+        // Sort on the Copy id-order key (`Symbol::index`), not `Symbol`'s
+        // lexicographic `Ord` — the latter reaches into the interner and
+        // compares strings on every step. The tie-breakers only fire for
+        // duplicate tests on the same attribute, which dedup then removes.
+        const_tests.sort_unstable_by(|a, b| {
+            (a.attr.index().cmp(&b.attr.index()))
+                .then_with(|| a.pred.cmp(&b.pred))
+                .then_with(|| a.value.cmp(&b.value))
+        });
         const_tests.dedup();
-        disj.sort_unstable();
+        disj.sort_unstable_by(|a, b| (a.0.index().cmp(&b.0.index())).then_with(|| a.1.cmp(&b.1)));
         disj.dedup();
-        intra.sort_unstable();
+        intra.sort_unstable_by_key(|t| (t.attr.index(), t.other_attr.index(), t.pred));
         intra.dedup();
-        required.sort_unstable();
+        required.sort_unstable_by_key(|s| s.index());
         required.dedup();
         Ok(CeAnalysis {
             alpha: AlphaKey {
@@ -511,28 +726,38 @@ impl Compiler {
     }
 
     fn alpha_node(&mut self, key: AlphaKey) -> NodeId {
-        if self.options.share_alpha {
-            if let Some(&id) = self.alpha_cache.get(&key) {
-                return id;
+        let kh = self.options.share_alpha.then(|| structural_hash(&key));
+        if let Some(kh) = kh {
+            for &cand in self.alpha_cache.get(&kh).into_iter().flatten() {
+                if let NodeKind::Alpha(a) = &self.net.nodes[cand.0 as usize] {
+                    if a.class == key.class
+                        && a.const_tests == key.const_tests
+                        && a.disj_tests == key.disj_tests
+                        && a.intra_tests == key.intra_tests
+                        && a.required == key.required
+                    {
+                        return cand;
+                    }
+                }
             }
         }
         let id = self.fresh_id();
-        self.net.nodes.push(NodeKind::Alpha(AlphaNode {
-            id,
-            class: key.class,
-            const_tests: key.const_tests.clone(),
-            disj_tests: key.disj_tests.clone(),
-            intra_tests: key.intra_tests.clone(),
-            required: key.required.clone(),
-            successors: Vec::new(),
-        }));
         self.net
             .alpha_by_class
             .entry(key.class)
             .or_default()
             .push(id);
-        if self.options.share_alpha {
-            self.alpha_cache.insert(key, id);
+        self.net.nodes.push(NodeKind::Alpha(AlphaNode {
+            id,
+            class: key.class,
+            const_tests: key.const_tests,
+            disj_tests: key.disj_tests,
+            intra_tests: key.intra_tests,
+            required: key.required,
+            successors: Vec::new(),
+        }));
+        if let Some(kh) = kh {
+            self.alpha_cache.entry(kh).or_default().push(id);
         }
         id
     }
@@ -554,9 +779,19 @@ impl Compiler {
     /// Find or create the two-input node for `key`, wiring its input edges
     /// on creation.
     fn two_input_node(&mut self, key: BetaKey) -> NodeId {
-        if self.options.share_beta {
-            if let Some(&id) = self.beta_cache.get(&key) {
-                return id;
+        let kh = self.options.share_beta.then(|| structural_hash(&key));
+        if let Some(kh) = kh {
+            for &cand in self.beta_cache.get(&kh).into_iter().flatten() {
+                if let NodeKind::TwoInput(j) = &self.net.nodes[cand.0 as usize] {
+                    if j.left_src == key.left
+                        && j.right_alpha == key.right_alpha
+                        && j.negative == key.negative
+                        && j.seed_binds == key.seed_binds
+                        && j.spec == key.spec
+                    {
+                        return cand;
+                    }
+                }
             }
         }
         let id = self.fresh_id();
@@ -565,8 +800,8 @@ impl Compiler {
             negative: key.negative,
             right_alpha: key.right_alpha,
             left_src: key.left,
-            seed_binds: key.seed_binds.clone(),
-            spec: key.spec.clone(),
+            seed_binds: key.seed_binds,
+            spec: key.spec,
             successors: Vec::new(),
         }));
         // Right input edge.
@@ -581,14 +816,14 @@ impl Compiler {
                 .push(AlphaSucc::TwoInput(id, Side::Left)),
             LeftSource::Beta(b) => self.join_mut(b).successors.push(Succ::TwoInput(id)),
         }
-        if self.options.share_beta {
-            self.beta_cache.insert(key, id);
+        if let Some(kh) = kh {
+            self.beta_cache.entry(kh).or_default().push(id);
         }
         id
     }
 
     fn compile_production(&mut self, pid: ProductionId, prod: &Production) -> Result<(), OpsError> {
-        let mut bound: HashMap<Symbol, ()> = HashMap::new();
+        let mut bound: HashMap<Symbol, (), FxBuildHasher> = HashMap::default();
         // Seed the chain from the first *positive* CE (validation guarantees
         // one exists). Negated CEs earlier in the LHS are chained in right
         // after the seed — order among negations is irrelevant because they
@@ -637,26 +872,25 @@ impl Compiler {
             // must be analyzed against an empty scope even though the seed's
             // bindings are already flowing down the chain.
             let analysis = if idx < first_pos {
-                Self::analyze_ce(ce, &HashMap::new())?
+                Self::analyze_ce(ce, &HashMap::default())?
             } else {
                 Self::analyze_ce(ce, &bound)?
             };
             let alpha = self.alpha_node(analysis.alpha);
-            let key = BetaKey {
-                left,
-                seed_binds: pending_seed.clone(),
-                right_alpha: alpha,
-                negative: ce.negated,
-                spec: analysis.spec.clone(),
-            };
-            let node = self.two_input_node(key);
             if !ce.negated {
                 for (v, _) in &analysis.spec.binds {
                     bound.insert(*v, ());
                 }
             }
+            let key = BetaKey {
+                left,
+                seed_binds: pending_seed.take(),
+                right_alpha: alpha,
+                negative: ce.negated,
+                spec: analysis.spec,
+            };
+            let node = self.two_input_node(key);
             left = LeftSource::Beta(node);
-            pending_seed = None;
             last = Some(node);
         }
         let prod_node_id = self.fresh_id();
@@ -889,5 +1123,45 @@ mod tests {
         assert_eq!(joins[0].seed_binds.as_deref().map(<[_]>::len), Some(1));
         assert!(matches!(joins[1].left_src, LeftSource::Beta(id) if id == joins[0].id));
         assert!(joins[1].seed_binds.is_none());
+    }
+
+    #[test]
+    fn layouts_resolve_tested_variables_to_chain_sites() {
+        let net = compile(
+            r#"
+            (p chain (a ^x <x>) (b ^x <x> ^y <y>) (c ^y <y>) --> (remove 1))
+            "#,
+        );
+        let joins: Vec<&JoinNode> = net
+            .iter()
+            .filter_map(|(_, n)| match n {
+                NodeKind::TwoInput(j) => Some(j),
+                _ => None,
+            })
+            .collect();
+        // First join tests <x>, bound by the seed CE (level 0, slot 0).
+        let l0 = net.layout(joins[0].id);
+        assert_eq!(l0.depth, 1);
+        assert_eq!(l0.left_key, vec![VarRef { level: 0, slot: 0 }]);
+        // Second join tests <y>, introduced by the first join (level 1).
+        let l1 = net.layout(joins[1].id);
+        assert_eq!(l1.depth, 2);
+        assert_eq!(l1.left_key, vec![VarRef { level: 1, slot: 0 }]);
+        // The production node sees both variables over a 3-level chain.
+        let pnode = net.production_node(ProductionId(0));
+        let lp = net.layout(pnode);
+        assert_eq!(lp.depth, 3);
+        assert_eq!(lp.vars.len(), 2);
+    }
+
+    #[test]
+    fn single_ce_production_layout_uses_seed_slots() {
+        let net = compile("(p solo (alarm ^level <l>) --> (remove 1))");
+        let lp = net.layout(net.production_node(ProductionId(0)));
+        assert_eq!(lp.depth, 1);
+        assert_eq!(
+            lp.vars,
+            vec![(mpps_ops::intern("l"), VarRef { level: 0, slot: 0 })]
+        );
     }
 }

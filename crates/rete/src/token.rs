@@ -1,14 +1,274 @@
 //! Beta tokens: partial instantiations flowing through the join network.
+//!
+//! Two representations live here:
+//!
+//! * [`TokenArena`] / [`TokenId`] — the production representation. A token
+//!   is a flat arena record `(parent, wme, vals)`; the full binding set is
+//!   recovered by walking the parent chain, and equality/hashing is an
+//!   integer chain comparison. This is what the match kernel and both
+//!   executors use.
+//! * [`Bindings`] / [`BetaToken`] — the historical self-contained value
+//!   representation, kept as the *oracle*: property tests reconstruct
+//!   bindings from arena chains and compare them against tokens built the
+//!   old way.
 
+use crate::hashfn;
+use crate::network::VarRef;
 use mpps_ops::{Symbol, Value, WmeId};
 use std::fmt;
 
-/// A sorted association list from variable to bound value.
+/// Index of a token record in a [`TokenArena`].
 ///
-/// Tokens need `Eq + Hash` so they can be located in (and deleted from) the
-/// hashed memories; a sorted `Vec` gives canonical form with cheap clones
-/// and cache-friendly lookups for the handful of variables a production
-/// binds.
+/// `TokenId`s are arena-local: they must never cross an arena boundary
+/// (workers exchange [`FlatToken`]s instead).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The null parent of a seed (first-CE) token.
+    pub const NONE: TokenId = TokenId(u32::MAX);
+}
+
+/// One level of a token chain: the WME matched at this level plus the
+/// values of the variables this level *introduced* (in `JoinSpec::binds`
+/// order — or seed-bind order for level 0).
+#[derive(Debug)]
+struct TokenRecord {
+    parent: TokenId,
+    wme: WmeId,
+    /// 0-based position in the chain (= number of ancestors).
+    level: u16,
+    /// Number of owners: memory entries, queued work items, and children.
+    rc: u32,
+    /// Incremental fingerprint of the WmeId chain — the equality prefilter.
+    chain_hash: u64,
+    vals: Vec<Value>,
+}
+
+/// A self-contained wire form of a token chain, root level first. Used to
+/// ship tokens between per-worker arenas.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlatToken {
+    /// Matched WME ids, root (first CE) first.
+    pub wmes: Vec<WmeId>,
+    /// Number of values introduced per level.
+    pub lens: Vec<u16>,
+    /// Concatenated per-level values, root level first.
+    pub vals: Vec<Value>,
+}
+
+/// The arena of flat token records.
+///
+/// Records are reference counted (owners: memory entries, in-flight work
+/// items, child records) and recycled through a free list, so steady-state
+/// matching performs no token allocation: a freed record donates its `vals`
+/// buffer to the next allocation.
+#[derive(Debug, Default)]
+pub struct TokenArena {
+    recs: Vec<TokenRecord>,
+    free: Vec<TokenId>,
+    live: usize,
+}
+
+impl TokenArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        TokenArena::default()
+    }
+
+    /// Number of live (not-freed) records — diagnostics; 0 after a full
+    /// retraction drains every memory.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Allocate a record extending `parent` (or a seed when `parent` is
+    /// [`TokenId::NONE`]) with matched WME `wme`. The new record has one
+    /// reference (the caller's); `parent` gains one (the child's).
+    /// Introduced values are appended afterwards via [`Self::push_val`].
+    pub fn alloc(&mut self, parent: TokenId, wme: WmeId) -> TokenId {
+        let (level, chain_hash) = if parent == TokenId::NONE {
+            (0, hashfn::chain_seed(wme))
+        } else {
+            let p = &mut self.recs[parent.0 as usize];
+            p.rc += 1;
+            (p.level + 1, hashfn::chain_extend(p.chain_hash, wme))
+        };
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            let r = &mut self.recs[id.0 as usize];
+            r.parent = parent;
+            r.wme = wme;
+            r.level = level;
+            r.rc = 1;
+            r.chain_hash = chain_hash;
+            r.vals.clear();
+            id
+        } else {
+            let id = TokenId(u32::try_from(self.recs.len()).expect("token arena full"));
+            self.recs.push(TokenRecord {
+                parent,
+                wme,
+                level,
+                rc: 1,
+                chain_hash,
+                vals: Vec::new(),
+            });
+            id
+        }
+    }
+
+    /// Append one introduced value to a just-allocated record.
+    pub fn push_val(&mut self, t: TokenId, v: Value) {
+        self.recs[t.0 as usize].vals.push(v);
+    }
+
+    /// Add one reference.
+    pub fn retain(&mut self, t: TokenId) {
+        self.recs[t.0 as usize].rc += 1;
+    }
+
+    /// Drop one reference; freeing cascades up the parent chain.
+    pub fn release(&mut self, mut t: TokenId) {
+        loop {
+            let r = &mut self.recs[t.0 as usize];
+            debug_assert!(r.rc > 0, "token refcount underflow");
+            r.rc -= 1;
+            if r.rc > 0 {
+                return;
+            }
+            let parent = r.parent;
+            self.free.push(t);
+            self.live -= 1;
+            if parent == TokenId::NONE {
+                return;
+            }
+            t = parent;
+        }
+    }
+
+    /// The chain fingerprint (equality prefilter) of `t`.
+    pub fn chain_hash(&self, t: TokenId) -> u64 {
+        self.recs[t.0 as usize].chain_hash
+    }
+
+    /// Exact structural equality: same WME chain. Fingerprints prefilter;
+    /// the chains are walked to rule out hash collisions.
+    pub fn chain_eq(&self, a: TokenId, b: TokenId) -> bool {
+        if a == b {
+            return true;
+        }
+        let (mut x, mut y) = (&self.recs[a.0 as usize], &self.recs[b.0 as usize]);
+        if x.level != y.level || x.chain_hash != y.chain_hash {
+            return false;
+        }
+        loop {
+            if x.wme != y.wme {
+                return false;
+            }
+            if x.parent == TokenId::NONE {
+                return y.parent == TokenId::NONE;
+            }
+            if y.parent == TokenId::NONE {
+                return false;
+            }
+            x = &self.recs[x.parent.0 as usize];
+            y = &self.recs[y.parent.0 as usize];
+        }
+    }
+
+    /// The value bound at compile-time-resolved position `r` of chain `t`.
+    pub fn value(&self, t: TokenId, r: VarRef) -> Value {
+        let mut rec = &self.recs[t.0 as usize];
+        while rec.level > r.level {
+            rec = &self.recs[rec.parent.0 as usize];
+        }
+        debug_assert_eq!(rec.level, r.level, "VarRef level above token depth");
+        rec.vals[r.slot as usize]
+    }
+
+    /// Matched WME ids of `t` in positive-CE (root-first) order.
+    pub fn wme_ids(&self, t: TokenId) -> Vec<WmeId> {
+        let mut rec = &self.recs[t.0 as usize];
+        let mut out = vec![WmeId(0); rec.level as usize + 1];
+        loop {
+            out[rec.level as usize] = rec.wme;
+            if rec.parent == TokenId::NONE {
+                return out;
+            }
+            rec = &self.recs[rec.parent.0 as usize];
+        }
+    }
+
+    /// Materialize `t` as a self-contained [`FlatToken`] (for shipping to
+    /// another arena).
+    pub fn extract(&self, t: TokenId) -> FlatToken {
+        let top = &self.recs[t.0 as usize];
+        let levels = top.level as usize + 1;
+        let mut f = FlatToken {
+            wmes: vec![WmeId(0); levels],
+            lens: vec![0; levels],
+            vals: Vec::new(),
+        };
+        let mut starts = vec![0usize; levels];
+        let mut rec = top;
+        let mut total = 0;
+        loop {
+            f.wmes[rec.level as usize] = rec.wme;
+            f.lens[rec.level as usize] = rec.vals.len() as u16;
+            total += rec.vals.len();
+            if rec.parent == TokenId::NONE {
+                break;
+            }
+            rec = &self.recs[rec.parent.0 as usize];
+        }
+        let mut at = 0;
+        for (i, len) in f.lens.iter().enumerate() {
+            starts[i] = at;
+            at += *len as usize;
+        }
+        f.vals.resize(total, Value::Int(0));
+        rec = top;
+        loop {
+            let s = starts[rec.level as usize];
+            f.vals[s..s + rec.vals.len()].copy_from_slice(&rec.vals);
+            if rec.parent == TokenId::NONE {
+                return f;
+            }
+            rec = &self.recs[rec.parent.0 as usize];
+        }
+    }
+
+    /// Rebuild a chain from a [`FlatToken`], returning the top record with
+    /// one reference (the caller's).
+    pub fn intern(&mut self, f: &FlatToken) -> TokenId {
+        debug_assert_eq!(f.wmes.len(), f.lens.len());
+        let mut cur = TokenId::NONE;
+        let mut at = 0usize;
+        for (i, &wme) in f.wmes.iter().enumerate() {
+            let t = self.alloc(cur, wme);
+            let n = f.lens[i] as usize;
+            for &v in &f.vals[at..at + n] {
+                self.push_val(t, v);
+            }
+            at += n;
+            if cur != TokenId::NONE {
+                // The child's parent reference keeps `cur` alive; drop the
+                // loop's ownership.
+                self.release(cur);
+            }
+            cur = t;
+        }
+        debug_assert_ne!(cur, TokenId::NONE, "flat token must have a level");
+        cur
+    }
+}
+
+/// A sorted association list from variable to bound value (oracle form).
+///
+/// Sorted by [`Symbol::index`] — the id-order key — so lookups compare
+/// `u32`s, never strings. Iteration order is therefore interning order,
+/// not lexicographic; nothing canonical-textual may rely on it.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Bindings(Vec<(Symbol, Value)>);
 
@@ -21,14 +281,17 @@ impl Bindings {
     /// Look up a variable.
     pub fn get(&self, var: Symbol) -> Option<Value> {
         self.0
-            .binary_search_by(|(s, _)| s.cmp(&var))
+            .binary_search_by(|(s, _)| s.index().cmp(&var.index()))
             .ok()
             .map(|i| self.0[i].1)
     }
 
     /// Insert or overwrite a binding.
     pub fn set(&mut self, var: Symbol, value: Value) {
-        match self.0.binary_search_by(|(s, _)| s.cmp(&var)) {
+        match self
+            .0
+            .binary_search_by(|(s, _)| s.index().cmp(&var.index()))
+        {
             Ok(i) => self.0[i].1 = value,
             Err(i) => self.0.insert(i, (var, value)),
         }
@@ -44,7 +307,7 @@ impl Bindings {
         self.0.is_empty()
     }
 
-    /// Iterate `(var, value)` pairs in canonical order.
+    /// Iterate `(var, value)` pairs in canonical (id) order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, Value)> + '_ {
         self.0.iter().copied()
     }
@@ -65,12 +328,8 @@ impl FromIterator<(Symbol, Value)> for Bindings {
     }
 }
 
-/// A beta token: the WMEs matching a prefix of a production's positive CEs,
-/// plus the variable bindings they induce.
-///
-/// Unlike textbook Rete (which threads parent-token pointers), tokens here
-/// are self-contained values — they must be, because the paper's mapping
-/// ships them between processors as messages.
+/// A self-contained beta token (oracle form): the WMEs matching a prefix of
+/// a production's positive CEs, plus the variable bindings they induce.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct BetaToken {
     /// Time tags of the WMEs matched so far, in positive-CE order.
@@ -133,8 +392,9 @@ mod tests {
         assert_eq!(b.get(intern("z")), Some(Value::Int(3)));
         assert_eq!(b.get(intern("a")), Some(Value::Int(2)));
         assert_eq!(b.get(intern("missing")), None);
-        let order: Vec<_> = b.iter().map(|(s, _)| s.as_str()).collect();
-        assert_eq!(order, vec!["a", "z"]);
+        // Canonical order is id (interning) order, ascending.
+        let order: Vec<u32> = b.iter().map(|(s, _)| s.index()).collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -173,5 +433,80 @@ mod tests {
         let b: Bindings = [(intern("x"), Value::Int(1))].into_iter().collect();
         let m = b.to_map();
         assert_eq!(m[&intern("x")], Value::Int(1));
+    }
+
+    #[test]
+    fn arena_chain_reconstruction() {
+        let mut a = TokenArena::new();
+        let seed = a.alloc(TokenId::NONE, WmeId(1));
+        a.push_val(seed, Value::Int(10));
+        let mid = a.alloc(seed, WmeId(2));
+        a.push_val(mid, Value::Int(20));
+        a.push_val(mid, Value::sym("q"));
+        let top = a.alloc(mid, WmeId(3));
+        assert_eq!(a.wme_ids(top), vec![WmeId(1), WmeId(2), WmeId(3)]);
+        assert_eq!(a.value(top, VarRef { level: 0, slot: 0 }), Value::Int(10));
+        assert_eq!(a.value(top, VarRef { level: 1, slot: 1 }), Value::sym("q"));
+        assert_eq!(a.value(mid, VarRef { level: 0, slot: 0 }), Value::Int(10));
+    }
+
+    #[test]
+    fn arena_refcounting_frees_and_reuses() {
+        let mut a = TokenArena::new();
+        let seed = a.alloc(TokenId::NONE, WmeId(1));
+        let child = a.alloc(seed, WmeId(2));
+        assert_eq!(a.live(), 2);
+        // Dropping the caller's seed ref keeps it alive through the child.
+        a.release(seed);
+        assert_eq!(a.live(), 2);
+        // Dropping the child cascades to the seed.
+        a.release(child);
+        assert_eq!(a.live(), 0);
+        // Freed slots are recycled.
+        let again = a.alloc(TokenId::NONE, WmeId(3));
+        assert!(again == seed || again == child);
+        assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn chain_equality_is_structural() {
+        let mut a = TokenArena::new();
+        let s1 = a.alloc(TokenId::NONE, WmeId(1));
+        let t1 = a.alloc(s1, WmeId(2));
+        let s2 = a.alloc(TokenId::NONE, WmeId(1));
+        let t2 = a.alloc(s2, WmeId(2));
+        let s3 = a.alloc(TokenId::NONE, WmeId(1));
+        let t3 = a.alloc(s3, WmeId(3));
+        assert!(a.chain_eq(t1, t2), "distinct records, same chain");
+        assert!(!a.chain_eq(t1, t3));
+        assert!(!a.chain_eq(t1, s1), "different depth");
+        assert_eq!(a.chain_hash(t1), a.chain_hash(t2));
+    }
+
+    #[test]
+    fn flat_token_roundtrip() {
+        let mut a = TokenArena::new();
+        let seed = a.alloc(TokenId::NONE, WmeId(7));
+        a.push_val(seed, Value::sym("a"));
+        let top = a.alloc(seed, WmeId(9));
+        a.push_val(top, Value::Int(4));
+        a.push_val(top, Value::Int(5));
+        let flat = a.extract(top);
+        assert_eq!(flat.wmes, vec![WmeId(7), WmeId(9)]);
+        assert_eq!(flat.lens, vec![1, 2]);
+        assert_eq!(
+            flat.vals,
+            vec![Value::sym("a"), Value::Int(4), Value::Int(5)]
+        );
+
+        let mut b = TokenArena::new();
+        let t = b.intern(&flat);
+        assert_eq!(b.live(), 2);
+        assert_eq!(b.wme_ids(t), vec![WmeId(7), WmeId(9)]);
+        assert_eq!(b.value(t, VarRef { level: 1, slot: 1 }), Value::Int(5));
+        assert_eq!(b.chain_hash(t), a.chain_hash(top));
+        // One release drains the whole interned chain.
+        b.release(t);
+        assert_eq!(b.live(), 0);
     }
 }
