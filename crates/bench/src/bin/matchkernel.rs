@@ -5,6 +5,11 @@
 //! matchkernel --out BENCH_matchkernel.json   # measure + write manifest
 //! matchkernel --check [--max-regress 0.10]   # measure, compare against
 //!                                            # the committed manifest
+//! matchkernel --profile DIR        # replay each section once under the
+//!                                  # profiled kernel, write
+//!                                  # DIR/match_profile.json
+//! matchkernel --check-profile FILE # validate a match_profile.json
+//!                                  # against the v1 schema
 //! ```
 //!
 //! Measures the three characteristic sections of the `match_executors`
@@ -22,7 +27,8 @@
 //! medians — the CI gate for the match-kernel speed work.
 
 use mpps_ops::{Matcher, Program, Wme, WmeChange, WmeId};
-use mpps_rete::{ReteMatcher, ReteNetwork};
+use mpps_rete::{EngineConfig, ReteMatcher, ReteNetwork};
+use mpps_telemetry::MetricsRegistry;
 use mpps_workloads::{rubik, tourney, weaver};
 use std::hint::black_box;
 use std::time::Instant;
@@ -152,10 +158,44 @@ fn git_commit() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
+/// Replay every section once under the profiled sequential kernel and
+/// write the merged `match_profile.json` into `dir`. Profiling is kept
+/// out of the timed `measure` loop on purpose: the baselines stay
+/// unprofiled, so `--check` gates the zero-cost-when-disabled claim.
+fn write_profile(dir: &str) {
+    let mut merged = MetricsRegistry::new();
+    for (name, program, batches) in sections() {
+        let network = ReteNetwork::compile(&program).unwrap();
+        let mut m =
+            ReteMatcher::with_metrics(network, EngineConfig::default(), MetricsRegistry::new());
+        for batch in &batches {
+            m.process(batch);
+        }
+        black_box(m.conflict_set().len());
+        let reg = m.profile();
+        eprintln!(
+            "matchkernel --profile: {name}: {} series",
+            reg.counters().len() + reg.gauges().len() + reg.histograms().len()
+        );
+        merged.merge(&reg);
+    }
+    let json = mpps_core::render_match_profile("rete", 1, &merged);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("matchkernel --profile: cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
+    let path = format!("{dir}/match_profile.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("matchkernel --profile: wrote {path}"),
+        Err(e) => {
+            eprintln!("matchkernel --profile: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn manifest(results: &[SectionResult]) -> String {
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(0);
+    let cpus = mpps_telemetry::available_cpus();
     let sections = results
         .iter()
         .map(|r| {
@@ -203,6 +243,7 @@ fn main() {
     let mut check = false;
     let mut max_regress = 0.10f64;
     let mut samples = 21usize;
+    let mut profile: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -211,6 +252,24 @@ fn main() {
                 out = Some(args.get(i).expect("--out needs a path").clone());
             }
             "--check" => check = true,
+            "--profile" => {
+                i += 1;
+                profile = Some(args.get(i).expect("--profile needs a directory").clone());
+            }
+            "--check-profile" => {
+                i += 1;
+                let path = args.get(i).expect("--check-profile needs a file").clone();
+                match mpps_bench::telemetry::check_profile(std::path::Path::new(&path)) {
+                    Ok(report) => {
+                        println!("matchkernel --check-profile: {report}");
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("matchkernel --check-profile: {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "--max-regress" => {
                 i += 1;
                 max_regress = args
@@ -233,6 +292,10 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(dir) = profile {
+        write_profile(&dir);
     }
 
     let results = measure(samples);

@@ -185,6 +185,190 @@ pub fn check_dir(dir: &Path) -> Result<String, String> {
     ))
 }
 
+/// A histogram-summary value inside a profile: either `null` (the series
+/// was never recorded) or a complete summary object with consistent
+/// percentiles.
+fn check_profile_hist(v: &Value, ctx: &str) -> Result<(), String> {
+    if matches!(v, Value::Null) {
+        return Ok(());
+    }
+    let count = require_u64(v, "count", ctx)?;
+    let min = require_u64(v, "min", ctx)?;
+    let max = require_u64(v, "max", ctx)?;
+    let p50 = require_u64(v, "p50", ctx)?;
+    let p95 = require_u64(v, "p95", ctx)?;
+    require_f64(v, "mean", ctx)?;
+    if count > 0 && !(min <= p50 && p50 <= p95 && p95 <= max) {
+        return Err(format!(
+            "{ctx}: percentiles out of order (min {min}, p50 {p50}, p95 {p95}, max {max})"
+        ));
+    }
+    Ok(())
+}
+
+fn check_u64_fields(v: &Value, fields: &[&str], ctx: &str) -> Result<(), String> {
+    for f in fields {
+        require_u64(v, f, ctx)?;
+    }
+    Ok(())
+}
+
+/// Validate a `match_profile.json` document written by
+/// `mpps_core::render_match_profile` (`mpps run --profile`). Checks the
+/// schema tag, machine info, totals, hot-node/hot-rule ordering, the
+/// bucket-skew invariants (`max ≥ mean`, `factor = max/mean`), arena
+/// occupancy, phase histograms, and per-worker lanes. Returns a one-line
+/// description of what was validated.
+pub fn check_profile(path: &Path) -> Result<String, String> {
+    let name = path.display();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{name}: cannot read: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{name}: {e}"))?;
+    let ctx = format!("{name}");
+
+    let schema = require_str(&doc, "schema", &ctx)?;
+    if schema != "mpps.match_profile.v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    let matcher = require_str(&doc, "matcher", &ctx)?;
+    if matcher.is_empty() {
+        return Err(format!("{ctx}: empty matcher name"));
+    }
+
+    let machine = doc
+        .get("machine")
+        .ok_or_else(|| format!("{ctx}: missing \"machine\""))?;
+    if require_u64(machine, "cpus", &ctx)? == 0 {
+        return Err(format!("{ctx}: machine.cpus must be at least 1"));
+    }
+    if require_u64(machine, "workers", &ctx)? == 0 {
+        return Err(format!("{ctx}: machine.workers must be at least 1"));
+    }
+
+    let totals = doc
+        .get("totals")
+        .ok_or_else(|| format!("{ctx}: missing \"totals\""))?;
+    check_u64_fields(
+        totals,
+        &[
+            "activations",
+            "left_probes",
+            "right_probes",
+            "prefilter_hits",
+            "match_ns",
+        ],
+        &format!("{ctx}: totals"),
+    )?;
+    let total_acts = require_u64(totals, "activations", &ctx)?;
+
+    let hot_nodes = doc
+        .get("hot_nodes")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"hot_nodes\" array"))?;
+    let mut prev = u64::MAX;
+    for (i, entry) in hot_nodes.iter().enumerate() {
+        let ectx = format!("{ctx}: hot_nodes[{i}]");
+        check_u64_fields(
+            entry,
+            &[
+                "node",
+                "activations",
+                "left_probes",
+                "right_probes",
+                "prefilter_hits",
+                "match_ns",
+            ],
+            &ectx,
+        )?;
+        let acts = require_u64(entry, "activations", &ectx)?;
+        if acts > prev {
+            return Err(format!("{ectx}: not sorted by activations"));
+        }
+        if acts > total_acts {
+            return Err(format!("{ectx}: node exceeds total activations"));
+        }
+        prev = acts;
+    }
+    let hot_rules = doc
+        .get("hot_rules")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"hot_rules\" array"))?;
+    for (i, entry) in hot_rules.iter().enumerate() {
+        check_u64_fields(
+            entry,
+            &[
+                "rule",
+                "activations",
+                "retractions",
+                "alpha_inserts",
+                "seed_joins",
+                "match_ns",
+            ],
+            &format!("{ctx}: hot_rules[{i}]"),
+        )?;
+    }
+
+    let skew = doc
+        .get("bucket_skew")
+        .ok_or_else(|| format!("{ctx}: missing \"bucket_skew\""))?;
+    if !matches!(skew, Value::Null) {
+        let sctx = format!("{ctx}: bucket_skew");
+        let hit = require_u64(skew, "buckets_hit", &sctx)?;
+        let max = require_u64(skew, "max_activations", &sctx)?;
+        let mean = require_f64(skew, "mean_activations", &sctx)?;
+        let factor = require_f64(skew, "skew_factor", &sctx)?;
+        if hit == 0 {
+            return Err(format!("{sctx}: present but no buckets hit"));
+        }
+        if (max as f64) < mean {
+            return Err(format!("{sctx}: max {max} below mean {mean}"));
+        }
+        if mean > 0.0 && (factor - max as f64 / mean).abs() > 0.01 {
+            return Err(format!(
+                "{sctx}: skew_factor {factor} is not max/mean ({max}/{mean})"
+            ));
+        }
+    }
+
+    let arena = doc
+        .get("arena")
+        .ok_or_else(|| format!("{ctx}: missing \"arena\""))?;
+    check_u64_fields(
+        arena,
+        &["allocs", "frees", "live", "high_water", "free_high_water"],
+        &format!("{ctx}: arena"),
+    )?;
+
+    let phases = doc
+        .get("phases")
+        .ok_or_else(|| format!("{ctx}: missing \"phases\""))?;
+    let cycles = require_u64(phases, "cycles", &format!("{ctx}: phases"))?;
+    for series in ["wall_ns", "work_ns", "wait_ns", "drain_activations"] {
+        let v = phases
+            .get(series)
+            .ok_or_else(|| format!("{ctx}: phases missing {series:?}"))?;
+        check_profile_hist(v, &format!("{ctx}: phases.{series}"))?;
+    }
+
+    let workers = doc
+        .get("workers")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"workers\" array"))?;
+    for (i, lane) in workers.iter().enumerate() {
+        check_u64_fields(
+            lane,
+            &["worker", "work_ns", "wait_ns", "forwarded_in"],
+            &format!("{ctx}: workers[{i}]"),
+        )?;
+    }
+
+    Ok(format!(
+        "profile ok: matcher {matcher:?}, {total_acts} activations, {cycles} cycles, \
+         {} hot nodes, {} worker lanes",
+        hot_nodes.len(),
+        workers.len()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +439,77 @@ mod tests {
         let dir = tmp_dir("empty");
         write_dir(&dir, &TraceRecorder::new()).unwrap();
         check_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// End-to-end: a real profiled threaded run renders a profile that
+    /// passes the schema check.
+    #[test]
+    fn threaded_profile_passes_the_check() {
+        use mpps_ops::{parse_program, Matcher, Wme, WmeChange, WmeId};
+
+        let prog = parse_program("(p j (a ^v <x>) (b ^v <x>) --> (remove 1))").unwrap();
+        let mut m = mpps_core::ThreadedMatcher::from_program_profiled(&prog, 2).unwrap();
+        let mut changes = Vec::new();
+        for v in 0..16i64 {
+            changes.push(WmeChange::add(
+                WmeId(v as u64 * 2 + 1),
+                Wme::new("a", &[("v", v.into())]),
+            ));
+            changes.push(WmeChange::add(
+                WmeId(v as u64 * 2 + 2),
+                Wme::new("b", &[("v", v.into())]),
+            ));
+        }
+        m.process(&changes);
+        let reg = m.profile_snapshot().unwrap();
+        let text = mpps_core::render_match_profile("threaded", m.worker_count(), &reg);
+
+        let dir = tmp_dir("profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("match_profile.json");
+        std::fs::write(&path, &text).unwrap();
+        let report = check_profile(&path).unwrap();
+        assert!(report.contains("matcher \"threaded\""), "{report}");
+        assert!(report.contains("2 worker lanes"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An empty (unprofiled) registry still renders a schema-valid
+    /// profile — null skew, empty hot lists.
+    #[test]
+    fn empty_profile_passes_the_check() {
+        let text =
+            mpps_core::render_match_profile("rete", 1, &mpps_telemetry::MetricsRegistry::new());
+        let dir = tmp_dir("profile-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("match_profile.json");
+        std::fs::write(&path, &text).unwrap();
+        check_profile(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_profile_fails_the_check() {
+        let dir = tmp_dir("profile-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("match_profile.json");
+
+        std::fs::write(&path, "{\"schema\": \"something-else\"}").unwrap();
+        let err = check_profile(&path).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+
+        // Valid schema tag but inconsistent skew factor.
+        let text =
+            mpps_core::render_match_profile("threaded", 2, &mpps_telemetry::MetricsRegistry::new())
+                .replace(
+                    "\"bucket_skew\": null",
+                    "\"bucket_skew\": {\"buckets_hit\": 2, \"max_activations\": 4, \
+             \"mean_activations\": 2.0, \"skew_factor\": 9.0}",
+                );
+        std::fs::write(&path, text).unwrap();
+        let err = check_profile(&path).unwrap_err();
+        assert!(err.contains("skew_factor"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -19,11 +19,14 @@
 //! processor/overhead [`sweep`] helpers for the figures, the §6
 //! [`continuum`] endpoints (replicated and single-master hash tables), and
 //! a message-based [`termination`] detector (Safra's algorithm) — the
-//! piece the paper explicitly deferred to future work.
+//! piece the paper explicitly deferred to future work — and the
+//! [`profile`] renderer that turns a merged match-kernel
+//! [`mpps_telemetry::MetricsRegistry`] into `match_profile.json`.
 
 pub mod continuum;
 pub mod cost;
 pub mod partition;
+pub mod profile;
 pub mod sharedbus;
 pub mod simexec;
 pub mod sweep;
@@ -32,6 +35,7 @@ pub mod threaded;
 
 pub use cost::{CostModel, OverheadSetting, NECTAR_LATENCY};
 pub use partition::{bucket_activity, cycle_bucket_activity, cycle_bucket_work, Partition};
+pub use profile::{render_match_profile, PROFILE_SCHEMA};
 pub use sharedbus::{shared_bus_simulate, SharedBusConfig, SharedBusReport};
 pub use simexec::{
     name_machine_tracks, simulate, simulate_in, simulate_per_cycle, simulate_per_cycle_in,

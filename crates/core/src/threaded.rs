@@ -57,7 +57,7 @@ use mpps_ops::{
 use mpps_rete::kernel::{self, Kernel, RootWork, Work};
 use mpps_rete::{FlatToken, NodeId, ReteNetwork, ShardedMemories};
 use mpps_telemetry::recorder::THREADED_PID;
-use mpps_telemetry::{Recorder, TraceRecorder, Track};
+use mpps_telemetry::{MetricSink, MetricsRegistry, NullMetrics, Recorder, TraceRecorder, Track};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -68,6 +68,30 @@ use std::time::Duration;
 /// How often the blocked coordinator checks worker liveness. Bounds the
 /// time between a worker dying and `try_process` returning an error.
 const LIVENESS_POLL: Duration = Duration::from_millis(20);
+
+/// Metric names emitted by the threaded executor's profiling hooks, on
+/// top of the kernel's `node.*`/`bucket.*`/`arena.*`/`cycle.*` series
+/// (see [`mpps_rete::kernel::metric`]).
+pub mod metric {
+    /// Activations executed per drain (histogram, one sample per worker
+    /// drain) — the live per-drain skew lane.
+    pub const DRAIN_ACTIVATIONS: &str = "drain.activations";
+    /// Tokens forwarded to each peer, keyed by receiving worker index.
+    pub const PEER_FORWARDED: &str = "peer.forwarded";
+    /// Cumulative match-work nanoseconds, keyed by worker index.
+    pub const WORKER_WORK_NS: &str = "worker.work-ns";
+    /// Cumulative barrier-wait nanoseconds (cycle wall minus this
+    /// worker's match work), keyed by worker index.
+    pub const WORKER_WAIT_NS: &str = "worker.wait-ns";
+}
+
+/// One cycle's coordinator-side phase split, kept for Chrome-trace lane
+/// synthesis when profiling is on.
+struct CycleSplit {
+    wall_ns: u64,
+    /// `(work_ns, wait_ns)` per worker, in worker order.
+    per_worker: Vec<(u64, u64)>,
+}
 
 /// Cross-thread work: arena-agnostic form of [`Work`]. Tokens travel as
 /// seed values or [`FlatToken`]s and are adopted into the receiving
@@ -97,6 +121,8 @@ enum WireWork {
 
 enum ToWorker {
     Work(Vec<WireWork>),
+    /// Ask the worker to export its metrics registry (between cycles).
+    Report,
     Shutdown,
     /// Test-only: make the receiving worker panic mid-run, simulating a
     /// crash inside the match kernel.
@@ -105,8 +131,15 @@ enum ToWorker {
 }
 
 enum ToCoordinator {
-    Prod { sign: Sign, inst: Instantiation },
+    Prod {
+        sign: Sign,
+        inst: Instantiation,
+    },
     Quiescent,
+    /// Reply to [`ToWorker::Report`]: the worker's exported metrics.
+    Metrics {
+        registry: Box<MetricsRegistry>,
+    },
 }
 
 /// Monotonic per-worker activity counters, shared with the coordinator.
@@ -127,6 +160,9 @@ struct WorkerCounters {
     left_probes: AtomicU64,
     /// Right-table entries examined by probes on this worker's shard.
     right_probes: AtomicU64,
+    /// Nanoseconds spent draining the local work queue (profiled runs
+    /// only; stays zero under `NullMetrics`).
+    work_ns: AtomicU64,
 }
 
 /// Snapshot of one worker's [`WorkerCounters`].
@@ -146,6 +182,9 @@ pub struct WorkerStats {
     pub left_probes: u64,
     /// Right-table entries examined by probes on this worker's shard.
     pub right_probes: u64,
+    /// Nanoseconds spent draining the local work queue (zero unless the
+    /// matcher was spawned profiled).
+    pub work_ns: u64,
 }
 
 /// Executor-wide activity snapshot (see [`ThreadedMatcher::stats`]).
@@ -159,10 +198,10 @@ pub struct ThreadedStats {
     pub conflict_entries: usize,
 }
 
-struct Worker {
+struct Worker<M: MetricSink = NullMetrics> {
     me: usize,
     network: Arc<ReteNetwork>,
-    kernel: Kernel<ShardedMemories>,
+    kernel: Kernel<ShardedMemories, M>,
     table_size: u64,
     partition: Arc<Partition>,
     inbox: Receiver<ToWorker>,
@@ -172,7 +211,7 @@ struct Worker {
     counters: Arc<WorkerCounters>,
 }
 
-impl Worker {
+impl<M: MetricSink> Worker<M> {
     fn run(mut self) {
         // FIFO is load-bearing: a +token and the cancelling −token of the
         // same value are always generated on one thread (same parent
@@ -186,9 +225,21 @@ impl Worker {
         while let Ok(msg) = self.inbox.recv() {
             match msg {
                 ToWorker::Shutdown => break,
+                ToWorker::Report => {
+                    let registry = Box::new(self.kernel.metrics.export());
+                    if self
+                        .coordinator
+                        .send(ToCoordinator::Metrics { registry })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
                 #[cfg(test)]
                 ToWorker::Poison => panic!("worker {} poisoned by test hook", self.me),
                 ToWorker::Work(batch) => {
+                    let drain_timer = M::ENABLED.then(std::time::Instant::now);
+                    let mut drained: u64 = 0;
                     for w in batch {
                         let adopted = self.adopt(w);
                         local.push_back(adopted);
@@ -197,9 +248,28 @@ impl Worker {
                         .max_queue_depth
                         .fetch_max(local.len() as u64, Ordering::Relaxed);
                     while let Some(item) = local.pop_front() {
+                        if M::ENABLED {
+                            drained += 1;
+                        }
                         if !self.process(item, &mut local, &mut outgoing, &mut out) {
                             return;
                         }
+                    }
+                    if let Some(t0) = drain_timer {
+                        // Publish match-work time before flushing so a
+                        // quiescence triggered by the flushed tokens (on
+                        // another thread) usually sees this drain's share.
+                        // The coordinator reads these counters racily; any
+                        // publish it misses is credited to the next cycle,
+                        // so totals stay exact even if one cycle's split is
+                        // approximate.
+                        self.counters
+                            .work_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        self.kernel
+                            .metrics
+                            .observe(metric::DRAIN_ACTIVATIONS, drained);
+                        self.kernel.record_arena_metrics(self.me as u64);
                     }
                     if !self.flush(&mut outgoing) {
                         return;
@@ -329,6 +399,11 @@ impl Worker {
                         self.counters
                             .tokens_forwarded
                             .fetch_add(1, Ordering::Relaxed);
+                        if M::ENABLED {
+                            self.kernel
+                                .metrics
+                                .add(metric::PEER_FORWARDED, to as u64, 1);
+                        }
                         let flat = self.kernel.arena.extract(token);
                         self.kernel.arena.release(token);
                         outgoing[to].push(WireWork::Left {
@@ -387,6 +462,12 @@ pub struct ThreadedMatcher {
     cycles: u64,
     /// First worker observed dead; poisons every later cycle.
     failed: Option<usize>,
+    /// Workers were spawned with live metrics (`Worker<MetricsRegistry>`).
+    profiled: bool,
+    /// Coordinator-side registry: per-cycle wall/work/wait series.
+    cycle_registry: MetricsRegistry,
+    /// Per-cycle phase splits for Chrome-trace lane synthesis.
+    cycle_splits: Vec<CycleSplit>,
 }
 
 impl ThreadedMatcher {
@@ -405,6 +486,27 @@ impl ThreadedMatcher {
     /// physical shard layout: worker *w* materializes exactly the bucket
     /// pairs it owns, densely packed through a shared slot map.
     pub fn with_partition(network: ReteNetwork, partition: Partition) -> Self {
+        Self::build(network, partition, false)
+    }
+
+    /// Like [`ThreadedMatcher::new`], but every worker carries a live
+    /// [`MetricsRegistry`] feeding [`ThreadedMatcher::profile_snapshot`].
+    pub fn new_profiled(network: ReteNetwork, workers: usize, table_size: u64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(table_size > 0, "need at least one bucket");
+        Self::with_partition_profiled(network, Partition::round_robin(table_size, workers))
+    }
+
+    /// Like [`ThreadedMatcher::with_partition`], but with live metrics:
+    /// workers are monomorphized over [`MetricsRegistry`] instead of
+    /// [`NullMetrics`], recording per-node/per-bucket kernel series plus
+    /// per-drain skew lanes, and the coordinator times every cycle's
+    /// barrier-wait vs match-work split.
+    pub fn with_partition_profiled(network: ReteNetwork, partition: Partition) -> Self {
+        Self::build(network, partition, true)
+    }
+
+    fn build(network: ReteNetwork, partition: Partition, profiled: bool) -> Self {
         let table_size = partition.table_size();
         assert!(table_size > 0, "need at least one bucket");
         let workers = partition.processors();
@@ -427,27 +529,62 @@ impl ThreadedMatcher {
         let counters: Vec<Arc<WorkerCounters>> = (0..workers)
             .map(|_| Arc::new(WorkerCounters::default()))
             .collect();
-        let mut handles = Vec::with_capacity(workers);
-        for (me, (_, rx)) in channels.into_iter().enumerate() {
-            let worker = Worker {
-                me,
-                network: network.clone(),
-                kernel: Kernel::new(ShardedMemories::new(slot_of.clone(), shard_len[me])),
-                table_size,
-                partition: partition.clone(),
-                inbox: rx,
-                peers: senders.clone(),
-                coordinator: to_coord.clone(),
-                outstanding: outstanding.clone(),
-                counters: counters[me].clone(),
-            };
-            handles.push(
+        // The worker's metric sink is a *type* (zero-cost when disabled),
+        // so the profiled flag picks which monomorphization to spawn.
+        type WorkerWiring = (
+            Arc<ReteNetwork>,
+            Arc<Partition>,
+            Vec<Sender<ToWorker>>,
+            Sender<ToCoordinator>,
+            Arc<AtomicI64>,
+            Arc<WorkerCounters>,
+        );
+        let spawn_worker = |me: usize, rx: Receiver<ToWorker>| {
+            let mem = ShardedMemories::new(slot_of.clone(), shard_len[me]);
+            let common = (
+                network.clone(),
+                partition.clone(),
+                senders.clone(),
+                to_coord.clone(),
+                outstanding.clone(),
+                counters[me].clone(),
+            );
+            fn spawn<M: MetricSink + Send + 'static>(
+                me: usize,
+                mem: ShardedMemories,
+                metrics: M,
+                table_size: u64,
+                inbox: Receiver<ToWorker>,
+                (network, partition, peers, coordinator, outstanding, counters): WorkerWiring,
+            ) -> JoinHandle<()> {
+                let worker = Worker {
+                    me,
+                    network,
+                    kernel: Kernel::with_metrics(mem, metrics),
+                    table_size,
+                    partition,
+                    inbox,
+                    peers,
+                    coordinator,
+                    outstanding,
+                    counters,
+                };
                 std::thread::Builder::new()
                     .name(format!("mpps-match-{me}"))
                     .spawn(move || worker.run())
-                    .expect("spawn worker thread"),
-            );
-        }
+                    .expect("spawn worker thread")
+            }
+            if profiled {
+                spawn(me, mem, MetricsRegistry::new(), table_size, rx, common)
+            } else {
+                spawn(me, mem, NullMetrics, table_size, rx, common)
+            }
+        };
+        let handles = channels
+            .into_iter()
+            .enumerate()
+            .map(|(me, (_, rx))| spawn_worker(me, rx))
+            .collect();
         ThreadedMatcher {
             network,
             partition,
@@ -460,12 +597,29 @@ impl ThreadedMatcher {
             counters,
             cycles: 0,
             failed: None,
+            profiled,
+            cycle_registry: MetricsRegistry::new(),
+            cycle_splits: Vec::new(),
         }
     }
 
     /// Compile `program` and spawn an executor with default table size.
     pub fn from_program(program: &Program, workers: usize) -> Result<Self, OpsError> {
         Ok(Self::new(ReteNetwork::compile(program)?, workers, 2048))
+    }
+
+    /// Profiled variant of [`ThreadedMatcher::from_program`].
+    pub fn from_program_profiled(program: &Program, workers: usize) -> Result<Self, OpsError> {
+        Ok(Self::new_profiled(
+            ReteNetwork::compile(program)?,
+            workers,
+            2048,
+        ))
+    }
+
+    /// Whether this executor was spawned with live metrics.
+    pub fn is_profiled(&self) -> bool {
+        self.profiled
     }
 
     /// Number of worker threads.
@@ -492,6 +646,7 @@ impl ThreadedMatcher {
                     max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
                     left_probes: c.left_probes.load(Ordering::Relaxed),
                     right_probes: c.right_probes.load(Ordering::Relaxed),
+                    work_ns: c.work_ns.load(Ordering::Relaxed),
                 })
                 .collect(),
             cycles: self.cycles,
@@ -518,15 +673,99 @@ impl ThreadedMatcher {
             rec.counter(track, "queue-depth-max", 0, w.max_queue_depth);
             rec.counter(track, "left-probes", 0, w.left_probes);
             rec.counter(track, "right-probes", 0, w.right_probes);
+            rec.counter(track, "work-ns", 0, w.work_ns);
             rec.sample("threaded.tokens-processed", w.tokens_processed);
             rec.sample("threaded.tokens-forwarded", w.tokens_forwarded);
             rec.sample("threaded.messages-sent", w.messages_sent);
             rec.sample("threaded.queue-depth-max", w.max_queue_depth);
             rec.sample("threaded.left-probes", w.left_probes);
             rec.sample("threaded.right-probes", w.right_probes);
+            rec.sample("threaded.work-ns", w.work_ns);
         }
         rec.sample("threaded.conflict-set-size", stats.conflict_entries as u64);
         rec.sample("threaded.cycles", stats.cycles);
+    }
+
+    /// Collect one merged [`MetricsRegistry`] across every worker plus the
+    /// coordinator's per-cycle series. Must be called *between* cycles
+    /// (quiescent); each worker is asked to export its registry and the
+    /// replies are merged. On an unprofiled matcher this returns the
+    /// (empty) coordinator registry without touching the workers.
+    pub fn profile_snapshot(&mut self) -> Result<MetricsRegistry, MatchError> {
+        let mut merged = self.cycle_registry.clone();
+        if !self.profiled {
+            return Ok(merged);
+        }
+        if let Some(worker) = self.failed {
+            return Err(MatchError::WorkerPanicked { worker });
+        }
+        for (w, tx) in self.workers.iter().enumerate() {
+            if tx.send(ToWorker::Report).is_err() {
+                self.failed = Some(w);
+                return Err(MatchError::WorkerPanicked { worker: w });
+            }
+        }
+        let mut replies = 0;
+        while replies < self.workers.len() {
+            match self.from_workers.recv_timeout(LIVENESS_POLL) {
+                Ok(ToCoordinator::Metrics { registry }) => {
+                    merged.merge(&registry);
+                    replies += 1;
+                }
+                // No cycle is in flight, so a Prod here can only be a
+                // leftover the previous cycle already accounted for —
+                // fold it in rather than lose a conflict-set update.
+                Ok(ToCoordinator::Prod { sign, inst }) => {
+                    self.apply_production(sign, inst);
+                    self.outstanding.fetch_sub(1, Ordering::SeqCst);
+                }
+                Ok(ToCoordinator::Quiescent) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(worker) = self.dead_worker() {
+                        return Err(MatchError::WorkerPanicked { worker });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(match self.dead_worker() {
+                        Some(worker) => MatchError::WorkerPanicked { worker },
+                        None => MatchError::Disconnected,
+                    });
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Synthesize the per-cycle phase split into Chrome-trace spans: for
+    /// every recorded cycle, each worker lane ([`Track::match_worker`])
+    /// gets a `match-work` span followed by a `barrier-wait` span filling
+    /// the rest of the cycle wall time. Cycles are laid end to end on a
+    /// synthetic timeline starting at 0 µs; merge with
+    /// [`name_threaded_tracks`] and [`ThreadedMatcher::record_into`] for
+    /// named lanes and counter tracks in the same export.
+    pub fn record_cycles_into(&self, rec: &mut TraceRecorder) {
+        let mut t: u64 = 0;
+        for split in &self.cycle_splits {
+            for (w, &(work_ns, wait_ns)) in split.per_worker.iter().enumerate() {
+                let track = Track::match_worker(w);
+                rec.span(track, "match-work", t, t + work_ns);
+                if wait_ns > 0 {
+                    rec.span(
+                        track,
+                        "barrier-wait",
+                        t + work_ns,
+                        t + split.wall_ns.max(work_ns),
+                    );
+                }
+            }
+            t += split.wall_ns.max(1);
+        }
+    }
+
+    /// Number of match cycles whose phase split has been recorded
+    /// (profiled matchers only; always zero otherwise).
+    pub fn recorded_cycles(&self) -> usize {
+        self.cycle_splits.len()
     }
 
     /// Returns the first dead (panicked) worker, if any, and poisons the
@@ -569,8 +808,49 @@ impl ThreadedMatcher {
     }
 
     /// The fallible cycle driver behind both `Matcher::process` and
-    /// `Matcher::try_process`.
+    /// `Matcher::try_process`. When profiled, wraps the real driver in a
+    /// wall-clock timer and derives each worker's barrier-wait share as
+    /// `cycle wall − that worker's match-work delta` — drain times are
+    /// measured on the workers themselves, so the coordinator never has
+    /// to guess at message timing.
     fn process_cycle(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
+        if !self.profiled {
+            return self.process_cycle_inner(changes);
+        }
+        let before: Vec<u64> = self
+            .counters
+            .iter()
+            .map(|c| c.work_ns.load(Ordering::Relaxed))
+            .collect();
+        let t0 = std::time::Instant::now();
+        let result = self.process_cycle_inner(changes);
+        if result.is_ok() {
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            let mut per_worker = Vec::with_capacity(self.counters.len());
+            for (w, c) in self.counters.iter().enumerate() {
+                let work = c.work_ns.load(Ordering::Relaxed).saturating_sub(before[w]);
+                let wait = wall_ns.saturating_sub(work);
+                self.cycle_registry
+                    .observe(kernel::metric::CYCLE_WORK_NS, work);
+                self.cycle_registry
+                    .observe(kernel::metric::CYCLE_WAIT_NS, wait);
+                self.cycle_registry
+                    .add(metric::WORKER_WORK_NS, w as u64, work);
+                self.cycle_registry
+                    .add(metric::WORKER_WAIT_NS, w as u64, wait);
+                per_worker.push((work, wait));
+            }
+            self.cycle_registry
+                .observe(kernel::metric::CYCLE_WALL_NS, wall_ns);
+            self.cycle_splits.push(CycleSplit {
+                wall_ns,
+                per_worker,
+            });
+        }
+        result
+    }
+
+    fn process_cycle_inner(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
         if let Some(worker) = self.failed {
             return Err(MatchError::WorkerPanicked { worker });
         }
@@ -658,6 +938,11 @@ impl ThreadedMatcher {
                     if self.outstanding.load(Ordering::SeqCst) == 0 {
                         return Ok(());
                     }
+                }
+                Ok(ToCoordinator::Metrics { .. }) => {
+                    // Metrics replies are only solicited between cycles
+                    // (`profile_snapshot` drains them); a stray one here
+                    // carries no work accounting and is safely dropped.
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     // A panicked worker can never drain its share of the
@@ -1189,5 +1474,120 @@ mod tests {
             .track_names()
             .iter()
             .any(|(t, n)| *t == Track::match_worker(2) && n == "match thread 2"));
+    }
+
+    /// Lane-name audit: every track `record_into` (and the profiled
+    /// `record_cycles_into`) emits onto must be named by
+    /// `name_threaded_tracks`, and the names themselves are pinned so
+    /// they stay stable across runs and releases.
+    #[test]
+    fn lane_names_match_between_recorder_and_namer() {
+        let prog = parse_program(BLUE).unwrap();
+        let network = ReteNetwork::compile(&prog).unwrap();
+        let mut par =
+            ThreadedMatcher::with_partition_profiled(network, Partition::round_robin(64, 3));
+        par.process(&blue_wmes());
+        let mut rec = TraceRecorder::new();
+        name_threaded_tracks(&mut rec, par.worker_count());
+        par.record_into(&mut rec);
+        par.record_cycles_into(&mut rec);
+
+        // Pin the literal names.
+        assert!(rec
+            .process_names()
+            .iter()
+            .any(|(p, n)| *p == THREADED_PID && n == "threaded matcher"));
+        for w in 0..par.worker_count() {
+            let expect = format!("match thread {w}");
+            assert!(
+                rec.track_names()
+                    .iter()
+                    .any(|(t, n)| *t == Track::match_worker(w) && *n == expect),
+                "missing pinned lane name {expect:?}"
+            );
+        }
+        // Every emitted track is a named track.
+        let named: std::collections::BTreeSet<Track> =
+            rec.track_names().iter().map(|(t, _)| *t).collect();
+        for c in rec.counters() {
+            assert!(
+                named.contains(&c.track),
+                "unnamed counter lane {:?}",
+                c.track
+            );
+        }
+        for s in rec.spans() {
+            assert!(named.contains(&s.track), "unnamed span lane {:?}", s.track);
+        }
+    }
+
+    /// Profiling must be observation-only: a profiled matcher produces
+    /// the same conflict set as an unprofiled one and as the sequential
+    /// engine, while its snapshot carries the threaded skew lanes.
+    #[test]
+    fn profiled_threaded_matches_identically_and_snapshots_metrics() {
+        let src = "(p j3 (a ^v <x>) (b ^v <x>) (c ^v <x>) --> (remove 1))";
+        let prog = parse_program(src).unwrap();
+        let mut changes = Vec::new();
+        let mut id = 0u64;
+        for v in 0..32i64 {
+            for class in ["a", "b", "c"] {
+                id += 1;
+                changes.push(add(id, Wme::new(class, &[("v", v.into())])));
+            }
+        }
+        let mut plain = ThreadedMatcher::from_program(&prog, 4).unwrap();
+        let mut prof = ThreadedMatcher::from_program_profiled(&prog, 4).unwrap();
+        assert!(!plain.is_profiled());
+        assert!(prof.is_profiled());
+        plain.process(&changes);
+        prof.process(&changes);
+        assert_eq!(plain.conflict_set(), prof.conflict_set());
+
+        // Unprofiled snapshot is empty and cheap.
+        assert!(plain.profile_snapshot().unwrap().is_empty());
+        assert_eq!(plain.recorded_cycles(), 0);
+
+        let snap = prof.profile_snapshot().unwrap();
+        assert!(
+            snap.counter_total(kernel::metric::NODE_ACTIVATIONS) > 0,
+            "per-node activations recorded"
+        );
+        assert!(
+            snap.counter_total(kernel::metric::BUCKET_ACTIVATIONS)
+                == snap.counter_total(kernel::metric::NODE_ACTIVATIONS),
+            "bucket and node lanes count the same activations"
+        );
+        assert!(
+            snap.counter_total(metric::PEER_FORWARDED) > 0,
+            "cross-worker forwarding recorded per peer"
+        );
+        let drains = snap
+            .histogram(metric::DRAIN_ACTIVATIONS)
+            .expect("per-drain skew lane present");
+        assert!(drains.count() > 0);
+        assert_eq!(prof.recorded_cycles(), 1);
+        let wall = snap
+            .histogram(kernel::metric::CYCLE_WALL_NS)
+            .expect("cycle wall series");
+        assert_eq!(wall.count(), 1);
+        let work = snap
+            .histogram(kernel::metric::CYCLE_WORK_NS)
+            .expect("per-worker work split");
+        let wait = snap
+            .histogram(kernel::metric::CYCLE_WAIT_NS)
+            .expect("per-worker wait split");
+        assert_eq!(work.count(), 4, "one work sample per worker per cycle");
+        assert_eq!(wait.count(), 4, "one wait sample per worker per cycle");
+
+        // The snapshot is cumulative and repeatable between cycles.
+        let again = prof.profile_snapshot().unwrap();
+        assert_eq!(again, snap);
+
+        // And the matcher still matches correctly afterwards.
+        let w = Wme::new("a", &[("v", 0.into())]);
+        prof.process(&[del(1, w)]);
+        assert_eq!(prof.conflict_set().len(), 31);
+        assert_eq!(prof.recorded_cycles(), 2);
     }
 }

@@ -33,8 +33,33 @@ use crate::production::{Production, ProductionId, Program};
 use crate::symbol::Symbol;
 use crate::value::Value;
 use crate::wme::{Sign, Wme, WmeId};
+use mpps_telemetry::{MetricSink, MetricsRegistry, NullMetrics};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Metric names emitted by the TREAT profiling hooks — the per-rule
+/// analogue of the Rete kernel's per-node series. Keys are production
+/// indices.
+pub mod metric {
+    /// Instantiations derived into the conflict set, keyed by production.
+    pub const RULE_ACTIVATIONS: &str = "rule.activations";
+    /// Instantiations dropped (WME deletion or a violated negation),
+    /// keyed by production.
+    pub const RULE_RETRACTIONS: &str = "rule.retractions";
+    /// WMEs inserted into this production's alpha memories, keyed by
+    /// production.
+    pub const RULE_ALPHA_INSERTS: &str = "rule.alpha-inserts";
+    /// Seeded join enumerations started, keyed by production.
+    pub const RULE_SEED_JOINS: &str = "rule.seed-joins";
+    /// Cumulative sampled match nanoseconds, keyed by production. One
+    /// `(production, change)` body in [`SAMPLE_EVERY`](super::SAMPLE_EVERY)
+    /// is timed and scaled back up.
+    pub const RULE_MATCH_NS: &str = "rule.match-ns";
+}
+
+/// Sampling gate for per-rule match timing (same discipline as the Rete
+/// kernel's per-node gate).
+pub const SAMPLE_EVERY: u32 = 16;
 
 /// A negated condition element with its binding context.
 struct NegatedCe {
@@ -93,16 +118,30 @@ impl AlphaMemory {
 }
 
 /// The TREAT matcher: alpha memories + conflict set, no beta state.
-pub struct TreatMatcher {
+///
+/// `M` is the profiling sink: [`NullMetrics`] (the default — hooks
+/// monomorphize away) or a collecting sink installed via
+/// [`TreatMatcher::with_metrics`], recording per-rule activation,
+/// retraction, and sampled match-time series.
+pub struct TreatMatcher<M: MetricSink = NullMetrics> {
     productions: Vec<CompiledProduction>,
     /// `memories[p]` maps an LHS index to its alpha memory.
     memories: Vec<HashMap<usize, AlphaMemory>>,
     conflict: HashMap<(ProductionId, Vec<WmeId>), Instantiation>,
+    metrics: M,
+    sample_tick: u32,
 }
 
 impl TreatMatcher {
-    /// Build a TREAT matcher for `program`.
+    /// Build an unprofiled TREAT matcher for `program`.
     pub fn new(program: &Program) -> Self {
+        Self::with_metrics(program, NullMetrics)
+    }
+}
+
+impl<M: MetricSink> TreatMatcher<M> {
+    /// Build a TREAT matcher recording per-rule metrics into `metrics`.
+    pub fn with_metrics(program: &Program, metrics: M) -> Self {
         let mut productions = Vec::with_capacity(program.len());
         let mut memories = Vec::with_capacity(program.len());
         for (_, prod) in program.iter() {
@@ -119,7 +158,20 @@ impl TreatMatcher {
             productions,
             memories,
             conflict: HashMap::new(),
+            metrics,
+            sample_tick: 0,
         }
+    }
+
+    /// The profiling sink.
+    pub fn metrics(&self) -> &M {
+        &self.metrics
+    }
+
+    /// Snapshot the recorded metrics as a registry (empty when `M` is
+    /// [`NullMetrics`]).
+    pub fn profile(&self) -> MetricsRegistry {
+        self.metrics.export()
     }
 
     /// Enumerate instantiations of production `p` with the WME `(id, wme)`
@@ -239,8 +291,29 @@ impl TreatMatcher {
         out
     }
 
+    /// One activation in `SAMPLE_EVERY` per `(production, change)` body
+    /// is wall-clock timed; returns the timer for this body if sampled.
+    fn sample_timer(&mut self) -> Option<std::time::Instant> {
+        if !M::ENABLED {
+            return None;
+        }
+        self.sample_tick = self.sample_tick.wrapping_add(1);
+        self.sample_tick
+            .is_multiple_of(SAMPLE_EVERY)
+            .then(std::time::Instant::now)
+    }
+
+    fn record_sample(&mut self, p: usize, timer: Option<std::time::Instant>) {
+        if let Some(t0) = timer {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.metrics
+                .add(metric::RULE_MATCH_NS, p as u64, ns * SAMPLE_EVERY as u64);
+        }
+    }
+
     fn handle_add(&mut self, id: WmeId, wme: &Arc<Wme>) {
         for p in 0..self.productions.len() {
+            let timer = self.sample_timer();
             // Update this production's memories first (a WME may match
             // several CEs). `productions` and `memories` are disjoint
             // fields, so the CE list is walked by reference — no clones.
@@ -258,16 +331,28 @@ impl TreatMatcher {
                     neg_hits.push(k);
                 }
             }
+            if M::ENABLED {
+                let inserts = (matched_pos.len() + neg_hits.len()) as u64;
+                if inserts > 0 {
+                    self.metrics
+                        .add(metric::RULE_ALPHA_INSERTS, p as u64, inserts);
+                }
+            }
             // Retractions: the new WME may violate negated CEs of existing
             // instantiations — testing each negation only against the
             // bindings it can see.
             if !neg_hits.is_empty() {
                 let negative = &self.productions[p].negative;
+                let metrics = &mut self.metrics;
                 self.conflict.retain(|(pid, _), inst| {
-                    pid.0 as usize != p
+                    let keep = pid.0 as usize != p
                         || !neg_hits
                             .iter()
-                            .any(|&k| negative[k].blocked_by(wme, &inst.bindings))
+                            .any(|&k| negative[k].blocked_by(wme, &inst.bindings));
+                    if M::ENABLED && !keep {
+                        metrics.add(metric::RULE_RETRACTIONS, p as u64, 1);
+                    }
+                    keep
                 });
             }
             // Assertions: seed each positive position the WME matches.
@@ -278,20 +363,39 @@ impl TreatMatcher {
                 .filter(|(_, (i, _))| matched_pos.contains(i))
                 .map(|(k, _)| k)
                 .collect();
+            if M::ENABLED && !seeds.is_empty() {
+                self.metrics
+                    .add(metric::RULE_SEED_JOINS, p as u64, seeds.len() as u64);
+            }
             let mut found = Vec::new();
             for k in seeds {
                 self.seeded_instantiations(p, k, id, wme, &mut found);
             }
+            if M::ENABLED && !found.is_empty() {
+                self.metrics
+                    .add(metric::RULE_ACTIVATIONS, p as u64, found.len() as u64);
+            }
             for inst in found {
                 self.conflict.insert(inst.key(), inst);
             }
+            self.record_sample(p, timer);
         }
     }
 
     fn handle_delete(&mut self, id: WmeId) {
         // Drop every instantiation containing the WME: TREAT's cheap path.
-        self.conflict.retain(|(_, ids), _| !ids.contains(&id));
+        {
+            let metrics = &mut self.metrics;
+            self.conflict.retain(|(pid, ids), _| {
+                let keep = !ids.contains(&id);
+                if M::ENABLED && !keep {
+                    metrics.add(metric::RULE_RETRACTIONS, pid.0 as u64, 1);
+                }
+                keep
+            });
+        }
         for p in 0..self.productions.len() {
+            let timer = self.sample_timer();
             let mut unblocked = false;
             let neg_indices: Vec<usize> = self.productions[p]
                 .negative
@@ -309,9 +413,18 @@ impl TreatMatcher {
             // re-derive this production.
             if unblocked {
                 for inst in self.all_instantiations(p) {
-                    self.conflict.entry(inst.key()).or_insert(inst);
+                    match self.conflict.entry(inst.key()) {
+                        std::collections::hash_map::Entry::Occupied(_) => {}
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            if M::ENABLED {
+                                self.metrics.add(metric::RULE_ACTIVATIONS, p as u64, 1);
+                            }
+                            v.insert(inst);
+                        }
+                    }
                 }
             }
+            self.record_sample(p, timer);
         }
     }
 }
@@ -340,7 +453,7 @@ fn compile(prod: &Production) -> CompiledProduction {
     CompiledProduction { positive, negative }
 }
 
-impl Matcher for TreatMatcher {
+impl<M: MetricSink> Matcher for TreatMatcher<M> {
     fn process(&mut self, changes: &[WmeChange]) {
         for c in changes {
             match c.sign {
@@ -364,6 +477,7 @@ mod tests {
     use super::*;
     use crate::naive::NaiveMatcher;
     use crate::parser::parse_program;
+    use mpps_telemetry::MetricsRegistry;
 
     fn add(id: u64, wme: Wme) -> WmeChange {
         WmeChange::add(WmeId(id), wme)
@@ -544,6 +658,32 @@ mod tests {
                 vec![del(2, inhibit)],
             ],
         );
+    }
+
+    #[test]
+    fn profiled_treat_matches_identically_and_records_per_rule_metrics() {
+        let prog =
+            parse_program("(p lonely (node ^id <n>) -(edge ^to <n>) --> (remove 1))").unwrap();
+        let mut plain = TreatMatcher::new(&prog);
+        let mut profiled = TreatMatcher::with_metrics(&prog, MetricsRegistry::new());
+        let batches = vec![
+            vec![add(1, Wme::new("node", &[("id", 7.into())]))],
+            vec![add(2, Wme::new("edge", &[("to", 7.into())]))],
+            vec![del(2, Wme::new("edge", &[("to", 7.into())]))],
+        ];
+        for batch in &batches {
+            plain.process(batch);
+            profiled.process(batch);
+            assert_eq!(plain.conflict_set(), profiled.conflict_set());
+        }
+        let reg = profiled.profile();
+        // Derived once on add, once on the unblocking delete; retracted
+        // once by the blocking edge.
+        assert_eq!(reg.counter_total(metric::RULE_ACTIVATIONS), 2);
+        assert_eq!(reg.counter_total(metric::RULE_RETRACTIONS), 1);
+        assert!(reg.counter_total(metric::RULE_ALPHA_INSERTS) >= 2);
+        assert!(reg.counter_total(metric::RULE_SEED_JOINS) >= 1);
+        assert!(plain.profile().is_empty());
     }
 
     #[test]

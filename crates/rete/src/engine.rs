@@ -6,11 +6,12 @@
 //! faithful serial schedule of the parallel computation (parents always
 //! precede children).
 
-use crate::kernel::{self, Kernel, RootWork, Work};
+use crate::kernel::{self, metric, Kernel, RootWork, Work};
 use crate::memory::GlobalMemories;
 use crate::network::{NodeId, ReteNetwork, Side};
 use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
 use mpps_ops::{sort_conflict_set, Instantiation, Matcher, ProductionId, Sign, WmeChange, WmeId};
+use mpps_telemetry::{MetricSink, MetricsRegistry, NullMetrics};
 use std::collections::{hash_map::Entry, HashMap, VecDeque};
 
 /// Engine configuration.
@@ -33,9 +34,14 @@ impl Default for EngineConfig {
 }
 
 /// The sequential hashed-memory Rete matcher.
-pub struct ReteMatcher {
+///
+/// `M` is the profiling sink: [`NullMetrics`] (the default — every hook
+/// monomorphizes away) or a collecting sink installed via
+/// [`ReteMatcher::with_metrics`]. Profiling never changes match results,
+/// only what gets recorded on the side.
+pub struct ReteMatcher<M: MetricSink = NullMetrics> {
     network: ReteNetwork,
-    kernel: Kernel<GlobalMemories>,
+    kernel: Kernel<GlobalMemories, M>,
     conflict: HashMap<(ProductionId, Vec<WmeId>), (Instantiation, i64)>,
     config: EngineConfig,
     trace: Option<Trace>,
@@ -45,11 +51,26 @@ pub struct ReteMatcher {
 }
 
 impl ReteMatcher {
-    /// Build a matcher over an already-compiled network.
+    /// Build an unprofiled matcher over an already-compiled network.
     pub fn new(network: ReteNetwork, config: EngineConfig) -> Self {
+        Self::with_metrics(network, config, NullMetrics)
+    }
+
+    /// Compile `program` and build a matcher with default options.
+    pub fn from_program(program: &mpps_ops::Program) -> Result<Self, mpps_ops::OpsError> {
+        Ok(Self::new(
+            ReteNetwork::compile(program)?,
+            EngineConfig::default(),
+        ))
+    }
+}
+
+impl<M: MetricSink> ReteMatcher<M> {
+    /// Build a matcher recording profiling metrics into `metrics`.
+    pub fn with_metrics(network: ReteNetwork, config: EngineConfig, metrics: M) -> Self {
         let trace = config.record_trace.then(|| Trace::new(config.table_size));
         ReteMatcher {
-            kernel: Kernel::new(GlobalMemories::new(config.table_size)),
+            kernel: Kernel::with_metrics(GlobalMemories::new(config.table_size), metrics),
             network,
             conflict: HashMap::new(),
             config,
@@ -60,12 +81,16 @@ impl ReteMatcher {
         }
     }
 
-    /// Compile `program` and build a matcher with default options.
-    pub fn from_program(program: &mpps_ops::Program) -> Result<Self, mpps_ops::OpsError> {
-        Ok(Self::new(
-            ReteNetwork::compile(program)?,
-            EngineConfig::default(),
-        ))
+    /// The profiling sink.
+    pub fn metrics(&self) -> &M {
+        &self.kernel.metrics
+    }
+
+    /// Snapshot the recorded metrics as a registry (empty when `M` is
+    /// [`NullMetrics`]), flushing the arena gauges first.
+    pub fn profile(&mut self) -> MetricsRegistry {
+        self.kernel.record_arena_metrics(0);
+        self.kernel.metrics.export()
     }
 
     /// The compiled network.
@@ -172,8 +197,9 @@ impl ReteMatcher {
     }
 }
 
-impl Matcher for ReteMatcher {
+impl<M: MetricSink> Matcher for ReteMatcher<M> {
     fn process(&mut self, changes: &[WmeChange]) {
+        let cycle_timer = M::ENABLED.then(std::time::Instant::now);
         if let Some(t) = self.trace.as_mut() {
             t.cycles.push(TraceCycle::default());
         }
@@ -256,6 +282,13 @@ impl Matcher for ReteMatcher {
                     }
                 }
             }
+        }
+        if let Some(t0) = cycle_timer {
+            let ns = t0.elapsed().as_nanos() as u64;
+            // Sequential matching has no barrier: the whole cycle is work.
+            self.kernel.metrics.observe(metric::CYCLE_WALL_NS, ns);
+            self.kernel.metrics.observe(metric::CYCLE_WORK_NS, ns);
+            self.kernel.record_arena_metrics(0);
         }
     }
 
@@ -592,6 +625,37 @@ mod tests {
             naive.process(batch);
             assert_eq!(rete.conflict_set(), naive.conflict_set(), "diverged");
         }
+    }
+
+    #[test]
+    fn profiled_matcher_matches_identically_and_records_metrics() {
+        use crate::kernel::metric;
+        use mpps_telemetry::MetricsRegistry;
+
+        let prog = parse_program(BLUE).unwrap();
+        let mut plain = ReteMatcher::from_program(&prog).unwrap();
+        let mut profiled = ReteMatcher::with_metrics(
+            ReteNetwork::compile(&prog).unwrap(),
+            EngineConfig::default(),
+            MetricsRegistry::new(),
+        );
+        let wmes = blue_wmes();
+        plain.process(&wmes);
+        profiled.process(&wmes);
+        assert_eq!(plain.conflict_set(), profiled.conflict_set());
+
+        let reg = profiled.profile();
+        let acts = reg.counter_total(metric::NODE_ACTIVATIONS);
+        assert!(acts > 0, "two-input activations recorded");
+        assert_eq!(reg.counter_total(metric::BUCKET_ACTIVATIONS), acts);
+        let probes = reg.counter_total(metric::NODE_LEFT_PROBES)
+            + reg.counter_total(metric::NODE_RIGHT_PROBES);
+        assert!(reg.counter_total(metric::NODE_PREFILTER_HITS) <= probes);
+        assert!(reg.gauge(metric::ARENA_ALLOCS).is_some());
+        let cycles = reg.histogram(metric::CYCLE_WALL_NS).unwrap();
+        assert_eq!(cycles.count(), 1, "one sample per process() call");
+        // The unprofiled matcher's sink stays empty.
+        assert!(plain.profile().is_empty());
     }
 
     #[test]

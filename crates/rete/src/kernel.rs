@@ -29,7 +29,58 @@ use crate::memory::{LeftEntry, RightEntry, TokenStore};
 use crate::network::{AlphaSucc, JoinSpec, NodeId, NodeKind, NodeLayout, ReteNetwork, Side, Succ};
 use crate::token::{TokenArena, TokenId};
 use mpps_ops::{Instantiation, ProductionId, Sign, Value, Wme, WmeChange, WmeId};
+use mpps_telemetry::{MetricSink, NullMetrics};
 use std::sync::Arc;
+
+/// Metric names emitted by the kernel's profiling hooks. Keys are node
+/// ids for `node.*` series, bucket indices for `bucket.*`, and an
+/// executor-chosen lane (worker index; 0 for the sequential engine) for
+/// `arena.*`.
+pub mod metric {
+    /// Two-input-node activations, keyed by node id.
+    pub const NODE_ACTIVATIONS: &str = "node.activations";
+    /// Left-table entries examined, keyed by node id.
+    pub const NODE_LEFT_PROBES: &str = "node.left-probes";
+    /// Right-table entries examined, keyed by node id.
+    pub const NODE_RIGHT_PROBES: &str = "node.right-probes";
+    /// Probed entries that survived the `(node, key_hash)` prefilter,
+    /// keyed by node id. `hits / (left+right probes)` is the prefilter
+    /// hit rate.
+    pub const NODE_PREFILTER_HITS: &str = "node.prefilter-hits";
+    /// Cumulative sampled match nanoseconds, keyed by node id. Every
+    /// [`SAMPLE_EVERY`](super::SAMPLE_EVERY)-th activation is timed and
+    /// scaled back up, so totals are estimates.
+    pub const NODE_MATCH_NS: &str = "node.match-ns";
+    /// Activations per hash bucket (`key_hash % table_size`), keyed by
+    /// bucket index — the live form of the paper's activation-skew
+    /// diagnosis.
+    pub const BUCKET_ACTIVATIONS: &str = "bucket.activations";
+    /// Tokens ever allocated, gauge keyed by executor lane.
+    pub const ARENA_ALLOCS: &str = "arena.allocs";
+    /// Tokens ever freed, gauge keyed by executor lane.
+    pub const ARENA_FREES: &str = "arena.frees";
+    /// Live-token count at the last flush, gauge keyed by executor lane.
+    pub const ARENA_LIVE: &str = "arena.live";
+    /// Peak live-token count, gauge keyed by executor lane.
+    pub const ARENA_HIGH_WATER: &str = "arena.high-water";
+    /// Peak free-list length, gauge keyed by executor lane.
+    pub const ARENA_FREE_HIGH_WATER: &str = "arena.free-high-water";
+    /// Wall-clock nanoseconds per match cycle (histogram). Executors
+    /// observe one sample per `process` call.
+    pub const CYCLE_WALL_NS: &str = "cycle.wall-ns";
+    /// Nanoseconds per cycle spent matching (histogram; one sample per
+    /// worker per cycle for the threaded executor).
+    pub const CYCLE_WORK_NS: &str = "cycle.work-ns";
+    /// Nanoseconds per cycle spent waiting at the cycle barrier
+    /// (histogram; wall minus work, one sample per worker per cycle).
+    pub const CYCLE_WAIT_NS: &str = "cycle.wait-ns";
+}
+
+/// Sampling gate for per-node match timing: one activation in
+/// `SAMPLE_EVERY` is wall-clock timed and its duration scaled back up.
+/// Keeps two `Instant` reads off all but 1/16th of profiled activations;
+/// irrelevant when profiling is off (the gate itself monomorphizes away).
+pub const SAMPLE_EVERY: u32 = 16;
 
 /// A unit of match work: one pending node activation.
 #[derive(Clone, Debug)]
@@ -210,17 +261,28 @@ pub struct KernelStats {
     pub left_probes: u64,
     /// Right-table entries examined by left-activation probes.
     pub right_probes: u64,
+    /// Probed entries that passed the `(node, key_hash)` integer
+    /// prefilter and went on to the exact value/chain comparison.
+    pub prefilter_hits: u64,
 }
 
 /// One executor's match state: token arena, hash tables, counters, scratch.
+///
+/// `M` is the profiling sink. The default [`NullMetrics`] records nothing
+/// and every hook compiles away; [`Kernel::with_metrics`] swaps in a
+/// collecting sink (per-node/per-bucket counters, sampled match timing).
 #[derive(Debug)]
-pub struct Kernel<S> {
+pub struct Kernel<S, M = NullMetrics> {
     /// The token arena (public: executors intern/extract/release tokens).
     pub arena: TokenArena,
     /// The two hash tables (whole or this worker's shard).
     pub mem: S,
     /// Probe counters.
     pub stats: KernelStats,
+    /// The profiling sink (public: executors record their own metrics —
+    /// forwarded-token counts, drain sizes — into the same registry).
+    pub metrics: M,
+    sample_tick: u32,
     eq_vals: Vec<Value>,
     pred_vals: Vec<Value>,
     bind_vals: Vec<Value>,
@@ -228,17 +290,52 @@ pub struct Kernel<S> {
 }
 
 impl<S: TokenStore> Kernel<S> {
-    /// A fresh kernel over `mem`.
+    /// A fresh unprofiled kernel over `mem`.
     pub fn new(mem: S) -> Self {
+        Kernel::with_metrics(mem, NullMetrics)
+    }
+}
+
+impl<S: TokenStore, M: MetricSink> Kernel<S, M> {
+    /// A fresh kernel over `mem` recording into `metrics`.
+    pub fn with_metrics(mem: S, metrics: M) -> Self {
         Kernel {
             arena: TokenArena::new(),
             mem,
             stats: KernelStats::default(),
+            metrics,
+            sample_tick: 0,
             eq_vals: Vec::new(),
             pred_vals: Vec::new(),
             bind_vals: Vec::new(),
             transitions: Vec::new(),
         }
+    }
+
+    /// Flush the arena's counters into the metrics sink as gauges on
+    /// `lane` (the worker index; 0 for the sequential engine). Call at
+    /// batch/drain boundaries — gauges keep high-water semantics, so
+    /// calling often only refines the numbers.
+    pub fn record_arena_metrics(&mut self, lane: u64) {
+        if !M::ENABLED {
+            return;
+        }
+        self.metrics
+            .set(metric::ARENA_ALLOCS, lane, self.arena.allocs());
+        self.metrics
+            .set(metric::ARENA_FREES, lane, self.arena.frees());
+        self.metrics
+            .set(metric::ARENA_LIVE, lane, self.arena.live() as u64);
+        self.metrics.set(
+            metric::ARENA_HIGH_WATER,
+            lane,
+            self.arena.high_water() as u64,
+        );
+        self.metrics.set(
+            metric::ARENA_FREE_HIGH_WATER,
+            lane,
+            self.arena.free_high_water() as u64,
+        );
     }
 
     /// Build a level-0 token from root-seed values (caller owns one ref).
@@ -275,7 +372,46 @@ impl<S: TokenStore> Kernel<S> {
     /// bucket, append generated work to `out`. Returns the bucket index.
     /// `Prod` work must not be passed here — it is terminal and handled by
     /// the conflict-set owner.
+    #[inline]
     pub fn activate(&mut self, net: &ReteNetwork, work: Work, out: &mut Vec<Work>) -> u64 {
+        if !M::ENABLED {
+            return self.activate_inner(net, work, out);
+        }
+        let node = match &work {
+            Work::Right { node, .. } | Work::Left { node, .. } | Work::Prod { node, .. } => {
+                node.0 as u64
+            }
+        };
+        let before = self.stats;
+        self.sample_tick = self.sample_tick.wrapping_add(1);
+        let timer = self
+            .sample_tick
+            .is_multiple_of(SAMPLE_EVERY)
+            .then(std::time::Instant::now);
+        let bucket = self.activate_inner(net, work, out);
+        if let Some(t0) = timer {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.metrics
+                .add(metric::NODE_MATCH_NS, node, ns * SAMPLE_EVERY as u64);
+        }
+        self.metrics.add(metric::NODE_ACTIVATIONS, node, 1);
+        self.metrics.add(metric::BUCKET_ACTIVATIONS, bucket, 1);
+        let left = self.stats.left_probes - before.left_probes;
+        if left > 0 {
+            self.metrics.add(metric::NODE_LEFT_PROBES, node, left);
+        }
+        let right = self.stats.right_probes - before.right_probes;
+        if right > 0 {
+            self.metrics.add(metric::NODE_RIGHT_PROBES, node, right);
+        }
+        let hits = self.stats.prefilter_hits - before.prefilter_hits;
+        if hits > 0 {
+            self.metrics.add(metric::NODE_PREFILTER_HITS, node, hits);
+        }
+        bucket
+    }
+
+    fn activate_inner(&mut self, net: &ReteNetwork, work: Work, out: &mut Vec<Work>) -> u64 {
         let table_size = self.mem.table_size();
         match work {
             Work::Right {
@@ -323,17 +459,20 @@ impl<S: TokenStore> Kernel<S> {
                     let lb = self.mem.left_bucket_mut(bucket);
                     self.stats.left_probes += lb.len() as u64;
                     for e in lb.iter_mut() {
-                        if e.node != node
-                            || e.key_hash != key_hash
-                            || !token_passes(
-                                &self.arena,
-                                &join.spec,
-                                lay,
-                                e.token,
-                                &self.eq_vals,
-                                &self.pred_vals,
-                            )
-                        {
+                        if e.node != node || e.key_hash != key_hash {
+                            continue;
+                        }
+                        if M::ENABLED {
+                            self.stats.prefilter_hits += 1;
+                        }
+                        if !token_passes(
+                            &self.arena,
+                            &join.spec,
+                            lay,
+                            e.token,
+                            &self.eq_vals,
+                            &self.pred_vals,
+                        ) {
                             continue;
                         }
                         match sign {
@@ -373,17 +512,20 @@ impl<S: TokenStore> Kernel<S> {
                     #[allow(clippy::needless_range_loop)]
                     for i in 0..lb.len() {
                         let e = lb[i];
-                        if e.node != node
-                            || e.key_hash != key_hash
-                            || !token_passes(
-                                &self.arena,
-                                &join.spec,
-                                lay,
-                                e.token,
-                                &self.eq_vals,
-                                &self.pred_vals,
-                            )
-                        {
+                        if e.node != node || e.key_hash != key_hash {
+                            continue;
+                        }
+                        if M::ENABLED {
+                            self.stats.prefilter_hits += 1;
+                        }
+                        if !token_passes(
+                            &self.arena,
+                            &join.spec,
+                            lay,
+                            e.token,
+                            &self.eq_vals,
+                            &self.pred_vals,
+                        ) {
                             continue;
                         }
                         let child = self.arena.alloc(e.token, wme_id);
@@ -420,15 +562,13 @@ impl<S: TokenStore> Kernel<S> {
                             self.stats.right_probes += rb.len() as u64;
                             let mut count = 0u32;
                             for e in rb.iter() {
-                                if e.node == node
-                                    && e.key_hash == key_hash
-                                    && wme_passes(
-                                        &e.wme,
-                                        &join.spec,
-                                        &self.eq_vals,
-                                        &self.pred_vals,
-                                    )
-                                {
+                                if e.node != node || e.key_hash != key_hash {
+                                    continue;
+                                }
+                                if M::ENABLED {
+                                    self.stats.prefilter_hits += 1;
+                                }
+                                if wme_passes(&e.wme, &join.spec, &self.eq_vals, &self.pred_vals) {
                                     count += 1;
                                 }
                             }
@@ -498,10 +638,13 @@ impl<S: TokenStore> Kernel<S> {
                     #[allow(clippy::needless_range_loop)]
                     for i in 0..rb.len() {
                         let e = &rb[i];
-                        if e.node != node
-                            || e.key_hash != key_hash
-                            || !wme_passes(&e.wme, &join.spec, &self.eq_vals, &self.pred_vals)
-                        {
+                        if e.node != node || e.key_hash != key_hash {
+                            continue;
+                        }
+                        if M::ENABLED {
+                            self.stats.prefilter_hits += 1;
+                        }
+                        if !wme_passes(&e.wme, &join.spec, &self.eq_vals, &self.pred_vals) {
                             continue;
                         }
                         let (e_wme_id, e_wme) = (e.wme_id, e.wme.clone());

@@ -68,6 +68,10 @@ pub struct TokenArena {
     recs: Vec<TokenRecord>,
     free: Vec<TokenId>,
     live: usize,
+    allocs: u64,
+    frees: u64,
+    high_water: usize,
+    free_high_water: usize,
 }
 
 impl TokenArena {
@@ -80,6 +84,33 @@ impl TokenArena {
     /// retraction drains every memory.
     pub fn live(&self) -> usize {
         self.live
+    }
+
+    /// Total records ever allocated (tokens created), including free-list
+    /// reuses.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total records ever freed (tokens released to the free list).
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Peak live-record count (arena occupancy high-water mark).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Peak free-list length: how far occupancy fell below its peak, i.e.
+    /// how much recycled capacity the arena is carrying.
+    pub fn free_high_water(&self) -> usize {
+        self.free_high_water
+    }
+
+    /// Number of record slots ever created (live + free).
+    pub fn capacity(&self) -> usize {
+        self.recs.len()
     }
 
     /// Allocate a record extending `parent` (or a seed when `parent` is
@@ -95,6 +126,8 @@ impl TokenArena {
             (p.level + 1, hashfn::chain_extend(p.chain_hash, wme))
         };
         self.live += 1;
+        self.allocs += 1;
+        self.high_water = self.high_water.max(self.live);
         if let Some(id) = self.free.pop() {
             let r = &mut self.recs[id.0 as usize];
             r.parent = parent;
@@ -140,6 +173,8 @@ impl TokenArena {
             let parent = r.parent;
             self.free.push(t);
             self.live -= 1;
+            self.frees += 1;
+            self.free_high_water = self.free_high_water.max(self.free.len());
             if parent == TokenId::NONE {
                 return;
             }
@@ -466,6 +501,26 @@ mod tests {
         let again = a.alloc(TokenId::NONE, WmeId(3));
         assert!(again == seed || again == child);
         assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn arena_counters_track_allocs_frees_and_high_water() {
+        let mut a = TokenArena::new();
+        let seed = a.alloc(TokenId::NONE, WmeId(1));
+        let child = a.alloc(seed, WmeId(2));
+        assert_eq!((a.allocs(), a.frees()), (2, 0));
+        assert_eq!(a.high_water(), 2);
+        a.release(seed);
+        a.release(child); // cascades: frees child then seed
+        assert_eq!((a.allocs(), a.frees()), (2, 2));
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.free_high_water(), 2);
+        // Reuse bumps allocs and capacity stays flat.
+        let again = a.alloc(TokenId::NONE, WmeId(3));
+        assert_eq!(a.allocs(), 3);
+        assert_eq!(a.capacity(), 2);
+        assert_eq!(a.high_water(), 2, "peak occupancy is sticky");
+        a.release(again);
     }
 
     #[test]

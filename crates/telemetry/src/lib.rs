@@ -31,12 +31,20 @@
 //!
 //! [`json`] is a dependency-free JSON parser used to validate exported
 //! artifacts in tests and CI without pulling in a schema library.
+//!
+//! [`metrics`] extends the same discipline down into the match kernel:
+//! instrumented match code is generic over a [`MetricSink`]
+//! ([`NullMetrics`] when profiling is off, [`MetricsRegistry`] when
+//! on), collecting id-keyed counters, high-water gauges, and exact
+//! histograms that merge commutatively across workers.
 
 pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 pub mod recorder;
 
 pub use hist::{Histogram, HistogramSummary};
+pub use metrics::{available_cpus, MetricSink, MetricsRegistry, NullMetrics};
 pub use recorder::{NullRecorder, OffsetRecorder, Recorder, TraceRecorder, Track};

@@ -1,17 +1,41 @@
 //! `mpps` — run, trace and simulate OPS5-subset production systems.
 //!
 //! ```text
-//! mpps run <program.ops> [--wm <file.wm>] [--cycles N] [--strategy lex|mea]
+//! mpps run <program.ops|rubik|tourney|weaver> [--wm <file.wm>] [--cycles N]
+//!          [--strategy lex|mea]
 //!          [--matcher rete|naive|treat|threaded] [--workers N] [--table-size N]
 //!          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]
+//!          [--profile DIR]
 //! mpps trace <program.ops> [--wm <file.wm>] [--cycles N] [--table-size N]
 //!            [--out <file.trace>]
 //! mpps simulate <file.trace> [--procs 1,2,4,8,16,32] [--overhead 0|8|16|32]
 //!               [--partition rr|random|greedy] [--seed N] [--jobs N]
 //!               [--format text|json] [--trace-out FILE] [--stats]
 //! mpps fuzz [--seed N] [--iters N] [--matchers naive,rete,treat,threaded|all]
-//!           [--max-productions N] [--shrink] [--out DIR]
+//!           [--max-productions N] [--shrink] [--out DIR] [--profile DIR]
 //! ```
+//!
+//! The `run` program argument is either a `.ops` file or one of the
+//! builtin characteristic sections (`rubik`, `tourney`, `weaver`), which
+//! come with their own initial working memory; a file with the same name
+//! takes precedence.
+//!
+//! `mpps run --profile DIR` re-spawns the chosen matcher with live
+//! metrics (rete, treat and threaded; naive has no kernel to profile)
+//! and writes `DIR/match_profile.json` — top-K hot nodes, bucket skew
+//! factor, arena occupancy, and for `--matcher threaded` the per-cycle
+//! barrier-wait vs match-work split plus `DIR/trace.json`, a Chrome
+//! trace whose per-worker lanes carry both the counter tracks and the
+//! synthesized match-work / barrier-wait spans (open at
+//! <https://ui.perfetto.dev>). Profiling never changes the run's stdout:
+//! profiled and unprofiled runs print byte-identical output.
+//!
+//! `mpps fuzz --profile DIR` additionally replays every generated case
+//! under profiled rete, treat, and threaded matchers and writes the
+//! merged registry to `DIR/match_profile.json` — exercising the profiler
+//! hooks across the whole generated grammar (negation, leading-negated
+//! CEs, …) is the point, so replay happens for clean and diverging cases
+//! alike.
 //!
 //! `mpps fuzz` drives the differential oracle: every case is a random
 //! program plus a random WM-change schedule, run through all requested
@@ -42,25 +66,30 @@ use mpps::core::{
     bucket_activity, name_machine_tracks, simulate_recorded, MappingConfig, OverheadSetting,
     Partition, SimScratch, ThreadedMatcher,
 };
-use mpps::difftest::{fuzz_one, write_repro, GenConfig, MatcherKind};
+use mpps::core::{name_threaded_tracks, render_match_profile};
+use mpps::difftest::{fuzz_one, write_repro, FuzzCase, GenConfig, MatcherKind, ScheduleOp};
 use mpps::ops::{
-    parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher, Strategy, TreatMatcher, Wme,
+    interpreter::StepOutcome, parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher,
+    Program, Strategy, TreatMatcher, Wme, WmeId,
 };
 use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
-use mpps::telemetry::{chrome::chrome_trace, TraceRecorder};
+use mpps::telemetry::{chrome::chrome_trace, MetricsRegistry, TraceRecorder};
+use mpps::workloads::{rubik, tourney, weaver};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  mpps run <program.ops> [--wm FILE] [--cycles N] [--strategy lex|mea]\n\
+        "usage:\n  mpps run <program.ops|rubik|tourney|weaver> [--wm FILE] [--cycles N]\n\
+         \x20          [--strategy lex|mea]\n\
          \x20          [--matcher rete|naive|treat|threaded] [--workers N] [--table-size N]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]\n\
+         \x20          [--profile DIR]\n\
          \x20 mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N] [--out FILE]\n\
          \x20 mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--jobs N]\n\
          \x20          [--format text|json] [--trace-out FILE] [--stats]\n\
          \x20 mpps fuzz [--seed N] [--iters N] [--matchers LIST|all]\n\
-         \x20          [--max-productions N] [--shrink] [--out DIR]"
+         \x20          [--max-productions N] [--shrink] [--out DIR] [--profile DIR]"
     );
     exit(2)
 }
@@ -210,27 +239,88 @@ fn greedy_partition(
     Partition::greedy(&bucket_activity(&trace), workers)
 }
 
+/// The builtin characteristic sections usable as `mpps run` programs:
+/// program plus initial working memory, sized like the bench sections.
+fn builtin_workload(name: &str) -> Option<(Program, Vec<Wme>)> {
+    match name {
+        "rubik" => Some((
+            rubik::program(),
+            rubik::initial(&rubik::alternating_moves(2)),
+        )),
+        "tourney" => Some((tourney::program(), tourney::initial(12, 12))),
+        "weaver" => Some((weaver::program(), weaver::initial(4, 4))),
+        _ => None,
+    }
+}
+
+/// Write `DIR/match_profile.json` for one profiled run.
+fn write_profile(dir: &str, matcher: &str, workers: usize, reg: &MetricsRegistry) {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
+    let path = dir.join("match_profile.json");
+    std::fs::write(&path, render_match_profile(matcher, workers, reg))
+        .unwrap_or_else(|e| fail(format!("write {}: {e}", path.display())));
+    eprintln!("profile written to {}", path.display());
+}
+
 fn cmd_run(args: &Args) {
     let [program_path] = &args.positional[..] else {
         usage();
     };
-    let program = parse_program(&read_file(program_path)).unwrap_or_else(|e| fail(e));
-    let wmes = load_wmes(args.get("wm"));
+    // A real file always wins; builtin section names only apply when no
+    // such file exists.
+    let (program, wmes) = if !std::path::Path::new(program_path).exists() {
+        if let Some((program, mut wmes)) = builtin_workload(program_path) {
+            wmes.extend(load_wmes(args.get("wm")));
+            (program, wmes)
+        } else {
+            fail(format!(
+                "cannot read {program_path}: no such file (and not a builtin section: \
+                 rubik|tourney|weaver)"
+            ))
+        }
+    } else {
+        let program = parse_program(&read_file(program_path)).unwrap_or_else(|e| fail(e));
+        (program, load_wmes(args.get("wm")))
+    };
     let cycles = args.get_parse("cycles", 10_000usize);
     let strategy = strategy_of(args);
     let quiet = args.get("quiet").is_some();
+    let profile_dir = args.get("profile");
     match args.get("matcher").unwrap_or("rete") {
         "rete" => {
-            let m = ReteMatcher::from_program(&program).unwrap_or_else(|e| fail(e));
-            run_with(program, wmes, m, strategy, cycles, quiet);
+            if let Some(dir) = profile_dir {
+                let network = ReteNetwork::compile(&program).unwrap_or_else(|e| fail(e));
+                let m = ReteMatcher::with_metrics(
+                    network,
+                    EngineConfig::default(),
+                    MetricsRegistry::new(),
+                );
+                let mut interp = run_with(program, wmes, m, strategy, cycles, quiet);
+                let reg = interp.matcher_mut().profile();
+                write_profile(dir, "rete", 1, &reg);
+            } else {
+                let m = ReteMatcher::from_program(&program).unwrap_or_else(|e| fail(e));
+                run_with(program, wmes, m, strategy, cycles, quiet);
+            }
         }
         "naive" => {
+            if profile_dir.is_some() {
+                usage_error("--profile is not supported for --matcher naive (no match kernel)");
+            }
             let m = NaiveMatcher::new(program.clone());
             run_with(program, wmes, m, strategy, cycles, quiet);
         }
         "treat" => {
-            let m = TreatMatcher::new(&program);
-            run_with(program, wmes, m, strategy, cycles, quiet);
+            if let Some(dir) = profile_dir {
+                let m = TreatMatcher::with_metrics(&program, MetricsRegistry::new());
+                let interp = run_with(program, wmes, m, strategy, cycles, quiet);
+                write_profile(dir, "treat", 1, &interp.matcher().profile());
+            } else {
+                let m = TreatMatcher::new(&program);
+                run_with(program, wmes, m, strategy, cycles, quiet);
+            }
         }
         "threaded" => {
             let workers = args.get_parse("workers", 4usize);
@@ -251,8 +341,12 @@ fn cmd_run(args: &Args) {
                 other => usage_error(format!("unknown partition {other:?} (rr|random|greedy)")),
             };
             let network = ReteNetwork::compile(&program).unwrap_or_else(|e| fail(e));
-            let m = ThreadedMatcher::with_partition(network, partition);
-            let interp = run_with(program, wmes, m, strategy, cycles, quiet);
+            let m = if profile_dir.is_some() {
+                ThreadedMatcher::with_partition_profiled(network, partition)
+            } else {
+                ThreadedMatcher::with_partition(network, partition)
+            };
+            let mut interp = run_with(program, wmes, m, strategy, cycles, quiet);
             if args.get("stats").is_some() {
                 let stats = interp.matcher().stats();
                 eprintln!("threaded matcher: {} cycles", stats.cycles);
@@ -264,10 +358,96 @@ fn cmd_run(args: &Args) {
                     );
                 }
             }
+            if let Some(dir) = profile_dir {
+                let matcher = interp.matcher_mut();
+                let reg = matcher.profile_snapshot().unwrap_or_else(|e| fail(e));
+                write_profile(dir, "threaded", matcher.worker_count(), &reg);
+                // Merged Chrome trace: the per-worker counter lanes plus
+                // the synthesized match-work / barrier-wait phase spans,
+                // all on the named THREADED_PID tracks.
+                let mut rec = TraceRecorder::new();
+                name_threaded_tracks(&mut rec, matcher.worker_count());
+                matcher.record_into(&mut rec);
+                matcher.record_cycles_into(&mut rec);
+                let path = std::path::Path::new(dir).join("trace.json");
+                std::fs::write(&path, chrome_trace(&rec))
+                    .unwrap_or_else(|e| fail(format!("write {}: {e}", path.display())));
+                eprintln!("worker-lane trace written to {}", path.display());
+            }
         }
         other => fail(format!(
             "unknown matcher {other:?} (rete|naive|treat|threaded)"
         )),
+    }
+}
+
+/// Drive one fuzz case's schedule through a single matcher, mirroring
+/// the oracle's cadence (same per-round and total cycle bounds), for
+/// profiling purposes only — nothing is compared. `RemoveNth` resolves
+/// against this lane's own WM, which matches the oracle whenever the
+/// matchers agree (and is merely a different valid schedule when not).
+fn drive_for_profile<M: Matcher>(case: &FuzzCase, program: &Program, matcher: M) -> Interpreter<M> {
+    const MAX_STEPS_PER_ROUND: usize = 8;
+    const MAX_TOTAL_CYCLES: usize = 64;
+    let mut interp = Interpreter::with_matcher(program.clone(), case.strategy, matcher);
+    let mut total_cycles = 0usize;
+    'rounds: for ops in &case.schedule.rounds {
+        for op in ops {
+            match op {
+                ScheduleOp::Make(wme) => {
+                    interp.add_wme(wme.clone());
+                }
+                ScheduleOp::RemoveNth(n) => {
+                    let ids: Vec<WmeId> =
+                        interp.working_memory().iter().map(|(id, _)| id).collect();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let _ = interp.remove_wme(ids[n % ids.len()]);
+                }
+            }
+        }
+        for _ in 0..MAX_STEPS_PER_ROUND {
+            if total_cycles >= MAX_TOTAL_CYCLES {
+                break 'rounds;
+            }
+            total_cycles += 1;
+            match interp.step() {
+                Ok(StepOutcome::Quiescent) | Err(_) => break,
+                Ok(_) => {}
+            }
+            if interp.is_halted() {
+                break 'rounds;
+            }
+        }
+        if interp.is_halted() {
+            break;
+        }
+    }
+    interp
+}
+
+/// Replay `case` under every profiled matcher and merge their registries
+/// into `merged`. Threaded replay uses `try_process` semantics via the
+/// interpreter; a build failure (invalid generated program) skips the
+/// case.
+fn replay_profiled(case: &FuzzCase, merged: &mut MetricsRegistry) {
+    let Ok(program) = case.program() else {
+        return;
+    };
+    if let Ok(network) = ReteNetwork::compile(&program) {
+        let m = ReteMatcher::with_metrics(network, EngineConfig::default(), MetricsRegistry::new());
+        let mut interp = drive_for_profile(case, &program, m);
+        merged.merge(&interp.matcher_mut().profile());
+    }
+    let m = TreatMatcher::with_metrics(&program, MetricsRegistry::new());
+    let interp = drive_for_profile(case, &program, m);
+    merged.merge(&interp.matcher().profile());
+    if let Ok(m) = ThreadedMatcher::from_program_profiled(&program, 2) {
+        let mut interp = drive_for_profile(case, &program, m);
+        if let Ok(reg) = interp.matcher_mut().profile_snapshot() {
+            merged.merge(&reg);
+        }
     }
 }
 
@@ -285,11 +465,15 @@ fn cmd_fuzz(args: &Args) {
     };
     let do_shrink = args.get("shrink").is_some();
     let out_dir = std::path::PathBuf::from(args.get("out").unwrap_or("target/fuzz"));
+    let mut profile: Option<MetricsRegistry> = args.get("profile").map(|_| MetricsRegistry::new());
 
     let mut divergences = 0u64;
     for i in 0..iters {
         let case_seed = seed + i;
         let (case, divergence) = fuzz_one(case_seed, &cfg, &matchers, do_shrink);
+        if let Some(merged) = profile.as_mut() {
+            replay_profiled(&case, merged);
+        }
         if let Some(d) = divergence {
             divergences += 1;
             eprintln!("seed {case_seed}: {d}");
@@ -305,6 +489,9 @@ fn cmd_fuzz(args: &Args) {
                 Err(e) => eprintln!("  could not write reproducer: {e}"),
             }
         }
+    }
+    if let (Some(merged), Some(dir)) = (profile.as_ref(), args.get("profile")) {
+        write_profile(dir, "fuzz-replay", 2, merged);
     }
     let names: Vec<&str> = matchers.iter().map(|m| m.name()).collect();
     println!(

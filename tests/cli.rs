@@ -397,6 +397,117 @@ fn threaded_stats_prints_worker_lines() {
 }
 
 #[test]
+fn run_profile_keeps_stdout_identical_and_writes_schema_valid_profile() {
+    let dir = std::env::temp_dir().join(format!("mpps-cli-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for matcher in ["rete", "treat", "threaded"] {
+        let base = [
+            "run",
+            "tourney",
+            "--matcher",
+            matcher,
+            "--workers",
+            "2",
+            "--quiet",
+        ];
+        let plain = mpps().args(base).output().expect("binary runs");
+        let prof_dir = dir.join(matcher);
+        let profiled = mpps()
+            .args(base)
+            .args(["--profile", prof_dir.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            plain.status.success() && profiled.status.success(),
+            "{matcher}: {}",
+            String::from_utf8_lossy(&profiled.stderr)
+        );
+        // Profiling must not change what the run prints.
+        assert_eq!(plain.stdout, profiled.stdout, "{matcher}: stdout diverged");
+
+        let text = std::fs::read_to_string(prof_dir.join("match_profile.json")).unwrap();
+        let doc = mpps::telemetry::json::parse(&text).expect("profile parses as JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("mpps.match_profile.v1"),
+            "{matcher}"
+        );
+        let acts = doc
+            .get("totals")
+            .and_then(|t| t.get("activations"))
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert!(acts > 0, "{matcher}: no activations in profile");
+    }
+    // The threaded run also exports the merged Chrome-trace lanes.
+    let trace = std::fs::read_to_string(dir.join("threaded").join("trace.json")).unwrap();
+    let doc = mpps::telemetry::json::parse(&trace).expect("trace parses as JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+    let has = |name: &str| {
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+    };
+    assert!(has("match-work"), "no match-work spans in trace");
+    assert!(has("barrier-wait"), "no barrier-wait spans in trace");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_profile_with_naive_matcher_is_usage_error() {
+    let out = mpps()
+        .args([
+            "run",
+            "tourney",
+            "--matcher",
+            "naive",
+            "--profile",
+            "/tmp/x",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--profile"), "{stderr}");
+}
+
+#[test]
+fn fuzz_profile_writes_merged_replay_profile() {
+    let dir = std::env::temp_dir().join(format!("mpps-cli-fuzzprof-{}", std::process::id()));
+    let out = mpps()
+        .args([
+            "fuzz",
+            "--iters",
+            "10",
+            "--seed",
+            "7",
+            "--profile",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("match_profile.json")).unwrap();
+    let doc = mpps::telemetry::json::parse(&text).expect("profile parses as JSON");
+    assert_eq!(
+        doc.get("matcher").and_then(|v| v.as_str()),
+        Some("fuzz-replay")
+    );
+    assert!(
+        doc.get("totals")
+            .and_then(|t| t.get("activations"))
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            > 0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = mpps().args(["run", "/nonexistent.ops"]).output().unwrap();
     assert!(!out.status.success());

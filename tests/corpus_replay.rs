@@ -71,6 +71,85 @@ fn corpus_replays_without_divergence() {
     }
 }
 
+/// Every corpus entry also replays cleanly under the *profiled* matchers
+/// (kernel hooks live, metrics recording): no panics, and the merged
+/// registry shows real match activity. The corpus leans on the grammar's
+/// dark corners — negation flips, removal churn — so this drags the
+/// profiling hooks through paths the workload tests never reach.
+#[test]
+fn corpus_replays_cleanly_under_the_profiler() {
+    use mpps::core::ThreadedMatcher;
+    use mpps::difftest::FuzzCase;
+    use mpps::ops::{treat, Interpreter, Matcher, TreatMatcher};
+    use mpps::rete::{kernel, ReteMatcher, ReteNetwork};
+    use mpps::telemetry::MetricsRegistry;
+
+    fn replay<M: Matcher>(case: &FuzzCase, matcher: M) -> Interpreter<M> {
+        let program = case.program().unwrap();
+        let mut interp = Interpreter::with_matcher(program, case.strategy, matcher);
+        for round in &case.schedule.rounds {
+            for op in round {
+                match op {
+                    mpps::difftest::ScheduleOp::Make(wme) => {
+                        interp.add_wme(wme.clone());
+                    }
+                    mpps::difftest::ScheduleOp::RemoveNth(n) => {
+                        let ids: Vec<_> =
+                            interp.working_memory().iter().map(|(id, _)| id).collect();
+                        if !ids.is_empty() {
+                            interp.remove_wme(ids[n % ids.len()]).unwrap();
+                        }
+                    }
+                }
+            }
+            for _ in 0..8 {
+                match interp.step() {
+                    Ok(mpps::ops::interpreter::StepOutcome::Fired(_)) => {}
+                    _ => break,
+                }
+            }
+        }
+        interp
+    }
+
+    for (ops, sched) in corpus_entries() {
+        let case = load_repro(&ops, &sched).unwrap();
+        let program = case.program().unwrap();
+        let mut merged = MetricsRegistry::new();
+
+        let rete = ReteMatcher::with_metrics(
+            ReteNetwork::compile(&program).unwrap(),
+            mpps::rete::EngineConfig::default(),
+            MetricsRegistry::new(),
+        );
+        let mut interp = replay(&case, rete);
+        merged.merge(&interp.matcher_mut().profile());
+
+        let treat = TreatMatcher::with_metrics(&program, MetricsRegistry::new());
+        let interp = replay(&case, treat);
+        merged.merge(&interp.matcher().profile());
+
+        let threaded = ThreadedMatcher::from_program_profiled(&program, 2).unwrap();
+        let mut interp = replay(&case, threaded);
+        merged.merge(&interp.matcher_mut().profile_snapshot().unwrap());
+
+        assert!(
+            merged.counter_total(treat::metric::RULE_ACTIVATIONS) > 0,
+            "{}: profiled replay recorded no rule activations",
+            ops.display()
+        );
+        let cycles = merged
+            .histogram(kernel::metric::CYCLE_WALL_NS)
+            .map(|h| h.count())
+            .unwrap_or(0);
+        assert!(
+            cycles > 0,
+            "{}: profiled replay recorded no match cycles",
+            ops.display()
+        );
+    }
+}
+
 /// The corpus entries must actually exercise the matchers: each schedule
 /// leads to at least one firing under the naive reference. Guards against
 /// a corpus entry silently decaying into a vacuous no-op (e.g. after a

@@ -1,0 +1,130 @@
+//! Profiling must be invisible to match semantics: a profiled matcher
+//! (kernel hooks recording into a `MetricsRegistry`) and an unprofiled
+//! one (`NullMetrics`, every hook compiled away) compute identical
+//! conflict sets after every batch of the three characteristic workloads
+//! — on both the sequential engine and the threaded executor.
+
+use mpps::core::ThreadedMatcher;
+use mpps::ops::{Interpreter, Matcher, Program, Strategy, Wme, WmeChange};
+use mpps::rete::{kernel, EngineConfig, ReteMatcher, ReteNetwork};
+use mpps::telemetry::MetricsRegistry;
+use mpps::workloads::{rubik, tourney, weaver};
+
+/// Replay-capture: run `program` under the interpreter for `cycles`
+/// recognize-act cycles and return the per-cycle WM change batches it
+/// handed the matcher (same helper the matchkernel bench uses).
+fn batches(program: &Program, initial: Vec<Wme>, cycles: usize) -> Vec<Vec<WmeChange>> {
+    let m = ReteMatcher::from_program(program).unwrap();
+    let mut interp = Interpreter::with_matcher(program.clone(), Strategy::Lex, m);
+    for w in initial {
+        interp.add_wme(w);
+    }
+    interp.run(cycles).unwrap();
+    interp.change_log().to_vec()
+}
+
+fn workloads() -> Vec<(&'static str, Program, Vec<Vec<WmeChange>>)> {
+    vec![
+        (
+            "rubik",
+            rubik::program(),
+            batches(
+                &rubik::program(),
+                rubik::initial(&rubik::alternating_moves(2)),
+                8,
+            ),
+        ),
+        (
+            "tourney",
+            tourney::program(),
+            batches(&tourney::program(), tourney::initial(8, 8), 4),
+        ),
+        (
+            "weaver",
+            weaver::program(),
+            batches(&weaver::program(), weaver::initial(4, 4), 8),
+        ),
+    ]
+}
+
+#[test]
+fn profiled_sequential_matches_unprofiled_on_every_workload() {
+    for (name, program, batches) in workloads() {
+        let mut plain = ReteMatcher::from_program(&program).unwrap();
+        let mut profiled = ReteMatcher::with_metrics(
+            ReteNetwork::compile(&program).unwrap(),
+            EngineConfig::default(),
+            MetricsRegistry::new(),
+        );
+        for (i, batch) in batches.iter().enumerate() {
+            plain.process(batch);
+            profiled.process(batch);
+            assert_eq!(
+                plain.conflict_set(),
+                profiled.conflict_set(),
+                "{name}: sequential conflict sets diverged at batch {i}"
+            );
+        }
+        let reg = profiled.profile();
+        assert!(
+            reg.counter_total(kernel::metric::NODE_ACTIVATIONS) > 0,
+            "{name}: profiled run recorded no activations"
+        );
+        assert!(
+            plain.profile().is_empty(),
+            "{name}: unprofiled matcher leaked metrics"
+        );
+    }
+}
+
+#[test]
+fn profiled_threaded_matches_unprofiled_on_every_workload() {
+    for (name, program, batches) in workloads() {
+        for workers in [1usize, 3] {
+            let mut plain = ThreadedMatcher::from_program(&program, workers).unwrap();
+            let mut profiled = ThreadedMatcher::from_program_profiled(&program, workers).unwrap();
+            for (i, batch) in batches.iter().enumerate() {
+                plain.process(batch);
+                profiled.process(batch);
+                assert_eq!(
+                    plain.conflict_set(),
+                    profiled.conflict_set(),
+                    "{name}: threaded({workers}) conflict sets diverged at batch {i}"
+                );
+            }
+            let reg = profiled.profile_snapshot().unwrap();
+            assert!(
+                reg.counter_total(kernel::metric::NODE_ACTIVATIONS) > 0,
+                "{name}: profiled threaded({workers}) recorded no activations"
+            );
+            assert!(
+                plain.profile_snapshot().unwrap().is_empty(),
+                "{name}: unprofiled threaded({workers}) leaked metrics"
+            );
+        }
+    }
+}
+
+/// The profiled threaded executor agrees with the profiled sequential
+/// engine — the two profiled code paths share nothing but the kernel, so
+/// this catches instrumentation that perturbs one executor's scheduling.
+#[test]
+fn profiled_threaded_matches_profiled_sequential() {
+    for (name, program, batches) in workloads() {
+        let mut seq = ReteMatcher::with_metrics(
+            ReteNetwork::compile(&program).unwrap(),
+            EngineConfig::default(),
+            MetricsRegistry::new(),
+        );
+        let mut thr = ThreadedMatcher::from_program_profiled(&program, 2).unwrap();
+        for batch in &batches {
+            seq.process(batch);
+            thr.process(batch);
+        }
+        assert_eq!(
+            seq.conflict_set(),
+            thr.conflict_set(),
+            "{name}: profiled sequential vs profiled threaded diverged"
+        );
+    }
+}
