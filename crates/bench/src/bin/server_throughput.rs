@@ -1,0 +1,180 @@
+//! `server_throughput` — serving-layer throughput tiers and manifest.
+//!
+//! ```text
+//! server_throughput                          # measure tiers, print table
+//! server_throughput --out BENCH_server.json  # measure + write manifest
+//! server_throughput --check FILE             # validate a manifest's schema
+//! server_throughput --tiers 1000,10000       # override the session tiers
+//! ```
+//!
+//! Each tier admits N concurrent sessions of the synthetic ticket-triage
+//! workload into one `mpps_server::Server`, ingests `--rounds` WME
+//! batches of `--wmes` requests into every session (retrying through the
+//! bounded-queue backpressure, so the `Overloaded` path is exercised
+//! under real load), drains to completion, and records sustained
+//! WME-changes/sec plus per-cycle latency percentiles from the merged
+//! worker metrics.
+//!
+//! The manifest (`BENCH_server.json`, same style as
+//! `BENCH_matchkernel.json`) records every tier together with the commit
+//! hash and machine info; `--check` validates a committed manifest
+//! structurally via [`mpps_bench::telemetry::check_server_manifest`] —
+//! the CI smoke job runs a 1k-session tier, writes the manifest, and
+//! checks it.
+
+use mpps_bench::telemetry::{
+    check_server_manifest, render_server_manifest, ServerManifestInfo, ServerTierRecord,
+};
+use mpps_server::{run_synthetic, ServerConfig, SyntheticSpec};
+
+/// The current git commit hash. `"unknown"` outside a work tree.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn measure(config: ServerConfig, spec: &SyntheticSpec) -> ServerTierRecord {
+    let report = run_synthetic(config, spec).unwrap_or_else(|e| {
+        eprintln!("server_throughput: tier {} failed: {e}", spec.sessions);
+        std::process::exit(1);
+    });
+    ServerTierRecord {
+        sessions: report.sessions as u64,
+        replies: report.replies,
+        failures: report.failures,
+        overloads: report.overloads,
+        wme_changes: report.wme_changes,
+        changes_per_sec: report.changes_per_sec,
+        cycles_per_sec: report.cycles_per_sec,
+        elapsed_s: report.elapsed.as_secs_f64(),
+        p50_cycle_ns: report.p50_cycle_ns,
+        p95_cycle_ns: report.p95_cycle_ns,
+        p95_batch_ns: report.p95_batch_ns,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut tiers: Vec<usize> = vec![1_000, 10_000, 100_000];
+    let mut rounds = 2u64;
+    let mut wmes = 2usize;
+    let mut workers = ServerConfig::default().workers;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).expect("--out needs a path").clone());
+            }
+            "--check" => {
+                i += 1;
+                let path = args.get(i).expect("--check needs a file").clone();
+                match check_server_manifest(std::path::Path::new(&path)) {
+                    Ok(report) => {
+                        println!("server_throughput --check: {report}");
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("server_throughput --check: {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--tiers" => {
+                i += 1;
+                tiers = args
+                    .get(i)
+                    .expect("--tiers needs a comma-separated list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--tiers: not a session count"))
+                    .collect();
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = args
+                    .get(i)
+                    .expect("--rounds needs a count")
+                    .parse()
+                    .expect("--rounds: not a number");
+            }
+            "--wmes" => {
+                i += 1;
+                wmes = args
+                    .get(i)
+                    .expect("--wmes needs a count")
+                    .parse()
+                    .expect("--wmes: not a number");
+            }
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .expect("--workers needs a count")
+                    .parse()
+                    .expect("--workers: not a number");
+            }
+            other => {
+                eprintln!("server_throughput: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let mut records = Vec::with_capacity(tiers.len());
+    println!("sessions    changes/s     cycles/s   p50 cycle   p95 cycle   overloads     wall");
+    for &sessions in &tiers {
+        let spec = SyntheticSpec {
+            sessions,
+            rounds,
+            wmes_per_round: wmes,
+        };
+        let r = measure(config, &spec);
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>9}ns {:>9}ns {:>11} {:>7.2}s",
+            r.sessions,
+            r.changes_per_sec,
+            r.cycles_per_sec,
+            r.p50_cycle_ns,
+            r.p95_cycle_ns,
+            r.overloads,
+            r.elapsed_s
+        );
+        if r.failures > 0 {
+            eprintln!(
+                "server_throughput: tier {} had {} failed requests",
+                r.sessions, r.failures
+            );
+            std::process::exit(1);
+        }
+        records.push(r);
+    }
+
+    if let Some(path) = out {
+        let info = ServerManifestInfo {
+            commit: git_commit(),
+            workers: workers as u64,
+            queue_capacity: config.queue_capacity as u64,
+            rounds,
+            wmes_per_round: wmes as u64,
+        };
+        let json = render_server_manifest(&info, &records);
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("server_throughput: wrote {path}"),
+            Err(e) => {
+                eprintln!("server_throughput: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@ use crate::symbol::Symbol;
 use crate::value::Value;
 use crate::wme::{Wme, WmeId, WorkingMemory};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A record of one production firing.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -72,9 +73,42 @@ pub enum StepOutcome {
 /// arguments and the live working memory; may return WMEs to add.
 pub type UserFn = Box<dyn FnMut(&[Value], &WorkingMemory) -> Vec<Wme>>;
 
+/// A portable snapshot of an [`Interpreter`]'s mutable session state —
+/// everything that is not derivable from the (shared, immutable) program.
+///
+/// [`Interpreter::export_state`] captures it; [`Interpreter::with_matcher_state`]
+/// rebuilds a live interpreter from it on top of a *fresh* matcher for the
+/// same program. Matcher-internal memories are intentionally not part of
+/// the snapshot: a matcher is a pure fold over the WM change batches it was
+/// fed, so the restore path replays the matcher-visible working memory as
+/// one batch and arrives at an equivalent conflict set (the equivalence the
+/// matcher property suites and the differential fuzzer pin down).
+///
+/// User-defined RHS functions are not captured; re-register them after a
+/// restore if the program uses `(call …)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InterpreterState {
+    /// Conflict-resolution strategy the session runs under.
+    pub strategy: Strategy,
+    /// Live working memory, ascending time-tag order.
+    pub wm: Vec<(WmeId, Wme)>,
+    /// The next time tag to hand out.
+    pub next_id: u64,
+    /// Refraction memory, sorted for canonical comparison.
+    pub fired_keys: Vec<(ProductionId, Vec<WmeId>)>,
+    /// WM changes queued since the last match phase (not yet matcher-visible).
+    pub pending: Vec<WmeChange>,
+    /// Values written by `(write …)` actions so far.
+    pub output: Vec<Vec<Value>>,
+    /// MRA cycles executed so far.
+    pub cycle: usize,
+    /// Whether a `(halt)` has executed.
+    pub halted: bool,
+}
+
 /// The MRA-cycle interpreter, generic over the match engine.
 pub struct Interpreter<M: Matcher = NaiveMatcher> {
-    program: Program,
+    program: Arc<Program>,
     strategy: Strategy,
     wm: WorkingMemory,
     matcher: M,
@@ -105,6 +139,16 @@ impl<M: Matcher> Interpreter<M> {
     /// Interpreter over a caller-supplied matcher (must have been built for
     /// the same `program`).
     pub fn with_matcher(program: Program, strategy: Strategy, matcher: M) -> Self {
+        Self::with_shared_program(Arc::new(program), strategy, matcher)
+    }
+
+    /// Like [`Interpreter::with_matcher`] over a *shared* program.
+    ///
+    /// Many interpreters can point at one program — the serving layer runs
+    /// thousands of sessions against a single compiled ruleset, and an
+    /// `Arc` keeps the per-session cost at a pointer instead of a clone of
+    /// every production.
+    pub fn with_shared_program(program: Arc<Program>, strategy: Strategy, matcher: M) -> Self {
         Interpreter {
             program,
             strategy,
@@ -119,6 +163,82 @@ impl<M: Matcher> Interpreter<M> {
             halted: false,
             functions: HashMap::new(),
         }
+    }
+
+    /// Capture the session state of this interpreter (see
+    /// [`InterpreterState`]). Cheap relative to a run: clones the live WM,
+    /// refraction keys, pending changes and outputs; the matcher and the
+    /// per-cycle change log are excluded by design.
+    pub fn export_state(&self) -> InterpreterState {
+        let mut fired_keys: Vec<(ProductionId, Vec<WmeId>)> =
+            self.fired_keys.iter().cloned().collect();
+        fired_keys.sort();
+        InterpreterState {
+            strategy: self.strategy,
+            wm: self.wm.iter().map(|(id, w)| (id, w.clone())).collect(),
+            next_id: self.wm.next_id().0,
+            fired_keys,
+            pending: self.pending.clone(),
+            output: self.output.clone(),
+            cycle: self.cycle,
+            halted: self.halted,
+        }
+    }
+
+    /// Rebuild an interpreter from a captured [`InterpreterState`] on top
+    /// of a **fresh** matcher built for the same `program`.
+    ///
+    /// The matcher is brought up to date by replaying the matcher-visible
+    /// working memory as a single add batch: that is the live WM *minus*
+    /// pending additions (the matcher never saw them) *plus* pending
+    /// removals (the matcher still holds them). The pending queue is then
+    /// restored verbatim, so the next [`Interpreter::step`] hands the
+    /// matcher exactly the batch an uninterrupted run would have.
+    pub fn with_matcher_state(
+        program: Program,
+        matcher: M,
+        state: InterpreterState,
+    ) -> Result<Self, OpsError> {
+        Self::with_shared_state(Arc::new(program), matcher, state)
+    }
+
+    /// Like [`Interpreter::with_matcher_state`] over a *shared* program.
+    pub fn with_shared_state(
+        program: Arc<Program>,
+        mut matcher: M,
+        state: InterpreterState,
+    ) -> Result<Self, OpsError> {
+        let mut visible: std::collections::BTreeMap<WmeId, Wme> =
+            state.wm.iter().cloned().collect();
+        for change in &state.pending {
+            match change.sign {
+                crate::wme::Sign::Plus => {
+                    visible.remove(&change.id);
+                }
+                crate::wme::Sign::Minus => {
+                    visible.insert(change.id, change.wme.clone());
+                }
+            }
+        }
+        let batch: Vec<WmeChange> = visible
+            .into_iter()
+            .map(|(id, wme)| WmeChange::add(id, wme))
+            .collect();
+        matcher.try_process(&batch).map_err(OpsError::Match)?;
+        Ok(Interpreter {
+            program,
+            strategy: state.strategy,
+            wm: WorkingMemory::from_parts(state.wm, state.next_id),
+            matcher,
+            fired_keys: state.fired_keys.into_iter().collect(),
+            pending: state.pending,
+            change_log: vec![batch],
+            output: state.output,
+            fired: Vec::new(),
+            cycle: state.cycle,
+            halted: state.halted,
+            functions: HashMap::new(),
+        })
     }
 
     /// Register a user-defined RHS function callable via `(call name …)`.
@@ -217,16 +337,14 @@ impl<M: Matcher> Interpreter<M> {
 
     /// Execute the RHS of `inst`, queuing WM changes.
     ///
-    /// The program is moved aside for the duration of the firing so the
-    /// RHS can be walked by reference while actions mutate the
-    /// interpreter — no per-firing clone of the action list. Nothing an
-    /// action can reach reads `self.program` (user functions only see the
-    /// working memory).
+    /// A second `Arc` handle to the program is taken for the duration of
+    /// the firing so the RHS can be walked by reference while actions
+    /// mutate the interpreter — no per-firing clone of the action list.
+    /// Nothing an action can reach reads `self.program` (user functions
+    /// only see the working memory).
     fn fire(&mut self, inst: &Instantiation) -> Result<(), OpsError> {
-        let program = std::mem::take(&mut self.program);
-        let result = self.fire_actions(program.get(inst.production), inst);
-        self.program = program;
-        result
+        let program = Arc::clone(&self.program);
+        self.fire_actions(program.get(inst.production), inst)
     }
 
     fn fire_actions(
@@ -402,9 +520,20 @@ impl<M: Matcher> Interpreter<M> {
     }
 
     /// Run until quiescence, halt, or `max_cycles`.
+    ///
+    /// A halted interpreter stays halted: calling `run` again (as a
+    /// server does when a session receives input after a `(halt)`)
+    /// returns immediately with [`RunOutcome::Halted`] and fires nothing.
     pub fn run(&mut self, max_cycles: usize) -> Result<RunResult, OpsError> {
         let start_fired = self.fired.len();
         let start_cycle = self.cycle;
+        if self.halted {
+            return Ok(RunResult {
+                cycles: 0,
+                fired: Vec::new(),
+                outcome: RunOutcome::Halted,
+            });
+        }
         let mut outcome = RunOutcome::CycleLimit;
         while self.cycle - start_cycle < max_cycles {
             match self.step()? {
@@ -437,9 +566,24 @@ impl<M: Matcher> Interpreter<M> {
         &self.program
     }
 
+    /// The conflict-resolution strategy in force.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
     /// The per-cycle WM change batches handed to the matcher so far.
     pub fn change_log(&self) -> &[Vec<WmeChange>] {
         &self.change_log
+    }
+
+    /// Take (and clear) the recorded per-cycle change batches.
+    ///
+    /// Long-running sessions — the serving layer's bread and butter — must
+    /// drain the log periodically or it grows without bound; the drained
+    /// batches double as the per-request WME-change count the server's
+    /// throughput metrics report.
+    pub fn drain_change_log(&mut self) -> Vec<Vec<WmeChange>> {
+        std::mem::take(&mut self.change_log)
     }
 
     /// Values written by `(write ...)` actions, one entry per action.
@@ -664,6 +808,58 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].len(), 1);
         assert_eq!(log[1].len(), 3);
+    }
+
+    #[test]
+    fn export_restore_continues_identically() {
+        let src = r#"
+            (p count-down
+               (counter ^value <v>)
+               -(counter ^value 0)
+               -->
+               (modify 1 ^value (- <v> 1))
+               (write tick <v>))
+            "#;
+        let prog = parse_program(src).unwrap();
+        // Uninterrupted reference run.
+        let mut whole = Interpreter::new(prog.clone(), Strategy::Lex);
+        whole.wm_make("counter", &[("value", 5.into())]);
+        whole.run(100).unwrap();
+        // Interrupted run: two cycles, snapshot, restore, continue.
+        let mut first = Interpreter::new(prog.clone(), Strategy::Lex);
+        first.wm_make("counter", &[("value", 5.into())]);
+        first.step().unwrap();
+        first.step().unwrap();
+        let state = first.export_state();
+        let matcher = NaiveMatcher::new(prog.clone());
+        let mut resumed = Interpreter::with_matcher_state(prog, matcher, state).unwrap();
+        resumed.run(100).unwrap();
+        assert_eq!(resumed.cycles(), whole.cycles());
+        assert_eq!(resumed.output(), whole.output());
+        let a: Vec<_> = resumed.working_memory().iter().collect();
+        let b: Vec<_> = whole.working_memory().iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            resumed.matcher().conflict_set(),
+            whole.matcher().conflict_set()
+        );
+    }
+
+    #[test]
+    fn export_restore_preserves_pending_changes() {
+        // A WME queued but not yet matched must survive the round trip and
+        // reach the matcher on the next step, exactly once.
+        let prog = parse_program("(p t (a) --> (halt))").unwrap();
+        let mut interp = Interpreter::new(prog.clone(), Strategy::Lex);
+        interp.step().unwrap(); // empty first cycle
+        interp.wm_make("a", &[]);
+        let state = interp.export_state();
+        assert_eq!(state.pending.len(), 1);
+        let mut resumed =
+            Interpreter::with_matcher_state(prog.clone(), NaiveMatcher::new(prog), state).unwrap();
+        let r = resumed.run(10).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Halted);
+        assert_eq!(r.fired.len(), 1);
     }
 
     #[test]

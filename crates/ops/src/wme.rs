@@ -164,6 +164,21 @@ impl WorkingMemory {
         }
     }
 
+    /// Rebuild a working memory from live `(id, wme)` pairs and the next
+    /// time tag to hand out — the restore half of session snapshotting.
+    /// `next_id` must be beyond every live id so time tags stay unique.
+    pub fn from_parts(elements: impl IntoIterator<Item = (WmeId, Wme)>, next_id: u64) -> Self {
+        let elements: BTreeMap<WmeId, Wme> = elements.into_iter().collect();
+        assert!(
+            elements
+                .keys()
+                .next_back()
+                .is_none_or(|last| last.0 < next_id),
+            "next_id must exceed every live time tag"
+        );
+        WorkingMemory { elements, next_id }
+    }
+
     /// Insert a WME, assigning it a fresh time tag.
     pub fn add(&mut self, wme: Wme) -> WmeId {
         let id = WmeId(self.next_id);

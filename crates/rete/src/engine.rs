@@ -13,6 +13,7 @@ use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
 use mpps_ops::{sort_conflict_set, Instantiation, Matcher, ProductionId, Sign, WmeChange, WmeId};
 use mpps_telemetry::{MetricSink, MetricsRegistry, NullMetrics};
 use std::collections::{hash_map::Entry, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Engine configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,7 +41,7 @@ impl Default for EngineConfig {
 /// [`ReteMatcher::with_metrics`]. Profiling never changes match results,
 /// only what gets recorded on the side.
 pub struct ReteMatcher<M: MetricSink = NullMetrics> {
-    network: ReteNetwork,
+    network: Arc<ReteNetwork>,
     kernel: Kernel<GlobalMemories, M>,
     conflict: HashMap<(ProductionId, Vec<WmeId>), (Instantiation, i64)>,
     config: EngineConfig,
@@ -56,6 +57,17 @@ impl ReteMatcher {
         Self::with_metrics(network, config, NullMetrics)
     }
 
+    /// Build an unprofiled matcher over a *shared* compiled network.
+    ///
+    /// Many matchers can point at one compiled [`ReteNetwork`] — the
+    /// network is immutable after compilation; all mutable match state
+    /// (memories, token arena, conflict set) lives in the matcher. This
+    /// is the compile-once/match-many path the serving layer uses to run
+    /// thousands of independent sessions against one program.
+    pub fn new_shared(network: Arc<ReteNetwork>, config: EngineConfig) -> Self {
+        Self::with_metrics_shared(network, config, NullMetrics)
+    }
+
     /// Compile `program` and build a matcher with default options.
     pub fn from_program(program: &mpps_ops::Program) -> Result<Self, mpps_ops::OpsError> {
         Ok(Self::new(
@@ -68,6 +80,15 @@ impl ReteMatcher {
 impl<M: MetricSink> ReteMatcher<M> {
     /// Build a matcher recording profiling metrics into `metrics`.
     pub fn with_metrics(network: ReteNetwork, config: EngineConfig, metrics: M) -> Self {
+        Self::with_metrics_shared(Arc::new(network), config, metrics)
+    }
+
+    /// Like [`ReteMatcher::with_metrics`] over a shared compiled network.
+    pub fn with_metrics_shared(
+        network: Arc<ReteNetwork>,
+        config: EngineConfig,
+        metrics: M,
+    ) -> Self {
         let trace = config.record_trace.then(|| Trace::new(config.table_size));
         ReteMatcher {
             kernel: Kernel::with_metrics(GlobalMemories::new(config.table_size), metrics),

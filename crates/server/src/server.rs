@@ -1,0 +1,904 @@
+//! The multiplexing worker pool.
+//!
+//! A [`Server`] compiles the program once, spawns `workers` threads, and
+//! pins every admitted session to one worker for its lifetime (sessions
+//! are not `Send` across workers and never need to be — all operations on
+//! a session execute on its home worker, so no session ever sees
+//! concurrent mutation).
+//!
+//! ## Admission
+//!
+//! Session → worker assignment reuses [`mpps_core::Partition`] — the same
+//! abstraction the paper's §4 mapping uses for hash-bucket → processor
+//! placement, one level up: sessions hash into a fixed shard space and a
+//! partition maps shards to workers. Round-robin and seeded-random are
+//! static; greedy rebuilds an LPT partition over live-session-per-shard
+//! counts every `greedy_rebuild_interval` admissions (already-pinned
+//! sessions never migrate — only future admissions follow the new map).
+//!
+//! ## Backpressure
+//!
+//! Each worker has a bounded submission queue, enforced with a depth
+//! counter on the server side: [`Server::submit`] rejects with
+//! [`ServerError::Overloaded`] the moment the target worker's queue is at
+//! capacity, without enqueueing anything. Every *accepted* request is
+//! answered by exactly one [`Reply`] on the completion channel — acks are
+//! never dropped, so `accepted == replies` is an invariant the stress
+//! tests assert.
+//!
+//! ## Observability
+//!
+//! Workers count requests, MRA cycles and WME changes per worker id,
+//! track high-water queue depth, and sample per-request and per-cycle
+//! latency into exact histograms — all through the
+//! [`mpps_telemetry::MetricSink`] machinery. [`Server::metrics`] flushes
+//! every worker and merges the registries with the server-side admission
+//! counters.
+
+use crate::session::{Session, SessionId};
+use crate::snapshot::program_fingerprint;
+use crate::ServerError;
+use crossbeam::channel::{self, Receiver, Sender};
+use mpps_core::Partition;
+use mpps_ops::{OpsError, Program, RunOutcome, Strategy, Wme, WmeId};
+use mpps_rete::{EngineConfig, ReteNetwork};
+use mpps_telemetry::{MetricSink, MetricsRegistry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Monotone id identifying one accepted request; every accepted request
+/// produces exactly one [`Reply`] carrying it.
+pub type RequestId = u64;
+
+/// How sessions are assigned to workers at admission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sharding {
+    /// Shards dealt to workers in rotation ([`Partition::round_robin`]).
+    RoundRobin,
+    /// Shards scattered by a seeded hash ([`Partition::random`]).
+    Random(u64),
+    /// LPT over live-session counts per shard ([`Partition::greedy`]),
+    /// rebuilt periodically as sessions come and go.
+    Greedy,
+}
+
+impl Sharding {
+    /// Parse a CLI spelling: `rr`, `random[:seed]` or `greedy`.
+    pub fn parse(s: &str) -> Option<Sharding> {
+        match s {
+            "rr" | "round-robin" => Some(Sharding::RoundRobin),
+            "greedy" => Some(Sharding::Greedy),
+            _ => {
+                let rest = s.strip_prefix("random")?;
+                match rest.strip_prefix(':') {
+                    None if rest.is_empty() => Some(Sharding::Random(0xC0FFEE)),
+                    Some(seed) => seed.parse().ok().map(Sharding::Random),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+/// Server tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each owns its sessions exclusively).
+    pub workers: usize,
+    /// Bounded per-worker submission queue capacity; submissions beyond
+    /// it are rejected with [`ServerError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Size of the shard space sessions hash into before the partition
+    /// maps shards to workers.
+    pub shards: u64,
+    /// Shard → worker strategy.
+    pub sharding: Sharding,
+    /// Conflict-resolution strategy sessions run under.
+    pub strategy: Strategy,
+    /// Per-session match-engine configuration. The default table size is
+    /// deliberately small (16): global-memory buckets cost space per
+    /// *session* here, not per server, and serving WMs are tiny.
+    pub engine: EngineConfig,
+    /// Cycle budget per ingestion batch (guards runaway rule loops).
+    pub max_cycles_per_batch: usize,
+    /// How many admissions between greedy-partition rebuilds.
+    pub greedy_rebuild_interval: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: mpps_telemetry::available_cpus().clamp(1, 8),
+            queue_capacity: 64,
+            shards: 256,
+            sharding: Sharding::RoundRobin,
+            strategy: Strategy::Lex,
+            engine: EngineConfig {
+                table_size: 16,
+                record_trace: false,
+            },
+            max_cycles_per_batch: 4096,
+            greedy_rebuild_interval: 64,
+        }
+    }
+}
+
+/// Work shipped to a worker thread.
+enum Request {
+    Create {
+        session: SessionId,
+        request: RequestId,
+        initial: Vec<Wme>,
+    },
+    Ingest {
+        session: SessionId,
+        request: RequestId,
+        wmes: Vec<Wme>,
+    },
+    Remove {
+        session: SessionId,
+        request: RequestId,
+        id: WmeId,
+    },
+    Destroy {
+        session: SessionId,
+        request: RequestId,
+    },
+    Snapshot {
+        session: SessionId,
+        request: RequestId,
+    },
+    Restore {
+        session: SessionId,
+        request: RequestId,
+        bytes: Vec<u8>,
+    },
+    /// Control plane: ship the worker's metrics back. Not counted against
+    /// queue capacity.
+    Flush {
+        request: RequestId,
+    },
+    Shutdown,
+}
+
+/// Completion shipped back from a worker. Every accepted request yields
+/// exactly one reply.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// A session was created (or restored) and settled to quiescence.
+    Ready {
+        /// The session now live.
+        session: SessionId,
+        /// The request this answers.
+        request: RequestId,
+        /// Worker the session is pinned to.
+        worker: usize,
+    },
+    /// An ingestion/removal batch was matched and fired to completion.
+    Cycles {
+        /// The session that ran.
+        session: SessionId,
+        /// The request this answers.
+        request: RequestId,
+        /// Worker that ran it.
+        worker: usize,
+        /// Productions fired while settling this batch.
+        fired: usize,
+        /// MRA cycles executed (including the final quiescent match).
+        cycles: usize,
+        /// WME changes the matcher processed (external + RHS-driven).
+        wme_changes: usize,
+        /// How the settle ended.
+        outcome: RunOutcome,
+        /// Wall time on the worker, start of request to reply, in ns.
+        nanos: u64,
+        /// Request start, ns since the server's epoch (for trace export).
+        start_ns: u64,
+    },
+    /// A snapshot was taken.
+    SnapshotBytes {
+        /// Session snapshotted.
+        session: SessionId,
+        /// The request this answers.
+        request: RequestId,
+        /// The versioned snapshot (see [`crate::snapshot`]).
+        bytes: Vec<u8>,
+    },
+    /// A session was destroyed.
+    Destroyed {
+        /// The session that is gone.
+        session: SessionId,
+        /// The request this answers.
+        request: RequestId,
+    },
+    /// A worker's metrics registry (answer to a flush).
+    Metrics {
+        /// The request this answers.
+        request: RequestId,
+        /// Worker that exported it.
+        worker: usize,
+        /// The worker's counters/gauges/histograms.
+        registry: Box<MetricsRegistry>,
+    },
+    /// The request failed on the worker; the session (if any) is
+    /// unchanged except as described by `error`.
+    Failed {
+        /// Session involved, when the request named one.
+        session: Option<SessionId>,
+        /// The request this answers.
+        request: RequestId,
+        /// Stringified error (transportable across the channel).
+        error: String,
+    },
+}
+
+impl Reply {
+    /// The request id this reply answers.
+    pub fn request(&self) -> RequestId {
+        match self {
+            Reply::Ready { request, .. }
+            | Reply::Cycles { request, .. }
+            | Reply::SnapshotBytes { request, .. }
+            | Reply::Destroyed { request, .. }
+            | Reply::Metrics { request, .. }
+            | Reply::Failed { request, .. } => *request,
+        }
+    }
+
+    /// True when the reply answers a data-plane request (counts toward
+    /// the in-flight total).
+    fn counted(&self) -> bool {
+        !matches!(self, Reply::Metrics { .. })
+    }
+}
+
+struct WorkerHandle {
+    tx: Sender<Request>,
+    depth: Arc<AtomicUsize>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The rule-engine server: one compiled program, many sessions, a worker
+/// pool with bounded queues. See the [module docs](self) for the design.
+pub struct Server {
+    program: Arc<Program>,
+    network: Arc<ReteNetwork>,
+    config: ServerConfig,
+    fingerprint: u64,
+    workers: Vec<WorkerHandle>,
+    reply_rx: Receiver<Reply>,
+    buffered: std::collections::VecDeque<Reply>,
+    partition: Partition,
+    routes: HashMap<u64, usize>,
+    shard_sessions: Vec<u64>,
+    admissions: u64,
+    next_session: u64,
+    next_request: u64,
+    in_flight: usize,
+    overloaded: u64,
+    admitted_per_worker: Vec<u64>,
+}
+
+impl Server {
+    /// Compile `program` and spawn the worker pool.
+    pub fn new(program: Program, config: ServerConfig) -> Result<Server, OpsError> {
+        let network = Arc::new(ReteNetwork::compile(&program)?);
+        let fingerprint = program_fingerprint(&program);
+        let program = Arc::new(program);
+        let workers = config.workers.max(1);
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let mut handles = Vec::with_capacity(workers);
+        let epoch = Instant::now();
+        for index in 0..workers {
+            let (tx, rx) = channel::unbounded();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let ctx = WorkerCtx {
+                index,
+                program: Arc::clone(&program),
+                network: Arc::clone(&network),
+                config,
+                fingerprint,
+                depth: Arc::clone(&depth),
+                reply_tx: reply_tx.clone(),
+                epoch,
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("mpps-serve-{index}"))
+                .spawn(move || worker_loop(ctx, rx))
+                .expect("spawn server worker");
+            handles.push(WorkerHandle {
+                tx,
+                depth,
+                join: Some(join),
+            });
+        }
+        let partition = build_partition(config, workers, &vec![0; config.shards.max(1) as usize]);
+        Ok(Server {
+            program,
+            network,
+            config,
+            fingerprint,
+            workers: handles,
+            reply_rx,
+            buffered: std::collections::VecDeque::new(),
+            partition,
+            routes: HashMap::new(),
+            shard_sessions: vec![0; config.shards.max(1) as usize],
+            admissions: 0,
+            next_session: 0,
+            next_request: 0,
+            overloaded: 0,
+            in_flight: 0,
+            admitted_per_worker: vec![0; workers],
+        })
+    }
+
+    /// The shared program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The shared compiled network.
+    pub fn network(&self) -> &ReteNetwork {
+        &self.network
+    }
+
+    /// The configuration the pool runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The fingerprint snapshots taken on this server carry (and restores
+    /// are checked against).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Live sessions (admitted and not destroyed).
+    pub fn sessions(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Accepted requests whose replies have not been received yet.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Submissions rejected with [`ServerError::Overloaded`] so far.
+    pub fn overload_rejections(&self) -> u64 {
+        self.overloaded
+    }
+
+    /// Instantaneous submission-queue depth per worker.
+    pub fn worker_depths(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .map(|w| w.depth.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Admit a new session (pinned to a worker by the sharding policy)
+    /// and ship its initial WM. Counts against the target worker's queue.
+    pub fn create_session(
+        &mut self,
+        initial: Vec<Wme>,
+    ) -> Result<(SessionId, RequestId), ServerError> {
+        let session = SessionId(self.next_session);
+        let worker = self.admit(session)?;
+        let request = self.send(
+            worker,
+            session,
+            Request::Create {
+                session,
+                request: 0, // patched by send()
+                initial,
+            },
+        )?;
+        Ok((session, request))
+    }
+
+    /// Restore a snapshot as a **new** session on this server.
+    pub fn restore(&mut self, bytes: Vec<u8>) -> Result<(SessionId, RequestId), ServerError> {
+        let session = SessionId(self.next_session);
+        let worker = self.admit(session)?;
+        let request = self.send(
+            worker,
+            session,
+            Request::Restore {
+                session,
+                request: 0,
+                bytes,
+            },
+        )?;
+        Ok((session, request))
+    }
+
+    /// Submit a batch of WMEs to a session. The worker ingests the batch
+    /// and runs the MRA cycle to quiescence (bounded by
+    /// `max_cycles_per_batch`), then replies [`Reply::Cycles`].
+    pub fn submit(&mut self, session: SessionId, wmes: Vec<Wme>) -> Result<RequestId, ServerError> {
+        let worker = self.route(session)?;
+        self.send(
+            worker,
+            session,
+            Request::Ingest {
+                session,
+                request: 0,
+                wmes,
+            },
+        )
+    }
+
+    /// Submit removal of one WME (by time tag) to a session.
+    pub fn submit_remove(
+        &mut self,
+        session: SessionId,
+        id: WmeId,
+    ) -> Result<RequestId, ServerError> {
+        let worker = self.route(session)?;
+        self.send(
+            worker,
+            session,
+            Request::Remove {
+                session,
+                request: 0,
+                id,
+            },
+        )
+    }
+
+    /// Request a snapshot of a session (replies [`Reply::SnapshotBytes`]).
+    pub fn snapshot(&mut self, session: SessionId) -> Result<RequestId, ServerError> {
+        let worker = self.route(session)?;
+        self.send(
+            worker,
+            session,
+            Request::Snapshot {
+                session,
+                request: 0,
+            },
+        )
+    }
+
+    /// Destroy a session. Further submissions for it fail immediately
+    /// with [`ServerError::UnknownSession`]; requests already queued are
+    /// still answered.
+    pub fn destroy_session(&mut self, session: SessionId) -> Result<RequestId, ServerError> {
+        let worker = self.route(session)?;
+        let request = self.send(
+            worker,
+            session,
+            Request::Destroy {
+                session,
+                request: 0,
+            },
+        )?;
+        self.routes.remove(&session.0);
+        let shard = self.shard_of(session);
+        self.shard_sessions[shard] = self.shard_sessions[shard].saturating_sub(1);
+        Ok(request)
+    }
+
+    /// Receive the next reply, waiting up to `timeout`.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Reply, ServerError> {
+        if let Some(reply) = self.buffered.pop_front() {
+            return Ok(reply);
+        }
+        match self.reply_rx.recv_timeout(timeout) {
+            Ok(reply) => {
+                self.account(&reply);
+                Ok(reply)
+            }
+            Err(channel::RecvTimeoutError::Timeout) => Err(ServerError::Timeout),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(ServerError::Shutdown),
+        }
+    }
+
+    /// Receive a reply if one is already waiting.
+    pub fn try_recv(&mut self) -> Option<Reply> {
+        if let Some(reply) = self.buffered.pop_front() {
+            return Some(reply);
+        }
+        let reply = self.reply_rx.try_recv().ok()?;
+        self.account(&reply);
+        Some(reply)
+    }
+
+    /// Wait for the reply answering `request`, buffering any other
+    /// replies that arrive first (they are still delivered by later
+    /// `recv`/`drain` calls — no ack is lost).
+    pub fn wait_for(
+        &mut self,
+        request: RequestId,
+        timeout: Duration,
+    ) -> Result<Reply, ServerError> {
+        if let Some(at) = self.buffered.iter().position(|r| r.request() == request) {
+            return Ok(self.buffered.remove(at).expect("position is in range"));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(ServerError::Timeout)?;
+            match self.reply_rx.recv_timeout(remaining) {
+                Ok(reply) => {
+                    self.account(&reply);
+                    if reply.request() == request {
+                        return Ok(reply);
+                    }
+                    self.buffered.push_back(reply);
+                }
+                Err(channel::RecvTimeoutError::Timeout) => return Err(ServerError::Timeout),
+                Err(channel::RecvTimeoutError::Disconnected) => return Err(ServerError::Shutdown),
+            }
+        }
+    }
+
+    /// Drain replies until nothing is in flight, applying `sink` to each.
+    /// `timeout` bounds the wait for each *individual* reply, so a healthy
+    /// server drains in time proportional to the backlog.
+    pub fn drain(
+        &mut self,
+        timeout: Duration,
+        mut sink: impl FnMut(&Reply),
+    ) -> Result<usize, ServerError> {
+        let mut drained = 0;
+        while let Some(reply) = self.buffered.pop_front() {
+            sink(&reply);
+            drained += 1;
+        }
+        while self.in_flight > 0 {
+            let reply = self.recv_timeout(timeout)?;
+            sink(&reply);
+            drained += 1;
+        }
+        Ok(drained)
+    }
+
+    /// Flush every worker's metrics and merge them with the server-side
+    /// admission counters: `serve.admitted` (sessions per worker),
+    /// `serve.overloaded` (rejected submissions).
+    pub fn metrics(&mut self, timeout: Duration) -> Result<MetricsRegistry, ServerError> {
+        let mut merged = MetricsRegistry::new();
+        for worker in 0..self.workers.len() {
+            let request = self.next_request();
+            self.workers[worker]
+                .tx
+                .send(Request::Flush { request })
+                .map_err(|_| ServerError::Shutdown)?;
+            match self.wait_for(request, timeout)? {
+                Reply::Metrics { registry, .. } => merged.merge(&registry),
+                other => {
+                    // Only a Metrics reply ever carries a flush request id.
+                    debug_assert!(false, "flush answered by {other:?}");
+                }
+            }
+        }
+        for (worker, &count) in self.admitted_per_worker.iter().enumerate() {
+            if count > 0 {
+                merged.add("serve.admitted", worker as u64, count);
+            }
+        }
+        if self.overloaded > 0 {
+            merged.add("serve.overloaded", 0, self.overloaded);
+        }
+        Ok(merged)
+    }
+
+    fn shard_of(&self, session: SessionId) -> usize {
+        // Multiplicative hash so consecutive ids spread across shards
+        // (greedy and random placements would otherwise see runs).
+        let h = session.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+        (h % self.partition.table_size()) as usize
+    }
+
+    /// Pick (and record) the worker for a new session.
+    fn admit(&mut self, session: SessionId) -> Result<usize, ServerError> {
+        if self.config.sharding == Sharding::Greedy
+            && self
+                .admissions
+                .is_multiple_of(self.config.greedy_rebuild_interval.max(1))
+        {
+            self.partition = build_partition(self.config, self.workers.len(), &self.shard_sessions);
+        }
+        self.admissions += 1;
+        let shard = self.shard_of(session);
+        let worker = self.partition.owner(shard as u64);
+        // Reject at admission when the worker is saturated, before any
+        // state is recorded.
+        let depth = self.workers[worker].depth.load(Ordering::Acquire);
+        if depth >= self.config.queue_capacity {
+            self.overloaded += 1;
+            return Err(ServerError::Overloaded {
+                session,
+                worker,
+                capacity: self.config.queue_capacity,
+            });
+        }
+        self.next_session += 1;
+        self.routes.insert(session.0, worker);
+        self.shard_sessions[shard] += 1;
+        self.admitted_per_worker[worker] += 1;
+        Ok(worker)
+    }
+
+    fn route(&self, session: SessionId) -> Result<usize, ServerError> {
+        self.routes
+            .get(&session.0)
+            .copied()
+            .ok_or(ServerError::UnknownSession(session))
+    }
+
+    fn next_request(&mut self) -> RequestId {
+        self.next_request += 1;
+        self.next_request
+    }
+
+    /// Enqueue a data-plane request on `worker`, enforcing the bounded
+    /// queue. On success the request id is patched in and returned.
+    fn send(
+        &mut self,
+        worker: usize,
+        session: SessionId,
+        mut request: Request,
+    ) -> Result<RequestId, ServerError> {
+        let handle = &self.workers[worker];
+        // Optimistically claim a slot; undo if over capacity. The counter
+        // is the *only* admission gate, so claim-then-check is race-free
+        // even with a future multi-submitter front end.
+        let depth = handle.depth.fetch_add(1, Ordering::AcqRel);
+        if depth >= self.config.queue_capacity {
+            handle.depth.fetch_sub(1, Ordering::AcqRel);
+            self.overloaded += 1;
+            return Err(ServerError::Overloaded {
+                session,
+                worker,
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let id = self.next_request();
+        match &mut request {
+            Request::Create { request, .. }
+            | Request::Ingest { request, .. }
+            | Request::Remove { request, .. }
+            | Request::Destroy { request, .. }
+            | Request::Snapshot { request, .. }
+            | Request::Restore { request, .. }
+            | Request::Flush { request } => *request = id,
+            Request::Shutdown => {}
+        }
+        if self.workers[worker].tx.send(request).is_err() {
+            self.workers[worker].depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServerError::Shutdown);
+        }
+        self.in_flight += 1;
+        Ok(id)
+    }
+
+    fn account(&mut self, reply: &Reply) {
+        if reply.counted() {
+            self.in_flight = self.in_flight.saturating_sub(1);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.tx.send(Request::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+fn build_partition(config: ServerConfig, workers: usize, shard_sessions: &[u64]) -> Partition {
+    let shards = config.shards.max(1);
+    match config.sharding {
+        Sharding::RoundRobin => Partition::round_robin(shards, workers),
+        Sharding::Random(seed) => Partition::random(shards, workers, seed),
+        Sharding::Greedy => Partition::greedy(shard_sessions, workers),
+    }
+}
+
+/// Everything a worker thread needs, moved in at spawn.
+struct WorkerCtx {
+    index: usize,
+    program: Arc<Program>,
+    network: Arc<ReteNetwork>,
+    config: ServerConfig,
+    fingerprint: u64,
+    depth: Arc<AtomicUsize>,
+    reply_tx: Sender<Reply>,
+    epoch: Instant,
+}
+
+fn worker_loop(ctx: WorkerCtx, rx: Receiver<Request>) {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut metrics = MetricsRegistry::new();
+    let wid = ctx.index as u64;
+    while let Ok(request) = rx.recv() {
+        // Control-plane messages (flush/shutdown) bypass the bounded
+        // queue, so only data-plane requests move the depth counter.
+        let counted = !matches!(request, Request::Flush { .. } | Request::Shutdown);
+        // High-water queue depth *including* the request being taken.
+        metrics.set(
+            "serve.queue_depth",
+            wid,
+            ctx.depth.load(Ordering::Relaxed) as u64,
+        );
+        let reply = match request {
+            Request::Shutdown => break,
+            Request::Flush { request } => {
+                metrics.set("serve.sessions_live", wid, sessions.len() as u64);
+                Some(Reply::Metrics {
+                    request,
+                    worker: ctx.index,
+                    registry: Box::new(metrics.clone()),
+                })
+            }
+            Request::Create {
+                session,
+                request,
+                initial,
+            } => {
+                let mut s = Session::new(
+                    Arc::clone(&ctx.program),
+                    Arc::clone(&ctx.network),
+                    ctx.config.strategy,
+                    ctx.config.engine,
+                    ctx.fingerprint,
+                );
+                let reply =
+                    settle_into(&ctx, &mut metrics, &mut s, session, request, initial, true);
+                if !matches!(reply, Reply::Failed { .. }) {
+                    sessions.insert(session.0, s);
+                }
+                metrics.add("serve.sessions_created", wid, 1);
+                Some(reply)
+            }
+            Request::Restore {
+                session,
+                request,
+                bytes,
+            } => match Session::restore(
+                Arc::clone(&ctx.program),
+                Arc::clone(&ctx.network),
+                ctx.config.engine,
+                ctx.fingerprint,
+                &bytes,
+            ) {
+                Ok(s) => {
+                    sessions.insert(session.0, s);
+                    metrics.add("serve.sessions_restored", wid, 1);
+                    Some(Reply::Ready {
+                        session,
+                        request,
+                        worker: ctx.index,
+                    })
+                }
+                Err(e) => Some(Reply::Failed {
+                    session: Some(session),
+                    request,
+                    error: e.to_string(),
+                }),
+            },
+            Request::Ingest {
+                session,
+                request,
+                wmes,
+            } => Some(match sessions.get_mut(&session.0) {
+                None => unknown(session, request),
+                Some(s) => settle_into(&ctx, &mut metrics, s, session, request, wmes, false),
+            }),
+            Request::Remove {
+                session,
+                request,
+                id,
+            } => Some(match sessions.get_mut(&session.0) {
+                None => unknown(session, request),
+                Some(s) => match s.remove(id) {
+                    Err(e) => Reply::Failed {
+                        session: Some(session),
+                        request,
+                        error: e.to_string(),
+                    },
+                    Ok(()) => {
+                        settle_into(&ctx, &mut metrics, s, session, request, Vec::new(), false)
+                    }
+                },
+            }),
+            Request::Snapshot { session, request } => Some(match sessions.get(&session.0) {
+                None => unknown(session, request),
+                Some(s) => {
+                    metrics.add("serve.snapshots", wid, 1);
+                    Reply::SnapshotBytes {
+                        session,
+                        request,
+                        bytes: s.snapshot(),
+                    }
+                }
+            }),
+            Request::Destroy { session, request } => Some(match sessions.remove(&session.0) {
+                None => unknown(session, request),
+                Some(_) => Reply::Destroyed { session, request },
+            }),
+        };
+        if counted {
+            ctx.depth.fetch_sub(1, Ordering::AcqRel);
+        }
+        if let Some(reply) = reply {
+            if ctx.reply_tx.send(reply).is_err() {
+                break; // server dropped; nobody is listening
+            }
+        }
+    }
+}
+
+fn unknown(session: SessionId, request: RequestId) -> Reply {
+    Reply::Failed {
+        session: Some(session),
+        request,
+        error: ServerError::UnknownSession(session).to_string(),
+    }
+}
+
+/// Ingest `wmes` into `s` and run the MRA cycle to quiescence, recording
+/// latency and throughput metrics. `creating` selects the Ready reply
+/// shape (session admission) over Cycles (steady-state ingestion).
+#[allow(clippy::too_many_arguments)]
+fn settle_into(
+    ctx: &WorkerCtx,
+    metrics: &mut MetricsRegistry,
+    s: &mut Session,
+    session: SessionId,
+    request: RequestId,
+    wmes: Vec<Wme>,
+    creating: bool,
+) -> Reply {
+    let wid = ctx.index as u64;
+    let started = Instant::now();
+    let start_ns = started.duration_since(ctx.epoch).as_nanos() as u64;
+    s.ingest(wmes);
+    match s.run(ctx.config.max_cycles_per_batch) {
+        Err(e) => Reply::Failed {
+            session: Some(session),
+            request,
+            error: e.to_string(),
+        },
+        Ok((result, wme_changes)) => {
+            let nanos = started.elapsed().as_nanos() as u64;
+            metrics.add("serve.requests", wid, 1);
+            metrics.add("serve.cycles", wid, result.cycles as u64);
+            metrics.add("serve.fired", wid, result.fired.len() as u64);
+            metrics.add("serve.wme_changes", wid, wme_changes as u64);
+            metrics.observe("serve.batch_ns", nanos);
+            metrics.observe("serve.cycle_ns", nanos / (result.cycles.max(1) as u64));
+            if creating {
+                Reply::Ready {
+                    session,
+                    request,
+                    worker: ctx.index,
+                }
+            } else {
+                Reply::Cycles {
+                    session,
+                    request,
+                    worker: ctx.index,
+                    fired: result.fired.len(),
+                    cycles: result.cycles,
+                    wme_changes,
+                    outcome: result.outcome,
+                    nanos,
+                    start_ns,
+                }
+            }
+        }
+    }
+}

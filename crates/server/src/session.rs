@@ -1,0 +1,161 @@
+//! One user's production-system state over the shared compiled network.
+
+use crate::snapshot;
+use crate::{ServerError, SnapshotError};
+use mpps_ops::{Interpreter, OpsError, Program, RunResult, Strategy, Wme, WmeId};
+use mpps_rete::{EngineConfig, ReteMatcher, ReteNetwork};
+use std::fmt;
+use std::sync::Arc;
+
+/// Server-assigned session identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One session: an [`Interpreter`] over a [`ReteMatcher`] whose compiled
+/// network and program are shared (`Arc`) with every other session on the
+/// server. All *mutable* match state — working memory, token memories,
+/// conflict set, refraction — is private to the session; the immutable
+/// compiled artifacts exist once per server, which is what makes 100k
+/// concurrent sessions affordable.
+pub struct Session {
+    program: Arc<Program>,
+    network: Arc<ReteNetwork>,
+    engine: EngineConfig,
+    fingerprint: u64,
+    interp: Interpreter<ReteMatcher>,
+}
+
+impl Session {
+    /// Create an empty session against an already-compiled network.
+    ///
+    /// `fingerprint` must be [`snapshot::program_fingerprint`] of
+    /// `program` — the server computes it once and passes it down so
+    /// per-session creation never re-hashes the ruleset.
+    pub fn new(
+        program: Arc<Program>,
+        network: Arc<ReteNetwork>,
+        strategy: Strategy,
+        engine: EngineConfig,
+        fingerprint: u64,
+    ) -> Session {
+        let matcher = ReteMatcher::new_shared(Arc::clone(&network), engine);
+        Session {
+            interp: Interpreter::with_shared_program(Arc::clone(&program), strategy, matcher),
+            program,
+            network,
+            engine,
+            fingerprint,
+        }
+    }
+
+    /// Queue WMEs for the next match phase; returns how many were queued.
+    pub fn ingest(&mut self, wmes: impl IntoIterator<Item = Wme>) -> usize {
+        let mut n = 0;
+        for wme in wmes {
+            self.interp.add_wme(wme);
+            n += 1;
+        }
+        n
+    }
+
+    /// Queue removal of a WME by time tag.
+    pub fn remove(&mut self, id: WmeId) -> Result<(), OpsError> {
+        self.interp.remove_wme(id)
+    }
+
+    /// Run the MRA cycle until quiescence, halt or `max_cycles`, then
+    /// drain the per-cycle change log. Returns the run summary plus the
+    /// number of WME changes the matcher processed — the unit the server's
+    /// throughput metrics count.
+    pub fn run(&mut self, max_cycles: usize) -> Result<(RunResult, usize), OpsError> {
+        let result = self.interp.run(max_cycles)?;
+        let changes: usize = self.interp.drain_change_log().iter().map(Vec::len).sum();
+        Ok((result, changes))
+    }
+
+    /// Serialize this session's state to versioned snapshot bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        snapshot::encode(&self.interp.export_state(), self.fingerprint)
+    }
+
+    /// Rebuild a session from snapshot bytes on a *fresh* matcher over
+    /// the (shared) compiled artifacts. Fails if the snapshot was taken
+    /// under a different program, or if replaying the restored WM into
+    /// the matcher errors.
+    pub fn restore(
+        program: Arc<Program>,
+        network: Arc<ReteNetwork>,
+        engine: EngineConfig,
+        fingerprint: u64,
+        bytes: &[u8],
+    ) -> Result<Session, ServerError> {
+        let state = snapshot::decode(bytes, fingerprint)?;
+        let matcher = ReteMatcher::new_shared(Arc::clone(&network), engine);
+        let interp = Interpreter::with_shared_state(Arc::clone(&program), matcher, state)
+            .map_err(|e| ServerError::Engine(e.to_string()))?;
+        Ok(Session {
+            interp,
+            program,
+            network,
+            engine,
+            fingerprint,
+        })
+    }
+
+    /// Pending (queued, not yet matched) changes — exposed for tests.
+    pub fn pending_len(&self) -> usize {
+        self.interp.export_state().pending.len()
+    }
+
+    /// Number of live working-memory elements.
+    pub fn wm_len(&self) -> usize {
+        self.interp.working_memory().len()
+    }
+
+    /// True once a `(halt)` action has executed.
+    pub fn is_halted(&self) -> bool {
+        self.interp.is_halted()
+    }
+
+    /// Borrow the underlying interpreter.
+    pub fn interpreter(&self) -> &Interpreter<ReteMatcher> {
+        &self.interp
+    }
+
+    /// Mutably borrow the underlying interpreter.
+    pub fn interpreter_mut(&mut self) -> &mut Interpreter<ReteMatcher> {
+        &mut self.interp
+    }
+
+    /// The decoded state of a snapshot, for callers that need to inspect
+    /// one without building a session (the script driver's `peek`).
+    pub fn decode_state(
+        bytes: &[u8],
+        fingerprint: u64,
+    ) -> Result<Vec<(WmeId, Wme)>, SnapshotError> {
+        Ok(snapshot::decode(bytes, fingerprint)?.wm)
+    }
+}
+
+impl Session {
+    /// The engine configuration sessions on this server run with.
+    pub fn engine_config(&self) -> EngineConfig {
+        self.engine
+    }
+
+    /// The shared compiled network (diagnostics).
+    pub fn network(&self) -> &ReteNetwork {
+        &self.network
+    }
+
+    /// The shared program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end serving: many sessions multiplexed over the pool, session
+//! isolation, snapshot migration onto a fresh server, metrics accounting,
+//! and both `mpps serve` drivers.
+
+use mpps_server::{
+    run_script, run_synthetic, Reply, Server, ServerConfig, ServerError, SessionId, Sharding,
+    SyntheticSpec,
+};
+use mpps_workloads::serve;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Submit with the standard client discipline: on `Overloaded`, drain one
+/// reply and retry.
+fn submit_retrying(server: &mut Server, id: SessionId, wmes: Vec<mpps_ops::Wme>) {
+    loop {
+        match server.submit(id, wmes.clone()) {
+            Ok(_) => return,
+            Err(ServerError::Overloaded { .. }) => {
+                server.recv_timeout(TIMEOUT).unwrap();
+            }
+            Err(other) => panic!("submit failed: {other}"),
+        }
+    }
+}
+
+fn config(workers: usize, sharding: Sharding) -> ServerConfig {
+    ServerConfig {
+        workers,
+        queue_capacity: 128,
+        shards: 64,
+        sharding,
+        ..ServerConfig::default()
+    }
+}
+
+/// Sessions are independent: interleaved rounds against many sessions
+/// leave each with exactly its own `stats` count, regardless of sharding.
+#[test]
+fn sessions_are_isolated_across_workers() {
+    for sharding in [Sharding::RoundRobin, Sharding::Random(7), Sharding::Greedy] {
+        let mut server = Server::new(serve::program(), config(3, sharding)).unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..24 {
+            ids.push(server.create_session(serve::initial()).unwrap().0);
+        }
+        // Session k gets k+1 rounds, interleaved across all sessions.
+        for round in 0..ids.len() as u64 {
+            for (k, &id) in ids.iter().enumerate() {
+                if round <= k as u64 {
+                    submit_retrying(&mut server, id, serve::round(id.0, round, 2));
+                }
+            }
+        }
+        server.drain(TIMEOUT, |_| {}).unwrap();
+        for (k, &id) in ids.iter().enumerate() {
+            let request = server.snapshot(id).unwrap();
+            let Reply::SnapshotBytes { bytes, .. } = server.wait_for(request, TIMEOUT).unwrap()
+            else {
+                panic!("expected snapshot bytes");
+            };
+            let wm = mpps_server::Session::decode_state(&bytes, server.fingerprint()).unwrap();
+            assert_eq!(wm.len(), 1, "{sharding:?}: session {k} WM not settled");
+            let done = wm[0].1.get(mpps_ops::intern("done"));
+            // k+1 rounds × 2 requests each.
+            assert_eq!(
+                done,
+                Some(mpps_ops::Value::Int(2 * (k as i64 + 1))),
+                "{sharding:?}: session {k} has wrong stats"
+            );
+        }
+        // Every admitted session landed on some worker, and with more
+        // than one worker the pool actually multiplexed.
+        let metrics = server.metrics(TIMEOUT).unwrap();
+        assert_eq!(metrics.counter_total("serve.admitted"), ids.len() as u64);
+        let spread = metrics.counter("serve.admitted").unwrap().len();
+        assert!(spread > 1, "{sharding:?}: all sessions on one worker");
+    }
+}
+
+/// A session snapshotted on one server continues identically on a fresh
+/// server: the remaining rounds produce byte-identical final snapshots.
+#[test]
+fn snapshot_migrates_to_fresh_server() {
+    let mut origin = Server::new(serve::program(), config(2, Sharding::RoundRobin)).unwrap();
+    let (id, _) = origin.create_session(serve::initial()).unwrap();
+    for round in 0..2 {
+        origin.submit(id, serve::round(id.0, round, 3)).unwrap();
+    }
+    origin.drain(TIMEOUT, |_| {}).unwrap();
+    let request = origin.snapshot(id).unwrap();
+    let Reply::SnapshotBytes { bytes, .. } = origin.wait_for(request, TIMEOUT).unwrap() else {
+        panic!("expected snapshot bytes");
+    };
+
+    // Restore onto a brand-new server (fresh compile, fresh workers).
+    let mut fresh = Server::new(serve::program(), config(2, Sharding::Random(3))).unwrap();
+    let (restored, request) = fresh.restore(bytes).unwrap();
+    assert!(matches!(
+        fresh.wait_for(request, TIMEOUT).unwrap(),
+        Reply::Ready { .. }
+    ));
+
+    // Continue both sides with the same remaining rounds. The restored
+    // session keeps the original's session id inside its WME stream only
+    // through time tags, so drive both with the *original* id's WME
+    // content to keep inputs identical.
+    for round in 2..4 {
+        origin.submit(id, serve::round(id.0, round, 3)).unwrap();
+        fresh
+            .submit(restored, serve::round(id.0, round, 3))
+            .unwrap();
+    }
+    origin.drain(TIMEOUT, |_| {}).unwrap();
+    fresh.drain(TIMEOUT, |_| {}).unwrap();
+
+    let r1 = origin.snapshot(id).unwrap();
+    let Reply::SnapshotBytes { bytes: b1, .. } = origin.wait_for(r1, TIMEOUT).unwrap() else {
+        panic!()
+    };
+    let r2 = fresh.snapshot(restored).unwrap();
+    let Reply::SnapshotBytes { bytes: b2, .. } = fresh.wait_for(r2, TIMEOUT).unwrap() else {
+        panic!()
+    };
+    assert_eq!(b1, b2, "continuations diverged after migration");
+}
+
+/// Restoring under the wrong program is refused, not silently wrong.
+#[test]
+fn restore_rejects_foreign_programs() {
+    let mut origin = Server::new(serve::program(), config(1, Sharding::RoundRobin)).unwrap();
+    let (id, _) = origin.create_session(serve::initial()).unwrap();
+    origin.drain(TIMEOUT, |_| {}).unwrap();
+    let request = origin.snapshot(id).unwrap();
+    let Reply::SnapshotBytes { bytes, .. } = origin.wait_for(request, TIMEOUT).unwrap() else {
+        panic!()
+    };
+    let other = mpps_ops::parse_program("(p nop (never) --> (halt))").unwrap();
+    let mut wrong = Server::new(other, config(1, Sharding::RoundRobin)).unwrap();
+    let (_, request) = wrong.restore(bytes).unwrap();
+    match wrong.wait_for(request, TIMEOUT).unwrap() {
+        Reply::Failed { error, .. } => {
+            assert!(error.contains("different program"), "wrong error: {error}")
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn synthetic_driver_reports_sane_numbers() {
+    let spec = SyntheticSpec {
+        sessions: 40,
+        rounds: 2,
+        wmes_per_round: 2,
+    };
+    let report = run_synthetic(config(2, Sharding::RoundRobin), &spec).unwrap();
+    assert_eq!(report.sessions, 40);
+    assert_eq!(report.failures, 0);
+    // 40 creations + 40 × 2 ingestion rounds.
+    assert_eq!(report.replies, 40 + 80);
+    // Each ingestion batch: 2 requests × 3 firings.
+    assert_eq!(report.fired, 80 * 6);
+    assert!(report.wme_changes > 0);
+    assert!(report.changes_per_sec > 0.0);
+    assert!(report.p95_cycle_ns >= report.p50_cycle_ns);
+    assert_eq!(report.worker_requests.iter().sum::<u64>(), 120);
+}
+
+#[test]
+fn script_driver_round_trips_a_session() {
+    let script = r#"
+        # triage session: snapshot mid-stream, restore, replay the tail
+        session a
+        make a (stats ^done 0)
+        make a (request ^id 1 ^kind alert)
+        snapshot a
+        make a (request ^id 2 ^kind order)
+        restore b a
+        make b (request ^id 2 ^kind order)
+        destroy a
+    "#;
+    let report = run_script(serve::program(), script, config(2, Sharding::RoundRobin)).unwrap();
+    assert_eq!(report.log.len(), 8);
+    assert!(report.log[0].starts_with("session a = s0"));
+    assert!(report.log[2].contains("fired 3"), "{}", report.log[2]);
+    assert!(report.log[3].starts_with("snapshot a: "));
+    // The restored session replays the same input and fires identically.
+    assert_eq!(
+        report.log[4].replace(" a:", ":"),
+        report.log[6].replace(" b:", ":"),
+        "restored session diverged: {:?}",
+        report.log
+    );
+    assert!(report.log[7].contains("ok"));
+}

@@ -47,4 +47,4 @@ pub mod recorder;
 
 pub use hist::{Histogram, HistogramSummary};
 pub use metrics::{available_cpus, MetricSink, MetricsRegistry, NullMetrics};
-pub use recorder::{NullRecorder, OffsetRecorder, Recorder, TraceRecorder, Track};
+pub use recorder::{NullRecorder, OffsetRecorder, Recorder, TraceRecorder, Track, SERVE_PID};

@@ -27,6 +27,8 @@ pub const SIM_PID: u32 = 1;
 pub const SWEEP_PID: u32 = 2;
 /// Track group for the real threaded matcher's worker threads (wall time).
 pub const THREADED_PID: u32 = 3;
+/// Track group for rule-engine-server session workers (wall time).
+pub const SERVE_PID: u32 = 4;
 
 impl Track {
     /// The lane for simulated processor `index` (simulated time).
@@ -50,6 +52,16 @@ impl Track {
     pub fn match_worker(index: usize) -> Self {
         Self {
             pid: THREADED_PID,
+            tid: index as u32,
+        }
+    }
+
+    /// The lane for rule-engine-server session worker `index` (wall
+    /// time): each lane carries the per-request spans and queue-depth
+    /// counters of one worker thread of an `mpps serve` worker pool.
+    pub fn serve_worker(index: usize) -> Self {
+        Self {
+            pid: SERVE_PID,
             tid: index as u32,
         }
     }

@@ -20,6 +20,7 @@
 
 pub mod rubik;
 pub mod section;
+pub mod serve;
 pub mod synth;
 pub mod tourney;
 pub mod weaver;

@@ -13,6 +13,10 @@
 //!               [--format text|json] [--trace-out FILE] [--stats]
 //! mpps fuzz [--seed N] [--iters N] [--matchers naive,rete,treat,threaded|all]
 //!           [--max-productions N] [--shrink] [--out DIR] [--profile DIR]
+//! mpps serve (--synthetic | --script FILE) [--program FILE|rubik|tourney|weaver]
+//!           [--sessions N] [--rounds N] [--wmes N] [--workers N] [--queue N]
+//!           [--shards N] [--sharding rr|random[:SEED]|greedy] [--strategy lex|mea]
+//!           [--table-size N] [--stats]
 //! ```
 //!
 //! The `run` program argument is either a `.ops` file or one of the
@@ -57,6 +61,17 @@
 //! strategy for the real thread pool (greedy does an offline traced
 //! sequential pre-run to measure bucket activity, as in §5.2.2), and
 //! `--stats` prints per-worker activity counters to stderr.
+//!
+//! `mpps serve` runs the rule-engine-as-a-service layer: one compiled
+//! program multiplexed across many independent working-memory sessions on
+//! a bounded-queue worker pool. `--synthetic` drives the built-in
+//! ticket-triage load (`--sessions`/`--rounds`/`--wmes`) and prints
+//! sustained WME-changes/sec plus cycle-latency percentiles;
+//! `--script FILE` replays a deterministic session script
+//! (`session`/`make`/`run`/`snapshot`/`restore`/`destroy`, one command
+//! per line) and prints one log line per command. Every subcommand
+//! rejects flags it does not understand with its usage line and exit
+//! status 2.
 
 mod format;
 
@@ -73,24 +88,54 @@ use mpps::ops::{
     Program, Strategy, TreatMatcher, Wme, WmeId,
 };
 use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
+use mpps::server::{run_script, run_synthetic, ServerConfig, Sharding, SyntheticSpec};
 use mpps::telemetry::{chrome::chrome_trace, MetricsRegistry, TraceRecorder};
-use mpps::workloads::{rubik, tourney, weaver};
+use mpps::workloads::{rubik, serve, tourney, weaver};
 use std::process::exit;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  mpps run <program.ops|rubik|tourney|weaver> [--wm FILE] [--cycles N]\n\
+/// One usage line per subcommand, shared by the full `usage()` dump and
+/// the per-command unknown-flag diagnostics so both always agree.
+const USAGE_LINES: &[(&str, &str)] = &[
+    (
+        "run",
+        "mpps run <program.ops|rubik|tourney|weaver> [--wm FILE] [--cycles N]\n\
          \x20          [--strategy lex|mea]\n\
          \x20          [--matcher rete|naive|treat|threaded] [--workers N] [--table-size N]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]\n\
-         \x20          [--profile DIR]\n\
-         \x20 mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N] [--out FILE]\n\
-         \x20 mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
+         \x20          [--profile DIR]",
+    ),
+    (
+        "trace",
+        "mpps trace <program.ops> [--wm FILE] [--cycles N] [--table-size N]\n\
+         \x20          [--strategy lex|mea] [--out FILE]",
+    ),
+    (
+        "simulate",
+        "mpps simulate <file.trace> [--procs LIST] [--overhead 0|8|16|32]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--jobs N]\n\
-         \x20          [--format text|json] [--trace-out FILE] [--stats]\n\
-         \x20 mpps fuzz [--seed N] [--iters N] [--matchers LIST|all]\n\
-         \x20          [--max-productions N] [--shrink] [--out DIR] [--profile DIR]"
-    );
+         \x20          [--format text|json] [--trace-out FILE] [--stats]",
+    ),
+    (
+        "fuzz",
+        "mpps fuzz [--seed N] [--iters N] [--matchers LIST|all]\n\
+         \x20          [--max-productions N] [--shrink] [--out DIR] [--profile DIR]",
+    ),
+    (
+        "serve",
+        "mpps serve (--synthetic | --script FILE) [--program FILE|rubik|tourney|weaver]\n\
+         \x20          [--sessions N] [--rounds N] [--wmes N]\n\
+         \x20          [--workers N] [--queue N] [--shards N]\n\
+         \x20          [--sharding rr|random[:SEED]|greedy] [--strategy lex|mea]\n\
+         \x20          [--table-size N] [--stats]",
+    ),
+];
+
+fn usage() -> ! {
+    let lines: Vec<String> = USAGE_LINES
+        .iter()
+        .map(|(_, line)| format!("  {}", line.replace('\n', "\n ")))
+        .collect();
+    eprintln!("usage:\n{}", lines.join("\n"));
     exit(2)
 }
 
@@ -106,6 +151,21 @@ fn usage_error(msg: impl std::fmt::Display) -> ! {
     exit(2)
 }
 
+/// Reject flags a subcommand does not understand: consistent diagnostic,
+/// the subcommand's own usage line, exit status 2. Silently ignoring a
+/// misspelled flag is how `--cycels 5` runs for 10 000 cycles.
+fn check_flags(cmd: &str, args: &Args, allowed: &[&str]) {
+    for (key, _) in &args.flags {
+        if !allowed.contains(&key.as_str()) {
+            eprintln!("mpps: unknown flag --{key} for `mpps {cmd}`");
+            if let Some((_, line)) = USAGE_LINES.iter().find(|(name, _)| *name == cmd) {
+                eprintln!("usage: {line}");
+            }
+            exit(2);
+        }
+    }
+}
+
 /// Minimal flag parser: positional args plus `--key value` pairs.
 struct Args {
     positional: Vec<String>,
@@ -119,7 +179,7 @@ impl Args {
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if key == "quiet" || key == "stats" || key == "shrink" {
+                if key == "quiet" || key == "stats" || key == "shrink" || key == "synthetic" {
                     flags.push((key.to_owned(), "true".to_owned()));
                 } else {
                     let Some(v) = it.next() else {
@@ -265,6 +325,23 @@ fn write_profile(dir: &str, matcher: &str, workers: usize, reg: &MetricsRegistry
 }
 
 fn cmd_run(args: &Args) {
+    check_flags(
+        "run",
+        args,
+        &[
+            "wm",
+            "cycles",
+            "strategy",
+            "matcher",
+            "workers",
+            "table-size",
+            "partition",
+            "seed",
+            "quiet",
+            "stats",
+            "profile",
+        ],
+    );
     let [program_path] = &args.positional[..] else {
         usage();
     };
@@ -452,6 +529,19 @@ fn replay_profiled(case: &FuzzCase, merged: &mut MetricsRegistry) {
 }
 
 fn cmd_fuzz(args: &Args) {
+    check_flags(
+        "fuzz",
+        args,
+        &[
+            "seed",
+            "iters",
+            "matchers",
+            "max-productions",
+            "shrink",
+            "out",
+            "profile",
+        ],
+    );
     if !args.positional.is_empty() {
         usage_error("fuzz takes no positional arguments");
     }
@@ -505,6 +595,11 @@ fn cmd_fuzz(args: &Args) {
 }
 
 fn cmd_trace(args: &Args) {
+    check_flags(
+        "trace",
+        args,
+        &["wm", "cycles", "table-size", "strategy", "out"],
+    );
     let [program_path] = &args.positional[..] else {
         usage();
     };
@@ -549,6 +644,20 @@ fn cmd_trace(args: &Args) {
 }
 
 fn cmd_simulate(args: &Args) {
+    check_flags(
+        "simulate",
+        args,
+        &[
+            "procs",
+            "overhead",
+            "partition",
+            "seed",
+            "jobs",
+            "format",
+            "trace-out",
+            "stats",
+        ],
+    );
     let [trace_path] = &args.positional[..] else {
         usage();
     };
@@ -624,6 +733,148 @@ fn cmd_simulate(args: &Args) {
     }
 }
 
+/// The program a `mpps serve --script` run compiles: `--program` names a
+/// `.ops` file or a builtin section; the default is the synthetic
+/// ticket-triage ruleset the serving benchmarks use. A builtin's canned
+/// initial working memory is *not* loaded — script sessions start empty
+/// and `make` their own WMEs.
+fn serve_program(args: &Args) -> Program {
+    match args.get("program") {
+        None => serve::program(),
+        Some(p) if std::path::Path::new(p).exists() => {
+            parse_program(&read_file(p)).unwrap_or_else(|e| fail(e))
+        }
+        Some(p) => builtin_workload(p)
+            .map(|(program, _)| program)
+            .unwrap_or_else(|| {
+                fail(format!(
+                    "cannot read {p}: no such file (and not a builtin section: \
+                     rubik|tourney|weaver)"
+                ))
+            }),
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    check_flags(
+        "serve",
+        args,
+        &[
+            "synthetic",
+            "script",
+            "program",
+            "sessions",
+            "rounds",
+            "wmes",
+            "workers",
+            "queue",
+            "shards",
+            "sharding",
+            "strategy",
+            "table-size",
+            "stats",
+        ],
+    );
+    if !args.positional.is_empty() {
+        usage_error("serve takes no positional arguments");
+    }
+    let script = args.get("script");
+    let synthetic = args.get("synthetic").is_some();
+    if script.is_some() == synthetic {
+        usage_error("serve needs exactly one of --synthetic or --script FILE");
+    }
+    let defaults = ServerConfig::default();
+    let workers = args.get_parse("workers", defaults.workers);
+    if workers == 0 {
+        usage_error("--workers must be at least 1");
+    }
+    let queue_capacity = args.get_parse("queue", defaults.queue_capacity);
+    if queue_capacity == 0 {
+        usage_error("--queue must be at least 1");
+    }
+    let shards = args.get_parse("shards", defaults.shards);
+    if shards == 0 {
+        usage_error("--shards must be at least 1");
+    }
+    let table_size = args.get_parse("table-size", defaults.engine.table_size);
+    if table_size == 0 {
+        usage_error("--table-size must be at least 1");
+    }
+    let sharding = match args.get("sharding") {
+        None => defaults.sharding,
+        Some(v) => Sharding::parse(v).unwrap_or_else(|| {
+            usage_error(format!("unknown sharding {v:?} (rr|random[:SEED]|greedy)"))
+        }),
+    };
+    let config = ServerConfig {
+        workers,
+        queue_capacity,
+        shards,
+        sharding,
+        strategy: strategy_of(args),
+        engine: EngineConfig {
+            table_size,
+            record_trace: false,
+        },
+        ..defaults
+    };
+
+    if let Some(path) = script {
+        let report =
+            run_script(serve_program(args), &read_file(path), config).unwrap_or_else(|e| fail(e));
+        for line in &report.log {
+            println!("{line}");
+        }
+        return;
+    }
+
+    if args.get("program").is_some() {
+        usage_error("--program only applies to --script (synthetic load has a fixed ruleset)");
+    }
+    let spec = SyntheticSpec {
+        sessions: args.get_parse("sessions", 1000usize),
+        rounds: args.get_parse("rounds", 3u64),
+        wmes_per_round: args.get_parse("wmes", 4usize),
+    };
+    if spec.sessions == 0 {
+        usage_error("--sessions must be at least 1");
+    }
+    let report = run_synthetic(config, &spec).unwrap_or_else(|e| fail(e));
+    println!(
+        "serve: {} sessions x {} rounds x {} wmes on {} workers ({sharding:?})",
+        report.sessions, report.rounds, spec.wmes_per_round, workers
+    );
+    println!(
+        "  {} replies ({} failures), {} overload retries, {:.3}s wall",
+        report.replies,
+        report.failures,
+        report.overloads,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "  {} WME changes ({:.0}/s), {} cycles ({:.0}/s), {} firings",
+        report.wme_changes,
+        report.changes_per_sec,
+        report.cycles,
+        report.cycles_per_sec,
+        report.fired
+    );
+    println!(
+        "  cycle latency p50 {} ns, p95 {} ns; batch p95 {} ns",
+        report.p50_cycle_ns, report.p95_cycle_ns, report.p95_batch_ns
+    );
+    if args.get("stats").is_some() {
+        for (i, (requests, high)) in report
+            .worker_requests
+            .iter()
+            .zip(&report.worker_queue_high)
+            .enumerate()
+        {
+            eprintln!("  worker {i}: {requests} requests, peak queue depth {high}");
+        }
+    }
+}
+
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -636,6 +887,7 @@ fn main() {
         "trace" => cmd_trace(&args),
         "simulate" => cmd_simulate(&args),
         "fuzz" => cmd_fuzz(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command {other:?}");

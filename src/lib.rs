@@ -27,6 +27,9 @@
 //!   `mpps fuzz`: random program/schedule generation, a four-matcher
 //!   oracle with the naive matcher as ground truth, and delta-debug
 //!   shrinking to minimal `.ops` + `.sched` reproducers.
+//! * [`server`] — rule-engine-as-a-service behind `mpps serve`: one
+//!   compiled program multiplexed across many independent working-memory
+//!   sessions on a bounded-queue worker pool, with snapshot/restore.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench`
 //! for the harness that regenerates every table and figure of the paper.
@@ -37,5 +40,6 @@ pub use mpps_difftest as difftest;
 pub use mpps_mpcsim as mpcsim;
 pub use mpps_ops as ops;
 pub use mpps_rete as rete;
+pub use mpps_server as server;
 pub use mpps_telemetry as telemetry;
 pub use mpps_workloads as workloads;

@@ -508,6 +508,124 @@ fn fuzz_profile_writes_merged_replay_profile() {
 }
 
 #[test]
+fn serve_synthetic_prints_throughput_summary() {
+    let out = mpps()
+        .args([
+            "serve",
+            "--synthetic",
+            "--sessions",
+            "30",
+            "--rounds",
+            "2",
+            "--wmes",
+            "2",
+            "--workers",
+            "2",
+            "--sharding",
+            "greedy",
+            "--stats",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("serve: 30 sessions x 2 rounds x 2 wmes"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("0 failures"), "{stdout}");
+    // 30 creations + 60 ingestion rounds, 3 firings per request.
+    assert!(stdout.contains("90 replies"), "{stdout}");
+    assert!(stdout.contains("360 firings"), "{stdout}");
+    assert!(stdout.contains("cycle latency p50"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("worker 0:"), "{stderr}");
+    assert!(stderr.contains("worker 1:"), "{stderr}");
+}
+
+#[test]
+fn serve_script_restores_deterministically() {
+    let dir = std::env::temp_dir().join(format!("mpps-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("triage.script");
+    std::fs::write(
+        &script,
+        "# snapshot mid-stream, restore, replay the tail\n\
+         session a\n\
+         make a (stats ^done 0)\n\
+         make a (request ^id 1 ^kind alert)\n\
+         snapshot a\n\
+         make a (request ^id 2 ^kind order)\n\
+         restore b a\n\
+         make b (request ^id 2 ^kind order)\n\
+         destroy a\n",
+    )
+    .unwrap();
+    let out = mpps()
+        .args(["serve", "--script", script.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "{stdout}");
+    assert!(lines[0].starts_with("session a = s0"), "{stdout}");
+    assert!(lines[3].starts_with("snapshot a: "), "{stdout}");
+    // The restored session replays the same input and fires identically.
+    assert_eq!(
+        lines[4].replace(" a:", ":"),
+        lines[6].replace(" b:", ":"),
+        "{stdout}"
+    );
+    assert_eq!(lines[7], "destroy a: ok", "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_needs_exactly_one_mode() {
+    for args in [
+        &["serve"][..],
+        &["serve", "--synthetic", "--script", "x"][..],
+    ] {
+        let out = mpps().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("exactly one of"), "{args:?}: {stderr}");
+    }
+}
+
+/// Every subcommand rejects flags it does not understand the same way:
+/// a diagnostic naming the flag, its own usage line, exit status 2.
+#[test]
+fn unknown_flags_are_usage_errors_everywhere() {
+    for cmd in ["run", "trace", "simulate", "fuzz", "serve"] {
+        let out = mpps()
+            .args([cmd, "--bogus", "value"])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{cmd} accepted --bogus");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown flag --bogus for `mpps"),
+            "{cmd}: {stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("usage: mpps {cmd}")),
+            "{cmd}: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "{cmd}: {stderr}");
+    }
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = mpps().args(["run", "/nonexistent.ops"]).output().unwrap();
     assert!(!out.status.success());
