@@ -1,0 +1,23 @@
+use mpps_ops::{parse_program, Interpreter, NaiveMatcher, Strategy};
+
+#[test]
+fn add_then_remove_before_step_survives_restore() {
+    let prog = parse_program("(p t (a) --> (write saw-a))").unwrap();
+    // Uninterrupted: add then remove before any step => never matched.
+    let mut whole = Interpreter::new(prog.clone(), Strategy::Lex);
+    let id = whole.wm_make("a", &[]);
+    whole.remove_wme(id).unwrap();
+    whole.run(10).unwrap();
+    assert!(whole.output().is_empty());
+
+    // Interrupted at the same point.
+    let mut first = Interpreter::new(prog.clone(), Strategy::Lex);
+    let id = first.wm_make("a", &[]);
+    first.remove_wme(id).unwrap();
+    let state = first.export_state();
+    let matcher = NaiveMatcher::new(prog.clone());
+    let mut resumed = Interpreter::with_matcher_state(prog, matcher, state).unwrap();
+    resumed.run(10).unwrap();
+    assert_eq!(resumed.output(), whole.output(), "restored run diverged");
+    assert_eq!(resumed.matcher().conflict_set(), whole.matcher().conflict_set());
+}
