@@ -25,6 +25,11 @@
 //! `--check` re-measures and fails (exit 1) if any section regressed
 //! more than `--max-regress` (default 10%) against the committed
 //! medians — the CI gate for the match-kernel speed work.
+//!
+//! `--out` additionally runs the closed-skew-loop scenario
+//! ([`mpps_bench::adapt`]: Tourney cross-product, 8 workers, suggested
+//! copy-and-constraint + online migration vs static greedy) and records
+//! its before/after skew factors in the manifest's `"adapt"` block.
 
 use mpps_ops::{Matcher, Program, Wme, WmeChange, WmeId};
 use mpps_rete::{EngineConfig, ReteMatcher, ReteNetwork};
@@ -194,7 +199,32 @@ fn write_profile(dir: &str) {
     }
 }
 
-fn manifest(results: &[SectionResult]) -> String {
+/// The manifest's `"adapt"` block: the closed skew loop's before/after
+/// numbers (see [`mpps_bench::adapt`]).
+fn adapt_json(report: &mpps_bench::adapt::AdaptReport) -> String {
+    let opt = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"workload\": \"tourney-cross\", \"workers\": {}, \
+         \"probe_skew_static\": {:.3}, \"probe_skew_adaptive\": {:.3}, \
+         \"skew_reduction\": {:.2}, \"bucket_skew_static\": {}, \
+         \"bucket_skew_adaptive\": {}, \"rebalances\": {}, \
+         \"plan\": \"{}\", \"equivalent\": {}}}",
+        report.workers,
+        report.static_skew(),
+        report.adaptive_skew(),
+        report.reduction(),
+        opt(report.static_bucket_skew),
+        opt(report.adaptive_bucket_skew),
+        report.rebalances,
+        report.plan_summary,
+        report.equivalent
+    )
+}
+
+fn manifest(results: &[SectionResult], adapt: &mpps_bench::adapt::AdaptReport) -> String {
     let cpus = mpps_telemetry::available_cpus();
     let sections = results
         .iter()
@@ -211,12 +241,13 @@ fn manifest(results: &[SectionResult]) -> String {
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "{{\n  \"bench\": \"matchkernel\",\n  \"commit\": \"{}\",\n  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n  \"sections\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"matchkernel\",\n  \"commit\": \"{}\",\n  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},\n  \"sections\": [\n{}\n  ],\n  \"adapt\": {}\n}}\n",
         git_commit(),
         std::env::consts::OS,
         std::env::consts::ARCH,
         cpus,
-        sections
+        sections,
+        adapt_json(adapt)
     )
 }
 
@@ -312,7 +343,15 @@ fn main() {
     }
 
     if let Some(path) = out {
-        let json = manifest(&results);
+        let adapt = mpps_bench::adapt::measure(&mpps_bench::adapt::AdaptScenario::default());
+        eprintln!(
+            "matchkernel: adapt skew {:.3} -> {:.3} ({:.2}x, {} rebalances)",
+            adapt.static_skew(),
+            adapt.adaptive_skew(),
+            adapt.reduction(),
+            adapt.rebalances
+        );
+        let json = manifest(&results, &adapt);
         match std::fs::write(&path, &json) {
             Ok(()) => eprintln!("matchkernel: wrote {path}"),
             Err(e) => {

@@ -34,8 +34,10 @@ pub mod termination;
 pub mod threaded;
 
 pub use cost::{CostModel, OverheadSetting, NECTAR_LATENCY};
-pub use partition::{bucket_activity, cycle_bucket_activity, cycle_bucket_work, Partition};
-pub use profile::{render_match_profile, PROFILE_SCHEMA};
+pub use partition::{
+    bucket_activity, cycle_bucket_activity, cycle_bucket_work, load_skew, Partition,
+};
+pub use profile::{bucket_skew_factor, render_match_profile, PROFILE_SCHEMA};
 pub use sharedbus::{shared_bus_simulate, SharedBusConfig, SharedBusReport};
 pub use simexec::{
     name_machine_tracks, simulate, simulate_in, simulate_per_cycle, simulate_per_cycle_in,
@@ -46,4 +48,7 @@ pub use sweep::{
     overhead_sweep, overhead_sweep_jobs, speedup_curve, speedup_curve_jobs, PartitionSpec,
     PartitionStrategy, PointId, PointSpec, SpeedupPoint, SweepPlan, SweepResults, TraceId,
 };
-pub use threaded::{name_threaded_tracks, ThreadedMatcher, ThreadedStats, WorkerStats};
+pub use threaded::{
+    name_threaded_tracks, AdaptOptions, MigrationStats, RebalanceEvent, ThreadedMatcher,
+    ThreadedStats, WorkerStats,
+};

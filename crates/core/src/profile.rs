@@ -61,23 +61,38 @@ fn keyed_max(keys: Option<&BTreeMap<u64, u64>>) -> u64 {
     keys.and_then(|m| m.values().copied().max()).unwrap_or(0)
 }
 
-/// The per-bucket skew block: over every bucket that saw at least one
-/// activation, the max and mean activation counts and their ratio. A
-/// skew factor of 1.0 is a perfectly even spread; the paper's
-/// §5.2 load-distribution analysis is all about how far real workloads
-/// sit above that.
-fn bucket_skew_json(reg: &MetricsRegistry) -> String {
-    let Some(buckets) = reg.counter(kmetric::BUCKET_ACTIVATIONS) else {
-        return "null".to_owned();
-    };
-    let hit = buckets.len() as u64;
-    if hit == 0 {
-        return "null".to_owned();
+/// The per-bucket activation skew factor: max/mean activation counts over
+/// every bucket that saw at least one activation. A factor of 1.0 is a
+/// perfectly even spread; the paper's §5.2 load-distribution analysis is
+/// all about how far real workloads sit above that. `None` when the run
+/// recorded no bucket activity (unprofiled matcher, or no match work).
+pub fn bucket_skew_factor(reg: &MetricsRegistry) -> Option<f64> {
+    let buckets = reg.counter(kmetric::BUCKET_ACTIVATIONS)?;
+    if buckets.is_empty() {
+        return None;
     }
     let total: u64 = buckets.values().sum();
     let max: u64 = buckets.values().copied().max().unwrap_or(0);
+    let mean = total as f64 / buckets.len() as f64;
+    if mean > 0.0 {
+        Some(max as f64 / mean)
+    } else {
+        Some(0.0)
+    }
+}
+
+/// The per-bucket skew block rendered into the profile document.
+fn bucket_skew_json(reg: &MetricsRegistry) -> String {
+    let Some(factor) = bucket_skew_factor(reg) else {
+        return "null".to_owned();
+    };
+    let buckets = reg
+        .counter(kmetric::BUCKET_ACTIVATIONS)
+        .expect("factor implies the series exists");
+    let hit = buckets.len() as u64;
+    let total: u64 = buckets.values().sum();
+    let max: u64 = buckets.values().copied().max().unwrap_or(0);
     let mean = total as f64 / hit as f64;
-    let factor = if mean > 0.0 { max as f64 / mean } else { 0.0 };
     format!(
         "{{\"buckets_hit\": {hit}, \"max_activations\": {max}, \
          \"mean_activations\": {mean:.3}, \"skew_factor\": {factor:.3}}}"

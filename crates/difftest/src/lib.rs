@@ -5,8 +5,11 @@
 //! The workspace carries four matcher implementations that must agree on
 //! every program and every working-memory history: [`NaiveMatcher`] (the
 //! brute-force semantic reference), `ReteMatcher`, `TreatMatcher`, and the
-//! message-passing `ThreadedMatcher`. Hand-written equivalence tests cover
-//! the shapes we thought of; this crate covers the ones we didn't.
+//! message-passing `ThreadedMatcher` — plus three derived configurations
+//! (transform-rewritten networks, and an adaptive threaded matcher that
+//! migrates bucket ownership after every change batch). Hand-written
+//! equivalence tests cover the shapes we thought of; this crate covers the
+//! ones we didn't.
 //!
 //! The harness has three parts:
 //!
@@ -34,8 +37,11 @@ pub mod oracle;
 pub mod repro;
 pub mod shrink;
 
-use mpps_ops::{Matcher, NaiveMatcher, OpsError, Program, TreatMatcher};
-use mpps_rete::{ReteMatcher, ReteNetwork};
+use mpps_core::{AdaptOptions, Partition, ThreadedMatcher};
+use mpps_ops::{
+    Instantiation, MatchError, Matcher, NaiveMatcher, OpsError, Program, TreatMatcher, WmeChange,
+};
+use mpps_rete::{CompileOptions, EngineConfig, ReteMatcher, ReteNetwork, SplitSpec, TransformPlan};
 use std::fmt;
 use std::str::FromStr;
 
@@ -44,7 +50,7 @@ pub use oracle::{run_case, Divergence};
 pub use repro::{load_repro, render_ops, render_sched, write_repro};
 pub use shrink::shrink_case;
 
-/// One of the four matcher implementations under test.
+/// One of the matcher implementations (or configurations) under test.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MatcherKind {
     /// Brute-force recomputation — the semantic reference.
@@ -55,15 +61,36 @@ pub enum MatcherKind {
     Treat,
     /// Message-passing Rete over real threads.
     Threaded,
+    /// Sequential Rete over a network rewritten with every applicable
+    /// transform (per-production unsharing + copy-and-constraint splits).
+    ReteTransformed,
+    /// Threaded Rete over the same transformed network.
+    ThreadedTransformed,
+    /// Profiled threaded Rete with the online repartitioner enabled *and*
+    /// a forced bucket migration after every change batch — the
+    /// migration-consistency torture lane.
+    ThreadedAdapt,
 }
 
 impl MatcherKind {
-    /// Every matcher, reference first.
+    /// The four base matchers, reference first.
     pub const ALL: [MatcherKind; 4] = [
         MatcherKind::Naive,
         MatcherKind::Rete,
         MatcherKind::Treat,
         MatcherKind::Threaded,
+    ];
+
+    /// Every matcher configuration, including the transformed-network and
+    /// adaptive/migrating variants. This is what `"all"` parses to.
+    pub const EXTENDED: [MatcherKind; 7] = [
+        MatcherKind::Naive,
+        MatcherKind::Rete,
+        MatcherKind::Treat,
+        MatcherKind::Threaded,
+        MatcherKind::ReteTransformed,
+        MatcherKind::ThreadedTransformed,
+        MatcherKind::ThreadedAdapt,
     ];
 
     /// CLI/display name.
@@ -73,10 +100,13 @@ impl MatcherKind {
             MatcherKind::Rete => "rete",
             MatcherKind::Treat => "treat",
             MatcherKind::Threaded => "threaded",
+            MatcherKind::ReteTransformed => "rete-transformed",
+            MatcherKind::ThreadedTransformed => "threaded-transformed",
+            MatcherKind::ThreadedAdapt => "threaded-adapt",
         }
     }
 
-    /// Build a boxed matcher for `program`. The threaded matcher is kept
+    /// Build a boxed matcher for `program`. The threaded matchers are kept
     /// deliberately small (2 workers, 64 buckets) — the fuzzer's programs
     /// are tiny and the point is agreement, not throughput.
     pub fn build(self, program: &Program) -> Result<Box<dyn Matcher>, OpsError> {
@@ -86,20 +116,118 @@ impl MatcherKind {
             MatcherKind::Treat => Box::new(TreatMatcher::new(program)),
             MatcherKind::Threaded => {
                 let network = ReteNetwork::compile(program)?;
-                Box::new(mpps_core::ThreadedMatcher::new(network, 2, 64))
+                Box::new(ThreadedMatcher::new(network, 2, 64))
+            }
+            MatcherKind::ReteTransformed => {
+                let network = transformed_network(program)?;
+                Box::new(ReteMatcher::new(network, EngineConfig::default()))
+            }
+            MatcherKind::ThreadedTransformed => {
+                let network = transformed_network(program)?;
+                Box::new(ThreadedMatcher::new(network, 2, 64))
+            }
+            MatcherKind::ThreadedAdapt => {
+                let network = ReteNetwork::compile(program)?;
+                Box::new(AdaptiveThreaded::build(network))
             }
         })
     }
 
     /// Parse a comma-separated matcher list (e.g. `"rete,treat"`); the
-    /// literal `"all"` selects every matcher.
+    /// literal `"all"` selects every matcher configuration, `"base"` the
+    /// four plain matchers.
     pub fn parse_list(s: &str) -> Result<Vec<MatcherKind>, String> {
         if s == "all" {
+            return Ok(Self::EXTENDED.to_vec());
+        }
+        if s == "base" {
             return Ok(Self::ALL.to_vec());
         }
         s.split(',')
             .map(|part| part.trim().parse())
             .collect::<Result<Vec<_>, _>>()
+    }
+}
+
+/// A maximal [`TransformPlan`] for `program`: unshare every production and
+/// split the first CE per production that admits a copy-and-constraint
+/// (any positive CE with a tested attribute). Boundaries sit inside the
+/// generator's tiny integer vocabulary so the variants genuinely partition
+/// live values rather than degenerating to one hot range.
+pub fn transform_plan_for(program: &Program) -> TransformPlan {
+    let mut plan = TransformPlan::new();
+    for (pid, prod) in program.iter() {
+        plan = plan.with_unshare(pid);
+        'split: for (ci, ce) in prod.lhs.iter().enumerate() {
+            if ce.negated {
+                continue;
+            }
+            for test in &ce.tests {
+                let spec = SplitSpec::new(ci, test.attr.as_str(), vec![1, 2]);
+                if spec.validate(prod).is_ok() {
+                    plan = plan.with_split(pid, spec);
+                    break 'split;
+                }
+            }
+        }
+    }
+    plan
+}
+
+fn transformed_network(program: &Program) -> Result<ReteNetwork, OpsError> {
+    let plan = transform_plan_for(program);
+    ReteNetwork::compile_planned(program, CompileOptions::default(), &plan)
+}
+
+/// A profiled [`ThreadedMatcher`] with the online repartitioner armed at an
+/// aggressive threshold, plus a *forced* migration through a rotating set of
+/// partitions after every change batch. Every fuzz case thus exercises the
+/// barrier-time bucket-migration protocol under live token state.
+struct AdaptiveThreaded {
+    inner: ThreadedMatcher,
+    step: u64,
+}
+
+const ADAPT_WORKERS: usize = 2;
+const ADAPT_TABLE: u64 = 64;
+
+impl AdaptiveThreaded {
+    fn build(network: ReteNetwork) -> Self {
+        let mut inner = ThreadedMatcher::new_profiled(network, ADAPT_WORKERS, ADAPT_TABLE);
+        inner.enable_adaptation(AdaptOptions {
+            every: 1,
+            skew_threshold: 1.05,
+        });
+        AdaptiveThreaded { inner, step: 0 }
+    }
+
+    fn next_partition(&mut self) -> Partition {
+        self.step += 1;
+        match self.step % 3 {
+            0 => Partition::round_robin(ADAPT_TABLE, ADAPT_WORKERS),
+            1 => Partition::from_owners(
+                vec![(self.step % ADAPT_WORKERS as u64) as u32; ADAPT_TABLE as usize],
+                ADAPT_WORKERS,
+            ),
+            _ => Partition::random(ADAPT_TABLE, ADAPT_WORKERS, self.step),
+        }
+    }
+}
+
+impl Matcher for AdaptiveThreaded {
+    fn process(&mut self, changes: &[WmeChange]) {
+        self.try_process(changes)
+            .expect("adaptive threaded matcher failed");
+    }
+
+    fn try_process(&mut self, changes: &[WmeChange]) -> Result<(), MatchError> {
+        self.inner.try_process(changes)?;
+        let partition = self.next_partition();
+        self.inner.migrate_to(partition).map(|_| ())
+    }
+
+    fn conflict_set(&self) -> Vec<Instantiation> {
+        self.inner.conflict_set()
     }
 }
 
@@ -118,8 +246,12 @@ impl FromStr for MatcherKind {
             "rete" => Ok(MatcherKind::Rete),
             "treat" => Ok(MatcherKind::Treat),
             "threaded" => Ok(MatcherKind::Threaded),
+            "rete-transformed" => Ok(MatcherKind::ReteTransformed),
+            "threaded-transformed" => Ok(MatcherKind::ThreadedTransformed),
+            "threaded-adapt" => Ok(MatcherKind::ThreadedAdapt),
             other => Err(format!(
-                "unknown matcher {other:?} (naive|rete|treat|threaded|all)"
+                "unknown matcher {other:?} (naive|rete|treat|threaded|\
+                 rete-transformed|threaded-transformed|threaded-adapt|base|all)"
             )),
         }
     }
@@ -156,17 +288,22 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_str() {
-        for k in MatcherKind::ALL {
+        for k in MatcherKind::EXTENDED {
             assert_eq!(k.name().parse::<MatcherKind>().unwrap(), k);
         }
     }
 
     #[test]
-    fn parse_list_all_and_csv() {
-        assert_eq!(MatcherKind::parse_list("all").unwrap().len(), 4);
+    fn parse_list_all_base_and_csv() {
+        assert_eq!(MatcherKind::parse_list("all").unwrap().len(), 7);
+        assert_eq!(MatcherKind::parse_list("base").unwrap().len(), 4);
         assert_eq!(
             MatcherKind::parse_list("rete, treat").unwrap(),
             vec![MatcherKind::Rete, MatcherKind::Treat]
+        );
+        assert_eq!(
+            MatcherKind::parse_list("threaded-adapt").unwrap(),
+            vec![MatcherKind::ThreadedAdapt]
         );
         assert!(MatcherKind::parse_list("bogus").is_err());
     }
@@ -174,7 +311,7 @@ mod tests {
     #[test]
     fn build_produces_working_matchers() {
         let prog = mpps_ops::parse_program("(p t (a ^p <v>) --> (remove 1))").unwrap();
-        for k in MatcherKind::ALL {
+        for k in MatcherKind::EXTENDED {
             let mut m = k.build(&prog).unwrap();
             m.process(&[mpps_ops::WmeChange::add(
                 mpps_ops::WmeId(1),
@@ -182,5 +319,21 @@ mod tests {
             )]);
             assert_eq!(m.conflict_set().len(), 1, "{k}");
         }
+    }
+
+    #[test]
+    fn fuzz_plan_unshares_everything_and_splits_where_it_can() {
+        let prog = mpps_ops::parse_program(
+            "(p splittable (a ^p <v>) --> (remove 1))\
+             (p bare (b) --> (remove 1))",
+        )
+        .unwrap();
+        let plan = transform_plan_for(&prog);
+        for (pid, _) in prog.iter() {
+            assert!(plan.unshares(pid));
+        }
+        // Only the production with a tested attribute gets a split.
+        assert_eq!(plan.splits().len(), 1);
+        plan.validate(&prog).expect("fuzz plan must validate");
     }
 }

@@ -210,7 +210,14 @@ impl<M: Matcher> Interpreter<M> {
     ) -> Result<Self, OpsError> {
         let mut visible: std::collections::BTreeMap<WmeId, Wme> =
             state.wm.iter().cloned().collect();
-        for change in &state.pending {
+        // A pending add+remove *pair* of one id is a WME the matcher never
+        // saw (and never will: `take_batch` cancels the pair on the next
+        // step) — it must not leak into the replay batch via the Minus arm.
+        let mut count: HashMap<WmeId, u32> = HashMap::new();
+        for c in &state.pending {
+            *count.entry(c.id).or_insert(0) += 1;
+        }
+        for change in state.pending.iter().filter(|c| count[&c.id] == 1) {
             match change.sign {
                 crate::wme::Sign::Plus => {
                     visible.remove(&change.id);

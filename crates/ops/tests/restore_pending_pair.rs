@@ -1,4 +1,4 @@
-use mpps_ops::{parse_program, Interpreter, NaiveMatcher, Strategy};
+use mpps_ops::{parse_program, Interpreter, Matcher, NaiveMatcher, Strategy};
 
 #[test]
 fn add_then_remove_before_step_survives_restore() {
@@ -19,5 +19,8 @@ fn add_then_remove_before_step_survives_restore() {
     let mut resumed = Interpreter::with_matcher_state(prog, matcher, state).unwrap();
     resumed.run(10).unwrap();
     assert_eq!(resumed.output(), whole.output(), "restored run diverged");
-    assert_eq!(resumed.matcher().conflict_set(), whole.matcher().conflict_set());
+    assert_eq!(
+        resumed.matcher().conflict_set(),
+        whole.matcher().conflict_set()
+    );
 }

@@ -343,6 +343,25 @@ impl ReteNetwork {
 
     /// Compile `program` with explicit sharing options.
     pub fn compile_with(program: &Program, options: CompileOptions) -> Result<Self, OpsError> {
+        Self::compile_planned(
+            program,
+            options,
+            &crate::transform::TransformPlan::default(),
+        )
+    }
+
+    /// Compile `program` with a [`crate::transform::TransformPlan`] applied:
+    /// productions the plan marks for unsharing bypass the two-input-node
+    /// cache (per-production §5.2.1 unsharing), and productions the plan
+    /// splits are compiled as one constrained LHS variant per value range —
+    /// all carrying the *original* [`ProductionId`], so the transformed
+    /// network produces byte-identical conflict sets.
+    pub fn compile_planned(
+        program: &Program,
+        options: CompileOptions,
+        plan: &crate::transform::TransformPlan,
+    ) -> Result<Self, OpsError> {
+        plan.validate(program)?;
         let mut c = Compiler {
             net: ReteNetwork {
                 nodes: Vec::new(),
@@ -354,9 +373,18 @@ impl ReteNetwork {
             alpha_cache: HashMap::default(),
             beta_cache: HashMap::default(),
             options,
+            share_beta_now: true,
         };
         for (pid, prod) in program.iter() {
-            c.compile_production(pid, prod)?;
+            c.share_beta_now = !plan.unshares(pid);
+            match plan.split_variants(pid, prod)? {
+                Some(variants) => {
+                    for variant in &variants {
+                        c.compile_production(pid, variant)?;
+                    }
+                }
+                None => c.compile_production(pid, prod)?,
+            }
         }
         c.net.compute_layouts();
         Ok(c.net)
@@ -495,9 +523,20 @@ impl ReteNetwork {
             .map_or(&[], |v| v.as_slice())
     }
 
-    /// The production node of `pid`.
+    /// The first production node of `pid`. A plan-split production has
+    /// several nodes for one id (one per LHS variant); use
+    /// [`ReteNetwork::production_nodes`] to see them all.
     pub fn production_node(&self, pid: ProductionId) -> NodeId {
-        self.production_nodes[pid.0 as usize]
+        self.production_nodes_of(pid)
+            .next()
+            .expect("production has a node")
+    }
+
+    /// All production nodes of `pid`, in compilation order.
+    pub fn production_nodes_of(&self, pid: ProductionId) -> impl Iterator<Item = NodeId> + '_ {
+        self.production_nodes.iter().copied().filter(
+            move |&id| matches!(self.node(id), NodeKind::Production(p) if p.production == pid),
+        )
     }
 
     /// Total number of nodes.
@@ -632,6 +671,9 @@ struct Compiler {
     alpha_cache: HashMap<u64, Vec<NodeId>, FxBuildHasher>,
     beta_cache: HashMap<u64, Vec<NodeId>, FxBuildHasher>,
     options: CompileOptions,
+    /// Per-production override: `false` while compiling a production the
+    /// active [`crate::transform::TransformPlan`] marks for unsharing.
+    share_beta_now: bool,
 }
 
 impl Compiler {
@@ -779,7 +821,7 @@ impl Compiler {
     /// Find or create the two-input node for `key`, wiring its input edges
     /// on creation.
     fn two_input_node(&mut self, key: BetaKey) -> NodeId {
-        let kh = self.options.share_beta.then(|| structural_hash(&key));
+        let kh = (self.options.share_beta && self.share_beta_now).then(|| structural_hash(&key));
         if let Some(kh) = kh {
             for &cand in self.beta_cache.get(&kh).into_iter().flatten() {
                 if let NodeKind::TwoInput(j) = &self.net.nodes[cand.0 as usize] {

@@ -17,9 +17,13 @@
 //!    source transform [`copy_and_constrain`].
 
 use crate::hashfn::bucket_index;
-use crate::network::{CompileOptions, NodeId, ReteNetwork, Side};
+use crate::network::{CompileOptions, NodeId, NodeKind, ReteNetwork, Side, Succ};
 use crate::trace::{ActKind, ActivationRecord, Trace, TraceCycle};
-use mpps_ops::{intern, AttrTest, OpsError, Predicate, Production, Program, TestKind, Value};
+use mpps_ops::{
+    intern, AttrTest, OpsError, Predicate, Production, ProductionId, Program, Symbol, TestKind,
+    Value, Wme,
+};
+use std::collections::BTreeMap;
 
 /// Compile `program` with two-input-node sharing disabled — the unsharing
 /// transform of §5.2.1.
@@ -173,6 +177,434 @@ pub fn copy_and_constrain(
         out.push(p);
     }
     Ok(out)
+}
+
+/// A planned network-level copy-and-constraint: split one production's
+/// join chain by constraining the value range of `attr` at LHS condition
+/// element `ce_index`.
+///
+/// Unlike the source transform [`copy_and_constrain`], a planned split is
+/// applied during compilation ([`ReteNetwork::compile_planned`]) and keeps
+/// the production's name and [`ProductionId`] on every variant, so the
+/// rewritten network's conflict sets are *identical* to the original's —
+/// not merely equivalent up to renaming.
+///
+/// Soundness: [`mpps_ops::Value`] is totally ordered (integers below all
+/// symbols), so the added `>= b[i-1]` / `< b[i]` constant tests partition
+/// *every* possible value of `attr` into exactly one of the `n + 1`
+/// half-open ranges — symbols all land in the last range. The only way a
+/// WME could match the original CE but no variant is for `attr` to be
+/// absent, which [`SplitSpec::validate`] rules out by requiring the CE to
+/// already test `attr` (every test kind implies presence).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SplitSpec {
+    /// 0-based index into the production's LHS of the CE to constrain.
+    pub ce_index: usize,
+    /// The attribute whose value range is split.
+    pub attr: Symbol,
+    /// Strictly increasing range boundaries; `n` boundaries yield `n + 1`
+    /// variants covering `(-∞, b0)`, `[b0, b1)`, …, `[bn-1, +∞)`.
+    pub boundaries: Vec<i64>,
+}
+
+impl SplitSpec {
+    /// A split of CE `ce_index` on `attr` at the given boundaries.
+    pub fn new(ce_index: usize, attr: &str, boundaries: Vec<i64>) -> Self {
+        SplitSpec {
+            ce_index,
+            attr: intern(attr),
+            boundaries,
+        }
+    }
+
+    /// Check this spec is applicable to `production` (see type docs for
+    /// the soundness conditions).
+    pub fn validate(&self, production: &Production) -> Result<(), OpsError> {
+        let invalid = |msg: String| {
+            Err(OpsError::InvalidProduction(
+                production.name.to_string(),
+                msg,
+            ))
+        };
+        let Some(ce) = production.lhs.get(self.ce_index) else {
+            return invalid(format!("split: no CE at index {}", self.ce_index));
+        };
+        if ce.negated {
+            return invalid("split: cannot split on a negated CE".into());
+        }
+        if self.boundaries.is_empty() {
+            return invalid("split: need at least one boundary".into());
+        }
+        if self.boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return invalid("split: boundaries must be strictly increasing".into());
+        }
+        // Presence guard: every test kind fails on an absent attribute, so
+        // an existing test on `attr` guarantees the range tests see a value.
+        if !ce.tests.iter().any(|t| t.attr == self.attr) {
+            return invalid(format!(
+                "split: CE {} has no test on ^{} — a WME without the \
+                 attribute would match the original but no variant",
+                self.ce_index, self.attr
+            ));
+        }
+        Ok(())
+    }
+
+    /// The constrained LHS variants (same name, same everything except the
+    /// added range tests). Call [`SplitSpec::validate`] first.
+    fn variants(&self, production: &Production) -> Vec<Production> {
+        let copies = self.boundaries.len() + 1;
+        let mut out = Vec::with_capacity(copies);
+        for i in 0..copies {
+            let mut p = production.clone();
+            let ce = &mut p.lhs[self.ce_index];
+            if i > 0 {
+                ce.tests.push(AttrTest {
+                    attr: self.attr,
+                    kind: TestKind::Constant(Predicate::Ge, Value::Int(self.boundaries[i - 1])),
+                });
+            }
+            if i < self.boundaries.len() {
+                ce.tests.push(AttrTest {
+                    attr: self.attr,
+                    kind: TestKind::Constant(Predicate::Lt, Value::Int(self.boundaries[i])),
+                });
+            }
+            out.push(p);
+        }
+        out
+    }
+}
+
+/// A set of semantics-preserving network rewrites: per-production
+/// unsharing (§5.2.1) and copy-and-constraint splits (§5.2.2), applied
+/// together by [`rewrite`] / [`ReteNetwork::compile_planned`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TransformPlan {
+    unshare: Vec<ProductionId>,
+    splits: Vec<(ProductionId, SplitSpec)>,
+}
+
+impl TransformPlan {
+    /// An empty plan (compiles identically to [`ReteNetwork::compile_with`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark `pid` for unsharing: its two-input nodes bypass the sharing
+    /// cache, so no other production's chain can collapse into them.
+    pub fn with_unshare(mut self, pid: ProductionId) -> Self {
+        if !self.unshare.contains(&pid) {
+            self.unshare.push(pid);
+        }
+        self
+    }
+
+    /// Add a copy-and-constraint split for `pid`.
+    pub fn with_split(mut self, pid: ProductionId, spec: SplitSpec) -> Self {
+        self.splits.push((pid, spec));
+        self
+    }
+
+    /// True when the plan rewrites nothing.
+    pub fn is_empty(&self) -> bool {
+        self.unshare.is_empty() && self.splits.is_empty()
+    }
+
+    /// Is `pid` marked for unsharing?
+    pub fn unshares(&self, pid: ProductionId) -> bool {
+        self.unshare.contains(&pid)
+    }
+
+    /// The planned splits, in insertion order.
+    pub fn splits(&self) -> &[(ProductionId, SplitSpec)] {
+        &self.splits
+    }
+
+    /// The productions marked for unsharing, in insertion order.
+    pub fn unshared(&self) -> &[ProductionId] {
+        &self.unshare
+    }
+
+    /// Check every planned rewrite against `program`.
+    pub fn validate(&self, program: &Program) -> Result<(), OpsError> {
+        let check = |pid: ProductionId| {
+            if (pid.0 as usize) < program.len() {
+                Ok(())
+            } else {
+                Err(OpsError::InvalidProduction(
+                    format!("p{}", pid.0),
+                    "plan references a production the program does not have".into(),
+                ))
+            }
+        };
+        for &pid in &self.unshare {
+            check(pid)?;
+        }
+        for (i, (pid, spec)) in self.splits.iter().enumerate() {
+            check(*pid)?;
+            spec.validate(program.get(*pid))?;
+            if self.splits[..i].iter().any(|(p, _)| p == pid) {
+                return Err(OpsError::InvalidProduction(
+                    program.get(*pid).name.to_string(),
+                    "plan splits the same production twice".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The LHS variants to compile for `pid` (`None` when the plan does
+    /// not split it). Used by [`ReteNetwork::compile_planned`].
+    pub(crate) fn split_variants(
+        &self,
+        pid: ProductionId,
+        production: &Production,
+    ) -> Result<Option<Vec<Production>>, OpsError> {
+        match self.splits.iter().find(|(p, _)| *p == pid) {
+            Some((_, spec)) => Ok(Some(spec.variants(production))),
+            None => Ok(None),
+        }
+    }
+
+    /// One-line human summary, for logs and the CLI.
+    pub fn summary(&self, program: &Program) -> String {
+        if self.is_empty() {
+            return "no rewrites".into();
+        }
+        let mut parts = Vec::new();
+        for (pid, spec) in &self.splits {
+            parts.push(format!(
+                "split {} @ce{} ^{} into {}",
+                program.get(*pid).name,
+                spec.ce_index,
+                spec.attr,
+                spec.boundaries.len() + 1
+            ));
+        }
+        for pid in &self.unshare {
+            parts.push(format!("unshare {}", program.get(*pid).name));
+        }
+        parts.join("; ")
+    }
+}
+
+/// Apply `plan` to the network compiled from `program`, preserving the
+/// original's [`CompileOptions`]. The result matches the same data with
+/// byte-identical conflict sets (same [`ProductionId`]s, same WME
+/// combinations) — the equivalence the difftest oracle and the
+/// transform-sequence proptests pin down.
+pub fn rewrite(
+    net: &ReteNetwork,
+    program: &Program,
+    plan: &TransformPlan,
+) -> Result<ReteNetwork, OpsError> {
+    ReteNetwork::compile_planned(program, net.options(), plan)
+}
+
+/// Options for [`suggest_plan`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SuggestOptions {
+    /// Target number of range copies per split (the paper suggests 2–4).
+    pub ways: usize,
+    /// Ignore two-input nodes with fewer recorded activations than this.
+    /// With an empty activation map every cross-product node qualifies.
+    pub min_activations: u64,
+}
+
+impl Default for SuggestOptions {
+    fn default() -> Self {
+        SuggestOptions {
+            ways: 4,
+            min_activations: 0,
+        }
+    }
+}
+
+/// Derive a [`TransformPlan`] from measured hot spots.
+///
+/// Candidate nodes are non-negative two-input nodes with an *empty hash
+/// signature* (`eq_checks` empty — a cross-product join): every token at
+/// such a node hashes to one bucket, so worker migration cannot spread
+/// its load and only a network rewrite helps. Candidates are ranked by
+/// `node_activations` (the `NODE_ACTIVATIONS` counter series, keyed by
+/// node id). For each production downstream of a hot node the CE feeding
+/// that node is split on the tested attribute whose values in `wmes` are
+/// most diverse, with boundaries at value quantiles; productions sharing
+/// a hot node are additionally marked for unsharing.
+pub fn suggest_plan(
+    net: &ReteNetwork,
+    program: &Program,
+    node_activations: &BTreeMap<u64, u64>,
+    wmes: &[Wme],
+    opts: &SuggestOptions,
+) -> TransformPlan {
+    let acts = |id: NodeId| node_activations.get(&u64::from(id.0)).copied().unwrap_or(0);
+    let mut hot: Vec<NodeId> = net
+        .iter()
+        .filter_map(|(id, n)| match n {
+            NodeKind::TwoInput(j)
+                if !j.negative
+                    && j.spec.eq_checks.is_empty()
+                    && acts(id) >= opts.min_activations =>
+            {
+                Some(id)
+            }
+            _ => None,
+        })
+        .collect();
+    hot.sort_by_key(|&id| (std::cmp::Reverse(acts(id)), id.0));
+
+    let mut plan = TransformPlan::new();
+    for node in hot {
+        let shared = match net.node(node) {
+            NodeKind::TwoInput(j) => j.successors.len() > 1,
+            _ => false,
+        };
+        for pid in downstream_productions(net, node) {
+            if plan.splits.iter().any(|(p, _)| *p == pid) {
+                continue;
+            }
+            if shared {
+                plan = plan.with_unshare(pid);
+            }
+            let Some(ce_index) = ce_index_of_node(net, program, pid, node) else {
+                continue;
+            };
+            if let Some(spec) = propose_split(net, program, pid, ce_index, node, wmes, opts) {
+                plan = plan.with_split(pid, spec);
+            }
+        }
+    }
+    plan
+}
+
+/// Every production reachable from `node` through successor edges.
+fn downstream_productions(net: &ReteNetwork, node: NodeId) -> Vec<ProductionId> {
+    let mut stack = vec![node];
+    let mut seen = vec![node];
+    let mut out = Vec::new();
+    while let Some(id) = stack.pop() {
+        let NodeKind::TwoInput(j) = net.node(id) else {
+            continue;
+        };
+        for succ in &j.successors {
+            match *succ {
+                Succ::TwoInput(t) => {
+                    if !seen.contains(&t) {
+                        seen.push(t);
+                        stack.push(t);
+                    }
+                }
+                Succ::Production(p) => {
+                    if let NodeKind::Production(pn) = net.node(p) {
+                        if !out.contains(&pn.production) {
+                            out.push(pn.production);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The LHS index of the CE whose right input feeds `node` within `pid`'s
+/// chain, reconstructed from the compiler's chain order (seed = first
+/// positive CE, then leading negations, then the rest in source order).
+fn ce_index_of_node(
+    net: &ReteNetwork,
+    program: &Program,
+    pid: ProductionId,
+    node: NodeId,
+) -> Option<usize> {
+    let prod = program.get(pid);
+    let pnode = net
+        .production_nodes_of(pid)
+        .next()
+        .expect("compiled production has a node");
+    // Bottom-up walk from the production node's feeding join.
+    let mut chain_rev = Vec::new();
+    let mut cur = net.iter().find_map(|(id, n)| match n {
+        NodeKind::TwoInput(j) if j.successors.contains(&Succ::Production(pnode)) => Some(id),
+        _ => None,
+    })?;
+    loop {
+        chain_rev.push(cur);
+        match net.join(cur).left_src {
+            crate::network::LeftSource::Beta(b) => cur = b,
+            crate::network::LeftSource::Alpha(_) => break,
+        }
+    }
+    let pos_in_chain = chain_rev.iter().rev().position(|&id| id == node)?;
+    // Chain order over LHS indices: seed CE first, then the rest.
+    let first_pos = prod.lhs.iter().position(|ce| !ce.negated)?;
+    let order: Vec<usize> = std::iter::once(first_pos)
+        .chain(0..first_pos)
+        .chain(first_pos + 1..prod.lhs.len())
+        .collect();
+    // Two-input node r (top-down) joins in the CE at order[r + 1].
+    order.get(pos_in_chain + 1).copied()
+}
+
+/// Pick the split attribute and boundaries for `pid`'s CE at `ce_index`:
+/// the tested attribute whose integer values across the WMEs accepted by
+/// the node's right alpha are most diverse, cut at quantiles into at most
+/// `opts.ways` ranges. `None` when no attribute has at least two distinct
+/// integer values (a split would not spread anything).
+fn propose_split(
+    net: &ReteNetwork,
+    program: &Program,
+    pid: ProductionId,
+    ce_index: usize,
+    node: NodeId,
+    wmes: &[Wme],
+    opts: &SuggestOptions,
+) -> Option<SplitSpec> {
+    let ce = &program.get(pid).lhs[ce_index];
+    let alpha = match net.node(net.join(node).right_alpha) {
+        NodeKind::Alpha(a) => a,
+        _ => return None,
+    };
+    let mut tested: Vec<Symbol> = ce.tests.iter().map(|t| t.attr).collect();
+    tested.dedup();
+    let mut best: Option<(usize, Symbol, Vec<i64>)> = None;
+    for attr in tested {
+        let mut vals: Vec<i64> = wmes
+            .iter()
+            .filter(|w| alpha.matches(w))
+            .filter_map(|w| match w.get(attr) {
+                Some(Value::Int(i)) => Some(i),
+                _ => None,
+            })
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(n, _, _)| vals.len() > *n) {
+            best = Some((vals.len(), attr, vals));
+        }
+    }
+    let (_, attr, distinct) = best?;
+    let ways = opts.ways.max(2).min(distinct.len());
+    // Quantile cut points: `ways - 1` boundaries from the distinct values,
+    // strictly increasing by construction (indices strictly increase and
+    // the values are deduped).
+    let boundaries: Vec<i64> = (1..ways)
+        .map(|i| distinct[i * distinct.len() / ways])
+        .collect();
+    if boundaries.is_empty() || boundaries.windows(2).any(|w| w[0] >= w[1]) {
+        return None;
+    }
+    let spec = SplitSpec {
+        ce_index,
+        attr,
+        boundaries,
+    };
+    spec.validate(program.get(pid)).ok()?;
+    Some(spec)
 }
 
 #[cfg(test)]
@@ -412,5 +844,227 @@ mod tests {
         let unshared = unshare(&prog).unwrap();
         assert!(unshared.stats().two_input > shared.stats().two_input);
         assert_eq!(unshared.stats().shared_two_input, 0);
+    }
+
+    /// Run each batch through matchers over both networks and compare the
+    /// full conflict sets — production ids included — after every batch.
+    fn assert_identical_conflicts(a: &ReteNetwork, b: &ReteNetwork, batches: &[Vec<WmeChange>]) {
+        let mut ma = ReteMatcher::new(a.clone(), EngineConfig::default());
+        let mut mb = ReteMatcher::new(b.clone(), EngineConfig::default());
+        let key = |m: &ReteMatcher| {
+            let mut v: Vec<(u32, Vec<WmeId>)> = m
+                .conflict_set()
+                .into_iter()
+                .map(|i| (i.production.0, i.wme_ids))
+                .collect();
+            v.sort();
+            v
+        };
+        for batch in batches {
+            ma.process(batch);
+            mb.process(batch);
+            assert_eq!(key(&ma), key(&mb));
+        }
+    }
+
+    fn cross_batches() -> Vec<Vec<WmeChange>> {
+        let mut changes = Vec::new();
+        for i in 0..12 {
+            changes.push(WmeChange::add(
+                WmeId(100 + i),
+                Wme::new("lhs", &[("id", (i as i64).into())]),
+            ));
+        }
+        // Symbol-valued ids exercise the total-order fallback (they must
+        // land in the last range copy, not vanish).
+        changes.push(WmeChange::add(
+            WmeId(200),
+            Wme::new("lhs", &[("id", "zed".into())]),
+        ));
+        for i in 0..6 {
+            changes.push(WmeChange::add(
+                WmeId(300 + i),
+                Wme::new("rhs", &[("id", (i as i64).into())]),
+            ));
+        }
+        let retract = vec![WmeChange::remove(
+            WmeId(103),
+            Wme::new("lhs", &[("id", 3.into())]),
+        )];
+        vec![changes, retract]
+    }
+
+    #[test]
+    fn planned_split_preserves_conflict_sets_and_production_ids() {
+        let prog = parse_program("(p cross (lhs ^id <a>) (rhs ^id <b>) --> (remove 1))").unwrap();
+        let base = ReteNetwork::compile(&prog).unwrap();
+        let plan =
+            TransformPlan::new().with_split(ProductionId(0), SplitSpec::new(1, "id", vec![2, 4]));
+        let split = rewrite(&base, &prog, &plan).unwrap();
+        // Three variants, one production node each, all for ProductionId(0).
+        assert_eq!(split.production_nodes_of(ProductionId(0)).count(), 3);
+        assert_identical_conflicts(&base, &split, &cross_batches());
+    }
+
+    #[test]
+    fn planned_split_on_seed_ce_preserves_conflict_sets() {
+        let prog = parse_program("(p cross (lhs ^id <a>) (rhs ^id <b>) --> (remove 1))").unwrap();
+        let base = ReteNetwork::compile(&prog).unwrap();
+        let plan =
+            TransformPlan::new().with_split(ProductionId(0), SplitSpec::new(0, "id", vec![3]));
+        let split = rewrite(&base, &prog, &plan).unwrap();
+        assert_identical_conflicts(&base, &split, &cross_batches());
+    }
+
+    #[test]
+    fn planned_unshare_preserves_conflict_sets() {
+        let prog = parse_program(
+            r#"
+            (p a (goal ^id <g>) (task ^goal <g>) (slot ^x 1) --> (remove 1))
+            (p b (goal ^id <g>) (task ^goal <g>) (slot ^x 2) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let base = ReteNetwork::compile(&prog).unwrap();
+        let plan = TransformPlan::new().with_unshare(ProductionId(1));
+        let net = rewrite(&base, &prog, &plan).unwrap();
+        // Production b's chain no longer collapses into a's.
+        assert_eq!(net.stats().shared_two_input, 0);
+        assert!(net.stats().two_input > base.stats().two_input);
+        let changes = vec![
+            WmeChange::add(WmeId(1), Wme::new("goal", &[("id", 7.into())])),
+            WmeChange::add(WmeId(2), Wme::new("task", &[("goal", 7.into())])),
+            WmeChange::add(WmeId(3), Wme::new("slot", &[("x", 1.into())])),
+            WmeChange::add(WmeId(4), Wme::new("slot", &[("x", 2.into())])),
+        ];
+        assert_identical_conflicts(&base, &net, &[changes]);
+    }
+
+    #[test]
+    fn planned_split_spreads_buckets_without_renaming() {
+        let prog = parse_program("(p cross (lhs ^id <a>) (rhs ^id <b>) --> (remove 1))").unwrap();
+        let run = |net: ReteNetwork| {
+            let mut m = ReteMatcher::new(
+                net,
+                EngineConfig {
+                    table_size: 256,
+                    record_trace: true,
+                },
+            );
+            let mut changes = Vec::new();
+            for i in 0..16 {
+                changes.push(WmeChange::add(
+                    WmeId(100 + i),
+                    Wme::new("lhs", &[("id", (i as i64).into())]),
+                ));
+            }
+            changes.push(WmeChange::add(
+                WmeId(200),
+                Wme::new("rhs", &[("id", 3.into())]),
+            ));
+            m.process(&changes);
+            let trace = m.take_trace().unwrap();
+            let mut buckets: Vec<u64> = trace.cycles[0]
+                .activations
+                .iter()
+                .filter(|a| a.kind == ActKind::TwoInput && a.side == Side::Left)
+                .map(|a| a.bucket)
+                .collect();
+            buckets.sort_unstable();
+            buckets.dedup();
+            buckets.len()
+        };
+        let base = ReteNetwork::compile(&prog).unwrap();
+        let plan = TransformPlan::new()
+            .with_split(ProductionId(0), SplitSpec::new(1, "id", vec![4, 8, 12]));
+        let split = rewrite(&base, &prog, &plan).unwrap();
+        assert_eq!(run(base), 1, "cross-product join uses one bucket");
+        assert!(run(split) >= 3, "split spreads tokens over buckets");
+    }
+
+    #[test]
+    fn split_spec_rejects_unsound_targets() {
+        let p = parse_production("(p x (a ^id <i>) -(b ^id <j>) (c ^k 1) --> (remove 1))").unwrap();
+        // Out of range.
+        assert!(SplitSpec::new(9, "id", vec![1]).validate(&p).is_err());
+        // Negated CE.
+        assert!(SplitSpec::new(1, "id", vec![1]).validate(&p).is_err());
+        // Empty / non-increasing boundaries.
+        assert!(SplitSpec::new(0, "id", vec![]).validate(&p).is_err());
+        assert!(SplitSpec::new(0, "id", vec![5, 5]).validate(&p).is_err());
+        // Attribute the CE never tests: presence not guaranteed.
+        assert!(SplitSpec::new(0, "size", vec![1]).validate(&p).is_err());
+        // A constant-tested attribute is fair game (presence implied).
+        assert!(SplitSpec::new(2, "k", vec![1]).validate(&p).is_ok());
+    }
+
+    #[test]
+    fn plan_validate_rejects_double_split_and_bad_pid() {
+        let prog = parse_program("(p one (a ^id <i>) (b ^id <i>) --> (remove 1))").unwrap();
+        let double = TransformPlan::new()
+            .with_split(ProductionId(0), SplitSpec::new(0, "id", vec![1]))
+            .with_split(ProductionId(0), SplitSpec::new(1, "id", vec![2]));
+        assert!(double.validate(&prog).is_err());
+        let bad = TransformPlan::new().with_unshare(ProductionId(9));
+        assert!(bad.validate(&prog).is_err());
+    }
+
+    #[test]
+    fn suggest_plan_targets_the_cross_product_join() {
+        let prog = parse_program(
+            r#"
+            (p cross (lhs ^id <a>) (rhs ^id <b>) --> (remove 1))
+            (p plain (goal ^id <g>) (task ^goal <g>) --> (remove 1))
+            "#,
+        )
+        .unwrap();
+        let net = ReteNetwork::compile(&prog).unwrap();
+        let mut wmes = Vec::new();
+        for i in 0..16 {
+            wmes.push(Wme::new("rhs", &[("id", (i as i64).into())]));
+        }
+        let plan = suggest_plan(
+            &net,
+            &prog,
+            &BTreeMap::new(),
+            &wmes,
+            &SuggestOptions::default(),
+        );
+        // Only the cross production is split, on the rhs CE's id attribute.
+        assert_eq!(plan.splits().len(), 1);
+        let (pid, spec) = &plan.splits()[0];
+        assert_eq!(*pid, ProductionId(0));
+        assert_eq!(spec.ce_index, 1);
+        assert_eq!(spec.attr, intern("id"));
+        assert_eq!(spec.boundaries.len(), 3);
+        assert!(plan.validate(&prog).is_ok());
+        // And the suggested plan preserves semantics.
+        let rewritten = rewrite(&net, &prog, &plan).unwrap();
+        let mut changes: Vec<WmeChange> = wmes
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WmeChange::add(WmeId(i as u64 + 1), w.clone()))
+            .collect();
+        changes.push(WmeChange::add(
+            WmeId(500),
+            Wme::new("lhs", &[("id", 3.into())]),
+        ));
+        assert_identical_conflicts(&net, &rewritten, &[changes]);
+    }
+
+    #[test]
+    fn suggest_plan_skips_value_poor_attributes() {
+        let prog = parse_program("(p cross (lhs ^id <a>) (rhs ^id <b>) --> (remove 1))").unwrap();
+        let net = ReteNetwork::compile(&prog).unwrap();
+        // All rhs ids are the same symbol: no integer diversity, no split.
+        let wmes = vec![Wme::new("rhs", &[("id", "only".into())]); 8];
+        let plan = suggest_plan(
+            &net,
+            &prog,
+            &BTreeMap::new(),
+            &wmes,
+            &SuggestOptions::default(),
+        );
+        assert!(plan.splits().is_empty());
     }
 }

@@ -41,7 +41,7 @@ use crate::ServerError;
 use crossbeam::channel::{self, Receiver, Sender};
 use mpps_core::Partition;
 use mpps_ops::{OpsError, Program, RunOutcome, Strategy, Wme, WmeId};
-use mpps_rete::{EngineConfig, ReteNetwork};
+use mpps_rete::{suggest_plan, EngineConfig, ReteNetwork, SuggestOptions};
 use mpps_telemetry::{MetricSink, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,6 +106,13 @@ pub struct ServerConfig {
     pub max_cycles_per_batch: usize,
     /// How many admissions between greedy-partition rebuilds.
     pub greedy_rebuild_interval: u64,
+    /// Compile the shared network through the *static* suggested
+    /// transform plan ([`mpps_rete::suggest_plan`] with no activation or
+    /// WME sample): hot cross-product joins are unshared so sessions do
+    /// not serialize on one bucket. Split boundaries need a WME sample
+    /// the server does not have, so splits stay off here — `mpps run
+    /// --adapt` is the full loop.
+    pub adapt: bool,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +129,7 @@ impl Default for ServerConfig {
             },
             max_cycles_per_batch: 4096,
             greedy_rebuild_interval: 64,
+            adapt: false,
         }
     }
 }
@@ -274,6 +282,10 @@ pub struct Server {
     partition: Partition,
     routes: HashMap<u64, usize>,
     shard_sessions: Vec<u64>,
+    /// Create/Restore requests whose `Ready` has not arrived yet:
+    /// request id → the admission to unwind if the worker reports
+    /// failure instead (the session never materialized there).
+    pending_admissions: HashMap<u64, (SessionId, usize)>,
     admissions: u64,
     next_session: u64,
     next_request: u64,
@@ -283,9 +295,27 @@ pub struct Server {
 }
 
 impl Server {
-    /// Compile `program` and spawn the worker pool.
+    /// Compile `program` and spawn the worker pool. With
+    /// [`ServerConfig::adapt`] the shared network is compiled through the
+    /// static suggested transform plan instead of the plain compile.
     pub fn new(program: Program, config: ServerConfig) -> Result<Server, OpsError> {
-        let network = Arc::new(ReteNetwork::compile(&program)?);
+        let network = if config.adapt {
+            let net = ReteNetwork::compile(&program)?;
+            let plan = suggest_plan(
+                &net,
+                &program,
+                &std::collections::BTreeMap::new(),
+                &[],
+                &SuggestOptions::default(),
+            );
+            Arc::new(ReteNetwork::compile_planned(
+                &program,
+                net.options(),
+                &plan,
+            )?)
+        } else {
+            Arc::new(ReteNetwork::compile(&program)?)
+        };
         let fingerprint = program_fingerprint(&program);
         let program = Arc::new(program);
         let workers = config.workers.max(1);
@@ -327,6 +357,7 @@ impl Server {
             partition,
             routes: HashMap::new(),
             shard_sessions: vec![0; config.shards.max(1) as usize],
+            pending_admissions: HashMap::new(),
             admissions: 0,
             next_session: 0,
             next_request: 0,
@@ -362,6 +393,13 @@ impl Server {
         self.routes.len()
     }
 
+    /// Live-session count per shard — the activity vector greedy
+    /// admission packs with. Invariant: sums to [`Server::sessions`]
+    /// once every Create/Restore has been answered.
+    pub fn shard_session_counts(&self) -> &[u64] {
+        &self.shard_sessions
+    }
+
     /// Accepted requests whose replies have not been received yet.
     pub fn in_flight(&self) -> usize {
         self.in_flight
@@ -388,15 +426,18 @@ impl Server {
     ) -> Result<(SessionId, RequestId), ServerError> {
         let session = SessionId(self.next_session);
         let worker = self.admit(session)?;
-        let request = self.send(
-            worker,
-            session,
-            Request::Create {
+        let request = self
+            .send(
+                worker,
                 session,
-                request: 0, // patched by send()
-                initial,
-            },
-        )?;
+                Request::Create {
+                    session,
+                    request: 0, // patched by send()
+                    initial,
+                },
+            )
+            .inspect_err(|_| self.unwind_admission(session, worker))?;
+        self.pending_admissions.insert(request, (session, worker));
         Ok((session, request))
     }
 
@@ -404,15 +445,18 @@ impl Server {
     pub fn restore(&mut self, bytes: Vec<u8>) -> Result<(SessionId, RequestId), ServerError> {
         let session = SessionId(self.next_session);
         let worker = self.admit(session)?;
-        let request = self.send(
-            worker,
-            session,
-            Request::Restore {
+        let request = self
+            .send(
+                worker,
                 session,
-                request: 0,
-                bytes,
-            },
-        )?;
+                Request::Restore {
+                    session,
+                    request: 0,
+                    bytes,
+                },
+            )
+            .inspect_err(|_| self.unwind_admission(session, worker))?;
+        self.pending_admissions.insert(request, (session, worker));
         Ok((session, request))
     }
 
@@ -478,6 +522,10 @@ impl Server {
         )?;
         self.routes.remove(&session.0);
         let shard = self.shard_of(session);
+        debug_assert!(
+            self.shard_sessions[shard] > 0,
+            "destroying a session its shard never counted"
+        );
         self.shard_sessions[shard] = self.shard_sessions[shard].saturating_sub(1);
         Ok(request)
     }
@@ -625,6 +673,25 @@ impl Server {
         Ok(worker)
     }
 
+    /// Roll back [`Server::admit`]'s bookkeeping for a session whose
+    /// Create/Restore never reached — or never materialized on — its
+    /// worker. A session destroyed mid-flight was already unwound by
+    /// `destroy_session` (its route is gone), so this is a no-op then;
+    /// without that guard the count would be decremented twice and drift
+    /// negative.
+    fn unwind_admission(&mut self, session: SessionId, worker: usize) {
+        if self.routes.remove(&session.0).is_none() {
+            return;
+        }
+        let shard = self.shard_of(session);
+        debug_assert!(
+            self.shard_sessions[shard] > 0,
+            "unwinding a session its shard never counted"
+        );
+        self.shard_sessions[shard] = self.shard_sessions[shard].saturating_sub(1);
+        self.admitted_per_worker[worker] = self.admitted_per_worker[worker].saturating_sub(1);
+    }
+
     fn route(&self, session: SessionId) -> Result<usize, ServerError> {
         self.routes
             .get(&session.0)
@@ -681,6 +748,21 @@ impl Server {
     fn account(&mut self, reply: &Reply) {
         if reply.counted() {
             self.in_flight = self.in_flight.saturating_sub(1);
+        }
+        match reply {
+            // Admission confirmed: the session exists on its worker.
+            Reply::Ready { request, .. } => {
+                self.pending_admissions.remove(request);
+            }
+            // A failed Create/Restore never materialized the session on
+            // the worker: unwind the admission so the live-session counts
+            // the greedy rebuild packs against don't go stale.
+            Reply::Failed { request, .. } => {
+                if let Some((session, worker)) = self.pending_admissions.remove(request) {
+                    self.unwind_admission(session, worker);
+                }
+            }
+            _ => {}
         }
     }
 }

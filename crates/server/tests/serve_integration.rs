@@ -194,3 +194,73 @@ fn script_driver_round_trips_a_session() {
     );
     assert!(report.log[7].contains("ok"));
 }
+
+/// Create/destroy churn under greedy admission, with failed restores mixed
+/// in. The per-shard live-session counts the periodic LPT rebuild packs
+/// against must track the real live set exactly: a failed Create/Restore
+/// used to leave a phantom session routed and counted forever, and
+/// unwinding one that a racing destroy already unwound would drift the
+/// counts negative (silently clamped by `saturating_sub`).
+#[test]
+fn greedy_admission_counts_survive_create_destroy_churn() {
+    let mut cfg = config(3, Sharding::Greedy);
+    cfg.greedy_rebuild_interval = 4; // rebuild several times mid-churn
+    let mut server = Server::new(serve::program(), cfg).unwrap();
+    let mut live: Vec<SessionId> = Vec::new();
+    for round in 0..12u64 {
+        // A successful create joins the live set...
+        let (id, req) = server.create_session(serve::initial()).unwrap();
+        assert!(matches!(
+            server.wait_for(req, TIMEOUT).unwrap(),
+            Reply::Ready { .. }
+        ));
+        live.push(id);
+        // ...a corrupt restore fails on the worker and must be unwound...
+        let (phantom, req) = server.restore(vec![0xDE, 0xAD]).unwrap();
+        assert!(matches!(
+            server.wait_for(req, TIMEOUT).unwrap(),
+            Reply::Failed { .. }
+        ));
+        assert!(
+            matches!(
+                server.submit(phantom, Vec::new()),
+                Err(ServerError::UnknownSession(_))
+            ),
+            "round {round}: failed restore left a phantom route"
+        );
+        // ...and every other round the oldest live session is destroyed.
+        if round % 2 == 1 {
+            let victim = live.remove(0);
+            let req = server.destroy_session(victim).unwrap();
+            assert!(matches!(
+                server.wait_for(req, TIMEOUT).unwrap(),
+                Reply::Destroyed { .. }
+            ));
+        }
+        let counted: u64 = server.shard_session_counts().iter().sum();
+        assert_eq!(
+            counted,
+            live.len() as u64,
+            "round {round}: shard counts drifted from the live set"
+        );
+        assert_eq!(server.sessions(), live.len(), "round {round}");
+    }
+    // Destroy racing a doomed restore: the destroy unwinds the admission
+    // first, so the later `Failed` reply must not decrement a second time.
+    let (doomed, restore_req) = server.restore(vec![0xBA, 0xD0]).unwrap();
+    let destroy_req = server.destroy_session(doomed).unwrap();
+    for req in [restore_req, destroy_req] {
+        assert!(matches!(
+            server.wait_for(req, TIMEOUT).unwrap(),
+            Reply::Failed { .. }
+        ));
+    }
+    let counted: u64 = server.shard_session_counts().iter().sum();
+    assert_eq!(counted, live.len() as u64, "double unwind drifted counts");
+
+    // The survivors still work after all the rebuilds and unwinds.
+    for &id in &live {
+        submit_retrying(&mut server, id, serve::round(id.0, 0, 1));
+    }
+    server.drain(TIMEOUT, |_| {}).unwrap();
+}

@@ -5,7 +5,7 @@
 //!          [--strategy lex|mea]
 //!          [--matcher rete|naive|treat|threaded] [--workers N] [--table-size N]
 //!          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]
-//!          [--profile DIR]
+//!          [--profile DIR] [--adapt]
 //! mpps trace <program.ops> [--wm <file.wm>] [--cycles N] [--table-size N]
 //!            [--out <file.trace>]
 //! mpps simulate <file.trace> [--procs 1,2,4,8,16,32] [--overhead 0|8|16|32]
@@ -16,7 +16,7 @@
 //! mpps serve (--synthetic | --script FILE) [--program FILE|rubik|tourney|weaver]
 //!           [--sessions N] [--rounds N] [--wmes N] [--workers N] [--queue N]
 //!           [--shards N] [--sharding rr|random[:SEED]|greedy] [--strategy lex|mea]
-//!           [--table-size N] [--stats]
+//!           [--table-size N] [--stats] [--adapt]
 //! ```
 //!
 //! The `run` program argument is either a `.ops` file or one of the
@@ -62,6 +62,17 @@
 //! sequential pre-run to measure bucket activity, as in §5.2.2), and
 //! `--stats` prints per-worker activity counters to stderr.
 //!
+//! `mpps run --matcher threaded --adapt` closes the skew loop: a profiled
+//! sequential pre-run measures per-node activations and the per-bucket
+//! activation skew, `suggest_plan` derives copy-and-constraint splits
+//! (plus unsharing) for the hot cross-product nodes that bucket migration
+//! cannot spread, the transformed network runs under the threaded matcher
+//! with the online repartitioner enabled, and the before/after bucket
+//! skew factors plus every rebalance event are reported on stderr. The
+//! run's stdout is unchanged. `mpps serve --adapt` applies the static
+//! (unshare-only) suggested plan at compile time — the server has no WME
+//! sample to derive split boundaries from.
+//!
 //! `mpps serve` runs the rule-engine-as-a-service layer: one compiled
 //! program multiplexed across many independent working-memory sessions on
 //! a bounded-queue worker pool. `--synthetic` drives the built-in
@@ -78,16 +89,19 @@ mod format;
 use format::{stats_block, OutputFormat, SimulateSummary};
 use mpps::core::sweep::{baseline, speedup_curve_jobs, PartitionStrategy};
 use mpps::core::{
-    bucket_activity, name_machine_tracks, simulate_recorded, MappingConfig, OverheadSetting,
-    Partition, SimScratch, ThreadedMatcher,
+    bucket_activity, name_machine_tracks, simulate_recorded, AdaptOptions, MappingConfig,
+    OverheadSetting, Partition, SimScratch, ThreadedMatcher,
 };
-use mpps::core::{name_threaded_tracks, render_match_profile};
+use mpps::core::{bucket_skew_factor, name_threaded_tracks, render_match_profile};
 use mpps::difftest::{fuzz_one, write_repro, FuzzCase, GenConfig, MatcherKind, ScheduleOp};
 use mpps::ops::{
     interpreter::StepOutcome, parse_program, parse_wme, Interpreter, Matcher, NaiveMatcher,
     Program, Strategy, TreatMatcher, Wme, WmeId,
 };
-use mpps::rete::{EngineConfig, ReteMatcher, ReteNetwork, Trace};
+use mpps::rete::{
+    kernel, suggest_plan, CompileOptions, EngineConfig, ReteMatcher, ReteNetwork, SuggestOptions,
+    Trace,
+};
 use mpps::server::{run_script, run_synthetic, ServerConfig, Sharding, SyntheticSpec};
 use mpps::telemetry::{chrome::chrome_trace, MetricsRegistry, TraceRecorder};
 use mpps::workloads::{rubik, serve, tourney, weaver};
@@ -102,7 +116,7 @@ const USAGE_LINES: &[(&str, &str)] = &[
          \x20          [--strategy lex|mea]\n\
          \x20          [--matcher rete|naive|treat|threaded] [--workers N] [--table-size N]\n\
          \x20          [--partition rr|random|greedy] [--seed N] [--quiet] [--stats]\n\
-         \x20          [--profile DIR]",
+         \x20          [--profile DIR] [--adapt]",
     ),
     (
         "trace",
@@ -126,7 +140,7 @@ const USAGE_LINES: &[(&str, &str)] = &[
          \x20          [--sessions N] [--rounds N] [--wmes N]\n\
          \x20          [--workers N] [--queue N] [--shards N]\n\
          \x20          [--sharding rr|random[:SEED]|greedy] [--strategy lex|mea]\n\
-         \x20          [--table-size N] [--stats]",
+         \x20          [--table-size N] [--stats] [--adapt]",
     ),
 ];
 
@@ -179,7 +193,12 @@ impl Args {
         let mut it = raw.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if key == "quiet" || key == "stats" || key == "shrink" || key == "synthetic" {
+                if key == "quiet"
+                    || key == "stats"
+                    || key == "shrink"
+                    || key == "synthetic"
+                    || key == "adapt"
+                {
                     flags.push((key.to_owned(), "true".to_owned()));
                 } else {
                     let Some(v) = it.next() else {
@@ -299,6 +318,46 @@ fn greedy_partition(
     Partition::greedy(&bucket_activity(&trace), workers)
 }
 
+/// `--adapt`: profiled sequential pre-run → suggested transform plan →
+/// transformed network, plus the pre-run's bucket skew factor and a
+/// human-readable plan summary for the stderr report.
+fn adaptive_network(
+    program: &mpps::ops::Program,
+    wmes: &[Wme],
+    strategy: Strategy,
+    cycles: usize,
+    table_size: u64,
+) -> (ReteNetwork, f64, String) {
+    let network = ReteNetwork::compile(program).unwrap_or_else(|e| fail(e));
+    let matcher = ReteMatcher::with_metrics(
+        network,
+        EngineConfig {
+            table_size,
+            record_trace: false,
+        },
+        MetricsRegistry::new(),
+    );
+    let mut interp = Interpreter::with_matcher(program.clone(), strategy, matcher);
+    for w in wmes {
+        interp.add_wme(w.clone());
+    }
+    interp.run(cycles).unwrap_or_else(|e| fail(e));
+    let reg = interp.matcher_mut().profile();
+    let skew_before = bucket_skew_factor(&reg).unwrap_or(0.0);
+    let empty = std::collections::BTreeMap::new();
+    let activations = reg
+        .counter(kernel::metric::NODE_ACTIVATIONS)
+        .unwrap_or(&empty);
+    // `suggest_plan` wants the network the activations were measured on;
+    // recompiling is cheap next to the pre-run itself.
+    let net = ReteNetwork::compile(program).unwrap_or_else(|e| fail(e));
+    let plan = suggest_plan(&net, program, activations, wmes, &SuggestOptions::default());
+    let summary = plan.summary(program);
+    let transformed = ReteNetwork::compile_planned(program, CompileOptions::default(), &plan)
+        .unwrap_or_else(|e| fail(e));
+    (transformed, skew_before, summary)
+}
+
 /// The builtin characteristic sections usable as `mpps run` programs:
 /// program plus initial working memory, sized like the bench sections.
 fn builtin_workload(name: &str) -> Option<(Program, Vec<Wme>)> {
@@ -340,6 +399,7 @@ fn cmd_run(args: &Args) {
             "quiet",
             "stats",
             "profile",
+            "adapt",
         ],
     );
     let [program_path] = &args.positional[..] else {
@@ -365,7 +425,12 @@ fn cmd_run(args: &Args) {
     let strategy = strategy_of(args);
     let quiet = args.get("quiet").is_some();
     let profile_dir = args.get("profile");
-    match args.get("matcher").unwrap_or("rete") {
+    let adapt = args.get("adapt").is_some();
+    let matcher_name = args.get("matcher").unwrap_or("rete");
+    if adapt && matcher_name != "threaded" {
+        usage_error("--adapt requires --matcher threaded (it drives the online repartitioner)");
+    }
+    match matcher_name {
         "rete" => {
             if let Some(dir) = profile_dir {
                 let network = ReteNetwork::compile(&program).unwrap_or_else(|e| fail(e));
@@ -417,12 +482,26 @@ fn cmd_run(args: &Args) {
                 }
                 other => usage_error(format!("unknown partition {other:?} (rr|random|greedy)")),
             };
-            let network = ReteNetwork::compile(&program).unwrap_or_else(|e| fail(e));
-            let m = if profile_dir.is_some() {
+            // With --adapt the transformed network replaces the plain
+            // compile, and the matcher is always profiled: the skew report
+            // needs the per-bucket activation counters. Profiling never
+            // changes stdout, so quiet runs stay byte-identical.
+            let (network, skew_before, plan_summary) = if adapt {
+                let (net, skew, summary) =
+                    adaptive_network(&program, &wmes, strategy, cycles, table_size);
+                (net, skew, summary)
+            } else {
+                let net = ReteNetwork::compile(&program).unwrap_or_else(|e| fail(e));
+                (net, 0.0, String::new())
+            };
+            let mut m = if profile_dir.is_some() || adapt {
                 ThreadedMatcher::with_partition_profiled(network, partition)
             } else {
                 ThreadedMatcher::with_partition(network, partition)
             };
+            if adapt {
+                m.enable_adaptation(AdaptOptions::default());
+            }
             let mut interp = run_with(program, wmes, m, strategy, cycles, quiet);
             if args.get("stats").is_some() {
                 let stats = interp.matcher().stats();
@@ -434,6 +513,26 @@ fn cmd_run(args: &Args) {
                         w.tokens_processed, w.tokens_forwarded, w.messages_sent, w.max_queue_depth
                     );
                 }
+            }
+            if adapt {
+                let matcher = interp.matcher_mut();
+                let reg = matcher.profile_snapshot().unwrap_or_else(|e| fail(e));
+                let skew_after = bucket_skew_factor(&reg).unwrap_or(0.0);
+                let events = matcher.rebalance_events();
+                let moved: u64 = events.iter().map(|e| e.moved_buckets).sum();
+                eprintln!(
+                    "adapt: plan {}",
+                    if plan_summary.is_empty() {
+                        "(empty)"
+                    } else {
+                        &plan_summary
+                    }
+                );
+                eprintln!(
+                    "adapt: bucket skew {skew_before:.3} -> {skew_after:.3}; \
+                     {} rebalances moved {moved} buckets",
+                    events.len()
+                );
             }
             if let Some(dir) = profile_dir {
                 let matcher = interp.matcher_mut();
@@ -773,6 +872,7 @@ fn cmd_serve(args: &Args) {
             "strategy",
             "table-size",
             "stats",
+            "adapt",
         ],
     );
     if !args.positional.is_empty() {
@@ -816,6 +916,7 @@ fn cmd_serve(args: &Args) {
             table_size,
             record_trace: false,
         },
+        adapt: args.get("adapt").is_some(),
         ..defaults
     };
 

@@ -1,5 +1,6 @@
 //! Replay every checked-in reproducer in `tests/corpus/` through the
-//! differential oracle with all four matchers.
+//! differential oracle with every matcher configuration (the four base
+//! matchers plus the transformed-network and adaptive variants).
 //!
 //! Each corpus entry is a `<name>.ops` + `<name>.sched` pair that once
 //! exposed a real divergence (minimized by the fuzzer's shrinker or by
@@ -65,7 +66,7 @@ fn corpus_replays_without_divergence() {
             "{}: corpus program no longer validates",
             ops.display()
         );
-        if let Some(d) = run_case(&case, &MatcherKind::ALL) {
+        if let Some(d) = run_case(&case, &MatcherKind::EXTENDED) {
             panic!("{} regressed: {d}", ops.display());
         }
     }

@@ -25,7 +25,7 @@ fn differential_fuzz_smoke() {
     let cfg = GenConfig::default();
     for i in 0..iters {
         let seed = base_seed + i;
-        let (case, divergence) = fuzz_one(seed, &cfg, &MatcherKind::ALL, true);
+        let (case, divergence) = fuzz_one(seed, &cfg, &MatcherKind::EXTENDED, true);
         if let Some(d) = divergence {
             let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("target/fuzz-repro");
             let (ops, sched) =
