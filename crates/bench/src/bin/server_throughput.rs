@@ -5,6 +5,9 @@
 //! server_throughput --out BENCH_server.json  # measure + write manifest
 //! server_throughput --check FILE             # validate a manifest's schema
 //! server_throughput --tiers 1000,10000       # override the session tiers
+//! server_throughput --resident-budget 65536  # cap resident sessions/worker
+//! server_throughput --evict-dir DIR          # where evicted snapshots spill
+//! server_throughput --migrate                # greedy rebalance+migrate per round
 //! ```
 //!
 //! Each tier admits N concurrent sessions of the synthetic ticket-triage
@@ -55,6 +58,10 @@ fn measure(config: ServerConfig, spec: &SyntheticSpec) -> ServerTierRecord {
         p50_cycle_ns: report.p50_cycle_ns,
         p95_cycle_ns: report.p95_cycle_ns,
         p95_batch_ns: report.p95_batch_ns,
+        resident_budget: report.resident_budget.map(|b| b as u64),
+        evictions: report.evictions,
+        faultins: report.faultins,
+        migrations: report.migrations,
     }
 }
 
@@ -65,6 +72,9 @@ fn main() {
     let mut rounds = 2u64;
     let mut wmes = 2usize;
     let mut workers = ServerConfig::default().workers;
+    let mut resident_budget: Option<usize> = None;
+    let mut evict_dir: Option<std::path::PathBuf> = None;
+    let mut migrate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -119,6 +129,27 @@ fn main() {
                     .parse()
                     .expect("--workers: not a number");
             }
+            "--resident-budget" => {
+                i += 1;
+                resident_budget = Some(
+                    args.get(i)
+                        .expect("--resident-budget needs a count")
+                        .parse()
+                        .expect("--resident-budget: not a number"),
+                );
+            }
+            "--evict-dir" => {
+                i += 1;
+                evict_dir = Some(
+                    args.get(i)
+                        .expect("--evict-dir needs a path")
+                        .clone()
+                        .into(),
+                );
+            }
+            "--migrate" => {
+                migrate = true;
+            }
             other => {
                 eprintln!("server_throughput: unknown argument {other}");
                 std::process::exit(2);
@@ -129,6 +160,8 @@ fn main() {
 
     let config = ServerConfig {
         workers,
+        resident_budget,
+        evict_dir,
         ..ServerConfig::default()
     };
     let mut records = Vec::with_capacity(tiers.len());
@@ -138,8 +171,9 @@ fn main() {
             sessions,
             rounds,
             wmes_per_round: wmes,
+            migrate,
         };
-        let r = measure(config, &spec);
+        let r = measure(config.clone(), &spec);
         println!(
             "{:>8} {:>12.0} {:>12.0} {:>9}ns {:>9}ns {:>11} {:>7.2}s",
             r.sessions,
@@ -150,6 +184,12 @@ fn main() {
             r.overloads,
             r.elapsed_s
         );
+        if r.evictions > 0 || r.migrations > 0 {
+            eprintln!(
+                "  tier {}: {} evictions, {} fault-ins, {} migrations (budget {:?})",
+                r.sessions, r.evictions, r.faultins, r.migrations, r.resident_budget
+            );
+        }
         if r.failures > 0 {
             eprintln!(
                 "server_throughput: tier {} had {} failed requests",

@@ -394,6 +394,15 @@ pub struct ServerTierRecord {
     pub p95_cycle_ns: u64,
     /// p95 of per-batch latency on the workers, nanoseconds.
     pub p95_batch_ns: u64,
+    /// Per-worker resident-session budget the tier ran under (`None` =
+    /// everything stayed in memory; rendered as JSON `null`).
+    pub resident_budget: Option<u64>,
+    /// Sessions snapshotted to disk by the eviction sweep.
+    pub evictions: u64,
+    /// Evicted sessions transparently faulted back in.
+    pub faultins: u64,
+    /// Sessions live-migrated between workers.
+    pub migrations: u64,
 }
 
 /// Identity and load-shape header of a server manifest.
@@ -423,7 +432,8 @@ pub fn render_server_manifest(info: &ServerManifestInfo, tiers: &[ServerTierReco
                 "    {{\"sessions\": {}, \"replies\": {}, \"failures\": {}, \"overloads\": {}, \
                  \"wme_changes\": {}, \"changes_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}, \
                  \"elapsed_s\": {:.3}, \"p50_cycle_ns\": {}, \"p95_cycle_ns\": {}, \
-                 \"p95_batch_ns\": {}}}",
+                 \"p95_batch_ns\": {}, \"resident_budget\": {}, \"evictions\": {}, \
+                 \"faultins\": {}, \"migrations\": {}}}",
                 t.sessions,
                 t.replies,
                 t.failures,
@@ -434,7 +444,12 @@ pub fn render_server_manifest(info: &ServerManifestInfo, tiers: &[ServerTierReco
                 t.elapsed_s,
                 t.p50_cycle_ns,
                 t.p95_cycle_ns,
-                t.p95_batch_ns
+                t.p95_batch_ns,
+                t.resident_budget
+                    .map_or("null".to_owned(), |b| b.to_string()),
+                t.evictions,
+                t.faultins,
+                t.migrations
             )
         })
         .collect::<Vec<_>>()
@@ -512,9 +527,30 @@ pub fn check_server_manifest(path: &Path) -> Result<String, String> {
                 "wme_changes",
                 "p50_cycle_ns",
                 "p95_cycle_ns",
+                "evictions",
+                "faultins",
+                "migrations",
             ],
             &tctx,
         )?;
+        // `resident_budget` is null (everything resident) or a positive
+        // per-worker session count.
+        match tier.get("resident_budget") {
+            Some(Value::Null) => {}
+            Some(v) => match v.as_u64() {
+                Some(0) => return Err(format!("{tctx}: resident_budget must be at least 1")),
+                Some(_) => {}
+                None => return Err(format!("{tctx}: resident_budget must be null or integer")),
+            },
+            None => return Err(format!("{tctx}: missing \"resident_budget\"")),
+        }
+        let evictions = require_u64(tier, "evictions", &tctx)?;
+        let faultins = require_u64(tier, "faultins", &tctx)?;
+        if faultins > 0 && evictions == 0 {
+            return Err(format!(
+                "{tctx}: {faultins} fault-ins but no evictions — nothing was on disk"
+            ));
+        }
         let sessions = require_u64(tier, "sessions", &tctx)?;
         if sessions <= prev_sessions {
             return Err(format!("{tctx}: tiers must grow (sessions {sessions})"));
@@ -684,6 +720,10 @@ mod tests {
                 p50_cycle_ns: 900,
                 p95_cycle_ns: 2100,
                 p95_batch_ns: 14_000,
+                resident_budget: None,
+                evictions: 0,
+                faultins: 0,
+                migrations: 0,
             },
             ServerTierRecord {
                 sessions: 10_000,
@@ -697,6 +737,10 @@ mod tests {
                 p50_cycle_ns: 950,
                 p95_cycle_ns: 2500,
                 p95_batch_ns: 16_000,
+                resident_budget: Some(2048),
+                evictions: 7936,
+                faultins: 5120,
+                migrations: 64,
             },
         ];
         render_server_manifest(&info, &tiers)
@@ -730,6 +774,11 @@ mod tests {
                 "below p50",
             ),
             (("\"sessions\": 10000", "\"sessions\": 1000"), "must grow"),
+            (
+                ("\"resident_budget\": 2048", "\"resident_budget\": 0"),
+                "resident_budget",
+            ),
+            (("\"evictions\": 7936", "\"evictions\": 0"), "no evictions"),
         ] {
             let text = sample_server_manifest().replacen(mangle.0, mangle.1, 1);
             std::fs::write(&path, text).unwrap();

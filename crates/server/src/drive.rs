@@ -23,6 +23,10 @@ pub struct SyntheticSpec {
     pub rounds: u64,
     /// Request WMEs per round per session.
     pub wmes_per_round: usize,
+    /// Run a greedy [`Server::rebalance`] after every round, live-migrating
+    /// sessions whose shard moved (exercises the migration path under
+    /// load).
+    pub migrate: bool,
 }
 
 impl Default for SyntheticSpec {
@@ -31,6 +35,7 @@ impl Default for SyntheticSpec {
             sessions: 1000,
             rounds: 3,
             wmes_per_round: 4,
+            migrate: false,
         }
     }
 }
@@ -54,6 +59,17 @@ pub struct SyntheticReport {
     pub fired: u64,
     /// Submissions rejected with `Overloaded` (each was retried).
     pub overloads: u64,
+    /// Sessions snapshotted to disk by the resident-budget sweep (plus
+    /// any forced evictions).
+    pub evictions: u64,
+    /// Evicted sessions transparently faulted back in on their next
+    /// request.
+    pub faultins: u64,
+    /// Sessions live-migrated between workers by rebalancing.
+    pub migrations: u64,
+    /// The per-worker resident budget the run was under (`None` = all
+    /// resident).
+    pub resident_budget: Option<usize>,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
     /// Sustained WME changes per second over the run.
@@ -83,8 +99,9 @@ pub fn run_synthetic(
     config: ServerConfig,
     spec: &SyntheticSpec,
 ) -> Result<SyntheticReport, ServerError> {
-    let mut server =
-        Server::new(workload::program(), config).map_err(|e| ServerError::Engine(e.to_string()))?;
+    let worker_count = config.workers;
+    let resident_budget = config.resident_budget;
+    let mut server = Server::new(workload::program(), config)?;
     let started = Instant::now();
     let mut tally = Tally::default();
 
@@ -117,6 +134,12 @@ pub fn run_synthetic(
                 }
             }
         }
+        if spec.migrate {
+            // Quiesce, then live-migrate sessions onto the freshly packed
+            // greedy partition — the rebalancer's other half.
+            server.drain(REPLY_TIMEOUT, |reply| tally.absorb(reply))?;
+            server.rebalance(REPLY_TIMEOUT)?;
+        }
     }
 
     server.drain(REPLY_TIMEOUT, |reply| tally.absorb(reply))?;
@@ -132,7 +155,7 @@ pub fn run_synthetic(
             .unwrap_or_default()
     };
     let per_worker = |name: &str| {
-        let mut v = vec![0u64; config.workers.max(1)];
+        let mut v = vec![0u64; worker_count];
         if let Some(series) = metrics.counter(name).or_else(|| metrics.gauge(name)) {
             for (&k, &n) in series {
                 if let Some(slot) = v.get_mut(k as usize) {
@@ -151,6 +174,10 @@ pub fn run_synthetic(
         cycles: metrics.counter_total("serve.cycles"),
         fired: metrics.counter_total("serve.fired"),
         overloads,
+        evictions: metrics.counter_total("serve.evictions"),
+        faultins: metrics.counter_total("serve.faultins"),
+        migrations: metrics.counter_total("serve.migrations"),
+        resident_budget,
         elapsed,
         changes_per_sec: metrics.counter_total("serve.wme_changes") as f64 / secs,
         cycles_per_sec: metrics.counter_total("serve.cycles") as f64 / secs,
@@ -204,8 +231,7 @@ pub fn run_script(
     script: &str,
     config: ServerConfig,
 ) -> Result<ScriptReport, ServerError> {
-    let mut server =
-        Server::new(program, config).map_err(|e| ServerError::Engine(e.to_string()))?;
+    let mut server = Server::new(program, config)?;
     let mut names: HashMap<String, SessionId> = HashMap::new();
     let mut snapshots: HashMap<String, Vec<u8>> = HashMap::new();
     let mut log = Vec::new();

@@ -38,11 +38,14 @@
 pub mod drive;
 pub mod server;
 pub mod session;
+pub mod slab;
 pub mod snapshot;
+mod store;
 
 pub use drive::{run_script, run_synthetic, ScriptReport, SyntheticReport, SyntheticSpec};
-pub use server::{Reply, RequestId, Server, ServerConfig, Sharding};
+pub use server::{RebalanceReport, Reply, RequestId, Server, ServerConfig, Sharding};
 pub use session::{Session, SessionId};
+pub use slab::{RouteError, RouteSlab};
 pub use snapshot::{program_fingerprint, SnapshotError, SNAPSHOT_VERSION};
 
 use std::fmt;
@@ -61,8 +64,24 @@ pub enum ServerError {
         capacity: usize,
     },
     /// The session id is not live on this server (never created, or
-    /// already destroyed).
+    /// already destroyed and its slot not yet reused).
     UnknownSession(SessionId),
+    /// The session id is from a previous generation of its slab slot —
+    /// the handle was kept past `destroy` and the slot has moved on.
+    StaleSession(SessionId),
+    /// The server was constructed with a degenerate configuration
+    /// (zero workers, shards or queue capacity).
+    Config(String),
+    /// The per-shard live-session ledger disagrees with a destroy — an
+    /// internal invariant breach that would silently skew greedy
+    /// rebalancing if ignored (this used to be a `debug_assert!` that
+    /// compiled out in release builds).
+    ShardAccounting {
+        /// The session whose destroy exposed the drift.
+        session: SessionId,
+        /// The shard whose count was already zero.
+        shard: usize,
+    },
     /// A worker thread has shut down or disconnected.
     Shutdown,
     /// A snapshot failed to decode (see [`SnapshotError`]).
@@ -89,6 +108,15 @@ impl fmt::Display for ServerError {
                 "worker {worker} queue full (capacity {capacity}): submission for {session} rejected"
             ),
             ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::StaleSession(id) => write!(
+                f,
+                "stale session handle {id}: the session was destroyed and its slot reused"
+            ),
+            ServerError::Config(msg) => write!(f, "config: {msg}"),
+            ServerError::ShardAccounting { session, shard } => write!(
+                f,
+                "shard accounting drift: destroying {session} but shard {shard} counts no sessions"
+            ),
             ServerError::Shutdown => write!(f, "server worker has shut down"),
             ServerError::Snapshot(e) => write!(f, "snapshot: {e}"),
             ServerError::Timeout => write!(f, "timed out waiting for a reply"),

@@ -7,13 +7,44 @@ use mpps_rete::{EngineConfig, ReteMatcher, ReteNetwork};
 use std::fmt;
 use std::sync::Arc;
 
-/// Server-assigned session identifier.
+/// Server-assigned session identifier: `generation << 32 | slot`.
+///
+/// The slot indexes the server's route slab (and the owning worker's
+/// session table) directly; the generation is bumped every time the slot
+/// is freed, so a handle held past `destroy` fails with a typed
+/// [`crate::ServerError::StaleSession`] instead of silently addressing
+/// the slot's next occupant. Ids from a fresh server are generation 0,
+/// i.e. the plain sequence `s0, s1, …`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SessionId(pub u64);
 
+impl SessionId {
+    /// Pack a slab slot and its generation into an id.
+    pub fn pack(slot: u32, generation: u32) -> SessionId {
+        SessionId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    /// The slab slot this id addresses.
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The slot generation this id was issued under.
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "s{}", self.0)
+        // First-generation ids read as the familiar dense sequence; a
+        // recycled slot shows its generation so two occupants of slot N
+        // never print alike.
+        if self.generation() == 0 {
+            write!(f, "s{}", self.slot())
+        } else {
+            write!(f, "s{}g{}", self.slot(), self.generation())
+        }
     }
 }
 
@@ -79,8 +110,10 @@ impl Session {
         Ok((result, changes))
     }
 
-    /// Serialize this session's state to versioned snapshot bytes.
-    pub fn snapshot(&self) -> Vec<u8> {
+    /// Serialize this session's state to versioned snapshot bytes. Fails
+    /// with [`SnapshotError::TooLarge`] when a collection exceeds its
+    /// length field instead of truncating it.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
         snapshot::encode(&self.interp.export_state(), self.fingerprint)
     }
 

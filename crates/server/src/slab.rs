@@ -1,0 +1,218 @@
+//! Slab-allocated session routing: dense `SessionId -> worker` lookup
+//! with generation-checked ids.
+//!
+//! At 1M sessions the admission-path hash map (`HashMap<u64, usize>`)
+//! costs a probe chain and ~48 bytes per entry; the slab replaces it with
+//! one `Vec` indexed by the id's slot — O(1) lookup, 8 bytes per slot,
+//! and free slots recycled through an intrusive free list (the same
+//! fixed-footprint shape the QCDSP design imposes per node).
+//!
+//! A [`crate::SessionId`] packs `generation << 32 | slot`. Destroying a
+//! session bumps the slot's generation, so a handle kept past destroy is
+//! detected *by type* on its next use ([`RouteError::Stale`]) instead of
+//! silently addressing whichever session reused the slot. Fresh servers
+//! hand out generation-0 ids, so slot 0 is still session `s0` — the
+//! wire-visible id sequence only diverges once slots are actually reused.
+
+use crate::session::SessionId;
+
+/// Why a slab lookup failed — mapped to typed [`crate::ServerError`]s by
+/// the server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteError {
+    /// The slot was reused (or freed) since this id was issued: the
+    /// handle is from a previous generation.
+    Stale(SessionId),
+    /// The id was never issued by this slab (slot out of range or a
+    /// generation from the future), or named a destroyed session whose
+    /// slot has not been reused.
+    Unknown(SessionId),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RouteSlot {
+    /// Generation the *current* (or next, when vacant) occupant carries.
+    generation: u32,
+    /// Worker the live occupant is pinned to.
+    worker: u32,
+    live: bool,
+}
+
+/// The dense routing table: slot-indexed worker ownership plus a free
+/// list of reusable slots.
+#[derive(Clone, Debug, Default)]
+pub struct RouteSlab {
+    slots: Vec<RouteSlot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl RouteSlab {
+    /// An empty slab.
+    pub fn new() -> RouteSlab {
+        RouteSlab::default()
+    }
+
+    /// Live sessions.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Allocated slot capacity (live + reusable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The id the next [`RouteSlab::insert`] will return. Admission needs
+    /// the id *before* committing (the shard hash decides the worker, and
+    /// a saturated worker rejects without consuming the id), so peek and
+    /// insert are split; peek is stable until the next insert or free.
+    pub fn peek_next(&self) -> SessionId {
+        match self.free.last() {
+            Some(&slot) => SessionId::pack(slot, self.slots[slot as usize].generation),
+            None => SessionId::pack(self.slots.len() as u32, 0),
+        }
+    }
+
+    /// Allocate the peeked id, pinned to `worker`.
+    pub fn insert(&mut self, worker: usize) -> SessionId {
+        let id = self.peek_next();
+        let slot = id.slot() as usize;
+        if slot == self.slots.len() {
+            self.slots.push(RouteSlot {
+                generation: 0,
+                worker: worker as u32,
+                live: true,
+            });
+        } else {
+            self.free.pop();
+            let entry = &mut self.slots[slot];
+            debug_assert!(!entry.live, "free list pointed at a live slot");
+            entry.worker = worker as u32;
+            entry.live = true;
+        }
+        self.live += 1;
+        id
+    }
+
+    /// The worker `id` is pinned to.
+    pub fn get(&self, id: SessionId) -> Result<usize, RouteError> {
+        let entry = self
+            .slots
+            .get(id.slot() as usize)
+            .ok_or(RouteError::Unknown(id))?;
+        if entry.generation != id.generation() {
+            return if id.generation() < entry.generation {
+                Err(RouteError::Stale(id))
+            } else {
+                Err(RouteError::Unknown(id))
+            };
+        }
+        if !entry.live {
+            return Err(RouteError::Unknown(id));
+        }
+        Ok(entry.worker as usize)
+    }
+
+    /// Repin a live session to a different worker (migration).
+    pub fn set_worker(&mut self, id: SessionId, worker: usize) -> Result<(), RouteError> {
+        self.get(id)?;
+        self.slots[id.slot() as usize].worker = worker as u32;
+        Ok(())
+    }
+
+    /// Free a live session's slot, bumping its generation so the freed id
+    /// is detectably stale from now on.
+    pub fn remove(&mut self, id: SessionId) -> Result<usize, RouteError> {
+        let worker = self.get(id)?;
+        let entry = &mut self.slots[id.slot() as usize];
+        entry.live = false;
+        entry.generation = entry.generation.wrapping_add(1);
+        self.free.push(id.slot());
+        self.live -= 1;
+        Ok(worker)
+    }
+
+    /// Iterate live sessions as `(id, worker)` in slot order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (SessionId, usize)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.live)
+            .map(|(slot, e)| {
+                (
+                    SessionId::pack(slot as u32, e.generation),
+                    e.worker as usize,
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_dense_and_generation_zero() {
+        let mut slab = RouteSlab::new();
+        for i in 0..4u64 {
+            assert_eq!(slab.peek_next(), SessionId(i));
+            let id = slab.insert(i as usize % 2);
+            assert_eq!(id, SessionId(i), "fresh ids must match the legacy sequence");
+            assert_eq!(id.generation(), 0);
+        }
+        assert_eq!(slab.len(), 4);
+        assert_eq!(slab.get(SessionId(2)), Ok(0));
+    }
+
+    #[test]
+    fn freed_slots_are_reused_with_a_bumped_generation() {
+        let mut slab = RouteSlab::new();
+        let a = slab.insert(0);
+        let b = slab.insert(1);
+        assert_eq!(slab.remove(a), Ok(0));
+        let c = slab.insert(2);
+        assert_eq!(c.slot(), a.slot(), "slot must be recycled");
+        assert_eq!(c.generation(), 1);
+        assert_ne!(c, a);
+        // The stale handle is a typed error, and the new occupant is not
+        // confused with it.
+        assert_eq!(slab.get(a), Err(RouteError::Stale(a)));
+        assert_eq!(slab.get(c), Ok(2));
+        assert_eq!(slab.get(b), Ok(1));
+        assert_eq!(slab.capacity(), 2);
+    }
+
+    #[test]
+    fn never_issued_ids_are_unknown_not_stale() {
+        let mut slab = RouteSlab::new();
+        let a = slab.insert(0);
+        assert_eq!(
+            slab.get(SessionId::pack(9, 0)),
+            Err(RouteError::Unknown(SessionId::pack(9, 0)))
+        );
+        let future = SessionId::pack(a.slot(), 7);
+        assert_eq!(slab.get(future), Err(RouteError::Unknown(future)));
+        // Freed but not reused: Stale (the generation moved past it).
+        slab.remove(a).unwrap();
+        assert_eq!(slab.get(a), Err(RouteError::Stale(a)));
+    }
+
+    #[test]
+    fn iter_live_tracks_membership_and_migration() {
+        let mut slab = RouteSlab::new();
+        let a = slab.insert(0);
+        let b = slab.insert(1);
+        let c = slab.insert(0);
+        slab.remove(b).unwrap();
+        slab.set_worker(c, 3).unwrap();
+        let live: Vec<_> = slab.iter_live().collect();
+        assert_eq!(live, vec![(a, 0), (c, 3)]);
+        assert_eq!(slab.set_worker(b, 0), Err(RouteError::Stale(b)));
+    }
+}

@@ -68,6 +68,18 @@ pub enum SnapshotError {
     },
     /// A field held an impossible value (bad tag, invalid UTF-8, …).
     Corrupt(&'static str),
+    /// The state cannot be represented in the format: a length exceeds
+    /// the width its field is encoded with. Encoding would have silently
+    /// truncated the count and produced a decodable-but-wrong snapshot,
+    /// so the encoder refuses instead.
+    TooLarge {
+        /// Which field overflowed (`"fired-key ids"`, `"working memory"`, …).
+        what: &'static str,
+        /// The length that did not fit.
+        len: usize,
+        /// The largest length the field can carry.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -87,6 +99,11 @@ impl fmt::Display for SnapshotError {
                  (expected fingerprint {expected:#018x}, found {found:#018x})"
             ),
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::TooLarge { what, len, max } => write!(
+                f,
+                "state too large to snapshot: {what} has {len} entries \
+                 (format limit {max})"
+            ),
         }
     }
 }
@@ -111,8 +128,34 @@ pub fn program_fingerprint(program: &Program) -> u64 {
     hash
 }
 
-/// Serialize `state` to snapshot bytes under `fingerprint`.
-pub fn encode(state: &InterpreterState, fingerprint: u64) -> Vec<u8> {
+/// Checked length prefix: `len` must fit the field's encoded width, or
+/// the whole encode fails with [`SnapshotError::TooLarge`] — a snapshot
+/// with a truncated count would decode cleanly into the *wrong* state.
+fn put_len_u32(out: &mut Vec<u8>, len: usize, what: &'static str) -> Result<(), SnapshotError> {
+    let v: u32 = len.try_into().map_err(|_| SnapshotError::TooLarge {
+        what,
+        len,
+        max: u32::MAX as usize,
+    })?;
+    put_u32(out, v);
+    Ok(())
+}
+
+fn put_len_u16(out: &mut Vec<u8>, len: usize, what: &'static str) -> Result<(), SnapshotError> {
+    let v: u16 = len.try_into().map_err(|_| SnapshotError::TooLarge {
+        what,
+        len,
+        max: u16::MAX as usize,
+    })?;
+    put_u16(out, v);
+    Ok(())
+}
+
+/// Serialize `state` to snapshot bytes under `fingerprint`. Fails with
+/// [`SnapshotError::TooLarge`] when any collection exceeds the width of
+/// its length field instead of writing a truncated (decodable but wrong)
+/// snapshot.
+pub fn encode(state: &InterpreterState, fingerprint: u64) -> Result<Vec<u8>, SnapshotError> {
     let mut out = Vec::with_capacity(64 + state.wm.len() * 32);
     out.extend_from_slice(&SNAPSHOT_MAGIC);
     put_u16(&mut out, SNAPSHOT_VERSION);
@@ -124,36 +167,36 @@ pub fn encode(state: &InterpreterState, fingerprint: u64) -> Vec<u8> {
     out.push(u8::from(state.halted));
     put_u64(&mut out, state.cycle as u64);
     put_u64(&mut out, state.next_id);
-    put_u32(&mut out, state.wm.len() as u32);
+    put_len_u32(&mut out, state.wm.len(), "working memory")?;
     for (id, wme) in &state.wm {
         put_u64(&mut out, id.0);
-        put_wme(&mut out, wme);
+        put_wme(&mut out, wme)?;
     }
-    put_u32(&mut out, state.fired_keys.len() as u32);
+    put_len_u32(&mut out, state.fired_keys.len(), "refraction memory")?;
     for (prod, ids) in &state.fired_keys {
         put_u32(&mut out, prod.0);
-        put_u16(&mut out, ids.len() as u16);
+        put_len_u16(&mut out, ids.len(), "fired-key ids")?;
         for id in ids {
             put_u64(&mut out, id.0);
         }
     }
-    put_u32(&mut out, state.pending.len() as u32);
+    put_len_u32(&mut out, state.pending.len(), "pending changes")?;
     for change in &state.pending {
         out.push(match change.sign {
             Sign::Plus => 0,
             Sign::Minus => 1,
         });
         put_u64(&mut out, change.id.0);
-        put_wme(&mut out, &change.wme);
+        put_wme(&mut out, &change.wme)?;
     }
-    put_u32(&mut out, state.output.len() as u32);
+    put_len_u32(&mut out, state.output.len(), "output rows")?;
     for row in &state.output {
-        put_u16(&mut out, row.len() as u16);
+        put_len_u16(&mut out, row.len(), "output row values")?;
         for value in row {
-            put_value(&mut out, *value);
+            put_value(&mut out, *value)?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Decode snapshot bytes, verifying magic, version and program
@@ -255,13 +298,13 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize, "symbol too long for snapshot");
-    put_u16(out, s.len() as u16);
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), SnapshotError> {
+    put_len_u16(out, s.len(), "symbol bytes")?;
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
-fn put_value(out: &mut Vec<u8>, v: Value) {
+fn put_value(out: &mut Vec<u8>, v: Value) -> Result<(), SnapshotError> {
     match v {
         Value::Int(i) => {
             out.push(0);
@@ -269,19 +312,21 @@ fn put_value(out: &mut Vec<u8>, v: Value) {
         }
         Value::Sym(s) => {
             out.push(1);
-            put_str(out, s.as_str());
+            put_str(out, s.as_str())?;
         }
     }
+    Ok(())
 }
 
-fn put_wme(out: &mut Vec<u8>, wme: &Wme) {
-    put_str(out, wme.class().as_str());
+fn put_wme(out: &mut Vec<u8>, wme: &Wme) -> Result<(), SnapshotError> {
+    put_str(out, wme.class().as_str())?;
     let attrs: Vec<_> = wme.attrs().collect();
-    put_u16(out, attrs.len() as u16);
+    put_len_u16(out, attrs.len(), "WME attributes")?;
     for (attr, value) in attrs {
-        put_str(out, attr.as_str());
-        put_value(out, value);
+        put_str(out, attr.as_str())?;
+        put_value(out, value)?;
     }
+    Ok(())
 }
 
 struct Reader<'a> {
@@ -364,14 +409,56 @@ mod tests {
     #[test]
     fn round_trips_exactly() {
         let s = state();
-        let bytes = encode(&s, 42);
+        let bytes = encode(&s, 42).unwrap();
         assert_eq!(decode(&bytes, 42).unwrap(), s);
+    }
+
+    /// Regression: `ids.len() as u16` (and the `as u32` casts) silently
+    /// truncated oversized collections — a refraction row of 65536 ids
+    /// encoded as 0 ids followed by 65536 stray words, which decoded
+    /// cleanly into the wrong state (or noise). The boundary must be
+    /// exact: 65535 round-trips, 65536 is a typed refusal.
+    #[test]
+    fn refuses_fired_key_rows_past_the_u16_boundary() {
+        let mut s = state();
+        let at_limit: Vec<WmeId> = (0..u16::MAX as u64).map(WmeId).collect();
+        s.fired_keys = vec![(ProductionId(0), at_limit)];
+        let bytes = encode(&s, 42).expect("65535 ids fit the u16 length field");
+        assert_eq!(decode(&bytes, 42).unwrap(), s);
+
+        let over: Vec<WmeId> = (0..=u16::MAX as u64).map(WmeId).collect();
+        s.fired_keys = vec![(ProductionId(0), over)];
+        assert_eq!(
+            encode(&s, 42),
+            Err(SnapshotError::TooLarge {
+                what: "fired-key ids",
+                len: u16::MAX as usize + 1,
+                max: u16::MAX as usize,
+            })
+        );
+    }
+
+    /// The same boundary holds for `u16`-counted output rows.
+    #[test]
+    fn refuses_output_rows_past_the_u16_boundary() {
+        let mut s = state();
+        s.output = vec![vec![Value::Int(7); u16::MAX as usize]];
+        let bytes = encode(&s, 42).expect("65535 values fit");
+        assert_eq!(decode(&bytes, 42).unwrap(), s);
+        s.output = vec![vec![Value::Int(7); u16::MAX as usize + 1]];
+        assert!(matches!(
+            encode(&s, 42),
+            Err(SnapshotError::TooLarge {
+                what: "output row values",
+                ..
+            })
+        ));
     }
 
     #[test]
     fn rejects_wrong_fingerprint_magic_version_and_truncation() {
         let s = state();
-        let bytes = encode(&s, 42);
+        let bytes = encode(&s, 42).unwrap();
         assert!(matches!(
             decode(&bytes, 43),
             Err(SnapshotError::ProgramMismatch {

@@ -109,9 +109,12 @@ fn destroyed_sessions_reject_immediately() {
         server.wait_for(request, TIMEOUT).unwrap(),
         Reply::Destroyed { .. }
     ));
+    // The freed slot's generation moved past this handle: the rejection
+    // is typed *stale*, distinguishing "you held this too long" from
+    // "never heard of it".
     assert_eq!(
         server.submit(id, serve::round(id.0, 0, 1)),
-        Err(ServerError::UnknownSession(id))
+        Err(ServerError::StaleSession(id))
     );
     assert_eq!(server.sessions(), 0);
 }

@@ -153,6 +153,7 @@ fn synthetic_driver_reports_sane_numbers() {
         sessions: 40,
         rounds: 2,
         wmes_per_round: 2,
+        migrate: false,
     };
     let report = run_synthetic(config(2, Sharding::RoundRobin), &spec).unwrap();
     assert_eq!(report.sessions, 40);
@@ -224,10 +225,26 @@ fn greedy_admission_counts_survive_create_destroy_churn() {
         assert!(
             matches!(
                 server.submit(phantom, Vec::new()),
-                Err(ServerError::UnknownSession(_))
+                Err(ServerError::StaleSession(_) | ServerError::UnknownSession(_))
             ),
             "round {round}: failed restore left a phantom route"
         );
+        // ...a *successful* restore joins the live set and must be
+        // counted against `shard_of(session)` like any admission...
+        if round % 3 == 2 {
+            let source = *live.last().expect("live set is non-empty");
+            let snap_req = server.snapshot(source).unwrap();
+            let bytes = match server.wait_for(snap_req, TIMEOUT).unwrap() {
+                Reply::SnapshotBytes { bytes, .. } => bytes,
+                other => panic!("round {round}: snapshot answered by {other:?}"),
+            };
+            let (clone, req) = server.restore(bytes).unwrap();
+            assert!(matches!(
+                server.wait_for(req, TIMEOUT).unwrap(),
+                Reply::Ready { .. }
+            ));
+            live.push(clone);
+        }
         // ...and every other round the oldest live session is destroyed.
         if round % 2 == 1 {
             let victim = live.remove(0);

@@ -44,7 +44,7 @@ fn roundtrip(
     network: &Arc<ReteNetwork>,
 ) -> Interpreter<ReteMatcher> {
     let fp = program_fingerprint(program);
-    let bytes = encode(&subject.export_state(), fp);
+    let bytes = encode(&subject.export_state(), fp).expect("snapshot encodes");
     let state = decode(&bytes, fp).expect("snapshot decodes");
     Interpreter::with_shared_state(
         Arc::clone(program),

@@ -76,6 +76,19 @@ pub fn cycle_budget(count: usize) -> usize {
     CYCLES_PER_REQUEST * count + 1
 }
 
+/// A minimal single-request probe: one `request` WME whose id is taken
+/// from a private high range so it never collides with [`round`] ids.
+/// Used to *touch* a session — e.g. forcing an evicted one to fault back
+/// in — without perturbing the per-round accounting the benches assert.
+pub fn touch(session: u64, seq: u64) -> Vec<Wme> {
+    let id = (1 << 40) | seq;
+    let kind = KINDS[((session + seq) % KINDS.len() as u64) as usize];
+    vec![Wme::new(
+        "request",
+        &[("id", (id as i64).into()), ("kind", kind.into())],
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,7 @@
 //!           [--sessions N] [--rounds N] [--wmes N] [--workers N] [--queue N]
 //!           [--shards N] [--sharding rr|random[:SEED]|greedy] [--strategy lex|mea]
 //!           [--table-size N] [--stats] [--adapt]
+//!           [--resident-budget N] [--evict-dir DIR] [--migrate]
 //! ```
 //!
 //! The `run` program argument is either a `.ops` file or one of the
@@ -140,7 +141,8 @@ const USAGE_LINES: &[(&str, &str)] = &[
          \x20          [--sessions N] [--rounds N] [--wmes N]\n\
          \x20          [--workers N] [--queue N] [--shards N]\n\
          \x20          [--sharding rr|random[:SEED]|greedy] [--strategy lex|mea]\n\
-         \x20          [--table-size N] [--stats] [--adapt]",
+         \x20          [--table-size N] [--stats] [--adapt]\n\
+         \x20          [--resident-budget N] [--evict-dir DIR] [--migrate]",
     ),
 ];
 
@@ -198,6 +200,7 @@ impl Args {
                     || key == "shrink"
                     || key == "synthetic"
                     || key == "adapt"
+                    || key == "migrate"
                 {
                     flags.push((key.to_owned(), "true".to_owned()));
                 } else {
@@ -873,6 +876,9 @@ fn cmd_serve(args: &Args) {
             "table-size",
             "stats",
             "adapt",
+            "resident-budget",
+            "evict-dir",
+            "migrate",
         ],
     );
     if !args.positional.is_empty() {
@@ -906,6 +912,22 @@ fn cmd_serve(args: &Args) {
             usage_error(format!("unknown sharding {v:?} (rr|random[:SEED]|greedy)"))
         }),
     };
+    let resident_budget = match args.get("resident-budget") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => usage_error("--resident-budget must be at least 1"),
+            Ok(n) => Some(n),
+            Err(_) => usage_error(format!("--resident-budget: not a number: {v:?}")),
+        },
+    };
+    let evict_dir = args.get("evict-dir").map(std::path::PathBuf::from);
+    if evict_dir.is_some() && resident_budget.is_none() {
+        usage_error("--evict-dir needs --resident-budget (nothing is evicted without one)");
+    }
+    let migrate = args.get("migrate").is_some();
+    if migrate && script.is_some() {
+        usage_error("--migrate only applies to --synthetic (scripts are deterministic)");
+    }
     let config = ServerConfig {
         workers,
         queue_capacity,
@@ -917,6 +939,8 @@ fn cmd_serve(args: &Args) {
             record_trace: false,
         },
         adapt: args.get("adapt").is_some(),
+        resident_budget,
+        evict_dir,
         ..defaults
     };
 
@@ -936,6 +960,7 @@ fn cmd_serve(args: &Args) {
         sessions: args.get_parse("sessions", 1000usize),
         rounds: args.get_parse("rounds", 3u64),
         wmes_per_round: args.get_parse("wmes", 4usize),
+        migrate,
     };
     if spec.sessions == 0 {
         usage_error("--sessions must be at least 1");
@@ -964,6 +989,17 @@ fn cmd_serve(args: &Args) {
         "  cycle latency p50 {} ns, p95 {} ns; batch p95 {} ns",
         report.p50_cycle_ns, report.p95_cycle_ns, report.p95_batch_ns
     );
+    // Only emitted when eviction or migration is on, so the default
+    // output stays byte-stable for existing smoke tests.
+    if report.resident_budget.is_some() || spec.migrate {
+        let budget = report
+            .resident_budget
+            .map_or("unbounded".to_string(), |b| b.to_string());
+        println!(
+            "  resident budget {budget}/worker: {} evictions, {} fault-ins, {} migrations",
+            report.evictions, report.faultins, report.migrations
+        );
+    }
     if args.get("stats").is_some() {
         for (i, (requests, high)) in report
             .worker_requests

@@ -589,6 +589,89 @@ fn serve_script_restores_deterministically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--resident-budget` caps resident sessions per worker: the summary
+/// gains an eviction line, and with `--migrate` the synthetic driver
+/// rebalances between rounds. The constrained run still reports zero
+/// failures — eviction and migration must be invisible to correctness.
+#[test]
+fn serve_synthetic_evicts_and_migrates_under_a_resident_budget() {
+    let dir = std::env::temp_dir().join(format!("mpps-cli-evict-{}", std::process::id()));
+    let out = mpps()
+        .args([
+            "serve",
+            "--synthetic",
+            "--sessions",
+            "24",
+            "--rounds",
+            "2",
+            "--wmes",
+            "2",
+            "--workers",
+            "2",
+            "--resident-budget",
+            "4",
+            "--evict-dir",
+            dir.to_str().unwrap(),
+            "--migrate",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 failures"), "{stdout}");
+    assert!(stdout.contains("resident budget 4/worker:"), "{stdout}");
+    // 24 sessions over a 4/worker budget must actually spill to disk.
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("resident budget"))
+        .unwrap();
+    assert!(!line.contains(" 0 evictions"), "{stdout}");
+    // The workers clean their spill directories up on shutdown.
+    assert!(
+        !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+        "spill files leaked in {}",
+        dir.display()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Degenerate or contradictory serve flags are usage errors (exit 2),
+/// not silent clamps: a zero shard count used to be rounded up to 1.
+#[test]
+fn serve_rejects_degenerate_scale_flags() {
+    for (args, wants) in [
+        (
+            &["serve", "--synthetic", "--shards", "0"][..],
+            "--shards must be at least 1",
+        ),
+        (
+            &["serve", "--synthetic", "--workers", "0"][..],
+            "--workers must be at least 1",
+        ),
+        (
+            &["serve", "--synthetic", "--resident-budget", "0"][..],
+            "--resident-budget must be at least 1",
+        ),
+        (
+            &["serve", "--synthetic", "--evict-dir", "/tmp/x"][..],
+            "--evict-dir needs --resident-budget",
+        ),
+        (
+            &["serve", "--script", "x", "--migrate"][..],
+            "--migrate only applies to --synthetic",
+        ),
+    ] {
+        let out = mpps().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(wants), "{args:?}: {stderr}");
+    }
+}
+
 #[test]
 fn serve_needs_exactly_one_mode() {
     for args in [
